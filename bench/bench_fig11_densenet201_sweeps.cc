@@ -1,0 +1,12 @@
+// Figure 11 — DenseNet201: varying the number of workers K
+// (top panels) and the variance threshold Theta (bottom panels).
+//
+// Expected shape (paper): FDA communicates the least at every K; the
+// Synchronous baseline's communication grows with K; raising Theta trades
+// synchronizations (and thus communication) against computation.
+
+#include "bench/sweep_figure.h"
+
+int main() {
+  return fedra::bench::RunSweepFigure(fedra::bench::DenseNet201Preset(), "fig11");
+}

@@ -1,0 +1,14 @@
+// Figure 5 — DenseNet121 on CIFAR-10 (scaled substitute): clouds at two
+// accuracy targets, IID, with the SGD-NM optimizer family (FedAvgM is the
+// federated baseline, per Table 2).
+//
+// Expected shape (paper): FedAvgM and Synchronous pay roughly half an
+// order of magnitude more computation AND communication for the final
+// marginal accuracy gain; the FDA methods barely move.
+
+#include "bench/densenet_figure.h"
+
+int main() {
+  return fedra::bench::RunDenseNetFigure(fedra::bench::DenseNet121Preset(),
+                                         "fig5");
+}

@@ -1,0 +1,12 @@
+// Figure 6 — DenseNet201 on CIFAR-10 (scaled substitute): the deeper
+// DenseNet variant under the same two-target IID protocol as Fig. 5.
+//
+// Expected shape (paper): same ordering as Fig. 5 at a larger model scale;
+// FDA's advantage persists as d grows.
+
+#include "bench/densenet_figure.h"
+
+int main() {
+  return fedra::bench::RunDenseNetFigure(fedra::bench::DenseNet201Preset(),
+                                         "fig6");
+}

@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) of the kernels FDA's per-step cost
+// rests on: AMS sketch construction and estimation, the simulated
+// AllReduce, GEMM, and direct convolution.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/collectives.h"
+#include "sketch/ams_sketch.h"
+#include "tensor/ops.h"
+#include "tensor/vec_ops.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = rng.NextGaussian(0.0f, 1.0f);
+  }
+  return v;
+}
+
+void BM_SketchAccumulate(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  auto family = AmsHashFamily::Create(5, 250, dim, 1);
+  auto v = RandomVec(dim, 2);
+  AmsSketch sketch(family);
+  for (auto _ : state) {
+    sketch.Clear();
+    sketch.AccumulateVector(v.data());
+    benchmark::DoNotOptimize(sketch.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dim));
+}
+BENCHMARK(BM_SketchAccumulate)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_SketchEstimate(benchmark::State& state) {
+  const size_t dim = 1 << 14;
+  auto family = AmsHashFamily::Create(5, 250, dim, 3);
+  auto v = RandomVec(dim, 4);
+  AmsSketch sketch = AmsSketch::OfVector(family, v.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.EstimateSquaredNorm());
+  }
+}
+BENCHMARK(BM_SketchEstimate);
+
+void BM_HashFamilyBuild(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto family = AmsHashFamily::Create(5, 250, dim, 7);
+    benchmark::DoNotOptimize(family);
+  }
+}
+BENCHMARK(BM_HashFamilyBuild)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_AllReduce(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  std::vector<std::vector<float>> buffers(static_cast<size_t>(workers));
+  std::vector<float*> pointers;
+  for (int k = 0; k < workers; ++k) {
+    buffers[static_cast<size_t>(k)] =
+        RandomVec(dim, 10 + static_cast<uint64_t>(k));
+    pointers.push_back(buffers[static_cast<size_t>(k)].data());
+  }
+  SimNetwork network(workers, NetworkModel::Hpc(),
+                     AllReduceAlgorithm::kFlat);
+  for (auto _ : state) {
+    network.AllReduceAverage(pointers, dim, TrafficClass::kModelSync);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dim * workers *
+                                               sizeof(float)));
+}
+BENCHMARK(BM_AllReduce)->Args({1 << 14, 4})->Args({1 << 14, 16})
+    ->Args({1 << 18, 4});
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = RandomVec(static_cast<size_t>(n) * n, 20);
+  auto b = RandomVec(static_cast<size_t>(n) * n, 21);
+  std::vector<float> c(static_cast<size_t>(n) * n);
+  for (auto _ : state) {
+    ops::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+              c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  ops::Conv2dGeometry g;
+  g.batch = 8;
+  g.in_channels = 8;
+  g.in_h = g.in_w = 16;
+  g.out_channels = 16;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  auto input = RandomVec(static_cast<size_t>(g.batch) * g.in_channels *
+                             g.in_h * g.in_w,
+                         30);
+  auto weight = RandomVec(static_cast<size_t>(g.out_channels) *
+                              g.in_channels * 9,
+                          31);
+  std::vector<float> bias(static_cast<size_t>(g.out_channels), 0.1f);
+  std::vector<float> output(static_cast<size_t>(g.batch) * g.out_channels *
+                            g.out_h() * g.out_w());
+  for (auto _ : state) {
+    ops::Conv2dForward(g, input.data(), weight.data(), bias.data(),
+                       output.data());
+    benchmark::DoNotOptimize(output.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_VarianceIdentity(benchmark::State& state) {
+  // The per-step scalar work of LinearFDA's state computation.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  auto u = RandomVec(dim, 40);
+  auto xi = RandomVec(dim, 41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::SquaredNorm(u.data(), dim));
+    benchmark::DoNotOptimize(vec::Dot(xi.data(), u.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+}
+BENCHMARK(BM_VarianceIdentity)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace fedra
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Table 2 — Summary of Experiments.
+//
+// Reprints the paper's experiment-configuration table for this repo's
+// scaled substitutes: every model with its parameter count d, dataset,
+// Theta grid, batch size, K grid, local optimizer, and algorithm set.
+// Also prints the full-size zoo variants and verifies the paper's model
+// ordering d(LeNet) < d(VGG16*) < d(DenseNet121) < d(DenseNet201) <
+// d(ConvNeXt) for the library-default builds.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/presets.h"
+#include "nn/zoo.h"
+#include "util/string_util.h"
+
+namespace fedra {
+namespace bench {
+namespace {
+
+void PrintPresetRow(const ExperimentPreset& preset) {
+  std::string thetas = "{";
+  for (size_t i = 0; i < preset.theta_grid.size(); ++i) {
+    thetas += StrFormat("%s%g", i ? ", " : "", preset.theta_grid[i]);
+  }
+  thetas += "}";
+  std::string workers = "{";
+  for (size_t i = 0; i < preset.worker_grid.size(); ++i) {
+    workers += StrFormat("%s%d", i ? ", " : "", preset.worker_grid[i]);
+  }
+  workers += "}";
+  std::printf("| %-12s | %7s | %-26s | %-20s | %2d | %-10s | %-28s | %s |\n",
+              preset.model_name.c_str(),
+              HumanCount(preset.model_dim).c_str(),
+              preset.dataset_name.c_str(), thetas.c_str(),
+              preset.batch_size, workers.c_str(),
+              preset.optimizer.ToString().c_str(),
+              StrJoin(preset.algorithm_names, ", ").c_str());
+}
+
+int Main() {
+  Banner("table2", "Summary of Experiments (scaled substitutes)");
+
+  std::printf(
+      "\n| %-12s | %7s | %-26s | %-20s | %2s | %-10s | %-28s | %s |\n",
+      "NN", "d", "Dataset", "Theta grid", "b", "K grid", "Optimizer",
+      "Algorithms");
+  std::printf(
+      "|--------------|---------|----------------------------|"
+      "----------------------|----|------------|"
+      "------------------------------|------------|\n");
+  PrintPresetRow(LeNetPreset());
+  PrintPresetRow(VggPreset());
+  PrintPresetRow(DenseNet121Preset());
+  PrintPresetRow(DenseNet201Preset());
+  PrintPresetRow(ConvNeXtPreset());
+
+  std::printf("\nLibrary-default zoo builds (16x16 inputs):\n");
+  struct NamedModel {
+    const char* name;
+    size_t dim;
+  };
+  const NamedModel models[] = {
+      {"LeNet-5", zoo::LeNet5(1, 16, 10)->num_params()},
+      {"VGG16*", zoo::VggStar(1, 16, 10)->num_params()},
+      {"DenseNet121", zoo::DenseNet121Lite(3, 16, 10)->num_params()},
+      {"DenseNet201", zoo::DenseNet201Lite(3, 16, 10)->num_params()},
+      {"ConvNeXtLite(w=40)", zoo::ConvNeXtLite(3, 16, 10, 40)->num_params()},
+  };
+  for (const auto& model : models) {
+    std::printf("  %-20s d = %8zu (%s)\n", model.name, model.dim,
+                HumanCount(model.dim).c_str());
+  }
+
+  std::printf("\nChecks (paper Table 2 structure):\n");
+  bool ok = true;
+  for (size_t i = 1; i < 5; ++i) {
+    ok &= CheckClaim(
+        StrFormat("d(%s) < d(%s)", models[i - 1].name, models[i].name),
+        models[i - 1].dim < models[i].dim);
+  }
+  ok &= CheckClaim("every preset has >= 3 Theta values",
+                   LeNetPreset().theta_grid.size() >= 3 &&
+                       DenseNet201Preset().theta_grid.size() >= 3);
+  std::printf("\ntable2 %s\n", ok ? "PASS" : "FAIL");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedra
+
+int main() { return fedra::bench::Main(); }

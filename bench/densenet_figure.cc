@@ -1,0 +1,66 @@
+#include "bench/densenet_figure.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "util/string_util.h"
+
+namespace fedra {
+namespace bench {
+
+int RunDenseNetFigure(const ExperimentPreset& preset,
+                      const std::string& figure_id) {
+  Banner(figure_id, preset.model_name + " on " + preset.dataset_name +
+                        ": two accuracy targets (IID)");
+  const double targets[2] = {preset.accuracy_target,
+                             preset.accuracy_target_high};
+  std::vector<SweepRow> rows_by_target[2];
+  bool all_ok = true;
+  for (int t = 0; t < 2; ++t) {
+    SweepSpec spec;
+    spec.experiment_id = figure_id;
+    spec.model_name = preset.model_name;
+    spec.factory = preset.factory;
+    spec.data = MakeData(preset);
+    spec.algorithms = StandardAlgorithms(
+        preset, {preset.theta_grid[1], preset.theta_grid[2]});
+    spec.worker_counts = {4};
+    spec.partition = PartitionConfig::Iid();
+    spec.accuracy_target = targets[t];
+    spec.base = BaseTrainerConfig(preset);
+    std::printf("\n--- IID, Accuracy Target: %.3f ---\n", targets[t]);
+    rows_by_target[t] = RunSweep(spec);
+    PrintRows("Results", rows_by_target[t]);
+    WriteCsv(figure_id, rows_by_target[t], StrFormat("_t%d", t));
+  }
+  PrintScatter("Cloud at the high target", rows_by_target[1]);
+  PrintKdeSummary(rows_by_target[1]);
+
+  // Family-best operating point per target (the paper's "FDA" cloud).
+  auto family_best = [](const std::vector<SweepRow>& rows) {
+    return std::min(BestGigabytes(rows, "SketchFDA"),
+                    BestGigabytes(rows, "LinearFDA"));
+  };
+  const char* fedopt = "FedAvgM";
+  std::printf("\nClaims:\n");
+  for (int t = 0; t < 2; ++t) {
+    const double sync_gb = BestGigabytes(rows_by_target[t], "Synchronous");
+    const double fda_gb = family_best(rows_by_target[t]);
+    all_ok &= CheckClaim(
+        StrFormat("target %.2f: FDA comm >= 8x below Synchronous",
+                  t == 0 ? preset.accuracy_target
+                         : preset.accuracy_target_high),
+        fda_gb > 0 && sync_gb > 8.0 * fda_gb);
+  }
+  const double fedopt_gb = BestGigabytes(rows_by_target[1], fedopt);
+  const double fda_gb = family_best(rows_by_target[1]);
+  all_ok &= CheckClaim(
+      "FDA communicates less than FedAvgM at the high target",
+      fedopt_gb <= 0.0 || (fda_gb > 0 && fda_gb < fedopt_gb));
+  std::printf("\n%s %s\n", figure_id.c_str(), all_ok ? "PASS" : "FAIL");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace fedra

@@ -1,0 +1,21 @@
+// Shared driver for the DenseNet figures (paper Figs. 5 and 6): clouds at
+// two accuracy targets, IID, SGD-NM optimizer family with FedAvgM baseline.
+
+#ifndef FEDRA_BENCH_DENSENET_FIGURE_H_
+#define FEDRA_BENCH_DENSENET_FIGURE_H_
+
+#include <string>
+
+#include "bench/presets.h"
+
+namespace fedra {
+namespace bench {
+
+/// Runs the two-target IID sweep and prints rows, clouds, and claims.
+int RunDenseNetFigure(const ExperimentPreset& preset,
+                      const std::string& figure_id);
+
+}  // namespace bench
+}  // namespace fedra
+
+#endif  // FEDRA_BENCH_DENSENET_FIGURE_H_

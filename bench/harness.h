@@ -1,0 +1,98 @@
+// Shared bench harness: runs (algorithm x K x Theta) sweeps of the
+// simulated federated trainer and reports rows/series in the shape of the
+// paper's tables and figures — markdown tables, ASCII log-log scatter
+// (the terminal rendition of the paper's KDE plots), KDE mode summaries,
+// and CSV files under bench_out/.
+
+#ifndef FEDRA_BENCH_HARNESS_H_
+#define FEDRA_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/trainer.h"
+#include "data/synth.h"
+#include "nn/model.h"
+
+namespace fedra {
+namespace bench {
+
+/// One completed training run of a sweep.
+struct SweepRow {
+  std::string algorithm;   // display name, e.g. "SketchFDA"
+  std::string config;      // e.g. "theta=2" or "E=1"
+  int workers = 0;
+  double theta = 0.0;      // 0 for non-FDA algorithms
+  std::string heterogeneity;
+  bool reached_target = false;
+  size_t steps = 0;        // In-Parallel Learning Steps (to target)
+  double gigabytes = 0.0;  // Communication (to target)
+  uint64_t syncs = 0;
+  double final_accuracy = 0.0;
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
+};
+
+struct SweepSpec {
+  std::string experiment_id;  // "fig3"
+  std::string model_name;     // "LeNet-5"
+  ModelFactory factory;
+  SynthImageData data;
+  std::vector<AlgorithmConfig> algorithms;
+  std::vector<int> worker_counts;
+  PartitionConfig partition = PartitionConfig::Iid();
+  double accuracy_target = 0.9;
+  TrainerConfig base;  // batch size, optimizer, caps, network model
+};
+
+/// Runs the full grid; one row per (algorithm, K). Logs progress.
+std::vector<SweepRow> RunSweep(const SweepSpec& spec);
+
+/// Markdown-ish table of rows.
+void PrintRows(const std::string& title, const std::vector<SweepRow>& rows);
+
+/// Per-algorithm KDE summary over (log10 GB, log10 steps) clouds: the mode
+/// of each strategy's bivariate density — the center of mass the paper's
+/// KDE figures visualize.
+void PrintKdeSummary(const std::vector<SweepRow>& rows);
+
+/// ASCII log-log scatter of (GB, steps) per algorithm.
+void PrintScatter(const std::string& title,
+                  const std::vector<SweepRow>& rows);
+
+/// Writes rows to bench_out/<experiment_id>.csv (appends the suffix when
+/// given). Creates the directory when missing.
+void WriteCsv(const std::string& experiment_id,
+              const std::vector<SweepRow>& rows,
+              const std::string& suffix = "");
+
+/// Prints "  [PASS] name" / "  [FAIL] name" and returns `condition`.
+bool CheckClaim(const std::string& name, bool condition);
+
+/// Geometric-mean communication (GB) of rows matching an algorithm name,
+/// only over rows that reached the target. Returns 0 when empty.
+double MeanGigabytes(const std::vector<SweepRow>& rows,
+                     const std::string& algorithm);
+double MeanSteps(const std::vector<SweepRow>& rows,
+                 const std::string& algorithm);
+
+/// Best (minimum) communication / steps over an algorithm's rows at a given
+/// worker count, target-reaching rows only — the achievable operating point
+/// of the strategy's cloud (how the paper quotes savings). `workers <= 0`
+/// means any K. Returns 0 when no row qualifies.
+double BestGigabytes(const std::vector<SweepRow>& rows,
+                     const std::string& algorithm, int workers = 0);
+double BestSteps(const std::vector<SweepRow>& rows,
+                 const std::string& algorithm, int workers = 0);
+
+/// Distinct worker counts present in rows.
+std::vector<int> WorkerCounts(const std::vector<SweepRow>& rows);
+
+/// Prints a one-line banner for a bench binary.
+void Banner(const std::string& experiment_id, const std::string& subtitle);
+
+}  // namespace bench
+}  // namespace fedra
+
+#endif  // FEDRA_BENCH_HARNESS_H_

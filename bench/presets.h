@@ -1,0 +1,75 @@
+// Experiment presets: the scaled-down analog of the paper's Table 2.
+//
+// Each preset fixes (model, dataset, Theta grid, batch size, K grid, local
+// optimizer, algorithm set) the way one row of Table 2 does. Absolute
+// scales differ from the paper (see DESIGN.md §1); the grids preserve the
+// relative geometry: Theta spans the convergent range, K spans small-to-
+// large cohorts, and each model keeps its paper role (easy task / hard
+// task / fine-tuning).
+
+#ifndef FEDRA_BENCH_PRESETS_H_
+#define FEDRA_BENCH_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/algorithms.h"
+#include "data/synth.h"
+#include "nn/model.h"
+#include "opt/optimizer.h"
+
+namespace fedra {
+namespace bench {
+
+struct ExperimentPreset {
+  std::string model_name;
+  std::string dataset_name;
+  ModelFactory factory;
+  size_t model_dim = 0;
+  SynthImageConfig data_config;
+  std::vector<double> theta_grid;   // the preset's convergent Theta range
+  int batch_size = 8;
+  std::vector<int> worker_grid;
+  OptimizerConfig optimizer;
+  std::vector<std::string> algorithm_names;  // Table 2 display
+  double accuracy_target = 0.9;
+  double accuracy_target_high = 0.93;  // the harder second target
+  size_t max_steps = 800;
+  size_t eval_every_steps = 20;
+};
+
+/// LeNet-5 on the MNIST-like task; Adam; vs Synchronous + FedAdam.
+ExperimentPreset LeNetPreset();
+
+/// VGG16* on the MNIST-like task (8x8 wire size for CPU budget); Adam;
+/// vs Synchronous + FedAdam.
+ExperimentPreset VggPreset();
+
+/// DenseNet121-role on the CIFAR-like task; SGD-NM; vs Synchronous +
+/// FedAvgM.
+ExperimentPreset DenseNet121Preset();
+
+/// DenseNet201-role (deeper/wider variant); SGD-NM; vs Synchronous +
+/// FedAvgM.
+ExperimentPreset DenseNet201Preset();
+
+/// ConvNeXt fine-tuning preset (Fig. 13); AdamW; FDA variants only.
+ExperimentPreset ConvNeXtPreset();
+
+/// Builds the standard algorithm list for a preset: the FDA variants over
+/// `thetas` plus the preset's federated baseline and Synchronous.
+std::vector<AlgorithmConfig> StandardAlgorithms(
+    const ExperimentPreset& preset, const std::vector<double>& thetas,
+    bool include_fedopt = true, bool include_synchronous = true);
+
+/// The preset's base TrainerConfig (optimizer, batch, caps, eval cadence).
+TrainerConfig BaseTrainerConfig(const ExperimentPreset& preset);
+
+/// Generates the preset's dataset.
+SynthImageData MakeData(const ExperimentPreset& preset);
+
+}  // namespace bench
+}  // namespace fedra
+
+#endif  // FEDRA_BENCH_PRESETS_H_

@@ -1,0 +1,147 @@
+#include "bench/sweep_figure.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "util/string_util.h"
+
+namespace fedra {
+namespace bench {
+
+int RunSweepFigure(const ExperimentPreset& preset,
+                   const std::string& figure_id) {
+  const double mid_theta = preset.theta_grid[preset.theta_grid.size() / 2];
+  Banner(figure_id,
+         StrFormat("%s: varying K (theta=%g) and varying theta",
+                   preset.model_name.c_str(), mid_theta));
+  SynthImageData data = MakeData(preset);
+  bool all_ok = true;
+
+  // ---- Top panels: cost vs K at fixed Theta.
+  SweepSpec k_spec;
+  k_spec.experiment_id = figure_id;
+  k_spec.model_name = preset.model_name;
+  k_spec.factory = preset.factory;
+  k_spec.data = data;
+  // The K panel carries the cloud's two upper Theta points: like the
+  // paper's figures, each strategy is represented by its achievable
+  // operating region, not a single arbitrary threshold.
+  k_spec.algorithms = StandardAlgorithms(
+      preset, {mid_theta, preset.theta_grid.back()});
+  k_spec.worker_counts = preset.worker_grid;
+  k_spec.accuracy_target = preset.accuracy_target;
+  k_spec.base = BaseTrainerConfig(preset);
+  std::printf("\n--- cost vs K (IID, theta=%g, target %.2f) ---\n",
+              mid_theta, preset.accuracy_target);
+  auto k_rows = RunSweep(k_spec);
+  PrintRows("Varying K", k_rows);
+  WriteCsv(figure_id, k_rows, "_k_sweep");
+
+  std::printf("\nSeries (communication GB by K):\n");
+  for (int workers : preset.worker_grid) {
+    std::printf("  K=%-3d:", workers);
+    for (const char* algorithm :
+         {"LinearFDA", "SketchFDA", "FedAvgM", "FedAdam", "Synchronous"}) {
+      const double gb = BestGigabytes(k_rows, algorithm, workers);
+      if (gb > 0) {
+        std::printf("  %s=%.4g", algorithm, gb);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Claim: at every K, the FDA family's best point communicates less than
+  // every baseline present. (At this reduced scale SketchFDA's fixed-size
+  // state is a visible per-step floor, so the family best is usually
+  // LinearFDA — the paper's clouds are likewise quoted family-wide.)
+  bool fda_wins_comm = true;
+  for (int workers : preset.worker_grid) {
+    const double linear_gb = BestGigabytes(k_rows, "LinearFDA", workers);
+    const double sketch_gb = BestGigabytes(k_rows, "SketchFDA", workers);
+    const double fda_gb =
+        linear_gb > 0 && sketch_gb > 0 ? std::min(linear_gb, sketch_gb)
+                                       : std::max(linear_gb, sketch_gb);
+    if (fda_gb <= 0) {
+      fda_wins_comm = false;
+      continue;
+    }
+    for (const char* baseline : {"FedAvgM", "FedAdam", "Synchronous"}) {
+      const double base_gb = BestGigabytes(k_rows, baseline, workers);
+      if (base_gb > 0) {
+        fda_wins_comm &= fda_gb < base_gb;
+      }
+    }
+  }
+  all_ok &= CheckClaim("FDA (family best) communicates least at every K",
+                       fda_wins_comm);
+
+  // Claim: Synchronous communication grows with K (flat accounting:
+  // payload * K per step) while its computation does not explode.
+  const double sync_first =
+      BestGigabytes(k_rows, "Synchronous", preset.worker_grid.front());
+  const double sync_last =
+      BestGigabytes(k_rows, "Synchronous", preset.worker_grid.back());
+  all_ok &= CheckClaim("Synchronous communication grows with K",
+                       sync_last > sync_first);
+
+  // ---- Bottom panels: cost vs Theta at fixed K for the FDA variants.
+  const int fixed_k = preset.worker_grid[preset.worker_grid.size() / 2];
+  SweepSpec theta_spec = k_spec;
+  theta_spec.algorithms = StandardAlgorithms(preset, preset.theta_grid,
+                                             /*include_fedopt=*/false,
+                                             /*include_synchronous=*/false);
+  theta_spec.worker_counts = {fixed_k};
+  std::printf("\n--- cost vs theta (IID, K=%d) ---\n", fixed_k);
+  auto theta_rows = RunSweep(theta_spec);
+  PrintRows("Varying Theta", theta_rows);
+  WriteCsv(figure_id, theta_rows, "_theta_sweep");
+
+  std::printf("\nSeries (by theta):\n");
+  for (const char* algorithm : {"LinearFDA", "SketchFDA"}) {
+    std::printf("  %-10s:", algorithm);
+    for (double theta : preset.theta_grid) {
+      for (const auto& row : theta_rows) {
+        if (row.algorithm == algorithm && row.theta == theta) {
+          std::printf("  theta=%g -> GB=%.4g steps=%zu syncs=%llu", theta,
+                      row.gigabytes, row.steps,
+                      static_cast<unsigned long long>(row.syncs));
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Claim: communication decreases as Theta grows (the paper's lever).
+  for (const char* algorithm : {"LinearFDA", "SketchFDA"}) {
+    double first_gb = 0.0;
+    double last_gb = 0.0;
+    uint64_t first_syncs = 0;
+    uint64_t last_syncs = 0;
+    for (const auto& row : theta_rows) {
+      if (row.algorithm != algorithm) {
+        continue;
+      }
+      if (row.theta == preset.theta_grid.front()) {
+        first_gb = row.gigabytes;
+        first_syncs = row.syncs;
+      }
+      if (row.theta == preset.theta_grid.back()) {
+        last_gb = row.gigabytes;
+        last_syncs = row.syncs;
+      }
+    }
+    all_ok &= CheckClaim(
+        StrFormat("%s: higher theta => fewer syncs", algorithm),
+        last_syncs <= first_syncs);
+    all_ok &= CheckClaim(
+        StrFormat("%s: higher theta => less model-sync traffic", algorithm),
+        last_gb <= first_gb * 1.05);
+  }
+
+  std::printf("\n%s %s\n", figure_id.c_str(), all_ok ? "PASS" : "FAIL");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace fedra

@@ -1,0 +1,23 @@
+// Shared driver for the "Varying the Number of Workers and Theta" figures
+// (paper Figs. 8-11): a K sweep at fixed Theta for all strategies (top
+// panels) plus a Theta sweep at fixed K for the FDA variants (bottom
+// panels).
+
+#ifndef FEDRA_BENCH_SWEEP_FIGURE_H_
+#define FEDRA_BENCH_SWEEP_FIGURE_H_
+
+#include <string>
+
+#include "bench/presets.h"
+
+namespace fedra {
+namespace bench {
+
+/// Runs both sweeps and prints the series + claims. Returns 0.
+int RunSweepFigure(const ExperimentPreset& preset,
+                   const std::string& figure_id);
+
+}  // namespace bench
+}  // namespace fedra
+
+#endif  // FEDRA_BENCH_SWEEP_FIGURE_H_

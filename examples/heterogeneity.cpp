@@ -1,0 +1,73 @@
+// Non-IID robustness: the drone-fleet scenario from the paper's
+// introduction. A fleet of drones maps an area; each drone's camera sees a
+// biased slice of the world (some drones see almost only one terrain
+// class). The example trains one global classifier with LinearFDA under
+// increasingly skewed data distributions and shows FDA's costs barely
+// move — the paper's §4.2(4) finding.
+
+#include <cstdio>
+
+#include "core/algorithms.h"
+#include "core/trainer.h"
+#include "data/synth.h"
+#include "nn/zoo.h"
+#include "util/string_util.h"
+
+using namespace fedra;
+
+int main() {
+  SynthImageConfig terrain = CifarLikeConfig();  // 3-channel "camera" tiles
+  terrain.num_train = 2048;
+  terrain.num_test = 512;
+  auto data = GenerateSynthImages(terrain);
+  FEDRA_CHECK_OK(data.status());
+
+  ModelFactory factory = [] { return zoo::LeNet5(3, 16, 10); };
+  std::printf("fleet classifier: LeNet-5-style, d = %zu\n",
+              factory()->num_params());
+
+  struct Scenario {
+    const char* description;
+    PartitionConfig partition;
+  };
+  const Scenario scenarios[] = {
+      {"uniform patrol routes (IID)", PartitionConfig::Iid()},
+      {"terrain class 0 seen by only 2 drones",
+       PartitionConfig::LabelToFew(0, 2)},
+      {"60% of footage is route-sorted", PartitionConfig::SortedFraction(0.6)},
+  };
+
+  std::printf("\n%-44s %8s %10s %8s %8s\n", "scenario", "steps", "comm",
+              "syncs", "accuracy");
+  double iid_comm = 0.0;
+  for (const auto& scenario : scenarios) {
+    TrainerConfig config;
+    config.num_workers = 6;  // the fleet
+    config.batch_size = 8;
+    config.local_optimizer = OptimizerConfig::Adam(0.002f);
+    config.partition = scenario.partition;
+    config.accuracy_target = 0.85;
+    config.max_steps = 500;
+    config.eval_every_steps = 25;
+    DistributedTrainer trainer(factory, data->train, data->test, config);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(2.0),
+                                 trainer.model_dim());
+    FEDRA_CHECK_OK(policy.status());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK_OK(result.status());
+    const double comm_mb =
+        static_cast<double>(result->bytes_to_target) / (1024.0 * 1024.0);
+    if (iid_comm == 0.0) {
+      iid_comm = comm_mb;
+    }
+    std::printf("%-44s %8zu %8.2f MB %8llu %7.1f%%  (%.1fx IID comm)\n",
+                scenario.description, result->steps_to_target, comm_mb,
+                static_cast<unsigned long long>(result->syncs_to_target),
+                100.0 * result->final_test_accuracy, comm_mb / iid_comm);
+  }
+  std::printf(
+      "\nThe variance trigger adapts to the skew automatically: when biased\n"
+      "shards pull the local models apart faster, FDA simply synchronizes\n"
+      "at the moment the drift warrants it — no schedule retuning.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: train a small CNN across a simulated federated cluster with
+// SketchFDA and compare the communication bill against the Synchronous
+// (BSP) baseline.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/algorithms.h"
+#include "core/trainer.h"
+#include "data/synth.h"
+#include "nn/zoo.h"
+#include "util/string_util.h"
+
+using namespace fedra;
+
+int main() {
+  // 1. A learning task. (Outside simulations you would load your own
+  //    Dataset; here we generate the MNIST-like synthetic task.)
+  SynthImageConfig data_config = MnistLikeConfig();
+  data_config.num_train = 2048;
+  data_config.num_test = 512;
+  auto data = GenerateSynthImages(data_config);
+  FEDRA_CHECK_OK(data.status());
+
+  // 2. A model architecture. Every worker builds one replica from the
+  //    factory; fedra's Model exposes the flat parameter vector FDA needs.
+  ModelFactory factory = [] { return zoo::LeNet5(1, 16, 10); };
+  std::printf("model: LeNet-5 with d = %zu parameters\n",
+              factory()->num_params());
+
+  // 3. Cluster + training configuration (paper notation: K, b, Theta).
+  TrainerConfig config;
+  config.num_workers = 6;                              // K
+  config.batch_size = 8;                               // b
+  config.local_optimizer = OptimizerConfig::Adam(0.002f);
+  config.partition = PartitionConfig::Iid();
+  config.accuracy_target = 0.95;
+  config.max_steps = 1000;
+  config.eval_every_steps = 25;
+
+  // 4. Train with SketchFDA, then with the Synchronous baseline.
+  for (auto algo : {AlgorithmConfig::SketchFda(/*theta=*/2.0),
+                    AlgorithmConfig::Synchronous()}) {
+    DistributedTrainer trainer(factory, data->train, data->test, config);
+    auto policy = MakeSyncPolicy(algo, trainer.model_dim());
+    FEDRA_CHECK_OK(policy.status());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK_OK(result.status());
+    std::printf(
+        "\n%s\n  reached %.1f%% test accuracy in %zu in-parallel steps\n"
+        "  model syncs: %llu\n  communication: %s (state traffic %s, "
+        "model traffic %s)\n",
+        result->algorithm.c_str(), 100.0 * result->final_test_accuracy,
+        result->total_steps,
+        static_cast<unsigned long long>(result->total_syncs),
+        HumanBytes(static_cast<double>(result->comm.bytes_total)).c_str(),
+        HumanBytes(static_cast<double>(result->comm.bytes_local_state))
+            .c_str(),
+        HumanBytes(static_cast<double>(result->comm.bytes_model_sync))
+            .c_str());
+  }
+  std::printf(
+      "\nSketchFDA transmits a ~%zu-float state per step and synchronizes\n"
+      "the full model only when the variance estimate H(S) exceeds Theta —\n"
+      "that is the entire difference, and the entire saving.\n",
+      static_cast<size_t>(5 * 250 + 1));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Federated fine-tuning (the paper's Fig. 13 scenario as an application):
+// a ConvNeXt-style backbone is pre-trained centrally on a source task,
+// then fine-tuned across a small federated cohort on a related target
+// task. SketchFDA decides when the cohort needs to synchronize.
+
+#include <cstdio>
+
+#include "core/algorithms.h"
+#include "core/trainer.h"
+#include "data/batching.h"
+#include "data/transfer.h"
+#include "metrics/evaluation.h"
+#include "nn/loss.h"
+#include "nn/zoo.h"
+#include "opt/optimizer.h"
+#include "util/string_util.h"
+
+using namespace fedra;
+
+int main() {
+  TransferConfig transfer = TransferConfig::Default();
+  transfer.source.num_train = 2048;
+  transfer.target.num_train = 1024;
+  auto scenario = MakeTransferScenario(transfer);
+  FEDRA_CHECK_OK(scenario.status());
+
+  ModelFactory factory = [] { return zoo::ConvNeXtLite(3, 16, 10, 16); };
+  auto model = factory();
+  model->InitParams(1);
+  std::printf("backbone: ConvNeXtLite, d = %zu\n", model->num_params());
+
+  // --- Stage 1: centralized pre-training on the source task.
+  auto optimizer = Optimizer::Create(OptimizerConfig::AdamW(0.002f, 0.01f),
+                                     model->num_params());
+  std::vector<size_t> all(scenario->source.train.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  BatchSampler sampler(all, 8, Rng(2));
+  Rng rng(3);
+  for (int step = 0; step < 300; ++step) {
+    const auto& batch = sampler.NextBatch();
+    Tensor images = scenario->source.train.GatherImages(batch);
+    std::vector<int> labels = scenario->source.train.GatherLabels(batch);
+    model->ZeroGrads();
+    Tensor logits = model->Forward(images, true, &rng);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    model->Backward(loss.grad_logits);
+    optimizer->Step(model->params(), model->grads(), model->num_params());
+  }
+  std::printf("pre-training: source accuracy %.1f%%, zero-shot target "
+              "accuracy %.1f%%\n",
+              100.0 * Evaluate(model.get(), scenario->source.test).accuracy,
+              100.0 * Evaluate(model.get(), scenario->target.test).accuracy);
+
+  // --- Stage 2: federated fine-tuning on the target task with SketchFDA.
+  TrainerConfig config;
+  config.num_workers = 5;
+  config.batch_size = 8;
+  config.local_optimizer = OptimizerConfig::AdamW(0.001f, 0.01f);
+  config.accuracy_target = 0.75;
+  config.max_steps = 300;
+  config.eval_every_steps = 20;
+  DistributedTrainer trainer(factory, scenario->target.train,
+                             scenario->target.test, config);
+  trainer.SetInitialParams(std::vector<float>(
+      model->params(), model->params() + model->num_params()));
+  auto policy = MakeSyncPolicy(AlgorithmConfig::SketchFda(0.008),
+                               trainer.model_dim());
+  FEDRA_CHECK_OK(policy.status());
+  auto result = trainer.Run(policy->get());
+  FEDRA_CHECK_OK(result.status());
+  std::printf("\nfine-tuning with %s:\n", result->algorithm.c_str());
+  std::printf("  target accuracy %.1f%% after %zu in-parallel steps\n",
+              100.0 * result->final_test_accuracy, result->total_steps);
+  std::printf("  %llu model syncs; communication %s\n",
+              static_cast<unsigned long long>(result->total_syncs),
+              HumanBytes(static_cast<double>(result->comm.bytes_total))
+                  .c_str());
+  std::printf("\nfine-tuning drifts are small and directional — exactly the "
+              "regime where\nSketchFDA's tight variance estimate avoids "
+              "needless synchronization (Fig. 13).\n");
+  return 0;
+}

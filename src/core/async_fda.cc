@@ -1,0 +1,229 @@
+#include "core/async_fda.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "metrics/evaluation.h"
+#include "nn/loss.h"
+#include "tensor/vec_ops.h"
+#include "util/check.h"
+
+namespace fedra {
+
+namespace {
+
+struct StepEvent {
+  double time = 0.0;
+  int worker = 0;
+  bool operator>(const StepEvent& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+AsyncFdaTrainer::AsyncFdaTrainer(ModelFactory factory, Dataset train,
+                                 Dataset test, TrainerConfig trainer_config,
+                                 AsyncFdaConfig async_config)
+    : factory_(std::move(factory)),
+      train_(std::move(train)),
+      test_(std::move(test)),
+      config_(std::move(trainer_config)),
+      async_(std::move(async_config)) {
+  auto probe = factory_();
+  dim_ = probe->num_params();
+}
+
+StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
+  FEDRA_RETURN_IF_ERROR(config_.Validate());
+  auto monitor_or = MakeVarianceMonitor(async_.monitor, dim_);
+  if (!monitor_or.ok()) {
+    return monitor_or.status();
+  }
+  std::unique_ptr<VarianceMonitor> monitor = std::move(monitor_or).value();
+
+  auto partition = PartitionDataset(train_.labels(), config_.num_workers,
+                                    config_.partition);
+  if (!partition.ok()) {
+    return partition.status();
+  }
+
+  SimNetwork network(config_.num_workers, config_.network,
+                     config_.allreduce);
+  Rng master(config_.seed);
+  // Fork id 101 matches DistributedTrainer::Setup so that the persistent
+  // per-worker speed factors are identical across the sync and async
+  // trainers for a given seed (fair straggler comparisons).
+  Rng straggler_rng = master.Fork(101);
+
+  std::vector<WorkerState> workers(
+      static_cast<size_t>(config_.num_workers));
+  for (int k = 0; k < config_.num_workers; ++k) {
+    WorkerState& worker = workers[static_cast<size_t>(k)];
+    worker.model = factory_();
+    if (k == 0) {
+      worker.model->InitParams(config_.seed);
+    } else {
+      worker.model->CopyParamsFrom(*workers[0].model);
+    }
+    worker.optimizer = Optimizer::Create(config_.local_optimizer, dim_);
+    worker.sampler = std::make_unique<BatchSampler>(
+        std::move(partition.value()[static_cast<size_t>(k)]),
+        config_.batch_size, master.Fork(static_cast<uint64_t>(k) + 1));
+    worker.rng = master.Fork(static_cast<uint64_t>(k) + 1000);
+    worker.drift.assign(dim_, 0.0f);
+    worker.state.assign(monitor->StateSize(), 0.0f);
+    worker.speed_factor = config_.straggler.SampleWorkerFactor(
+        &straggler_rng);
+  }
+
+  std::vector<float> sync_params(dim_);
+  std::vector<float> prev_sync_params(dim_);
+  vec::Copy(workers[0].model->params(), sync_params.data(), dim_);
+  prev_sync_params = sync_params;
+
+  // Coordinator's view: the latest state of every worker.
+  std::vector<std::vector<float>> latest_states(
+      workers.size(), std::vector<float>(monitor->StateSize(), 0.0f));
+  std::vector<float> mean_state(monitor->StateSize(), 0.0f);
+
+  auto eval_model = factory_();
+  auto refresh_eval_model = [&] {
+    float* avg = eval_model->params();
+    vec::Fill(avg, dim_, 0.0f);
+    const float inv_k = 1.0f / static_cast<float>(workers.size());
+    for (auto& worker : workers) {
+      vec::Axpy(inv_k, worker.model->params(), avg, dim_);
+    }
+  };
+
+  // Event queue: next step-completion time per worker.
+  std::priority_queue<StepEvent, std::vector<StepEvent>,
+                      std::greater<StepEvent>>
+      events;
+  for (int k = 0; k < config_.num_workers; ++k) {
+    events.push({config_.straggler.SampleStepSeconds(
+                     workers[static_cast<size_t>(k)].speed_factor,
+                     &straggler_rng),
+                 k});
+  }
+
+  AsyncTrainResult result;
+  result.base.algorithm = "AsyncFDA(" + monitor->name() + ")";
+  double clock = 0.0;
+  size_t total_steps = 0;
+  const size_t eval_every =
+      (config_.eval_every_steps > 0 ? config_.eval_every_steps
+                                    : workers[0].sampler->steps_per_epoch()) *
+      static_cast<size_t>(config_.num_workers);
+  size_t next_eval = eval_every;
+
+  while (total_steps < async_.max_total_worker_steps) {
+    StepEvent event = events.top();
+    events.pop();
+    clock = event.time;
+    WorkerState& worker = workers[static_cast<size_t>(event.worker)];
+
+    // The worker finishes one local step at `clock`.
+    const std::vector<size_t>& batch = worker.sampler->NextBatch();
+    Tensor images = train_.GatherImages(batch);
+    std::vector<int> labels = train_.GatherLabels(batch);
+    worker.model->ZeroGrads();
+    Tensor logits = worker.model->Forward(images, true, &worker.rng);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    worker.model->Backward(loss.grad_logits);
+    worker.optimizer->Step(worker.model->params(), worker.model->grads(),
+                           dim_);
+    ++total_steps;
+
+    // Upload the local state to the coordinator (point-to-point).
+    vec::Sub(worker.model->params(), sync_params.data(),
+             worker.drift.data(), dim_);
+    monitor->ComputeLocalState(worker.drift.data(), worker.state.data());
+    latest_states[static_cast<size_t>(event.worker)] = worker.state;
+    network.PointToPoint(monitor->StateSize(), TrafficClass::kLocalState);
+
+    // Coordinator decision on the freshest state of every worker.
+    vec::Fill(mean_state.data(), mean_state.size(), 0.0f);
+    const float inv_k = 1.0f / static_cast<float>(workers.size());
+    for (const auto& state : latest_states) {
+      vec::Axpy(inv_k, state.data(), mean_state.data(), mean_state.size());
+    }
+    const double estimate = monitor->EstimateVariance(mean_state.data());
+    if (estimate > async_.theta) {
+      // Coordinator-mediated synchronization (accounted as a full-model
+      // collective). All in-flight compute is abandoned and re-queued.
+      std::vector<float*> params;
+      params.reserve(workers.size());
+      for (auto& w : workers) {
+        params.push_back(w.model->params());
+      }
+      network.AllReduceAverage(params, dim_, TrafficClass::kModelSync);
+      prev_sync_params = sync_params;
+      vec::Copy(params[0], sync_params.data(), dim_);
+      monitor->OnSynchronized(sync_params.data(), prev_sync_params.data());
+      for (auto& state : latest_states) {
+        std::fill(state.begin(), state.end(), 0.0f);
+      }
+      ++result.sync_count;
+      // Sync latency stalls everyone: rebuild the event queue from now.
+      clock += config_.network.AllReduceSeconds(dim_ * sizeof(float),
+                                                config_.num_workers,
+                                                config_.allreduce);
+      while (!events.empty()) {
+        events.pop();
+      }
+      for (int k = 0; k < config_.num_workers; ++k) {
+        events.push({clock + config_.straggler.SampleStepSeconds(
+                                 workers[static_cast<size_t>(k)].speed_factor,
+                                 &straggler_rng),
+                     k});
+      }
+    } else {
+      events.push({clock + config_.straggler.SampleStepSeconds(
+                               worker.speed_factor, &straggler_rng),
+                   event.worker});
+    }
+
+    if (total_steps >= next_eval) {
+      next_eval += eval_every;
+      refresh_eval_model();
+      EvalResult eval = EvaluateSubset(eval_model.get(), test_,
+                                       config_.eval_subset,
+                                       config_.seed ^ total_steps);
+      EvalPoint point;
+      point.step = total_steps / static_cast<size_t>(config_.num_workers);
+      point.test_accuracy = eval.accuracy;
+      point.bytes = network.stats().bytes_total;
+      point.sync_count = result.sync_count;
+      point.sim_seconds = clock;
+      result.base.history.push_back(point);
+      if (!result.base.reached_target &&
+          eval.accuracy >= config_.accuracy_target) {
+        result.base.reached_target = true;
+        result.base.steps_to_target = point.step;
+        result.base.bytes_to_target = point.bytes;
+        result.base.syncs_to_target = result.sync_count;
+        result.base.sim_seconds_to_target = clock;
+        break;
+      }
+    }
+  }
+
+  refresh_eval_model();
+  result.base.final_test_accuracy =
+      Evaluate(eval_model.get(), test_).accuracy;
+  result.base.comm = network.stats();
+  result.base.total_syncs = result.sync_count;
+  result.sim_wall_seconds = clock;
+  result.total_worker_steps = total_steps;
+  result.base.total_steps =
+      total_steps / static_cast<size_t>(config_.num_workers);
+  if (!result.base.reached_target) {
+    result.base.steps_to_target = result.base.total_steps;
+    result.base.bytes_to_target = result.base.comm.bytes_total;
+    result.base.syncs_to_target = result.sync_count;
+    result.base.sim_seconds_to_target = clock;
+  }
+  return result;
+}
+
+}  // namespace fedra

@@ -1,0 +1,102 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace fedra {
+
+bool SynchronousPolicy::MaybeSync(ClusterContext& ctx) {
+  ctx.SynchronizeModels();
+  return true;
+}
+
+TauSchedule TauSchedule::Fixed(size_t tau) {
+  TauSchedule schedule;
+  schedule.kind = Kind::kFixed;
+  schedule.tau0 = tau;
+  return schedule;
+}
+
+TauSchedule TauSchedule::Decaying(size_t tau0, double factor) {
+  FEDRA_CHECK(factor > 0.0 && factor < 1.0);
+  TauSchedule schedule;
+  schedule.kind = Kind::kDecaying;
+  schedule.tau0 = tau0;
+  schedule.factor = factor;
+  return schedule;
+}
+
+TauSchedule TauSchedule::Increasing(size_t tau0, double factor) {
+  FEDRA_CHECK_GT(factor, 1.0);
+  TauSchedule schedule;
+  schedule.kind = Kind::kIncreasing;
+  schedule.tau0 = tau0;
+  schedule.factor = factor;
+  return schedule;
+}
+
+TauSchedule TauSchedule::PostLocal(size_t tau, size_t bsp_rounds) {
+  TauSchedule schedule;
+  schedule.kind = Kind::kPostLocal;
+  schedule.tau0 = tau;
+  schedule.bsp_rounds = bsp_rounds;
+  return schedule;
+}
+
+size_t TauSchedule::TauForRound(size_t round) const {
+  FEDRA_CHECK_GT(tau0, 0u);
+  switch (kind) {
+    case Kind::kFixed:
+      return tau0;
+    case Kind::kDecaying:
+    case Kind::kIncreasing: {
+      const double tau = static_cast<double>(tau0) *
+                         std::pow(factor, static_cast<double>(round));
+      const double clamped =
+          std::clamp(tau, static_cast<double>(min_tau),
+                     static_cast<double>(max_tau));
+      return static_cast<size_t>(std::llround(clamped));
+    }
+    case Kind::kPostLocal:
+      return round < bsp_rounds ? 1 : tau0;
+  }
+  FEDRA_CHECK(false) << "unknown schedule kind";
+  return tau0;
+}
+
+std::string TauSchedule::ToString() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return StrFormat("tau=%zu", tau0);
+    case Kind::kDecaying:
+      return StrFormat("tau0=%zu decay=%.2f", tau0, factor);
+    case Kind::kIncreasing:
+      return StrFormat("tau0=%zu grow=%.2f", tau0, factor);
+    case Kind::kPostLocal:
+      return StrFormat("post-local tau=%zu after %zu BSP rounds", tau0,
+                       bsp_rounds);
+  }
+  return "?";
+}
+
+LocalSgdPolicy::LocalSgdPolicy(TauSchedule schedule) : schedule_(schedule) {
+  FEDRA_CHECK_GT(schedule.tau0, 0u);
+}
+
+bool LocalSgdPolicy::MaybeSync(ClusterContext& ctx) {
+  if (ctx.steps_since_sync < schedule_.TauForRound(round_)) {
+    return false;
+  }
+  ctx.SynchronizeModels();
+  ++round_;
+  return true;
+}
+
+std::string LocalSgdPolicy::name() const {
+  return "LocalSGD(" + schedule_.ToString() + ")";
+}
+
+}  // namespace fedra

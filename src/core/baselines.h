@@ -1,0 +1,67 @@
+// Baseline synchronization policies the paper compares against:
+//
+//  - Synchronous (BSP): model AllReduce after every step; equivalent to FDA
+//    with Theta = 0 but without state traffic (paper §4.1, footnote 3).
+//  - Local-SGD: synchronize every tau steps, with the fixed / decaying /
+//    increasing tau schedules from the related work ([17, 31, 57]).
+
+#ifndef FEDRA_CORE_BASELINES_H_
+#define FEDRA_CORE_BASELINES_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace fedra {
+
+class SynchronousPolicy : public SyncPolicy {
+ public:
+  bool MaybeSync(ClusterContext& ctx) override;
+  std::string name() const override { return "Synchronous"; }
+};
+
+/// Schedule of local-update counts {tau_0, tau_1, ...} across rounds.
+struct TauSchedule {
+  enum class Kind {
+    kFixed,       // tau_r = tau0
+    kDecaying,    // tau_r = max(min_tau, tau0 * factor^r), factor < 1 [57]
+    kIncreasing,  // tau_r = min(max_tau, tau0 * factor^r), factor > 1 [17]
+    kPostLocal,   // tau_r = 1 for the first bsp_rounds, tau0 after [32]
+  };
+
+  Kind kind = Kind::kFixed;
+  size_t tau0 = 16;
+  double factor = 1.0;
+  size_t min_tau = 1;
+  size_t max_tau = 4096;
+  size_t bsp_rounds = 0;  // kPostLocal: length of the BSP warm-up phase
+
+  static TauSchedule Fixed(size_t tau);
+  static TauSchedule Decaying(size_t tau0, double factor = 0.7);
+  static TauSchedule Increasing(size_t tau0, double factor = 1.4);
+  /// Post-local SGD (Lin et al. [32]): BSP for `bsp_rounds` rounds, then
+  /// Local-SGD with fixed tau.
+  static TauSchedule PostLocal(size_t tau, size_t bsp_rounds);
+
+  size_t TauForRound(size_t round) const;
+  std::string ToString() const;
+};
+
+class LocalSgdPolicy : public SyncPolicy {
+ public:
+  explicit LocalSgdPolicy(TauSchedule schedule);
+
+  bool MaybeSync(ClusterContext& ctx) override;
+  std::string name() const override;
+
+  size_t rounds_completed() const { return round_; }
+
+ private:
+  TauSchedule schedule_;
+  size_t round_ = 0;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_CORE_BASELINES_H_

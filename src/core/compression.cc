@@ -1,0 +1,189 @@
+#include "core/compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace fedra {
+
+CompressionConfig CompressionConfig::None() { return CompressionConfig(); }
+
+CompressionConfig CompressionConfig::Quantize8(bool error_feedback) {
+  CompressionConfig config;
+  config.kind = CompressionKind::kQuantize8;
+  config.error_feedback = error_feedback;
+  return config;
+}
+
+CompressionConfig CompressionConfig::Quantize4(bool error_feedback) {
+  CompressionConfig config;
+  config.kind = CompressionKind::kQuantize4;
+  config.error_feedback = error_feedback;
+  return config;
+}
+
+CompressionConfig CompressionConfig::TopK(double fraction,
+                                          bool error_feedback) {
+  CompressionConfig config;
+  config.kind = CompressionKind::kTopK;
+  config.top_k_fraction = fraction;
+  config.error_feedback = error_feedback;
+  return config;
+}
+
+Status CompressionConfig::Validate() const {
+  if (kind == CompressionKind::kTopK &&
+      (top_k_fraction <= 0.0 || top_k_fraction > 1.0)) {
+    return Status::InvalidArgument("top_k_fraction must be in (0, 1]");
+  }
+  return Status::Ok();
+}
+
+std::string CompressionConfig::ToString() const {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kQuantize8:
+      return "q8";
+    case CompressionKind::kQuantize4:
+      return "q4";
+    case CompressionKind::kTopK:
+      return StrFormat("top%.3g%%", 100.0 * top_k_fraction);
+  }
+  return "?";
+}
+
+namespace {
+
+/// Symmetric uniform quantization to `levels` positive steps; in-place.
+void QuantizeInPlace(float* data, size_t n, int bits) {
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(data[i]));
+  }
+  if (max_abs == 0.0f) {
+    return;
+  }
+  const float scale = max_abs / levels;
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = std::round(data[i] / scale) * scale;
+  }
+}
+
+}  // namespace
+
+SyncCompressor::SyncCompressor(const CompressionConfig& config, size_t dim,
+                               int num_workers)
+    : config_(config), dim_(dim) {
+  FEDRA_CHECK_OK(config.Validate());
+  FEDRA_CHECK_GT(num_workers, 0);
+  if (config_.kind != CompressionKind::kNone && config_.error_feedback) {
+    residuals_.assign(static_cast<size_t>(num_workers),
+                      std::vector<float>(dim, 0.0f));
+  }
+}
+
+size_t SyncCompressor::WireBytes(size_t n) const {
+  switch (config_.kind) {
+    case CompressionKind::kNone:
+      return n * sizeof(float);
+    case CompressionKind::kQuantize8:
+      return n + sizeof(float);  // 1 byte/coord + the scale
+    case CompressionKind::kQuantize4:
+      return (n + 1) / 2 + sizeof(float);
+    case CompressionKind::kTopK: {
+      const size_t kept = std::max<size_t>(
+          1, static_cast<size_t>(config_.top_k_fraction *
+                                 static_cast<double>(n)));
+      return kept * (sizeof(float) + sizeof(uint32_t));
+    }
+  }
+  FEDRA_CHECK(false) << "unknown compression kind";
+  return 0;
+}
+
+size_t SyncCompressor::CompressInPlace(int worker, float* data, size_t n) {
+  FEDRA_CHECK_EQ(n, dim_);
+  if (config_.kind == CompressionKind::kNone) {
+    return WireBytes(n);
+  }
+  float* residual = nullptr;
+  if (config_.error_feedback) {
+    FEDRA_CHECK_LT(static_cast<size_t>(worker), residuals_.size());
+    residual = residuals_[static_cast<size_t>(worker)].data();
+    // EF: compress (input + carried residual).
+    for (size_t i = 0; i < n; ++i) {
+      data[i] += residual[i];
+    }
+  }
+  // Keep the pre-compression payload to compute the new residual.
+  std::vector<float> original;
+  if (residual != nullptr) {
+    original.assign(data, data + n);
+  }
+  switch (config_.kind) {
+    case CompressionKind::kQuantize8:
+      QuantizeInPlace(data, n, 8);
+      break;
+    case CompressionKind::kQuantize4:
+      QuantizeInPlace(data, n, 4);
+      break;
+    case CompressionKind::kTopK: {
+      const size_t kept = std::max<size_t>(
+          1, static_cast<size_t>(config_.top_k_fraction *
+                                 static_cast<double>(n)));
+      scratch_indices_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        scratch_indices_[i] = i;
+      }
+      std::nth_element(scratch_indices_.begin(),
+                       scratch_indices_.begin() + static_cast<long>(kept - 1),
+                       scratch_indices_.end(),
+                       [data](size_t a, size_t b) {
+                         return std::fabs(data[a]) > std::fabs(data[b]);
+                       });
+      // Zero everything below the cut.
+      std::vector<bool> keep(n, false);
+      for (size_t i = 0; i < kept; ++i) {
+        keep[scratch_indices_[i]] = true;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (!keep[i]) {
+          data[i] = 0.0f;
+        }
+      }
+      break;
+    }
+    case CompressionKind::kNone:
+      break;
+  }
+  if (residual != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      residual[i] = original[i] - data[i];
+    }
+  }
+  return WireBytes(n);
+}
+
+double SyncCompressor::ResidualEnergy(int worker) const {
+  if (residuals_.empty()) {
+    return 0.0;
+  }
+  FEDRA_CHECK_LT(static_cast<size_t>(worker), residuals_.size());
+  double energy = 0.0;
+  for (float r : residuals_[static_cast<size_t>(worker)]) {
+    energy += static_cast<double>(r) * r;
+  }
+  return energy;
+}
+
+void SyncCompressor::Reset() {
+  for (auto& residual : residuals_) {
+    std::fill(residual.begin(), residual.end(), 0.0f);
+  }
+}
+
+}  // namespace fedra

@@ -1,0 +1,88 @@
+// Synchronization compression (paper §2, "Compression"):
+//
+//   "FDA is fully compatible with any technique that reduces the cost of
+//    synchronization (e.g. model compression). Our approach simply adjusts
+//    the timing of the synchronization decision without altering the data
+//    being synchronized."
+//
+// This module makes that compatibility concrete. A SyncCompressor is an
+// optional stage of the model-synchronization step: each worker's delta
+// (w_k - w_sync) is lossily compressed before the AllReduce, the collective
+// is billed at the compressed wire size, and per-worker error feedback
+// (memory) carries the compression residual into the next synchronization
+// (Karimireddy et al.-style EF, as used by Qsparse-local-SGD [4]).
+//
+// Implemented codecs:
+//  - kQuantize8 / kQuantize4: symmetric uniform quantization at 8/4 bits
+//    per coordinate (plus one float scale);
+//  - kTopK: magnitude sparsification keeping a fraction of coordinates
+//    (value + 32-bit index per kept coordinate on the wire).
+
+#ifndef FEDRA_CORE_COMPRESSION_H_
+#define FEDRA_CORE_COMPRESSION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedra {
+
+enum class CompressionKind {
+  kNone,
+  kQuantize8,
+  kQuantize4,
+  kTopK,
+};
+
+struct CompressionConfig {
+  CompressionKind kind = CompressionKind::kNone;
+  /// kTopK: fraction of coordinates kept, in (0, 1].
+  double top_k_fraction = 0.05;
+  /// Accumulate what compression dropped and re-inject it next sync.
+  bool error_feedback = true;
+
+  static CompressionConfig None();
+  static CompressionConfig Quantize8(bool error_feedback = true);
+  static CompressionConfig Quantize4(bool error_feedback = true);
+  static CompressionConfig TopK(double fraction, bool error_feedback = true);
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+/// Per-worker lossy compressor with error-feedback memory.
+class SyncCompressor {
+ public:
+  /// `dim`: model dimension; `num_workers`: one residual buffer each.
+  SyncCompressor(const CompressionConfig& config, size_t dim,
+                 int num_workers);
+
+  const CompressionConfig& config() const { return config_; }
+
+  /// Applies the codec to worker `worker`'s delta in place:
+  /// data becomes the decompressed (lossy) payload the wire would deliver;
+  /// the dropped part enters the worker's residual when error feedback is
+  /// on. Returns the wire size in bytes.
+  size_t CompressInPlace(int worker, float* data, size_t n);
+
+  /// Wire bytes for an n-float payload under this codec (no side effects).
+  size_t WireBytes(size_t n) const;
+
+  /// Sum of squared residuals currently held for a worker (diagnostics).
+  double ResidualEnergy(int worker) const;
+
+  /// Drops all error-feedback state.
+  void Reset();
+
+ private:
+  CompressionConfig config_;
+  size_t dim_;
+  std::vector<std::vector<float>> residuals_;  // per worker
+  std::vector<size_t> scratch_indices_;        // kTopK work area
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_CORE_COMPRESSION_H_

@@ -1,0 +1,61 @@
+#include "core/fda_policy.h"
+
+#include "tensor/vec_ops.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace fedra {
+
+FdaSyncPolicy::FdaSyncPolicy(std::unique_ptr<VarianceMonitor> monitor,
+                             double theta)
+    : monitor_(std::move(monitor)), theta_(theta) {
+  FEDRA_CHECK(monitor_ != nullptr);
+  FEDRA_CHECK_GE(theta, 0.0);
+}
+
+void FdaSyncPolicy::SetThetaController(
+    std::unique_ptr<ThetaController> controller) {
+  controller_ = std::move(controller);
+}
+
+void FdaSyncPolicy::Initialize(ClusterContext& ctx) {
+  const size_t state_size = monitor_->StateSize();
+  for (auto& worker : *ctx.workers) {
+    worker.state.assign(state_size, 0.0f);
+  }
+}
+
+bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
+  FEDRA_CHECK_EQ(monitor_->dim(), ctx.dim);
+  // (Alg. 1 line 6) every worker updates its local state from its drift.
+  for (auto& worker : *ctx.workers) {
+    vec::Sub(worker.model->params(), ctx.sync_params->data(),
+             worker.drift.data(), ctx.dim);
+    monitor_->ComputeLocalState(worker.drift.data(), worker.state.data());
+  }
+  // (line 7) AllReduce the small states.
+  std::vector<float*> states = ctx.StatePointers();
+  ctx.network->AllReduceAverage(states, monitor_->StateSize(),
+                                TrafficClass::kLocalState);
+  // (line 8) everyone evaluates H on the averaged state.
+  last_estimate_ = monitor_->EstimateVariance(states[0]);
+  if (record_estimates_) {
+    estimate_history_.push_back(last_estimate_);
+  }
+  if (controller_ != nullptr) {
+    theta_ = controller_->Update(ctx.step,
+                                 ctx.network->stats().bytes_total);
+  }
+  if (last_estimate_ <= theta_) {
+    return false;  // Round Invariant still guaranteed; keep training.
+  }
+  // (line 9) conditional synchronization.
+  ctx.SynchronizeModels();
+  monitor_->OnSynchronized(ctx.sync_params->data(),
+                           ctx.prev_sync_params->data());
+  return true;
+}
+
+std::string FdaSyncPolicy::name() const { return monitor_->name(); }
+
+}  // namespace fedra

@@ -1,0 +1,55 @@
+// FdaSyncPolicy: the paper's Algorithm 1, lines 6-9.
+//
+// After every local step, each worker computes its local state S_k from its
+// drift u_k = w_k - w_t0; the states are AllReduce-averaged (cheap: a few
+// floats to a few KB); every worker evaluates H(S_bar); if H exceeds the
+// variance threshold Theta, the Round Invariant Var(w_t) <= Theta can no
+// longer be guaranteed and the costly model synchronization runs.
+
+#ifndef FEDRA_CORE_FDA_POLICY_H_
+#define FEDRA_CORE_FDA_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/theta_controller.h"
+#include "core/trainer.h"
+#include "core/variance_monitor.h"
+
+namespace fedra {
+
+class FdaSyncPolicy : public SyncPolicy {
+ public:
+  FdaSyncPolicy(std::unique_ptr<VarianceMonitor> monitor, double theta);
+
+  /// Enables the dynamic-Theta extension (paper §5); optional.
+  void SetThetaController(std::unique_ptr<ThetaController> controller);
+
+  void Initialize(ClusterContext& ctx) override;
+  bool MaybeSync(ClusterContext& ctx) override;
+  std::string name() const override;
+
+  double theta() const { return theta_; }
+  const VarianceMonitor& monitor() const { return *monitor_; }
+
+  /// The H(S_bar) value computed at the last step (diagnostics).
+  double last_variance_estimate() const { return last_estimate_; }
+
+  /// Per-step H values (kept only when recording is enabled).
+  void set_record_estimates(bool record) { record_estimates_ = record; }
+  const std::vector<double>& estimate_history() const {
+    return estimate_history_;
+  }
+
+ private:
+  std::unique_ptr<VarianceMonitor> monitor_;
+  double theta_;
+  std::unique_ptr<ThetaController> controller_;
+  double last_estimate_ = 0.0;
+  bool record_estimates_ = false;
+  std::vector<double> estimate_history_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_CORE_FDA_POLICY_H_

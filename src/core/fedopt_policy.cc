@@ -1,0 +1,91 @@
+#include "core/fedopt_policy.h"
+
+#include <algorithm>
+
+#include "tensor/vec_ops.h"
+#include "util/check.h"
+
+namespace fedra {
+
+FedOptConfig FedOptConfig::FedAvgM(int local_epochs) {
+  FedOptConfig config;
+  config.local_epochs = local_epochs;
+  // Paper §4.1: server momentum 0.9, lr 0.316 (following [42]).
+  config.server_optimizer =
+      OptimizerConfig::SgdMomentum(0.316f, 0.9f, /*nesterov=*/false);
+  config.display_name = "FedAvgM";
+  return config;
+}
+
+FedOptConfig FedOptConfig::FedAdam(int local_epochs, float server_lr) {
+  FedOptConfig config;
+  config.local_epochs = local_epochs;
+  config.server_optimizer = OptimizerConfig::Adam(server_lr);
+  config.display_name = "FedAdam";
+  return config;
+}
+
+FedOptConfig FedOptConfig::FedAvg(int local_epochs) {
+  FedOptConfig config;
+  config.local_epochs = local_epochs;
+  config.server_optimizer = OptimizerConfig::Sgd(1.0f);
+  config.display_name = "FedAvg";
+  return config;
+}
+
+FedOptPolicy::FedOptPolicy(FedOptConfig config)
+    : config_(std::move(config)) {
+  FEDRA_CHECK_GE(config_.local_epochs, 1);
+}
+
+void FedOptPolicy::Initialize(ClusterContext& ctx) {
+  server_optimizer_ =
+      Optimizer::Create(config_.server_optimizer, ctx.dim);
+  pseudo_grad_.assign(ctx.dim, 0.0f);
+  size_t steps_per_epoch = 1;
+  for (auto& worker : *ctx.workers) {
+    steps_per_epoch =
+        std::max(steps_per_epoch, worker.sampler->steps_per_epoch());
+  }
+  steps_per_round_ =
+      steps_per_epoch * static_cast<size_t>(config_.local_epochs);
+}
+
+bool FedOptPolicy::MaybeSync(ClusterContext& ctx) {
+  if (ctx.steps_since_sync < steps_per_round_) {
+    return false;
+  }
+  // Client deltas relative to the round-start global model w_global
+  // (held in ctx.sync_params).
+  for (auto& worker : *ctx.workers) {
+    vec::Sub(worker.model->params(), ctx.sync_params->data(),
+             worker.drift.data(), ctx.dim);
+  }
+  std::vector<float*> deltas;
+  deltas.reserve(ctx.workers->size());
+  for (auto& worker : *ctx.workers) {
+    deltas.push_back(worker.drift.data());
+  }
+  ctx.network->AllReduceAverage(deltas, ctx.dim, TrafficClass::kModelSync);
+  // Pseudo-gradient is the negated average delta (Reddi et al.).
+  const float* avg_delta = deltas[0];
+  for (size_t i = 0; i < ctx.dim; ++i) {
+    pseudo_grad_[i] = -avg_delta[i];
+  }
+  // Every worker replicates the deterministic server update.
+  *ctx.prev_sync_params = *ctx.sync_params;
+  server_optimizer_->Step(ctx.sync_params->data(), pseudo_grad_.data(),
+                          ctx.dim);
+  for (auto& worker : *ctx.workers) {
+    vec::Copy(ctx.sync_params->data(), worker.model->params(), ctx.dim);
+    if (config_.reset_local_optimizer) {
+      worker.optimizer->Reset();
+    }
+  }
+  ctx.steps_since_sync = 0;
+  ++ctx.sync_count;
+  ++rounds_;
+  return true;
+}
+
+}  // namespace fedra

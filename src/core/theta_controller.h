@@ -1,0 +1,63 @@
+// ThetaController: the paper's §5 future-work extension — dynamically
+// adjust the variance threshold Theta to track a communication budget.
+//
+// Rationale from the paper: "the expected behavior is that the communication
+// cost decreases when Theta increases, such an approach seems feasible
+// (i.e., increasing Theta when the bandwidth consumption is higher than what
+// is desired)". The controller measures consumed bytes per training step
+// over an adjustment window and scales Theta multiplicatively toward the
+// budget.
+
+#ifndef FEDRA_CORE_THETA_CONTROLLER_H_
+#define FEDRA_CORE_THETA_CONTROLLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedra {
+
+struct ThetaControllerConfig {
+  /// Communication budget: bytes per In-Parallel learning step.
+  double target_bytes_per_step = 1e6;
+  /// Steps between adjustments (needs enough steps to observe sync rate).
+  size_t adjust_every_steps = 50;
+  /// Multiplicative gain: theta *= (usage/target)^gain, clamped below.
+  double gain = 0.5;
+  double min_theta = 1e-8;
+  double max_theta = 1e12;
+  /// Per-adjustment clamp on the multiplicative change.
+  double max_step_ratio = 2.0;
+
+  Status Validate() const;
+};
+
+class ThetaController {
+ public:
+  ThetaController(const ThetaControllerConfig& config, double initial_theta);
+
+  /// Feeds the current totals; returns the (possibly updated) Theta.
+  double Update(size_t step, uint64_t cumulative_bytes);
+
+  double theta() const { return theta_; }
+
+  struct Adjustment {
+    size_t step;
+    double observed_bytes_per_step;
+    double theta_after;
+  };
+  const std::vector<Adjustment>& adjustments() const { return adjustments_; }
+
+ private:
+  ThetaControllerConfig config_;
+  double theta_;
+  size_t last_step_ = 0;
+  uint64_t last_bytes_ = 0;
+  std::vector<Adjustment> adjustments_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_CORE_THETA_CONTROLLER_H_

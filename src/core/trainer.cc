@@ -1,0 +1,300 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "metrics/evaluation.h"
+#include "nn/loss.h"
+#include "tensor/vec_ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace fedra {
+
+std::vector<float*> ClusterContext::ParamPointers() {
+  std::vector<float*> pointers;
+  pointers.reserve(workers->size());
+  for (auto& worker : *workers) {
+    pointers.push_back(worker.model->params());
+  }
+  return pointers;
+}
+
+std::vector<float*> ClusterContext::StatePointers() {
+  std::vector<float*> pointers;
+  pointers.reserve(workers->size());
+  for (auto& worker : *workers) {
+    pointers.push_back(worker.state.data());
+  }
+  return pointers;
+}
+
+void ClusterContext::SynchronizeModels() {
+  if (compressor != nullptr &&
+      compressor->config().kind != CompressionKind::kNone) {
+    // Compressed path: workers exchange lossy deltas from w_t0 instead of
+    // full models; the collective is billed at the wire size.
+    size_t payload_bytes = 0;
+    std::vector<float*> deltas;
+    deltas.reserve(workers->size());
+    for (size_t k = 0; k < workers->size(); ++k) {
+      WorkerState& worker = (*workers)[k];
+      vec::Sub(worker.model->params(), sync_params->data(),
+               worker.drift.data(), dim);
+      payload_bytes = compressor->CompressInPlace(
+          static_cast<int>(k), worker.drift.data(), dim);
+      deltas.push_back(worker.drift.data());
+    }
+    network->AllReduceAverageWithPayload(deltas, dim, payload_bytes,
+                                         TrafficClass::kModelSync);
+    // New global = w_t0 + mean decompressed delta; install everywhere.
+    *prev_sync_params = *sync_params;
+    vec::Axpy(1.0f, deltas[0], sync_params->data(), dim);
+    for (auto& worker : *workers) {
+      vec::Copy(sync_params->data(), worker.model->params(), dim);
+    }
+    steps_since_sync = 0;
+    ++sync_count;
+    return;
+  }
+  std::vector<float*> params = ParamPointers();
+  network->AllReduceAverage(params, dim, TrafficClass::kModelSync);
+  // Rotate the sync snapshots: w_t-1 <- w_t0, w_t0 <- new average.
+  *prev_sync_params = *sync_params;
+  vec::Copy(params[0], sync_params->data(), dim);
+  steps_since_sync = 0;
+  ++sync_count;
+}
+
+Status TrainerConfig::Validate() const {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (max_steps == 0) {
+    return Status::InvalidArgument("max_steps must be > 0");
+  }
+  if (fedprox_mu < 0.0f) {
+    return Status::InvalidArgument("fedprox_mu must be >= 0");
+  }
+  FEDRA_RETURN_IF_ERROR(local_optimizer.Validate());
+  FEDRA_RETURN_IF_ERROR(partition.Validate());
+  FEDRA_RETURN_IF_ERROR(sync_compression.Validate());
+  return Status::Ok();
+}
+
+DistributedTrainer::DistributedTrainer(ModelFactory factory, Dataset train,
+                                       Dataset test, TrainerConfig config)
+    : factory_(std::move(factory)),
+      train_(std::move(train)),
+      test_(std::move(test)),
+      config_(std::move(config)) {
+  FEDRA_CHECK(factory_ != nullptr);
+  auto probe = factory_();
+  FEDRA_CHECK(probe != nullptr);
+  dim_ = probe->num_params();
+}
+
+void DistributedTrainer::SetInitialParams(std::vector<float> params) {
+  FEDRA_CHECK_EQ(params.size(), dim_);
+  initial_params_ = std::move(params);
+}
+
+Status DistributedTrainer::Setup(std::vector<WorkerState>* workers,
+                                 SimNetwork* network) {
+  (void)network;
+  auto partition =
+      PartitionDataset(train_.labels(), config_.num_workers,
+                       config_.partition);
+  if (!partition.ok()) {
+    return partition.status();
+  }
+  Rng master(config_.seed);
+  Rng straggler_rng = master.Fork(101);
+
+  workers->clear();
+  workers->resize(static_cast<size_t>(config_.num_workers));
+  for (int k = 0; k < config_.num_workers; ++k) {
+    WorkerState& worker = (*workers)[static_cast<size_t>(k)];
+    worker.model = factory_();
+    if (k == 0) {
+      if (initial_params_.empty()) {
+        worker.model->InitParams(config_.seed);
+      } else {
+        vec::Copy(initial_params_.data(), worker.model->params(), dim_);
+      }
+    } else {
+      worker.model->CopyParamsFrom(*(*workers)[0].model);
+    }
+    worker.optimizer = Optimizer::Create(config_.local_optimizer, dim_);
+    worker.sampler = std::make_unique<BatchSampler>(
+        std::move(partition.value()[static_cast<size_t>(k)]),
+        config_.batch_size, master.Fork(static_cast<uint64_t>(k) + 1));
+    worker.rng = master.Fork(static_cast<uint64_t>(k) + 1000);
+    worker.drift.assign(dim_, 0.0f);
+    worker.shard_size = worker.sampler->dataset_size();
+    worker.speed_factor =
+        config_.straggler.SampleWorkerFactor(&straggler_rng);
+  }
+  return Status::Ok();
+}
+
+void DistributedTrainer::WorkerStep(WorkerState* worker,
+                                    const Dataset& train) {
+  const std::vector<size_t>& batch = worker->sampler->NextBatch();
+  Tensor images = train.GatherImages(batch);
+  std::vector<int> labels = train.GatherLabels(batch);
+  worker->model->ZeroGrads();
+  Tensor logits =
+      worker->model->Forward(images, /*training=*/true, &worker->rng);
+  LossResult loss = SoftmaxCrossEntropy(logits, labels);
+  worker->model->Backward(loss.grad_logits);
+  if (config_.fedprox_mu > 0.0f && fedprox_anchor_ != nullptr) {
+    // FedProx: + mu * (w_k - w_global) on every local gradient.
+    float* grads = worker->model->grads();
+    const float* params = worker->model->params();
+    const float* anchor = fedprox_anchor_;
+    for (size_t i = 0; i < dim_; ++i) {
+      grads[i] += config_.fedprox_mu * (params[i] - anchor[i]);
+    }
+  }
+  worker->optimizer->Step(worker->model->params(), worker->model->grads(),
+                          dim_);
+  worker->last_loss = loss.loss;
+}
+
+StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
+  FEDRA_CHECK(policy != nullptr);
+  FEDRA_RETURN_IF_ERROR(config_.Validate());
+
+  std::vector<WorkerState> workers;
+  SimNetwork network(config_.num_workers, config_.network,
+                     config_.allreduce);
+  FEDRA_RETURN_IF_ERROR(Setup(&workers, &network));
+
+  std::vector<float> sync_params(dim_);
+  std::vector<float> prev_sync_params(dim_);
+  vec::Copy(workers[0].model->params(), sync_params.data(), dim_);
+  vec::Copy(workers[0].model->params(), prev_sync_params.data(), dim_);
+
+  ClusterContext ctx;
+  ctx.workers = &workers;
+  ctx.network = &network;
+  ctx.dim = dim_;
+  ctx.sync_params = &sync_params;
+  ctx.prev_sync_params = &prev_sync_params;
+  std::unique_ptr<SyncCompressor> compressor;
+  if (config_.sync_compression.kind != CompressionKind::kNone) {
+    compressor = std::make_unique<SyncCompressor>(
+        config_.sync_compression, dim_, config_.num_workers);
+    ctx.compressor = compressor.get();
+  }
+  fedprox_anchor_ = sync_params.data();
+  policy->Initialize(ctx);
+
+  // The evaluation model holds the average of the worker models — the
+  // global model w_bar the paper's methodology evaluates. Averaging for
+  // *measurement* does not transit the simulated network.
+  auto eval_model = factory_();
+  auto refresh_eval_model = [&] {
+    float* avg = eval_model->params();
+    vec::Fill(avg, dim_, 0.0f);
+    const float inv_k = 1.0f / static_cast<float>(config_.num_workers);
+    for (auto& worker : workers) {
+      vec::Axpy(inv_k, worker.model->params(), avg, dim_);
+    }
+  };
+
+  const size_t steps_per_epoch = std::max<size_t>(
+      1, workers[0].sampler->steps_per_epoch());
+  const size_t eval_every = config_.eval_every_steps > 0
+                                ? config_.eval_every_steps
+                                : steps_per_epoch;
+
+  TrainResult result;
+  result.algorithm = policy->name();
+  Rng straggler_rng(config_.seed ^ 0xbeefULL);
+
+  for (size_t step = 1; step <= config_.max_steps; ++step) {
+    ctx.step = step;
+    ++ctx.steps_since_sync;
+
+    if (config_.parallel_workers && workers.size() > 1) {
+      GlobalThreadPool().ParallelFor(workers.size(), [&](size_t k) {
+        WorkerStep(&workers[k], train_);
+      });
+    } else {
+      for (auto& worker : workers) {
+        WorkerStep(&worker, train_);
+      }
+    }
+
+    // BSP barrier: the step costs the slowest worker's sampled time.
+    double step_seconds = 0.0;
+    for (auto& worker : workers) {
+      step_seconds = std::max(
+          step_seconds, config_.straggler.SampleStepSeconds(
+                            worker.speed_factor, &straggler_rng));
+    }
+    result.compute_seconds += step_seconds;
+
+    policy->MaybeSync(ctx);
+
+    if (step % eval_every == 0 || step == config_.max_steps) {
+      refresh_eval_model();
+      EvalResult test_eval = EvaluateSubset(
+          eval_model.get(), test_, config_.eval_subset, config_.seed ^ step);
+      EvalResult train_eval =
+          EvaluateSubset(eval_model.get(), train_, config_.eval_subset,
+                         config_.seed ^ (step + 77));
+      EvalPoint point;
+      point.step = step;
+      point.epoch = static_cast<double>(step) /
+                    static_cast<double>(steps_per_epoch);
+      point.test_accuracy = test_eval.accuracy;
+      point.train_accuracy = train_eval.accuracy;
+      point.bytes = network.stats().bytes_total;
+      point.sync_count = ctx.sync_count;
+      point.sim_seconds = result.compute_seconds +
+                          network.stats().comm_seconds;
+      result.history.push_back(point);
+
+      if (!result.reached_target &&
+          test_eval.accuracy >= config_.accuracy_target) {
+        result.reached_target = true;
+        result.steps_to_target = step;
+        result.bytes_to_target = network.stats().bytes_total;
+        result.syncs_to_target = ctx.sync_count;
+        result.sim_seconds_to_target = point.sim_seconds;
+        break;  // training run is defined as "until the target epoch"
+      }
+    }
+  }
+
+  refresh_eval_model();
+  result.final_test_accuracy =
+      Evaluate(eval_model.get(), test_).accuracy;
+  result.final_train_accuracy =
+      EvaluateSubset(eval_model.get(), train_,
+                     std::min<size_t>(train_.size(), 2048),
+                     config_.seed ^ 0x51ULL)
+          .accuracy;
+  result.total_steps = result.history.empty()
+                           ? config_.max_steps
+                           : result.history.back().step;
+  result.total_syncs = ctx.sync_count;
+  result.comm = network.stats();
+  if (!result.reached_target) {
+    result.steps_to_target = result.total_steps;
+    result.bytes_to_target = result.comm.bytes_total;
+    result.syncs_to_target = ctx.sync_count;
+    result.sim_seconds_to_target =
+        result.compute_seconds + result.comm.comm_seconds;
+  }
+  fedprox_anchor_ = nullptr;  // points into this Run's locals
+  return result;
+}
+
+}  // namespace fedra

@@ -1,0 +1,186 @@
+// DistributedTrainer: the simulated federated training loop shared by every
+// algorithm in the paper's evaluation.
+//
+// Per step t (paper Alg. 1 lines 2-9): every worker draws a mini-batch from
+// its own shard, runs Optimize(w_k, B_k), and then the SyncPolicy decides
+// whether (and how) to synchronize. Policies implement the full spectrum the
+// paper compares: FDA variants (state AllReduce + conditional model sync),
+// Synchronous/BSP (sync every step), Local-SGD schedules, and the FedOpt
+// family (periodic server-optimizer rounds). The trainer owns the paper's
+// two cost metrics: communication (bytes, via SimNetwork) and computation
+// (In-Parallel Learning Steps = loop iterations).
+
+#ifndef FEDRA_CORE_TRAINER_H_
+#define FEDRA_CORE_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compression.h"
+#include "data/batching.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "nn/model.h"
+#include "opt/optimizer.h"
+#include "sim/collectives.h"
+#include "sim/straggler.h"
+#include "util/status.h"
+
+namespace fedra {
+
+/// Everything one simulated worker owns.
+struct WorkerState {
+  std::unique_ptr<Model> model;
+  std::unique_ptr<Optimizer> optimizer;
+  std::unique_ptr<BatchSampler> sampler;
+  Rng rng;
+  std::vector<float> drift;   // scratch: u_k = w_k - w_sync
+  std::vector<float> state;   // scratch: the monitor's local state S_k
+  double speed_factor = 1.0;  // straggler multiplier
+  double last_loss = 0.0;
+  size_t shard_size = 0;
+};
+
+/// Mutable view the SyncPolicy operates on each step.
+struct ClusterContext {
+  std::vector<WorkerState>* workers = nullptr;
+  SimNetwork* network = nullptr;
+  size_t dim = 0;
+  std::vector<float>* sync_params = nullptr;       // w_t0 (last sync)
+  std::vector<float>* prev_sync_params = nullptr;  // w_t-1 (previous sync)
+  size_t step = 0;
+  size_t steps_since_sync = 0;
+  size_t sync_count = 0;
+  /// Optional sync compression (paper §2 compatibility); owned by trainer.
+  SyncCompressor* compressor = nullptr;
+
+  int num_workers() const { return static_cast<int>(workers->size()); }
+
+  /// Parameter pointers of all workers (for collectives).
+  std::vector<float*> ParamPointers();
+  /// State-scratch pointers of all workers.
+  std::vector<float*> StatePointers();
+
+  /// Plain synchronization: AllReduce-average all worker models, update the
+  /// sync snapshots. Increments sync_count, resets steps_since_sync.
+  void SynchronizeModels();
+};
+
+/// Decides when to synchronize and what the synchronization step does.
+class SyncPolicy {
+ public:
+  virtual ~SyncPolicy() = default;
+
+  /// Called once, after workers are set up and before the first step.
+  virtual void Initialize(ClusterContext& ctx) { (void)ctx; }
+
+  /// Called after every local update step. Implementations may use the
+  /// network (FDA's state AllReduce) and/or call ctx.SynchronizeModels().
+  /// Returns true if a model synchronization was performed this step.
+  virtual bool MaybeSync(ClusterContext& ctx) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct TrainerConfig {
+  int num_workers = 4;          // K
+  int batch_size = 32;          // b
+  OptimizerConfig local_optimizer = OptimizerConfig::Adam();
+  PartitionConfig partition = PartitionConfig::Iid();
+  uint64_t seed = 17;
+
+  /// Run until test accuracy >= accuracy_target (checked every
+  /// eval_every_steps) or until max_steps.
+  double accuracy_target = 1.1;  // > 1 disables early stop
+  size_t max_steps = 2000;
+  size_t eval_every_steps = 0;   // 0 => once per local epoch
+  size_t eval_subset = 1024;     // test samples per evaluation probe
+
+  NetworkModel network = NetworkModel::Hpc();
+  AllReduceAlgorithm allreduce = AllReduceAlgorithm::kFlat;
+  StragglerModel straggler = StragglerModel::None();
+
+  /// Lossy compression of the synchronization payload (paper §2: FDA only
+  /// adjusts the *timing* of synchronization, so any payload compressor
+  /// composes with it; savings multiply).
+  CompressionConfig sync_compression = CompressionConfig::None();
+
+  /// FedProx (Sahu et al., paper §2): proximal coefficient mu adds
+  /// mu * (w_k - w_global) to every local gradient, pulling workers toward
+  /// the last synchronized model. 0 disables.
+  float fedprox_mu = 0.0f;
+
+  /// Parallelize worker steps across threads (deterministic either way).
+  bool parallel_workers = false;
+
+  Status Validate() const;
+};
+
+/// One point of the training history (recorded at every evaluation).
+struct EvalPoint {
+  size_t step = 0;
+  double epoch = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  uint64_t bytes = 0;
+  uint64_t sync_count = 0;
+  double sim_seconds = 0.0;
+};
+
+struct TrainResult {
+  std::string algorithm;
+  bool reached_target = false;
+  // Costs at the first evaluation where test accuracy hit the target
+  // (== totals when the target was never reached).
+  size_t steps_to_target = 0;      // In-Parallel Learning Steps
+  uint64_t bytes_to_target = 0;    // paper's Communication metric
+  uint64_t syncs_to_target = 0;
+  double sim_seconds_to_target = 0.0;
+  // Final state.
+  size_t total_steps = 0;
+  uint64_t total_syncs = 0;
+  double final_test_accuracy = 0.0;
+  double final_train_accuracy = 0.0;
+  CommStats comm;
+  double compute_seconds = 0.0;    // simulated compute time (BSP barrier)
+  std::vector<EvalPoint> history;
+
+  double gigabytes_to_target() const {
+    return static_cast<double>(bytes_to_target) / (1024.0 * 1024.0 * 1024.0);
+  }
+};
+
+class DistributedTrainer {
+ public:
+  /// The factory builds one model per worker (identical architecture).
+  DistributedTrainer(ModelFactory factory, Dataset train, Dataset test,
+                     TrainerConfig config);
+
+  /// Runs the loop under `policy`. Each call restarts from fresh models.
+  StatusOr<TrainResult> Run(SyncPolicy* policy);
+
+  /// Optionally pre-load initial weights (transfer learning: fine-tune from
+  /// a pre-trained model instead of a random init).
+  void SetInitialParams(std::vector<float> params);
+
+  size_t model_dim() const { return dim_; }
+
+ private:
+  Status Setup(std::vector<WorkerState>* workers, SimNetwork* network);
+  void WorkerStep(WorkerState* worker, const Dataset& train);
+
+  ModelFactory factory_;
+  Dataset train_;
+  Dataset test_;
+  TrainerConfig config_;
+  size_t dim_ = 0;
+  std::vector<float> initial_params_;  // empty => random init from seed
+  /// Valid only inside Run(): the last-synchronized global model FedProx's
+  /// proximal term anchors to.
+  const float* fedprox_anchor_ = nullptr;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_CORE_TRAINER_H_

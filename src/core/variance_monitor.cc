@@ -1,0 +1,132 @@
+#include "core/variance_monitor.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/vec_ops.h"
+#include "util/check.h"
+
+namespace fedra {
+
+// ------------------------------------------------------------ ExactFDA --
+
+ExactVarianceMonitor::ExactVarianceMonitor(size_t dim)
+    : VarianceMonitor(dim) {
+  FEDRA_CHECK_GT(dim, 0u);
+}
+
+void ExactVarianceMonitor::ComputeLocalState(const float* drift,
+                                             float* state) {
+  state[0] = static_cast<float>(vec::SquaredNorm(drift, dim()));
+  vec::Copy(drift, state + 1, dim());
+}
+
+double ExactVarianceMonitor::EstimateVariance(const float* avg_state) const {
+  const double mean_drift_sq = static_cast<double>(avg_state[0]);
+  const double global_drift_sq = vec::SquaredNorm(avg_state + 1, dim());
+  return mean_drift_sq - global_drift_sq;
+}
+
+// ----------------------------------------------------------- SketchFDA --
+
+SketchVarianceMonitor::SketchVarianceMonitor(size_t dim, int rows, int cols,
+                                             uint64_t seed)
+    : VarianceMonitor(dim),
+      family_(AmsHashFamily::Create(rows, cols, dim, seed)),
+      scratch_(family_) {}
+
+size_t SketchVarianceMonitor::StateSize() const {
+  return 1 + scratch_.numel();
+}
+
+void SketchVarianceMonitor::ComputeLocalState(const float* drift,
+                                              float* state) {
+  state[0] = static_cast<float>(vec::SquaredNorm(drift, dim()));
+  scratch_.Clear();
+  scratch_.AccumulateVector(drift);
+  vec::Copy(scratch_.data(), state + 1, scratch_.numel());
+}
+
+double SketchVarianceMonitor::EstimateVariance(const float* avg_state) const {
+  const double mean_drift_sq = static_cast<double>(avg_state[0]);
+  // The averaged cells are sk(u_bar) by sketch linearity; M2 of them
+  // estimates ||u_bar||^2 within (1 +- eps).
+  AmsSketch avg_sketch(family_);
+  vec::Copy(avg_state + 1, avg_sketch.data(), avg_sketch.numel());
+  const double m2 = avg_sketch.EstimateSquaredNorm();
+  // Deflate per Thm 3.1 so that H >= Var holds with confidence 1-delta.
+  const double deflated = m2 / (1.0 + avg_sketch.ErrorBound());
+  return mean_drift_sq - deflated;
+}
+
+// ----------------------------------------------------------- LinearFDA --
+
+LinearVarianceMonitor::LinearVarianceMonitor(size_t dim)
+    : VarianceMonitor(dim), xi_(dim, 0.0f) {
+  FEDRA_CHECK_GT(dim, 0u);
+}
+
+void LinearVarianceMonitor::ComputeLocalState(const float* drift,
+                                              float* state) {
+  state[0] = static_cast<float>(vec::SquaredNorm(drift, dim()));
+  state[1] = xi_valid_
+                 ? static_cast<float>(vec::Dot(xi_.data(), drift, dim()))
+                 : 0.0f;
+}
+
+double LinearVarianceMonitor::EstimateVariance(const float* avg_state) const {
+  const double mean_drift_sq = static_cast<double>(avg_state[0]);
+  // avg of <xi, u_k> equals <xi, u_bar>; |<xi, u_bar>|^2 <= ||u_bar||^2.
+  const double projection = static_cast<double>(avg_state[1]);
+  return mean_drift_sq - projection * projection;
+}
+
+void LinearVarianceMonitor::OnSynchronized(const float* new_global,
+                                           const float* prev_global) {
+  // xi = (w_t0 - w_t-1) / ||w_t0 - w_t-1|| — computable by every worker
+  // locally from the last two synchronized models (paper §3.2).
+  vec::Sub(new_global, prev_global, xi_.data(), dim());
+  const double norm = vec::Norm(xi_.data(), dim());
+  if (norm <= 1e-12) {
+    std::memset(xi_.data(), 0, dim() * sizeof(float));
+    xi_valid_ = false;
+    return;
+  }
+  vec::Scale(xi_.data(), dim(), static_cast<float>(1.0 / norm));
+  xi_valid_ = true;
+}
+
+// -------------------------------------------------------------- factory --
+
+Status MonitorConfig::Validate() const {
+  if (kind == MonitorKind::kSketch) {
+    if (sketch_rows < 1 || sketch_cols < 1) {
+      return Status::InvalidArgument("sketch dims must be >= 1");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<VarianceMonitor>> MakeVarianceMonitor(
+    const MonitorConfig& config, size_t dim) {
+  FEDRA_RETURN_IF_ERROR(config.Validate());
+  if (dim == 0) {
+    return Status::InvalidArgument("model dimension must be > 0");
+  }
+  switch (config.kind) {
+    case MonitorKind::kExact:
+      return std::unique_ptr<VarianceMonitor>(
+          std::make_unique<ExactVarianceMonitor>(dim));
+    case MonitorKind::kSketch:
+      return std::unique_ptr<VarianceMonitor>(
+          std::make_unique<SketchVarianceMonitor>(
+              dim, config.sketch_rows, config.sketch_cols,
+              config.sketch_seed));
+    case MonitorKind::kLinear:
+      return std::unique_ptr<VarianceMonitor>(
+          std::make_unique<LinearVarianceMonitor>(dim));
+  }
+  return Status::InvalidArgument("unknown monitor kind");
+}
+
+}  // namespace fedra

@@ -1,0 +1,139 @@
+// Variance monitors: the estimators at the heart of FDA (paper §3).
+//
+// Each worker k maintains a drift u_k = w_k - w_sync. The model variance
+// obeys the identity (paper Eq. 4):
+//
+//     Var(w_t) = (1/K) sum_k ||u_k||^2  -  ||u_bar||^2
+//
+// The first term AllReduces as a scalar; the whole difficulty is estimating
+// ||u_bar||^2 cheaply. A monitor defines (a) the local state S_k computed
+// from u_k and (b) the estimator H(S_bar) evaluated on the AllReduce-averaged
+// state, with the guarantee H(S_bar) >= Var(w_t) — deterministically for
+// LinearFDA (Thm 3.2), with probability >= 1-delta for SketchFDA (Thm 3.1).
+//
+// States are flat float vectors so the simulator's collectives can average
+// them; element 0 is always ||u_k||^2.
+
+#ifndef FEDRA_CORE_VARIANCE_MONITOR_H_
+#define FEDRA_CORE_VARIANCE_MONITOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sketch/ams_sketch.h"
+#include "util/status.h"
+
+namespace fedra {
+
+class VarianceMonitor {
+ public:
+  virtual ~VarianceMonitor() = default;
+
+  /// Length of the flat per-worker state vector (the FDA wire payload).
+  virtual size_t StateSize() const = 0;
+
+  /// Computes this worker's local state from its drift (length dim()).
+  virtual void ComputeLocalState(const float* drift, float* state) = 0;
+
+  /// H(S_bar): the variance over-estimate from the averaged state.
+  virtual double EstimateVariance(const float* avg_state) const = 0;
+
+  /// Notifies the monitor that a synchronization happened: `new_global` is
+  /// the post-sync model, `prev_global` the model after the previous sync
+  /// (LinearFDA derives its heuristic direction xi from these; others
+  /// ignore the call).
+  virtual void OnSynchronized(const float* new_global,
+                              const float* prev_global) {
+    (void)new_global;
+    (void)prev_global;
+  }
+
+  virtual std::string name() const = 0;
+
+  size_t dim() const { return dim_; }
+
+ protected:
+  explicit VarianceMonitor(size_t dim) : dim_(dim) {}
+
+ private:
+  size_t dim_;
+};
+
+/// Oracle monitor: ships the full drift (state size d+1), so H equals the
+/// true variance exactly. Communication-wise this is as expensive as a
+/// synchronization — it exists as the test oracle and the ablation baseline
+/// quantifying what the cheap estimators give up.
+class ExactVarianceMonitor : public VarianceMonitor {
+ public:
+  explicit ExactVarianceMonitor(size_t dim);
+
+  size_t StateSize() const override { return dim() + 1; }
+  void ComputeLocalState(const float* drift, float* state) override;
+  double EstimateVariance(const float* avg_state) const override;
+  std::string name() const override { return "ExactFDA"; }
+};
+
+/// SketchFDA (Thm 3.1): state = (||u||^2, sk(u)). The averaged sketch equals
+/// sk(u_bar) by linearity; H deflates the M2 estimate by 1/(1+eps) so that
+/// H >= Var with confidence >= 1-delta.
+class SketchVarianceMonitor : public VarianceMonitor {
+ public:
+  /// rows ~ O(log 1/delta), cols ~ O(1/eps^2); the paper recommends 5x250.
+  SketchVarianceMonitor(size_t dim, int rows, int cols, uint64_t seed);
+
+  size_t StateSize() const override;
+  void ComputeLocalState(const float* drift, float* state) override;
+  double EstimateVariance(const float* avg_state) const override;
+  std::string name() const override { return "SketchFDA"; }
+
+  const AmsHashFamily& family() const { return *family_; }
+  double epsilon() const { return scratch_.ErrorBound(); }
+
+ private:
+  std::shared_ptr<const AmsHashFamily> family_;
+  AmsSketch scratch_;  // reused per ComputeLocalState / EstimateVariance
+};
+
+/// LinearFDA (Thm 3.2): state = (||u||^2, <xi, u>) for a unit vector xi
+/// known to all workers. H >= Var always (Cauchy-Schwarz). xi starts as the
+/// zero vector (maximally conservative: H = mean squared drift) and after
+/// two synchronizations becomes the paper's heuristic
+/// xi = (w_t0 - w_t-1) / ||w_t0 - w_t-1||.
+class LinearVarianceMonitor : public VarianceMonitor {
+ public:
+  explicit LinearVarianceMonitor(size_t dim);
+
+  size_t StateSize() const override { return 2; }
+  void ComputeLocalState(const float* drift, float* state) override;
+  double EstimateVariance(const float* avg_state) const override;
+  void OnSynchronized(const float* new_global,
+                      const float* prev_global) override;
+  std::string name() const override { return "LinearFDA"; }
+
+  /// Current heuristic direction (unit norm or all-zero before 2 syncs).
+  const std::vector<float>& xi() const { return xi_; }
+
+ private:
+  std::vector<float> xi_;
+  bool xi_valid_ = false;
+};
+
+/// The three monitor variants, for configs and benches.
+enum class MonitorKind { kExact, kSketch, kLinear };
+
+struct MonitorConfig {
+  MonitorKind kind = MonitorKind::kSketch;
+  int sketch_rows = 5;     // paper §3.3 recommendation
+  int sketch_cols = 250;   // paper §3.3 recommendation
+  uint64_t sketch_seed = 0xa5a5a5a5ULL;
+
+  Status Validate() const;
+};
+
+StatusOr<std::unique_ptr<VarianceMonitor>> MakeVarianceMonitor(
+    const MonitorConfig& config, size_t dim);
+
+}  // namespace fedra
+
+#endif  // FEDRA_CORE_VARIANCE_MONITOR_H_

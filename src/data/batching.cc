@@ -1,0 +1,30 @@
+#include "data/batching.h"
+
+#include "util/check.h"
+
+namespace fedra {
+
+BatchSampler::BatchSampler(std::vector<size_t> indices, int batch_size,
+                           Rng rng)
+    : indices_(std::move(indices)), batch_size_(batch_size), rng_(rng) {
+  FEDRA_CHECK(!indices_.empty()) << "sampler needs at least one sample";
+  FEDRA_CHECK_GT(batch_size_, 0);
+  rng_.Shuffle(indices_);
+}
+
+const std::vector<size_t>& BatchSampler::NextBatch() {
+  if (cursor_ >= indices_.size()) {
+    cursor_ = 0;
+    ++epochs_completed_;
+    rng_.Shuffle(indices_);
+  }
+  const size_t end =
+      std::min(cursor_ + static_cast<size_t>(batch_size_), indices_.size());
+  current_batch_.assign(indices_.begin() + static_cast<long>(cursor_),
+                        indices_.begin() + static_cast<long>(end));
+  cursor_ = end;
+  ++steps_;
+  return current_batch_;
+}
+
+}  // namespace fedra

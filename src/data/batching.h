@@ -1,0 +1,51 @@
+// BatchSampler: per-worker mini-batch index stream. Each epoch reshuffles
+// the worker's own index list (sampling without replacement within an
+// epoch), matching the standard Keras-style training loop the paper uses.
+
+#ifndef FEDRA_DATA_BATCHING_H_
+#define FEDRA_DATA_BATCHING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedra {
+
+class BatchSampler {
+ public:
+  /// `indices`: the sample indices this worker owns (from PartitionDataset).
+  BatchSampler(std::vector<size_t> indices, int batch_size, Rng rng);
+
+  /// Returns the next mini-batch of indices (size <= batch_size; the last
+  /// batch of an epoch may be short). Reshuffles at epoch boundaries.
+  const std::vector<size_t>& NextBatch();
+
+  size_t dataset_size() const { return indices_.size(); }
+  int batch_size() const { return batch_size_; }
+
+  /// Completed epochs so far.
+  size_t epochs_completed() const { return epochs_completed_; }
+
+  /// Mini-batches drawn so far.
+  size_t steps() const { return steps_; }
+
+  /// Batches per epoch (ceil division).
+  size_t steps_per_epoch() const {
+    return (indices_.size() + static_cast<size_t>(batch_size_) - 1) /
+           static_cast<size_t>(batch_size_);
+  }
+
+ private:
+  std::vector<size_t> indices_;
+  int batch_size_;
+  Rng rng_;
+  size_t cursor_ = 0;
+  size_t epochs_completed_ = 0;
+  size_t steps_ = 0;
+  std::vector<size_t> current_batch_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_DATA_BATCHING_H_

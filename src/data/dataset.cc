@@ -1,0 +1,56 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace fedra {
+
+Dataset::Dataset(Tensor images, std::vector<int> labels)
+    : images_(std::move(images)), labels_(std::move(labels)) {
+  FEDRA_CHECK_EQ(images_.rank(), 4);
+  FEDRA_CHECK_EQ(static_cast<size_t>(images_.dim(0)), labels_.size());
+  int max_label = -1;
+  for (int label : labels_) {
+    FEDRA_CHECK_GE(label, 0);
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = max_label + 1;
+}
+
+Tensor Dataset::GatherImages(const std::vector<size_t>& indices) const {
+  FEDRA_CHECK(!indices.empty());
+  const size_t sample_size = static_cast<size_t>(images_.dim(1)) *
+                             images_.dim(2) * images_.dim(3);
+  Tensor batch({static_cast<int>(indices.size()), images_.dim(1),
+                images_.dim(2), images_.dim(3)});
+  for (size_t b = 0; b < indices.size(); ++b) {
+    FEDRA_CHECK_LT(indices[b], size());
+    std::memcpy(batch.data() + b * sample_size,
+                images_.data() + indices[b] * sample_size,
+                sample_size * sizeof(float));
+  }
+  return batch;
+}
+
+std::vector<int> Dataset::GatherLabels(
+    const std::vector<size_t>& indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (size_t idx : indices) {
+    FEDRA_CHECK_LT(idx, size());
+    out.push_back(labels_[idx]);
+  }
+  return out;
+}
+
+std::vector<size_t> Dataset::ClassHistogram() const {
+  std::vector<size_t> histogram(static_cast<size_t>(num_classes_), 0);
+  for (int label : labels_) {
+    ++histogram[static_cast<size_t>(label)];
+  }
+  return histogram;
+}
+
+}  // namespace fedra

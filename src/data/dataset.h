@@ -1,0 +1,49 @@
+// Dataset: an immutable labeled image collection ([N, C, H, W] + labels),
+// with batch gather operations used by the per-worker samplers.
+
+#ifndef FEDRA_DATA_DATASET_H_
+#define FEDRA_DATA_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedra {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// images: rank-4 [N, C, H, W]; labels: N entries >= 0.
+  Dataset(Tensor images, std::vector<int> labels);
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  int channels() const { return images_.dim(1); }
+  int height() const { return images_.dim(2); }
+  int width() const { return images_.dim(3); }
+
+  /// max(label) + 1.
+  int num_classes() const { return num_classes_; }
+
+  const Tensor& images() const { return images_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Copies the selected samples into a [B, C, H, W] batch tensor.
+  Tensor GatherImages(const std::vector<size_t>& indices) const;
+  std::vector<int> GatherLabels(const std::vector<size_t>& indices) const;
+
+  /// Per-class sample counts (length num_classes()).
+  std::vector<size_t> ClassHistogram() const;
+
+ private:
+  Tensor images_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_DATA_DATASET_H_

@@ -1,0 +1,165 @@
+#include "data/partition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace fedra {
+
+PartitionConfig PartitionConfig::Iid(uint64_t seed) {
+  PartitionConfig config;
+  config.kind = HeterogeneityKind::kIid;
+  config.seed = seed;
+  return config;
+}
+
+PartitionConfig PartitionConfig::SortedFraction(double fraction,
+                                                uint64_t seed) {
+  PartitionConfig config;
+  config.kind = HeterogeneityKind::kSortedFraction;
+  config.sorted_fraction = fraction;
+  config.seed = seed;
+  return config;
+}
+
+PartitionConfig PartitionConfig::LabelToFew(int label, int holders,
+                                            uint64_t seed) {
+  PartitionConfig config;
+  config.kind = HeterogeneityKind::kLabelToFew;
+  config.concentrated_label = label;
+  config.label_holder_count = holders;
+  config.seed = seed;
+  return config;
+}
+
+Status PartitionConfig::Validate() const {
+  switch (kind) {
+    case HeterogeneityKind::kIid:
+      return Status::Ok();
+    case HeterogeneityKind::kSortedFraction:
+      if (sorted_fraction < 0.0 || sorted_fraction > 1.0) {
+        return Status::InvalidArgument("sorted_fraction must be in [0, 1]");
+      }
+      return Status::Ok();
+    case HeterogeneityKind::kLabelToFew:
+      if (concentrated_label < 0) {
+        return Status::InvalidArgument("concentrated_label must be >= 0");
+      }
+      if (label_holder_count < 1) {
+        return Status::InvalidArgument("label_holder_count must be >= 1");
+      }
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown heterogeneity kind");
+}
+
+std::string PartitionConfig::ToString() const {
+  switch (kind) {
+    case HeterogeneityKind::kIid:
+      return "IID";
+    case HeterogeneityKind::kSortedFraction:
+      return StrFormat("Non-IID: %.0f%%", sorted_fraction * 100.0);
+    case HeterogeneityKind::kLabelToFew:
+      return StrFormat("Non-IID: Label \"%d\"", concentrated_label);
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Deals `indices` one at a time to the currently smallest worker, keeping
+/// sizes approximately equal regardless of how skewed earlier assignment was.
+void DealBalanced(const std::vector<size_t>& indices,
+                  std::vector<std::vector<size_t>>* parts) {
+  for (size_t idx : indices) {
+    size_t smallest = 0;
+    for (size_t k = 1; k < parts->size(); ++k) {
+      if ((*parts)[k].size() < (*parts)[smallest].size()) {
+        smallest = k;
+      }
+    }
+    (*parts)[smallest].push_back(idx);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<size_t>>> PartitionDataset(
+    const std::vector<int>& labels, int num_workers,
+    const PartitionConfig& config) {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (labels.size() < static_cast<size_t>(num_workers)) {
+    return Status::InvalidArgument("fewer samples than workers");
+  }
+  FEDRA_RETURN_IF_ERROR(config.Validate());
+
+  Rng rng(config.seed);
+  const size_t n = labels.size();
+  std::vector<std::vector<size_t>> parts(static_cast<size_t>(num_workers));
+
+  switch (config.kind) {
+    case HeterogeneityKind::kIid: {
+      std::vector<size_t> order = rng.Permutation(n);
+      for (size_t i = 0; i < n; ++i) {
+        parts[i % static_cast<size_t>(num_workers)].push_back(order[i]);
+      }
+      break;
+    }
+    case HeterogeneityKind::kSortedFraction: {
+      std::vector<size_t> order = rng.Permutation(n);
+      const size_t sorted_count = static_cast<size_t>(
+          config.sorted_fraction * static_cast<double>(n));
+      // Sort the first X% by label; allocate contiguous runs to workers.
+      std::vector<size_t> sorted_part(order.begin(),
+                                      order.begin() + sorted_count);
+      std::stable_sort(sorted_part.begin(), sorted_part.end(),
+                       [&labels](size_t a, size_t b) {
+                         return labels[a] < labels[b];
+                       });
+      const size_t chunk =
+          (sorted_count + num_workers - 1) / static_cast<size_t>(num_workers);
+      for (size_t i = 0; i < sorted_count; ++i) {
+        const size_t worker = std::min(i / std::max<size_t>(chunk, 1),
+                                       static_cast<size_t>(num_workers) - 1);
+        parts[worker].push_back(sorted_part[i]);
+      }
+      // Remainder distributed IID, balancing sizes.
+      std::vector<size_t> rest(order.begin() + sorted_count, order.end());
+      DealBalanced(rest, &parts);
+      break;
+    }
+    case HeterogeneityKind::kLabelToFew: {
+      const int holders =
+          std::min(config.label_holder_count, num_workers);
+      std::vector<size_t> concentrated;
+      std::vector<size_t> rest;
+      std::vector<size_t> order = rng.Permutation(n);
+      for (size_t idx : order) {
+        if (labels[idx] == config.concentrated_label) {
+          concentrated.push_back(idx);
+        } else {
+          rest.push_back(idx);
+        }
+      }
+      // All samples of label Y round-robin among the first `holders`.
+      for (size_t i = 0; i < concentrated.size(); ++i) {
+        parts[i % static_cast<size_t>(holders)].push_back(concentrated[i]);
+      }
+      DealBalanced(rest, &parts);
+      break;
+    }
+  }
+
+  for (const auto& part : parts) {
+    if (part.empty()) {
+      return Status::Internal("a worker received no samples");
+    }
+  }
+  return parts;
+}
+
+}  // namespace fedra

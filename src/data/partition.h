@@ -1,0 +1,55 @@
+// Heterogeneity partitioners: split a dataset's sample indices across K
+// workers under the paper's three data-distribution regimes (§4.1):
+//
+//   (1) IID               — shuffle, deal equally.
+//   (2) Non-IID: X%       — X% of the dataset is sorted by label and
+//                           allocated to workers in contiguous runs; the
+//                           remainder is distributed IID.
+//   (3) Non-IID: Label Y  — all samples of label Y go to a few workers;
+//                           the rest are distributed IID.
+//
+// All regimes keep per-worker sizes approximately equal, as the paper
+// prescribes ("divided into approximately equal parts").
+
+#ifndef FEDRA_DATA_PARTITION_H_
+#define FEDRA_DATA_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedra {
+
+enum class HeterogeneityKind {
+  kIid,
+  kSortedFraction,  // Non-IID: X%
+  kLabelToFew,      // Non-IID: Label Y
+};
+
+struct PartitionConfig {
+  HeterogeneityKind kind = HeterogeneityKind::kIid;
+  double sorted_fraction = 0.0;   // kSortedFraction: X in [0, 1]
+  int concentrated_label = -1;    // kLabelToFew: the label Y
+  int label_holder_count = 2;     // kLabelToFew: how many workers hold Y
+  uint64_t seed = 7;
+
+  static PartitionConfig Iid(uint64_t seed = 7);
+  static PartitionConfig SortedFraction(double fraction, uint64_t seed = 7);
+  static PartitionConfig LabelToFew(int label, int holders = 2,
+                                    uint64_t seed = 7);
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+/// Returns, per worker, the sample indices it owns. Every index in
+/// [0, labels.size()) appears in exactly one worker's list.
+StatusOr<std::vector<std::vector<size_t>>> PartitionDataset(
+    const std::vector<int>& labels, int num_workers,
+    const PartitionConfig& config);
+
+}  // namespace fedra
+
+#endif  // FEDRA_DATA_PARTITION_H_

@@ -1,0 +1,51 @@
+#include "data/transfer.h"
+
+namespace fedra {
+
+TransferConfig TransferConfig::Default() {
+  TransferConfig config;
+  config.source = CifarLikeConfig();
+  config.source.seed = 2024;
+  config.source.num_train = 4096;
+  config.target = CifarLikeConfig();
+  config.target.seed = 7001;
+  config.target.num_train = 2048;
+  config.target.num_test = 1024;
+  config.relatedness = 0.6f;
+  config.seed = 99;
+  return config;
+}
+
+Status TransferConfig::Validate() const {
+  FEDRA_RETURN_IF_ERROR(source.Validate());
+  FEDRA_RETURN_IF_ERROR(target.Validate());
+  if (relatedness < 0.0f || relatedness > 1.0f) {
+    return Status::InvalidArgument("relatedness must be in [0, 1]");
+  }
+  if (source.channels != target.channels ||
+      source.image_size != target.image_size) {
+    return Status::InvalidArgument(
+        "source and target must share image geometry (the same backbone "
+        "consumes both)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<TransferScenario> MakeTransferScenario(const TransferConfig& config) {
+  FEDRA_RETURN_IF_ERROR(config.Validate());
+  TransferScenario scenario;
+  auto source = GenerateSynthImages(config.source);
+  if (!source.ok()) {
+    return source.status();
+  }
+  scenario.source = std::move(source).value();
+  auto target = GenerateBlendedSynthImages(config.target, config.source.seed,
+                                           config.relatedness);
+  if (!target.ok()) {
+    return target.status();
+  }
+  scenario.target = std::move(target).value();
+  return scenario;
+}
+
+}  // namespace fedra

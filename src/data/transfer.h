@@ -1,0 +1,41 @@
+// Transfer-learning scenario (paper §4.1, Fig. 13 substrate).
+//
+// The paper fine-tunes an ImageNet-pretrained ConvNeXtLarge on CIFAR-100.
+// What Fig. 13 actually studies is FDA's behaviour during *fine-tuning*:
+// training that starts from a good initialization, so drifts are small and
+// anisotropic. We reproduce that regime by (a) generating a SOURCE task,
+// (b) generating a TARGET task whose class prototypes blend source
+// prototypes with fresh structure (features transfer but the task is new),
+// and (c) letting the harness pre-train on the source before the federated
+// fine-tuning run on the target.
+
+#ifndef FEDRA_DATA_TRANSFER_H_
+#define FEDRA_DATA_TRANSFER_H_
+
+#include "data/synth.h"
+
+namespace fedra {
+
+struct TransferConfig {
+  SynthImageConfig source;     // pre-training task
+  SynthImageConfig target;     // fine-tuning task
+  /// Blend weight of source structure in target prototypes, in [0, 1]:
+  /// 0 = unrelated tasks, 1 = identical prototype geometry.
+  float relatedness = 0.6f;
+  uint64_t seed = 99;
+
+  static TransferConfig Default();
+  Status Validate() const;
+};
+
+struct TransferScenario {
+  SynthImageData source;  // pre-train on source.train, sanity on source.test
+  SynthImageData target;  // federated fine-tuning on target.train/test
+};
+
+/// Builds the source and (blended) target tasks. Deterministic in seed.
+StatusOr<TransferScenario> MakeTransferScenario(const TransferConfig& config);
+
+}  // namespace fedra
+
+#endif  // FEDRA_DATA_TRANSFER_H_

@@ -1,0 +1,131 @@
+#include "metrics/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fedra {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void Expand(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+};
+
+double MapValue(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+}  // namespace
+
+std::string RenderScatter(const std::vector<ScatterSeries>& series,
+                          const ScatterOptions& options) {
+  Range x_range;
+  Range y_range;
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.xs.size(); ++i) {
+      const double x = s.xs[i];
+      const double y = s.ys[i];
+      if ((options.log_x && x <= 0.0) || (options.log_y && y <= 0.0)) {
+        continue;
+      }
+      x_range.Expand(MapValue(x, options.log_x));
+      y_range.Expand(MapValue(y, options.log_y));
+    }
+  }
+  std::ostringstream out;
+  if (!options.title.empty()) {
+    out << options.title << "\n";
+  }
+  if (!x_range.valid() || !y_range.valid()) {
+    out << "(no plottable points)\n";
+    return out.str();
+  }
+  // Pad degenerate ranges so a single point still renders.
+  if (x_range.hi == x_range.lo) {
+    x_range.lo -= 0.5;
+    x_range.hi += 0.5;
+  }
+  if (y_range.hi == y_range.lo) {
+    y_range.lo -= 0.5;
+    y_range.hi += 0.5;
+  }
+
+  const int width = std::max(options.width, 8);
+  const int height = std::max(options.height, 4);
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.xs.size(); ++i) {
+      const double x = s.xs[i];
+      const double y = s.ys[i];
+      if ((options.log_x && x <= 0.0) || (options.log_y && y <= 0.0)) {
+        continue;
+      }
+      const double fx = (MapValue(x, options.log_x) - x_range.lo) /
+                        (x_range.hi - x_range.lo);
+      const double fy = (MapValue(y, options.log_y) - y_range.lo) /
+                        (y_range.hi - y_range.lo);
+      const int col = std::min(width - 1, static_cast<int>(fx * width));
+      const int row =
+          std::min(height - 1, static_cast<int>((1.0 - fy) * height));
+      char& cell = grid[static_cast<size_t>(row)][static_cast<size_t>(col)];
+      // First series to claim a cell keeps it; overlaps become '#'.
+      cell = (cell == ' ' || cell == s.glyph) ? s.glyph : '#';
+    }
+  }
+
+  auto format_tick = [](double mapped, bool log_scale) {
+    const double value = log_scale ? std::pow(10.0, mapped) : mapped;
+    return StrFormat("%.3g", value);
+  };
+
+  const std::string y_hi = format_tick(y_range.hi, options.log_y);
+  const std::string y_lo = format_tick(y_range.lo, options.log_y);
+  const size_t margin = std::max(y_hi.size(), y_lo.size()) + 1;
+
+  for (int row = 0; row < height; ++row) {
+    std::string prefix(margin, ' ');
+    if (row == 0) {
+      prefix = PadLeft(y_hi, margin);
+    } else if (row == height - 1) {
+      prefix = PadLeft(y_lo, margin);
+    }
+    out << prefix << "|" << grid[static_cast<size_t>(row)] << "\n";
+  }
+  out << std::string(margin, ' ') << "+" << std::string(
+      static_cast<size_t>(width), '-')
+      << "\n";
+  const std::string x_lo = format_tick(x_range.lo, options.log_x);
+  const std::string x_hi = format_tick(x_range.hi, options.log_x);
+  std::string axis_line(margin + 1, ' ');
+  axis_line += x_lo;
+  const size_t target =
+      margin + 1 + static_cast<size_t>(width) - x_hi.size();
+  if (axis_line.size() < target) {
+    axis_line += std::string(target - axis_line.size(), ' ');
+  }
+  axis_line += x_hi;
+  out << axis_line << "\n";
+  out << std::string(margin + 1, ' ') << options.x_label
+      << (options.log_x ? " [log]" : "") << " vs " << options.y_label
+      << (options.log_y ? " [log]" : "") << "\n";
+  for (const auto& s : series) {
+    out << std::string(margin + 1, ' ') << s.glyph << " = " << s.label
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fedra

@@ -1,0 +1,37 @@
+// ASCII scatter plots for bench output: a terminal rendition of the paper's
+// (communication, computation) figures, with per-series glyphs and optional
+// log-scaled axes (the paper's figures are log-log).
+
+#ifndef FEDRA_METRICS_ASCII_PLOT_H_
+#define FEDRA_METRICS_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace fedra {
+
+struct ScatterSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct ScatterOptions {
+  int width = 72;       // plot area columns
+  int height = 20;      // plot area rows
+  bool log_x = true;
+  bool log_y = true;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+};
+
+/// Renders series into a multi-line string (axes, legend, gridpoints).
+/// Non-positive values are dropped from log-scaled axes.
+std::string RenderScatter(const std::vector<ScatterSeries>& series,
+                          const ScatterOptions& options);
+
+}  // namespace fedra
+
+#endif  // FEDRA_METRICS_ASCII_PLOT_H_

@@ -1,0 +1,29 @@
+// Model evaluation: batched accuracy / loss over a dataset.
+
+#ifndef FEDRA_METRICS_EVALUATION_H_
+#define FEDRA_METRICS_EVALUATION_H_
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace fedra {
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double mean_loss = 0.0;
+  size_t samples = 0;
+};
+
+/// Runs the model in eval mode over the whole dataset in batches.
+EvalResult Evaluate(Model* model, const Dataset& dataset,
+                    int batch_size = 256);
+
+/// Accuracy on a random subset of `max_samples` (cheaper mid-training probe;
+/// deterministic in `seed`).
+EvalResult EvaluateSubset(Model* model, const Dataset& dataset,
+                          size_t max_samples, uint64_t seed,
+                          int batch_size = 256);
+
+}  // namespace fedra
+
+#endif  // FEDRA_METRICS_EVALUATION_H_

@@ -1,0 +1,136 @@
+#include "metrics/kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace fedra {
+
+namespace {
+
+double SampleStddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 1.0;
+  }
+  double mean = 0.0;
+  for (double x : xs) {
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(xs.size() - 1);
+  return std::sqrt(var);
+}
+
+}  // namespace
+
+double ScottBandwidth(double stddev, size_t n, int dims) {
+  FEDRA_CHECK_GT(n, 0u);
+  FEDRA_CHECK_GT(dims, 0);
+  const double factor =
+      std::pow(static_cast<double>(n), -1.0 / (dims + 4.0));
+  double bw = stddev * factor;
+  if (bw <= 0.0) {
+    bw = 1e-6;  // degenerate sample (all equal); any tiny positive works
+  }
+  return bw;
+}
+
+Kde1d::Kde1d(std::vector<double> samples, double bandwidth)
+    : samples_(std::move(samples)) {
+  FEDRA_CHECK(!samples_.empty());
+  bandwidth_ = bandwidth > 0.0
+                   ? bandwidth
+                   : ScottBandwidth(SampleStddev(samples_), samples_.size(),
+                                    /*dims=*/1);
+}
+
+double Kde1d::Density(double x) const {
+  const double norm =
+      1.0 / (static_cast<double>(samples_.size()) * bandwidth_ *
+             std::sqrt(2.0 * std::numbers::pi));
+  double sum = 0.0;
+  for (double s : samples_) {
+    const double z = (x - s) / bandwidth_;
+    sum += std::exp(-0.5 * z * z);
+  }
+  return norm * sum;
+}
+
+double Kde1d::Mode(int grid_points) const {
+  FEDRA_CHECK_GT(grid_points, 1);
+  const auto [min_it, max_it] =
+      std::minmax_element(samples_.begin(), samples_.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  if (lo == hi) {
+    return lo;
+  }
+  double best_x = lo;
+  double best_density = -1.0;
+  for (int i = 0; i < grid_points; ++i) {
+    const double x = lo + (hi - lo) * i / (grid_points - 1);
+    const double density = Density(x);
+    if (density > best_density) {
+      best_density = density;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+Kde2d::Kde2d(std::vector<double> xs, std::vector<double> ys,
+             double bandwidth_x, double bandwidth_y)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  FEDRA_CHECK(!xs_.empty());
+  FEDRA_CHECK_EQ(xs_.size(), ys_.size());
+  bandwidth_x_ = bandwidth_x > 0.0
+                     ? bandwidth_x
+                     : ScottBandwidth(SampleStddev(xs_), xs_.size(), 2);
+  bandwidth_y_ = bandwidth_y > 0.0
+                     ? bandwidth_y
+                     : ScottBandwidth(SampleStddev(ys_), ys_.size(), 2);
+}
+
+double Kde2d::Density(double x, double y) const {
+  const double norm =
+      1.0 / (static_cast<double>(xs_.size()) * 2.0 * std::numbers::pi *
+             bandwidth_x_ * bandwidth_y_);
+  double sum = 0.0;
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    const double zx = (x - xs_[i]) / bandwidth_x_;
+    const double zy = (y - ys_[i]) / bandwidth_y_;
+    sum += std::exp(-0.5 * (zx * zx + zy * zy));
+  }
+  return norm * sum;
+}
+
+Kde2d::Mode Kde2d::FindMode(int grid_points) const {
+  FEDRA_CHECK_GT(grid_points, 1);
+  const auto [x_min_it, x_max_it] =
+      std::minmax_element(xs_.begin(), xs_.end());
+  const auto [y_min_it, y_max_it] =
+      std::minmax_element(ys_.begin(), ys_.end());
+  Mode mode;
+  mode.density = -1.0;
+  for (int i = 0; i < grid_points; ++i) {
+    const double x = *x_min_it +
+                     (*x_max_it - *x_min_it) * i / (grid_points - 1);
+    for (int j = 0; j < grid_points; ++j) {
+      const double y = *y_min_it +
+                       (*y_max_it - *y_min_it) * j / (grid_points - 1);
+      const double density = Density(x, y);
+      if (density > mode.density) {
+        mode = {x, y, density};
+      }
+    }
+  }
+  return mode;
+}
+
+}  // namespace fedra

@@ -1,0 +1,72 @@
+// Gaussian kernel density estimation, 1-D and 2-D.
+//
+// The paper visualizes each strategy's (communication, computation) point
+// cloud as a seaborn bivariate KDE (Figs. 3-6). This module reimplements
+// that estimator (Gaussian product kernel, Scott's-rule bandwidth) so
+// benches can report the same density summaries — modes and probability
+// mass per region — from the raw sweep points.
+
+#ifndef FEDRA_METRICS_KDE_H_
+#define FEDRA_METRICS_KDE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedra {
+
+/// Scott's rule bandwidth for n points of sample standard deviation sd in
+/// `dims` dimensions: sd * n^(-1/(dims+4)).
+double ScottBandwidth(double stddev, size_t n, int dims);
+
+class Kde1d {
+ public:
+  /// Fits the estimator; bandwidth <= 0 selects Scott's rule.
+  explicit Kde1d(std::vector<double> samples, double bandwidth = 0.0);
+
+  double bandwidth() const { return bandwidth_; }
+
+  /// Density estimate at x.
+  double Density(double x) const;
+
+  /// Location of the highest-density gridpoint over [min, max] of the data
+  /// (the distribution's mode as the paper's plots show it).
+  double Mode(int grid_points = 256) const;
+
+ private:
+  std::vector<double> samples_;
+  double bandwidth_;
+};
+
+class Kde2d {
+ public:
+  /// Fits a product-kernel 2-D estimator; non-positive bandwidths select
+  /// Scott's rule per axis.
+  Kde2d(std::vector<double> xs, std::vector<double> ys,
+        double bandwidth_x = 0.0, double bandwidth_y = 0.0);
+
+  double bandwidth_x() const { return bandwidth_x_; }
+  double bandwidth_y() const { return bandwidth_y_; }
+  size_t size() const { return xs_.size(); }
+
+  double Density(double x, double y) const;
+
+  struct Mode {
+    double x = 0.0;
+    double y = 0.0;
+    double density = 0.0;
+  };
+  /// Highest-density gridpoint over the data's bounding box.
+  Mode FindMode(int grid_points = 64) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  double bandwidth_x_;
+  double bandwidth_y_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_METRICS_KDE_H_

@@ -1,0 +1,119 @@
+#include "metrics/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fedra {
+
+double Quantile(std::vector<double> values, double q) {
+  FEDRA_CHECK(!values.empty());
+  FEDRA_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+SummaryStats Summarize(std::vector<double> values) {
+  SummaryStats stats;
+  if (values.empty()) {
+    return stats;
+  }
+  stats.count = values.size();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) {
+    var += (v - stats.mean) * (v - stats.mean);
+  }
+  stats.stddev = values.size() > 1
+                     ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                     : 0.0;
+  std::sort(values.begin(), values.end());
+  stats.min = values.front();
+  stats.max = values.back();
+  stats.p25 = Quantile(values, 0.25);
+  stats.median = Quantile(values, 0.5);
+  stats.p75 = Quantile(values, 0.75);
+  return stats;
+}
+
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  FEDRA_CHECK_EQ(xs.size(), ys.size());
+  FEDRA_CHECK_GE(xs.size(), 2u);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  FEDRA_CHECK_NE(denom, 0.0) << "degenerate x values";
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  // R^2 = 1 - SS_res / SS_tot.
+  const double mean_y = sy / n;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit FitProportional(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  FEDRA_CHECK_EQ(xs.size(), ys.size());
+  FEDRA_CHECK_GE(xs.size(), 1u);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  FEDRA_CHECK_GT(sxx, 0.0) << "degenerate x values";
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = 0.0;
+  // Through-origin regression uses the *uncentered* total sum of squares
+  // (comparing against the zero function, the model's own null hypothesis);
+  // the centered version can go negative and is not meaningful here.
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += ys[i] * ys[i];
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  FEDRA_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    FEDRA_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace fedra

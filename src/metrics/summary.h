@@ -1,0 +1,51 @@
+// Descriptive statistics and least-squares fitting used by the benches:
+// quantiles for sweep summaries and the through-origin linear fit that
+// reproduces the paper's Theta ~= c * d guideline (Fig. 12).
+
+#ifndef FEDRA_METRICS_SUMMARY_H_
+#define FEDRA_METRICS_SUMMARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fedra {
+
+struct SummaryStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary; values need not be sorted. count==0 => all zeros.
+SummaryStats Summarize(std::vector<double> values);
+
+/// Interpolated quantile (q in [0,1]) of unsorted values.
+double Quantile(std::vector<double> values, double q);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+/// Least squares through the origin: y = slope*x (the form of the paper's
+/// Theta(d) guideline lines).
+LinearFit FitProportional(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Geometric mean of strictly positive values.
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace fedra
+
+#endif  // FEDRA_METRICS_SUMMARY_H_

@@ -1,0 +1,96 @@
+// Composite layers: Sequential, Residual, and DenseNet-style dense blocks
+// (channel concatenation). Composites forward the parameter-store protocol
+// (Register/Bind/Init) to their children in order, so a whole model is one
+// flat parameter vector regardless of nesting.
+
+#ifndef FEDRA_NN_COMPOSITE_H_
+#define FEDRA_NN_COMPOSITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedra {
+
+/// Runs children in order; Backward in reverse order.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<LayerPtr> layers)
+      : layers_(std::move(layers)) {}
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& Add(LayerPtr layer);
+
+  size_t size() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+  std::string name() const override { return "sequential"; }
+  void RegisterParams(ParameterStore* store) override;
+  void BindParams(ParameterStore* store) override;
+  void InitParams(Rng* rng) override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// y = x + inner(x). Input and inner-output shapes must match.
+class ResidualLayer : public Layer {
+ public:
+  explicit ResidualLayer(LayerPtr inner) : inner_(std::move(inner)) {}
+
+  std::string name() const override { return "residual(" + inner_->name() + ")"; }
+  void RegisterParams(ParameterStore* store) override {
+    inner_->RegisterParams(store);
+  }
+  void BindParams(ParameterStore* store) override {
+    inner_->BindParams(store);
+  }
+  void InitParams(Rng* rng) override { inner_->InitParams(rng); }
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  LayerPtr inner_;
+};
+
+/// DenseNet dense block: L sub-layers, each BN-ReLU-Conv3x3(growth), each
+/// consuming the concatenation of the block input and all previous feature
+/// maps, the block output being the full concatenation.
+class DenseBlockLayer : public Layer {
+ public:
+  /// `in_channels` at block entry, `growth` channels added per sub-layer.
+  DenseBlockLayer(int in_channels, int growth, int num_layers);
+
+  int out_channels() const {
+    return in_channels_ + growth_ * num_layers_;
+  }
+
+  std::string name() const override;
+  void RegisterParams(ParameterStore* store) override;
+  void BindParams(ParameterStore* store) override;
+  void InitParams(Rng* rng) override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int in_channels_;
+  int growth_;
+  int num_layers_;
+  std::vector<LayerPtr> sublayers_;  // each: BN-ReLU-Conv3x3
+  std::vector<Tensor> cached_features_;  // concatenated input of sublayer i
+};
+
+/// Concatenates two NCHW tensors along channels.
+Tensor ConcatChannels(const Tensor& a, const Tensor& b);
+
+/// Returns channels [c0, c1) of an NCHW tensor.
+Tensor SliceChannels(const Tensor& t, int c0, int c1);
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_COMPOSITE_H_

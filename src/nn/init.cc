@@ -1,0 +1,43 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fedra {
+namespace init {
+
+void Fill(Scheme scheme, float* w, size_t n, size_t fan_in, size_t fan_out,
+          Rng* rng) {
+  switch (scheme) {
+    case Scheme::kZeros: {
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = 0.0f;
+      }
+      return;
+    }
+    case Scheme::kGlorotUniform: {
+      FEDRA_CHECK(rng != nullptr);
+      FEDRA_CHECK_GT(fan_in + fan_out, 0u);
+      const float limit =
+          std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = rng->NextUniform(-limit, limit);
+      }
+      return;
+    }
+    case Scheme::kHeNormal: {
+      FEDRA_CHECK(rng != nullptr);
+      FEDRA_CHECK_GT(fan_in, 0u);
+      const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = rng->NextGaussian(0.0f, stddev);
+      }
+      return;
+    }
+  }
+  FEDRA_CHECK(false) << "unknown init scheme";
+}
+
+}  // namespace init
+}  // namespace fedra

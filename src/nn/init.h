@@ -1,0 +1,27 @@
+// Weight initializers used by the model zoo, matching the paper's choices:
+// Glorot uniform for LeNet-5 / VGG16* and He normal for the DenseNets.
+
+#ifndef FEDRA_NN_INIT_H_
+#define FEDRA_NN_INIT_H_
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace fedra {
+namespace init {
+
+enum class Scheme {
+  kZeros,
+  kGlorotUniform,  // U(-sqrt(6/(fan_in+fan_out)), +...)
+  kHeNormal,       // N(0, sqrt(2/fan_in))
+};
+
+/// Fills w[0..n) according to the scheme and fan statistics.
+void Fill(Scheme scheme, float* w, size_t n, size_t fan_in, size_t fan_out,
+          Rng* rng);
+
+}  // namespace init
+}  // namespace fedra
+
+#endif  // FEDRA_NN_INIT_H_

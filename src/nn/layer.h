@@ -1,0 +1,57 @@
+// Layer: the building block of models. Layers register parameter blocks
+// with a ParameterStore, bind raw pointers once the store is finalized, and
+// implement Forward/Backward with cached activations in between.
+//
+// The contract is single-threaded per layer instance: a layer belongs to
+// exactly one worker's model, Forward precedes Backward, and Backward
+// *accumulates* into parameter gradients (the store is zeroed per step).
+
+#ifndef FEDRA_NN_LAYER_H_
+#define FEDRA_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter_store.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedra {
+
+/// Per-call context: training toggles dropout/batch-stats; rng drives any
+/// stochastic layer (dropout masks).
+struct ForwardContext {
+  bool training = false;
+  Rng* rng = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Short identifier, e.g. "dense(64->10)".
+  virtual std::string name() const = 0;
+
+  /// Registers this layer's parameter blocks. Default: stateless layer.
+  virtual void RegisterParams(ParameterStore* store) { (void)store; }
+
+  /// Caches pointers into the finalized store.
+  virtual void BindParams(ParameterStore* store) { (void)store; }
+
+  /// Writes initial parameter values (Glorot / He / constants).
+  virtual void InitParams(Rng* rng) { (void)rng; }
+
+  /// Computes the layer output; caches whatever Backward needs.
+  virtual Tensor Forward(const Tensor& input, const ForwardContext& ctx) = 0;
+
+  /// Consumes d(loss)/d(output), accumulates parameter gradients, and
+  /// returns d(loss)/d(input).
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_LAYER_H_

@@ -1,0 +1,88 @@
+// Basic layers: Dense (fully connected), activations, Dropout, Flatten.
+
+#ifndef FEDRA_NN_LAYERS_BASIC_H_
+#define FEDRA_NN_LAYERS_BASIC_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/init.h"
+#include "nn/layer.h"
+
+namespace fedra {
+
+/// y = x W^T + b, with x [B, in], W [out, in], b [out].
+class DenseLayer : public Layer {
+ public:
+  DenseLayer(int in_features, int out_features,
+             init::Scheme scheme = init::Scheme::kGlorotUniform);
+
+  std::string name() const override;
+  void RegisterParams(ParameterStore* store) override;
+  void BindParams(ParameterStore* store) override;
+  void InitParams(Rng* rng) override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  init::Scheme scheme_;
+  size_t weight_id_ = 0;
+  size_t bias_id_ = 0;
+  float* weight_ = nullptr;
+  float* bias_ = nullptr;
+  float* grad_weight_ = nullptr;
+  float* grad_bias_ = nullptr;
+  Tensor cached_input_;
+};
+
+/// Elementwise activation selection.
+enum class Activation { kRelu, kTanh, kGelu };
+
+class ActivationLayer : public Layer {
+ public:
+  explicit ActivationLayer(Activation kind) : kind_(kind) {}
+
+  std::string name() const override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Activation kind_;
+  Tensor cached_input_;
+};
+
+/// Inverted dropout: scales kept units by 1/(1-rate) during training; the
+/// identity in eval mode.
+class DropoutLayer : public Layer {
+ public:
+  explicit DropoutLayer(float rate);
+
+  std::string name() const override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  float rate_;
+  std::vector<float> mask_;  // per-element keep-scale from the last Forward
+  bool last_was_training_ = false;
+};
+
+/// [B, ...] -> [B, prod(...)]
+class FlattenLayer : public Layer {
+ public:
+  std::string name() const override { return "flatten"; }
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_LAYERS_BASIC_H_

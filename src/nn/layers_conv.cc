@@ -1,0 +1,196 @@
+#include "nn/layers_conv.h"
+
+#include "util/string_util.h"
+
+namespace fedra {
+
+// --------------------------------------------------------------- Conv2d --
+
+Conv2dLayer::Conv2dLayer(int in_channels, int out_channels, int kernel,
+                         int stride, int pad, init::Scheme scheme)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      scheme_(scheme) {
+  FEDRA_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+              stride > 0 && pad >= 0);
+}
+
+std::string Conv2dLayer::name() const {
+  return StrFormat("conv%dx%d(%d->%d,s%d,p%d)", kernel_, kernel_,
+                   in_channels_, out_channels_, stride_, pad_);
+}
+
+void Conv2dLayer::RegisterParams(ParameterStore* store) {
+  weight_id_ = store->Register(
+      name() + ".weight", {out_channels_, in_channels_, kernel_, kernel_});
+  bias_id_ = store->Register(name() + ".bias", {out_channels_});
+}
+
+void Conv2dLayer::BindParams(ParameterStore* store) {
+  weight_ = store->BlockParams(weight_id_);
+  bias_ = store->BlockParams(bias_id_);
+  grad_weight_ = store->BlockGrads(weight_id_);
+  grad_bias_ = store->BlockGrads(bias_id_);
+}
+
+void Conv2dLayer::InitParams(Rng* rng) {
+  const size_t fan_in =
+      static_cast<size_t>(in_channels_) * kernel_ * kernel_;
+  const size_t fan_out =
+      static_cast<size_t>(out_channels_) * kernel_ * kernel_;
+  init::Fill(scheme_, weight_,
+             static_cast<size_t>(out_channels_) * fan_in, fan_in, fan_out,
+             rng);
+  init::Fill(init::Scheme::kZeros, bias_, static_cast<size_t>(out_channels_),
+             0, 0, nullptr);
+}
+
+Tensor Conv2dLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
+  (void)ctx;
+  FEDRA_CHECK_EQ(input.rank(), 4);
+  FEDRA_CHECK_EQ(input.dim(1), in_channels_);
+  cached_input_ = input;
+  geometry_ = {input.dim(0), in_channels_, input.dim(2), input.dim(3),
+               out_channels_, kernel_,     stride_,      pad_};
+  Tensor output(
+      {geometry_.batch, out_channels_, geometry_.out_h(), geometry_.out_w()});
+  ops::Conv2dForward(geometry_, input.data(), weight_, bias_, output.data());
+  return output;
+}
+
+Tensor Conv2dLayer::Backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_input_.shape());
+  ops::Conv2dBackward(geometry_, cached_input_.data(), weight_,
+                      grad_output.data(), grad_input.data(), grad_weight_,
+                      grad_bias_);
+  return grad_input;
+}
+
+// ------------------------------------------------------ DepthwiseConv2d --
+
+DepthwiseConv2dLayer::DepthwiseConv2dLayer(int channels, int kernel,
+                                           int stride, int pad,
+                                           init::Scheme scheme)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      scheme_(scheme) {
+  FEDRA_CHECK(channels > 0 && kernel > 0 && stride > 0 && pad >= 0);
+}
+
+std::string DepthwiseConv2dLayer::name() const {
+  return StrFormat("dwconv%dx%d(%d,s%d,p%d)", kernel_, kernel_, channels_,
+                   stride_, pad_);
+}
+
+void DepthwiseConv2dLayer::RegisterParams(ParameterStore* store) {
+  weight_id_ =
+      store->Register(name() + ".weight", {channels_, kernel_, kernel_});
+  bias_id_ = store->Register(name() + ".bias", {channels_});
+}
+
+void DepthwiseConv2dLayer::BindParams(ParameterStore* store) {
+  weight_ = store->BlockParams(weight_id_);
+  bias_ = store->BlockParams(bias_id_);
+  grad_weight_ = store->BlockGrads(weight_id_);
+  grad_bias_ = store->BlockGrads(bias_id_);
+}
+
+void DepthwiseConv2dLayer::InitParams(Rng* rng) {
+  const size_t fan_in = static_cast<size_t>(kernel_) * kernel_;
+  init::Fill(scheme_, weight_, static_cast<size_t>(channels_) * fan_in,
+             fan_in, fan_in, rng);
+  init::Fill(init::Scheme::kZeros, bias_, static_cast<size_t>(channels_), 0,
+             0, nullptr);
+}
+
+Tensor DepthwiseConv2dLayer::Forward(const Tensor& input,
+                                     const ForwardContext& ctx) {
+  (void)ctx;
+  FEDRA_CHECK_EQ(input.rank(), 4);
+  FEDRA_CHECK_EQ(input.dim(1), channels_);
+  cached_input_ = input;
+  geometry_ = {input.dim(0), channels_, input.dim(2), input.dim(3),
+               channels_,    kernel_,   stride_,      pad_};
+  Tensor output(
+      {geometry_.batch, channels_, geometry_.out_h(), geometry_.out_w()});
+  ops::DepthwiseConv2dForward(geometry_, input.data(), weight_, bias_,
+                              output.data());
+  return output;
+}
+
+Tensor DepthwiseConv2dLayer::Backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_input_.shape());
+  ops::DepthwiseConv2dBackward(geometry_, cached_input_.data(), weight_,
+                               grad_output.data(), grad_input.data(),
+                               grad_weight_, grad_bias_);
+  return grad_input;
+}
+
+// --------------------------------------------------------------- Pool2d --
+
+Pool2dLayer::Pool2dLayer(PoolKind kind, int kernel, int stride)
+    : kind_(kind), kernel_(kernel), stride_(stride) {
+  FEDRA_CHECK(kernel > 0 && stride > 0);
+}
+
+std::string Pool2dLayer::name() const {
+  return StrFormat("%spool%dx%d(s%d)", kind_ == PoolKind::kMax ? "max" : "avg",
+                   kernel_, kernel_, stride_);
+}
+
+Tensor Pool2dLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
+  (void)ctx;
+  FEDRA_CHECK_EQ(input.rank(), 4);
+  input_shape_ = input.shape();
+  geometry_ = {input.dim(0), input.dim(1), input.dim(2), input.dim(3),
+               input.dim(1), kernel_,      stride_,      0};
+  Tensor output({geometry_.batch, geometry_.in_channels, geometry_.out_h(),
+                 geometry_.out_w()});
+  if (kind_ == PoolKind::kMax) {
+    argmax_.assign(output.numel(), -1);
+    ops::MaxPool2dForward(geometry_, input.data(), output.data(),
+                          argmax_.data());
+  } else {
+    ops::AvgPool2dForward(geometry_, input.data(), output.data());
+  }
+  return output;
+}
+
+Tensor Pool2dLayer::Backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  if (kind_ == PoolKind::kMax) {
+    ops::MaxPool2dBackward(geometry_, grad_output.data(), argmax_.data(),
+                           grad_input.data());
+  } else {
+    ops::AvgPool2dBackward(geometry_, grad_output.data(), grad_input.data());
+  }
+  return grad_input;
+}
+
+// -------------------------------------------------------- GlobalAvgPool --
+
+Tensor GlobalAvgPoolLayer::Forward(const Tensor& input,
+                                   const ForwardContext& ctx) {
+  (void)ctx;
+  FEDRA_CHECK_EQ(input.rank(), 4);
+  input_shape_ = input.shape();
+  Tensor output({input.dim(0), input.dim(1)});
+  ops::GlobalAvgPoolForward(input.dim(0), input.dim(1), input.dim(2),
+                            input.dim(3), input.data(), output.data());
+  return output;
+}
+
+Tensor GlobalAvgPoolLayer::Backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  ops::GlobalAvgPoolBackward(input_shape_[0], input_shape_[1],
+                             input_shape_[2], input_shape_[3],
+                             grad_output.data(), grad_input.data());
+  return grad_input;
+}
+
+}  // namespace fedra

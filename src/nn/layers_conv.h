@@ -1,0 +1,109 @@
+// Convolution and pooling layers (NCHW).
+
+#ifndef FEDRA_NN_LAYERS_CONV_H_
+#define FEDRA_NN_LAYERS_CONV_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/init.h"
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace fedra {
+
+/// Standard 2-D convolution with square kernel.
+class Conv2dLayer : public Layer {
+ public:
+  Conv2dLayer(int in_channels, int out_channels, int kernel, int stride,
+              int pad, init::Scheme scheme = init::Scheme::kHeNormal);
+
+  std::string name() const override;
+  void RegisterParams(ParameterStore* store) override;
+  void BindParams(ParameterStore* store) override;
+  void InitParams(Rng* rng) override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  int out_channels() const { return out_channels_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  init::Scheme scheme_;
+  size_t weight_id_ = 0;
+  size_t bias_id_ = 0;
+  float* weight_ = nullptr;
+  float* bias_ = nullptr;
+  float* grad_weight_ = nullptr;
+  float* grad_bias_ = nullptr;
+  Tensor cached_input_;
+  ops::Conv2dGeometry geometry_;
+};
+
+/// Depthwise 2-D convolution (one filter per channel); used by ConvNeXt.
+class DepthwiseConv2dLayer : public Layer {
+ public:
+  DepthwiseConv2dLayer(int channels, int kernel, int stride, int pad,
+                       init::Scheme scheme = init::Scheme::kHeNormal);
+
+  std::string name() const override;
+  void RegisterParams(ParameterStore* store) override;
+  void BindParams(ParameterStore* store) override;
+  void InitParams(Rng* rng) override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  init::Scheme scheme_;
+  size_t weight_id_ = 0;
+  size_t bias_id_ = 0;
+  float* weight_ = nullptr;
+  float* bias_ = nullptr;
+  float* grad_weight_ = nullptr;
+  float* grad_bias_ = nullptr;
+  Tensor cached_input_;
+  ops::Conv2dGeometry geometry_;
+};
+
+enum class PoolKind { kMax, kAvg };
+
+/// Max or average pooling over square windows.
+class Pool2dLayer : public Layer {
+ public:
+  Pool2dLayer(PoolKind kind, int kernel, int stride);
+
+  std::string name() const override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  PoolKind kind_;
+  int kernel_;
+  int stride_;
+  ops::Conv2dGeometry geometry_;
+  std::vector<int> argmax_;
+  std::vector<int> input_shape_;
+};
+
+/// Global average pooling: [B, C, H, W] -> [B, C].
+class GlobalAvgPoolLayer : public Layer {
+ public:
+  std::string name() const override { return "global_avg_pool"; }
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<int> input_shape_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_LAYERS_CONV_H_

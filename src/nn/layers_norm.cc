@@ -1,0 +1,263 @@
+#include "nn/layers_norm.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "util/string_util.h"
+
+namespace fedra {
+
+// ---------------------------------------------------------- BatchNorm2d --
+
+BatchNorm2dLayer::BatchNorm2dLayer(int channels, float epsilon)
+    : channels_(channels), epsilon_(epsilon) {
+  FEDRA_CHECK_GT(channels, 0);
+}
+
+std::string BatchNorm2dLayer::name() const {
+  return StrFormat("batchnorm2d(%d)", channels_);
+}
+
+void BatchNorm2dLayer::RegisterParams(ParameterStore* store) {
+  gamma_id_ = store->Register(name() + ".gamma", {channels_});
+  beta_id_ = store->Register(name() + ".beta", {channels_});
+}
+
+void BatchNorm2dLayer::BindParams(ParameterStore* store) {
+  gamma_ = store->BlockParams(gamma_id_);
+  beta_ = store->BlockParams(beta_id_);
+  grad_gamma_ = store->BlockGrads(gamma_id_);
+  grad_beta_ = store->BlockGrads(beta_id_);
+}
+
+void BatchNorm2dLayer::InitParams(Rng* rng) {
+  (void)rng;
+  for (int c = 0; c < channels_; ++c) {
+    gamma_[c] = 1.0f;
+    beta_[c] = 0.0f;
+  }
+}
+
+Tensor BatchNorm2dLayer::Forward(const Tensor& input,
+                                 const ForwardContext& ctx) {
+  (void)ctx;
+  FEDRA_CHECK_EQ(input.rank(), 4);
+  FEDRA_CHECK_EQ(input.dim(1), channels_);
+  const int batch = input.dim(0);
+  const int height = input.dim(2);
+  const int width = input.dim(3);
+  const size_t plane = static_cast<size_t>(height) * width;
+  const double count = static_cast<double>(batch) * plane;
+
+  cached_xhat_ = Tensor(input.shape());
+  inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
+  Tensor output(input.shape());
+
+  for (int c = 0; c < channels_; ++c) {
+    // Two passes per channel: statistics, then normalize.
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int n = 0; n < batch; ++n) {
+      const float* x = input.data() +
+                       (static_cast<size_t>(n) * channels_ + c) * plane;
+      for (size_t i = 0; i < plane; ++i) {
+        sum += x[i];
+        sum_sq += static_cast<double>(x[i]) * x[i];
+      }
+    }
+    const double mean = sum / count;
+    const double var = sum_sq / count - mean * mean;
+    const float inv_std =
+        1.0f / std::sqrt(static_cast<float>(var) + epsilon_);
+    inv_std_[static_cast<size_t>(c)] = inv_std;
+    const float g = gamma_[c];
+    const float b = beta_[c];
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = (static_cast<size_t>(n) * channels_ + c) * plane;
+      const float* x = input.data() + base;
+      float* xhat = cached_xhat_.data() + base;
+      float* y = output.data() + base;
+      for (size_t i = 0; i < plane; ++i) {
+        xhat[i] = (x[i] - static_cast<float>(mean)) * inv_std;
+        y[i] = g * xhat[i] + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2dLayer::Backward(const Tensor& grad_output) {
+  FEDRA_CHECK(grad_output.SameShape(cached_xhat_));
+  const int batch = grad_output.dim(0);
+  const int height = grad_output.dim(2);
+  const int width = grad_output.dim(3);
+  const size_t plane = static_cast<size_t>(height) * width;
+  const double count = static_cast<double>(batch) * plane;
+
+  Tensor grad_input(grad_output.shape());
+  for (int c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = (static_cast<size_t>(n) * channels_ + c) * plane;
+      const float* dy = grad_output.data() + base;
+      const float* xhat = cached_xhat_.data() + base;
+      for (size_t i = 0; i < plane; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xhat[i];
+      }
+    }
+    grad_beta_[c] += static_cast<float>(sum_dy);
+    grad_gamma_[c] += static_cast<float>(sum_dy_xhat);
+    const float scale = gamma_[c] * inv_std_[static_cast<size_t>(c)];
+    const float mean_dy = static_cast<float>(sum_dy / count);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = (static_cast<size_t>(n) * channels_ + c) * plane;
+      const float* dy = grad_output.data() + base;
+      const float* xhat = cached_xhat_.data() + base;
+      float* dx = grad_input.data() + base;
+      for (size_t i = 0; i < plane; ++i) {
+        dx[i] = scale * (dy[i] - mean_dy - xhat[i] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+// --------------------------------------------------- LayerNormChannels --
+
+LayerNormChannelsLayer::LayerNormChannelsLayer(int channels, float epsilon)
+    : channels_(channels), epsilon_(epsilon) {
+  FEDRA_CHECK_GT(channels, 0);
+}
+
+std::string LayerNormChannelsLayer::name() const {
+  return StrFormat("layernorm_c(%d)", channels_);
+}
+
+void LayerNormChannelsLayer::RegisterParams(ParameterStore* store) {
+  gamma_id_ = store->Register(name() + ".gamma", {channels_});
+  beta_id_ = store->Register(name() + ".beta", {channels_});
+}
+
+void LayerNormChannelsLayer::BindParams(ParameterStore* store) {
+  gamma_ = store->BlockParams(gamma_id_);
+  beta_ = store->BlockParams(beta_id_);
+  grad_gamma_ = store->BlockGrads(gamma_id_);
+  grad_beta_ = store->BlockGrads(beta_id_);
+}
+
+void LayerNormChannelsLayer::InitParams(Rng* rng) {
+  (void)rng;
+  for (int c = 0; c < channels_; ++c) {
+    gamma_[c] = 1.0f;
+    beta_[c] = 0.0f;
+  }
+}
+
+Tensor LayerNormChannelsLayer::Forward(const Tensor& input,
+                                       const ForwardContext& ctx) {
+  (void)ctx;
+  input_shape_ = input.shape();
+  // Treat rank-2 [B, C] as [B, C, 1, 1].
+  int batch;
+  int height;
+  int width;
+  if (input.rank() == 4) {
+    FEDRA_CHECK_EQ(input.dim(1), channels_);
+    batch = input.dim(0);
+    height = input.dim(2);
+    width = input.dim(3);
+  } else {
+    FEDRA_CHECK_EQ(input.rank(), 2);
+    FEDRA_CHECK_EQ(input.dim(1), channels_);
+    batch = input.dim(0);
+    height = 1;
+    width = 1;
+  }
+  const size_t plane = static_cast<size_t>(height) * width;
+  const size_t num_positions = static_cast<size_t>(batch) * plane;
+
+  cached_xhat_ = Tensor(input.shape());
+  inv_std_.assign(num_positions, 0.0f);
+  Tensor output(input.shape());
+
+  const float inv_c = 1.0f / static_cast<float>(channels_);
+  for (int n = 0; n < batch; ++n) {
+    for (size_t p = 0; p < plane; ++p) {
+      // Channel stride within one sample is `plane` for NCHW.
+      const size_t base = static_cast<size_t>(n) * channels_ * plane + p;
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (int c = 0; c < channels_; ++c) {
+        const float x = input.data()[base + static_cast<size_t>(c) * plane];
+        sum += x;
+        sum_sq += static_cast<double>(x) * x;
+      }
+      const float mean = static_cast<float>(sum) * inv_c;
+      const float var =
+          static_cast<float>(sum_sq) * inv_c - mean * mean;
+      const float inv_std = 1.0f / std::sqrt(var + epsilon_);
+      inv_std_[static_cast<size_t>(n) * plane + p] = inv_std;
+      for (int c = 0; c < channels_; ++c) {
+        const size_t idx = base + static_cast<size_t>(c) * plane;
+        const float xhat = (input.data()[idx] - mean) * inv_std;
+        cached_xhat_.data()[idx] = xhat;
+        output.data()[idx] = gamma_[c] * xhat + beta_[c];
+      }
+    }
+  }
+  return output;
+}
+
+Tensor LayerNormChannelsLayer::Backward(const Tensor& grad_output) {
+  FEDRA_CHECK(grad_output.SameShape(cached_xhat_));
+  int batch;
+  int height;
+  int width;
+  if (grad_output.rank() == 4) {
+    batch = grad_output.dim(0);
+    height = grad_output.dim(2);
+    width = grad_output.dim(3);
+  } else {
+    batch = grad_output.dim(0);
+    height = 1;
+    width = 1;
+  }
+  const size_t plane = static_cast<size_t>(height) * width;
+  const float inv_c = 1.0f / static_cast<float>(channels_);
+
+  Tensor grad_input(grad_output.shape());
+  for (int n = 0; n < batch; ++n) {
+    for (size_t p = 0; p < plane; ++p) {
+      const size_t base = static_cast<size_t>(n) * channels_ * plane + p;
+      const float inv_std = inv_std_[static_cast<size_t>(n) * plane + p];
+      // First pass: the two means the LayerNorm backward needs.
+      float mean_g = 0.0f;       // mean_c(dy * gamma)
+      float mean_g_xhat = 0.0f;  // mean_c(dy * gamma * xhat)
+      for (int c = 0; c < channels_; ++c) {
+        const size_t idx = base + static_cast<size_t>(c) * plane;
+        const float dy = grad_output.data()[idx];
+        const float xhat = cached_xhat_.data()[idx];
+        grad_beta_[c] += dy;
+        grad_gamma_[c] += dy * xhat;
+        const float g = dy * gamma_[c];
+        mean_g += g;
+        mean_g_xhat += g * xhat;
+      }
+      mean_g *= inv_c;
+      mean_g_xhat *= inv_c;
+      for (int c = 0; c < channels_; ++c) {
+        const size_t idx = base + static_cast<size_t>(c) * plane;
+        const float dy = grad_output.data()[idx];
+        const float xhat = cached_xhat_.data()[idx];
+        grad_input.data()[idx] =
+            inv_std * (dy * gamma_[c] - mean_g - xhat * mean_g_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace fedra

@@ -1,0 +1,78 @@
+// Normalization layers.
+//
+// BatchNorm2d normalizes each channel over (batch, H, W) using *batch*
+// statistics in both training and eval mode. This is a deliberate
+// simplification over running-average BatchNorm: it keeps every piece of
+// cross-worker state inside the trainable parameter vector, so FDA's model
+// synchronization (an AllReduce over parameters) captures the entire model
+// state — running-average buffers would otherwise silently diverge across
+// workers. Documented in DESIGN.md; eval batches here are large enough for
+// stable statistics.
+
+#ifndef FEDRA_NN_LAYERS_NORM_H_
+#define FEDRA_NN_LAYERS_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedra {
+
+/// Per-channel batch normalization for NCHW tensors with learnable
+/// scale (gamma) and shift (beta).
+class BatchNorm2dLayer : public Layer {
+ public:
+  explicit BatchNorm2dLayer(int channels, float epsilon = 1e-5f);
+
+  std::string name() const override;
+  void RegisterParams(ParameterStore* store) override;
+  void BindParams(ParameterStore* store) override;
+  void InitParams(Rng* rng) override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int channels_;
+  float epsilon_;
+  size_t gamma_id_ = 0;
+  size_t beta_id_ = 0;
+  float* gamma_ = nullptr;
+  float* beta_ = nullptr;
+  float* grad_gamma_ = nullptr;
+  float* grad_beta_ = nullptr;
+  // Cached statistics of the last Forward for the backward pass.
+  Tensor cached_xhat_;
+  std::vector<float> inv_std_;  // per channel
+};
+
+/// LayerNorm across the channel dimension at each (n, h, w) position; the
+/// normalization ConvNeXt uses. Also accepts rank-2 [B, C] inputs.
+class LayerNormChannelsLayer : public Layer {
+ public:
+  explicit LayerNormChannelsLayer(int channels, float epsilon = 1e-6f);
+
+  std::string name() const override;
+  void RegisterParams(ParameterStore* store) override;
+  void BindParams(ParameterStore* store) override;
+  void InitParams(Rng* rng) override;
+  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int channels_;
+  float epsilon_;
+  size_t gamma_id_ = 0;
+  size_t beta_id_ = 0;
+  float* gamma_ = nullptr;
+  float* beta_ = nullptr;
+  float* grad_gamma_ = nullptr;
+  float* grad_beta_ = nullptr;
+  Tensor cached_xhat_;
+  std::vector<float> inv_std_;  // per (n, h, w) position
+  std::vector<int> input_shape_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_LAYERS_NORM_H_

@@ -1,0 +1,81 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fedra {
+
+namespace {
+
+int ArgmaxRow(const float* row, int num_classes) {
+  int best = 0;
+  for (int c = 1; c < num_classes; ++c) {
+    if (row[c] > row[best]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels) {
+  FEDRA_CHECK_EQ(logits.rank(), 2);
+  const int batch = logits.dim(0);
+  const int num_classes = logits.dim(1);
+  FEDRA_CHECK_EQ(static_cast<size_t>(batch), labels.size());
+
+  LossResult result;
+  result.grad_logits = Tensor({batch, num_classes});
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  double total_loss = 0.0;
+
+  for (int b = 0; b < batch; ++b) {
+    const float* row = logits.data() + static_cast<size_t>(b) * num_classes;
+    float* grad_row =
+        result.grad_logits.data() + static_cast<size_t>(b) * num_classes;
+    const int label = labels[static_cast<size_t>(b)];
+    FEDRA_CHECK(label >= 0 && label < num_classes)
+        << "label" << label << "out of range" << num_classes;
+
+    const float max_logit = *std::max_element(row, row + num_classes);
+    double sum_exp = 0.0;
+    for (int c = 0; c < num_classes; ++c) {
+      sum_exp += std::exp(static_cast<double>(row[c] - max_logit));
+    }
+    const double log_sum = std::log(sum_exp);
+    total_loss -= static_cast<double>(row[label] - max_logit) - log_sum;
+
+    for (int c = 0; c < num_classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(row[c] - max_logit)) / sum_exp;
+      grad_row[c] =
+          (static_cast<float>(p) - (c == label ? 1.0f : 0.0f)) * inv_batch;
+    }
+    if (ArgmaxRow(row, num_classes) == label) {
+      ++result.correct;
+    }
+  }
+  result.loss = total_loss / batch;
+  return result;
+}
+
+size_t CountCorrect(const Tensor& logits, const std::vector<int>& labels) {
+  FEDRA_CHECK_EQ(logits.rank(), 2);
+  const int batch = logits.dim(0);
+  const int num_classes = logits.dim(1);
+  FEDRA_CHECK_EQ(static_cast<size_t>(batch), labels.size());
+  size_t correct = 0;
+  for (int b = 0; b < batch; ++b) {
+    const float* row = logits.data() + static_cast<size_t>(b) * num_classes;
+    if (ArgmaxRow(row, num_classes) == labels[static_cast<size_t>(b)]) {
+      ++correct;
+    }
+  }
+  return correct;
+}
+
+}  // namespace fedra

@@ -1,0 +1,28 @@
+// Softmax cross-entropy loss over logits, with accuracy counting.
+
+#ifndef FEDRA_NN_LOSS_H_
+#define FEDRA_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedra {
+
+struct LossResult {
+  double loss = 0.0;        // mean cross-entropy over the batch
+  size_t correct = 0;       // argmax(logits) == label count
+  Tensor grad_logits;       // d(mean loss)/d(logits), same shape as logits
+};
+
+/// logits: [B, C]; labels: B entries in [0, C). Numerically stable softmax.
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels);
+
+/// Argmax-only evaluation (no gradient); returns #correct.
+size_t CountCorrect(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_LOSS_H_

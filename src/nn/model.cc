@@ -1,0 +1,38 @@
+#include "nn/model.h"
+
+#include "tensor/vec_ops.h"
+#include "util/check.h"
+
+namespace fedra {
+
+Model::Model(std::string name, LayerPtr root)
+    : name_(std::move(name)), root_(std::move(root)) {
+  FEDRA_CHECK(root_ != nullptr);
+  root_->RegisterParams(&store_);
+  store_.Finalize();
+  root_->BindParams(&store_);
+}
+
+void Model::InitParams(uint64_t seed) {
+  Rng rng(seed);
+  root_->InitParams(&rng);
+}
+
+Tensor Model::Forward(const Tensor& input, bool training, Rng* rng) {
+  ForwardContext ctx;
+  ctx.training = training;
+  ctx.rng = rng;
+  return root_->Forward(input, ctx);
+}
+
+void Model::Backward(const Tensor& grad_output) {
+  root_->Backward(grad_output);
+}
+
+void Model::CopyParamsFrom(const Model& other) {
+  FEDRA_CHECK_EQ(num_params(), other.num_params())
+      << "models must share an architecture";
+  vec::Copy(other.params(), params(), num_params());
+}
+
+}  // namespace fedra

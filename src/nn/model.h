@@ -1,0 +1,57 @@
+// Model: a root layer plus its finalized ParameterStore. The whole model is
+// addressable as one flat parameter vector w in R^d — the representation
+// FDA, the optimizers, and the collectives operate on.
+
+#ifndef FEDRA_NN_MODEL_H_
+#define FEDRA_NN_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+#include "nn/parameter_store.h"
+
+namespace fedra {
+
+class Model {
+ public:
+  /// Takes ownership of the root layer; registers + binds parameters.
+  Model(std::string name, LayerPtr root);
+
+  /// Writes initial parameter values with the layer's initializers.
+  void InitParams(uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  size_t num_params() const { return store_.num_params(); }
+
+  float* params() { return store_.params(); }
+  const float* params() const { return store_.params(); }
+  float* grads() { return store_.grads(); }
+  const float* grads() const { return store_.grads(); }
+  const ParameterStore& store() const { return store_; }
+
+  void ZeroGrads() { store_.ZeroGrads(); }
+
+  /// Forward pass; `rng` is needed only when training with dropout.
+  Tensor Forward(const Tensor& input, bool training, Rng* rng = nullptr);
+
+  /// Backward from d(loss)/d(output); accumulates into grads().
+  void Backward(const Tensor& grad_output);
+
+  /// Copies parameter values from another model with identical layout.
+  void CopyParamsFrom(const Model& other);
+
+ private:
+  std::string name_;
+  LayerPtr root_;
+  ParameterStore store_;
+};
+
+/// Builds a fresh model instance; every worker calls the same factory so all
+/// replicas have identical architecture (and, after CopyParamsFrom, weights).
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_MODEL_H_

@@ -1,0 +1,37 @@
+#include "nn/parameter_store.h"
+
+#include <algorithm>
+
+namespace fedra {
+
+size_t ParameterStore::Register(std::string name, std::vector<int> shape) {
+  FEDRA_CHECK(!finalized_) << "Register() after Finalize()";
+  FEDRA_CHECK(!shape.empty());
+  size_t size = 1;
+  for (int dim : shape) {
+    FEDRA_CHECK_GT(dim, 0);
+    size *= static_cast<size_t>(dim);
+  }
+  ParamBlock block;
+  block.name = std::move(name);
+  block.shape = std::move(shape);
+  block.offset = total_size_;
+  block.size = size;
+  total_size_ += size;
+  blocks_.push_back(std::move(block));
+  return blocks_.size() - 1;
+}
+
+void ParameterStore::Finalize() {
+  FEDRA_CHECK(!finalized_) << "Finalize() called twice";
+  params_.assign(total_size_, 0.0f);
+  grads_.assign(total_size_, 0.0f);
+  finalized_ = true;
+}
+
+void ParameterStore::ZeroGrads() {
+  FEDRA_CHECK(finalized_);
+  std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+}  // namespace fedra

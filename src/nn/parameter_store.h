@@ -1,0 +1,83 @@
+// ParameterStore: one flat float buffer for all trainable parameters of a
+// model, plus a parallel flat gradient buffer.
+//
+// FDA, the optimizers, and the AllReduce collectives all operate on whole
+// models as contiguous vectors in R^d (the paper's w_k). Layers register
+// named blocks during model construction and are handed offsets into the
+// flat buffers once the store is finalized.
+
+#ifndef FEDRA_NN_PARAMETER_STORE_H_
+#define FEDRA_NN_PARAMETER_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fedra {
+
+struct ParamBlock {
+  std::string name;
+  std::vector<int> shape;
+  size_t offset = 0;
+  size_t size = 0;
+};
+
+class ParameterStore {
+ public:
+  ParameterStore() = default;
+  ParameterStore(const ParameterStore&) = delete;
+  ParameterStore& operator=(const ParameterStore&) = delete;
+
+  /// Registers a parameter block; returns its id. Must precede Finalize().
+  size_t Register(std::string name, std::vector<int> shape);
+
+  /// Allocates the flat buffers. No further registration allowed.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t num_params() const { return total_size_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  const ParamBlock& block(size_t id) const {
+    FEDRA_CHECK_LT(id, blocks_.size());
+    return blocks_[id];
+  }
+
+  float* params() {
+    FEDRA_CHECK(finalized_);
+    return params_.data();
+  }
+  const float* params() const {
+    FEDRA_CHECK(finalized_);
+    return params_.data();
+  }
+  float* grads() {
+    FEDRA_CHECK(finalized_);
+    return grads_.data();
+  }
+  const float* grads() const {
+    FEDRA_CHECK(finalized_);
+    return grads_.data();
+  }
+
+  /// Pointer to the parameters / gradients of one block.
+  float* BlockParams(size_t id) { return params() + block(id).offset; }
+  const float* BlockParams(size_t id) const {
+    return params() + block(id).offset;
+  }
+  float* BlockGrads(size_t id) { return grads() + block(id).offset; }
+
+  /// Zeroes the whole gradient buffer (start of each training step).
+  void ZeroGrads();
+
+ private:
+  std::vector<ParamBlock> blocks_;
+  std::vector<float> params_;
+  std::vector<float> grads_;
+  size_t total_size_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_PARAMETER_STORE_H_

@@ -1,0 +1,88 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "tensor/vec_ops.h"
+
+namespace fedra {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'E', 'D', 'R', 'A', 'C', 'K', 'P'};
+constexpr uint32_t kVersion = 1;
+
+struct CheckpointHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t dim;
+};
+static_assert(sizeof(CheckpointHeader) == 24, "header layout is the format");
+
+}  // namespace
+
+Status SaveModelParams(const Model& model, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  CheckpointHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.reserved = 0;
+  header.dim = model.num_params();
+  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  file.write(reinterpret_cast<const char*>(model.params()),
+             static_cast<std::streamsize>(model.num_params() *
+                                          sizeof(float)));
+  if (!file) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<float>> LoadParamsVector(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open: " + path);
+  }
+  CheckpointHeader header;
+  file.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!file || file.gcount() != sizeof(header)) {
+    return Status::IOError("truncated header: " + path);
+  }
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a fedra checkpoint: " + path);
+  }
+  if (header.version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  std::vector<float> params(header.dim);
+  file.read(reinterpret_cast<char*>(params.data()),
+            static_cast<std::streamsize>(header.dim * sizeof(float)));
+  if (!file ||
+      file.gcount() !=
+          static_cast<std::streamsize>(header.dim * sizeof(float))) {
+    return Status::IOError("truncated payload: " + path);
+  }
+  return params;
+}
+
+Status LoadModelParams(const std::string& path, Model* model) {
+  auto params = LoadParamsVector(path);
+  if (!params.ok()) {
+    return params.status();
+  }
+  if (params->size() != model->num_params()) {
+    return Status::InvalidArgument(
+        "checkpoint dimension mismatch: file has " +
+        std::to_string(params->size()) + ", model has " +
+        std::to_string(model->num_params()));
+  }
+  vec::Copy(params->data(), model->params(), model->num_params());
+  return Status::Ok();
+}
+
+}  // namespace fedra

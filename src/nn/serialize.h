@@ -1,0 +1,32 @@
+// Model checkpointing: binary save/load of a model's flat parameter vector
+// with a validated header (magic, version, dimension). The format is
+// deliberately minimal — FDA treats a model as w in R^d, so a checkpoint is
+// d float32 values plus enough metadata to refuse mismatched architectures.
+//
+// Typical use: persist a pre-trained backbone once, feed it to
+// DistributedTrainer::SetInitialParams in later fine-tuning runs.
+
+#ifndef FEDRA_NN_SERIALIZE_H_
+#define FEDRA_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "util/status.h"
+
+namespace fedra {
+
+/// Writes `model`'s parameters to `path` (overwrites).
+Status SaveModelParams(const Model& model, const std::string& path);
+
+/// Reads a checkpoint into `model`. Fails with InvalidArgument when the
+/// stored dimension does not match the model, IOError on malformed files.
+Status LoadModelParams(const std::string& path, Model* model);
+
+/// Loads just the raw parameter vector (for SetInitialParams-style use).
+StatusOr<std::vector<float>> LoadParamsVector(const std::string& path);
+
+}  // namespace fedra
+
+#endif  // FEDRA_NN_SERIALIZE_H_

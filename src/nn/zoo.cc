@@ -1,0 +1,189 @@
+#include "nn/zoo.h"
+
+#include "nn/composite.h"
+#include "nn/layers_basic.h"
+#include "nn/layers_conv.h"
+#include "nn/layers_norm.h"
+#include "util/check.h"
+
+namespace fedra {
+namespace zoo {
+
+namespace {
+
+LayerPtr MakeDense(int in, int out, init::Scheme scheme) {
+  return std::make_unique<DenseLayer>(in, out, scheme);
+}
+
+LayerPtr MakeConv(int in_c, int out_c, int k, int stride, int pad,
+                  init::Scheme scheme) {
+  return std::make_unique<Conv2dLayer>(in_c, out_c, k, stride, pad, scheme);
+}
+
+LayerPtr MakeAct(Activation a) {
+  return std::make_unique<ActivationLayer>(a);
+}
+
+/// BN-ReLU-Conv1x1(out) + AvgPool2: a DenseNet transition layer.
+LayerPtr MakeTransition(int in_c, int out_c) {
+  auto seq = std::make_unique<Sequential>();
+  seq->Add(std::make_unique<BatchNorm2dLayer>(in_c));
+  seq->Add(MakeAct(Activation::kRelu));
+  seq->Add(MakeConv(in_c, out_c, 1, 1, 0, init::Scheme::kHeNormal));
+  seq->Add(std::make_unique<Pool2dLayer>(PoolKind::kAvg, 2, 2));
+  return seq;
+}
+
+/// One ConvNeXt block: dw7x7 -> LN(channels) -> pw 1x1 (4x) -> GELU ->
+/// pw 1x1 back, wrapped in a residual.
+LayerPtr MakeConvNeXtBlock(int channels) {
+  auto inner = std::make_unique<Sequential>();
+  inner->Add(std::make_unique<DepthwiseConv2dLayer>(channels, 7, 1, 3,
+                                                    init::Scheme::kHeNormal));
+  inner->Add(std::make_unique<LayerNormChannelsLayer>(channels));
+  inner->Add(MakeConv(channels, channels * 4, 1, 1, 0,
+                      init::Scheme::kHeNormal));
+  inner->Add(MakeAct(Activation::kGelu));
+  inner->Add(MakeConv(channels * 4, channels, 1, 1, 0,
+                      init::Scheme::kHeNormal));
+  return std::make_unique<ResidualLayer>(std::move(inner));
+}
+
+}  // namespace
+
+std::unique_ptr<Model> LeNet5(int in_channels, int image_size,
+                              int num_classes) {
+  FEDRA_CHECK(image_size >= 8 && image_size % 4 == 0)
+      << "LeNet5 needs image_size % 4 == 0, got" << image_size;
+  auto root = std::make_unique<Sequential>();
+  // conv5x5 "same" -> avgpool2 -> conv5x5 valid -> avgpool2.
+  root->Add(MakeConv(in_channels, 6, 5, 1, 2, init::Scheme::kGlorotUniform));
+  root->Add(MakeAct(Activation::kTanh));
+  root->Add(std::make_unique<Pool2dLayer>(PoolKind::kAvg, 2, 2));
+  const int half = image_size / 2;
+  FEDRA_CHECK_GE(half, 5 + 1) << "image too small for LeNet5 conv2";
+  root->Add(MakeConv(6, 16, 5, 1, 0, init::Scheme::kGlorotUniform));
+  root->Add(MakeAct(Activation::kTanh));
+  root->Add(std::make_unique<Pool2dLayer>(PoolKind::kAvg, 2, 2));
+  const int final_hw = (half - 4) / 2;
+  const int flat = 16 * final_hw * final_hw;
+  root->Add(std::make_unique<FlattenLayer>());
+  root->Add(MakeDense(flat, 120, init::Scheme::kGlorotUniform));
+  root->Add(MakeAct(Activation::kTanh));
+  root->Add(MakeDense(120, 84, init::Scheme::kGlorotUniform));
+  root->Add(MakeAct(Activation::kTanh));
+  root->Add(MakeDense(84, num_classes, init::Scheme::kGlorotUniform));
+  return std::make_unique<Model>("LeNet5", std::move(root));
+}
+
+std::unique_ptr<Model> VggStar(int in_channels, int image_size,
+                               int num_classes) {
+  FEDRA_CHECK(image_size >= 8 && image_size % 8 == 0)
+      << "VggStar needs image_size % 8 == 0, got" << image_size;
+  const int c1 = 8;
+  const int c2 = 16;
+  const int c3 = 32;
+  auto root = std::make_unique<Sequential>();
+  auto add_block = [&root](int in_c, int out_c) {
+    root->Add(MakeConv(in_c, out_c, 3, 1, 1, init::Scheme::kGlorotUniform));
+    root->Add(MakeAct(Activation::kRelu));
+    root->Add(MakeConv(out_c, out_c, 3, 1, 1, init::Scheme::kGlorotUniform));
+    root->Add(MakeAct(Activation::kRelu));
+    root->Add(std::make_unique<Pool2dLayer>(PoolKind::kMax, 2, 2));
+  };
+  add_block(in_channels, c1);
+  add_block(c1, c2);
+  add_block(c2, c3);
+  const int hw = image_size / 8;
+  const int flat = c3 * hw * hw;
+  const int fc = 64;  // VGG16*'s two FC layers, width-reduced
+  root->Add(std::make_unique<FlattenLayer>());
+  root->Add(MakeDense(flat, fc, init::Scheme::kGlorotUniform));
+  root->Add(MakeAct(Activation::kRelu));
+  root->Add(MakeDense(fc, fc, init::Scheme::kGlorotUniform));
+  root->Add(MakeAct(Activation::kRelu));
+  root->Add(MakeDense(fc, num_classes, init::Scheme::kGlorotUniform));
+  return std::make_unique<Model>("VGG16*", std::move(root));
+}
+
+std::unique_ptr<Model> DenseNetLite(int in_channels, int image_size,
+                                    int num_classes, int layers_per_block,
+                                    int growth) {
+  FEDRA_CHECK(image_size >= 8 && image_size % 4 == 0);
+  const int stem_c = 2 * growth;
+  auto root = std::make_unique<Sequential>();
+  root->Add(MakeConv(in_channels, stem_c, 3, 1, 1, init::Scheme::kHeNormal));
+
+  int channels = stem_c;
+  for (int block = 0; block < 3; ++block) {
+    auto dense =
+        std::make_unique<DenseBlockLayer>(channels, growth, layers_per_block);
+    channels = dense->out_channels();
+    root->Add(std::move(dense));
+    root->Add(std::make_unique<DropoutLayer>(0.2f));  // paper: dropout 0.2
+    if (block < 2) {
+      const int compressed = channels / 2;  // DenseNet compression 0.5
+      root->Add(MakeTransition(channels, compressed));
+      channels = compressed;
+    }
+  }
+  root->Add(std::make_unique<BatchNorm2dLayer>(channels));
+  root->Add(MakeAct(Activation::kRelu));
+  root->Add(std::make_unique<GlobalAvgPoolLayer>());
+  root->Add(MakeDense(channels, num_classes, init::Scheme::kHeNormal));
+  const std::string name =
+      layers_per_block <= 4 ? "DenseNet121" : "DenseNet201";
+  return std::make_unique<Model>(name, std::move(root));
+}
+
+std::unique_ptr<Model> DenseNet121Lite(int in_channels, int image_size,
+                                       int num_classes) {
+  return DenseNetLite(in_channels, image_size, num_classes,
+                      /*layers_per_block=*/4, /*growth=*/8);
+}
+
+std::unique_ptr<Model> DenseNet201Lite(int in_channels, int image_size,
+                                       int num_classes) {
+  return DenseNetLite(in_channels, image_size, num_classes,
+                      /*layers_per_block=*/6, /*growth=*/10);
+}
+
+std::unique_ptr<Model> ConvNeXtLite(int in_channels, int image_size,
+                                    int num_classes, int width) {
+  FEDRA_CHECK(image_size >= 8 && image_size % 8 == 0);
+  FEDRA_CHECK_GT(width, 0);
+  auto root = std::make_unique<Sequential>();
+  // Patchify stem: conv4x4 stride 4.
+  root->Add(MakeConv(in_channels, width, 4, 4, 0, init::Scheme::kHeNormal));
+  root->Add(std::make_unique<LayerNormChannelsLayer>(width));
+  root->Add(MakeConvNeXtBlock(width));
+  root->Add(MakeConvNeXtBlock(width));
+  // Downsample: LN + conv2x2 stride 2, doubling channels.
+  root->Add(std::make_unique<LayerNormChannelsLayer>(width));
+  root->Add(MakeConv(width, width * 2, 2, 2, 0, init::Scheme::kHeNormal));
+  root->Add(MakeConvNeXtBlock(width * 2));
+  root->Add(MakeConvNeXtBlock(width * 2));
+  root->Add(std::make_unique<GlobalAvgPoolLayer>());
+  root->Add(std::make_unique<LayerNormChannelsLayer>(width * 2));
+  root->Add(MakeDense(width * 2, num_classes, init::Scheme::kHeNormal));
+  return std::make_unique<Model>("ConvNeXtLite", std::move(root));
+}
+
+std::unique_ptr<Model> Mlp(int input_dim, const std::vector<int>& hidden,
+                           int num_classes) {
+  FEDRA_CHECK_GT(input_dim, 0);
+  auto root = std::make_unique<Sequential>();
+  // Accept rank-4 image batches as well as rank-2 feature batches.
+  root->Add(std::make_unique<FlattenLayer>());
+  int prev = input_dim;
+  for (int width : hidden) {
+    root->Add(MakeDense(prev, width, init::Scheme::kGlorotUniform));
+    root->Add(MakeAct(Activation::kRelu));
+    prev = width;
+  }
+  root->Add(MakeDense(prev, num_classes, init::Scheme::kGlorotUniform));
+  return std::make_unique<Model>("MLP", std::move(root));
+}
+
+}  // namespace zoo
+}  // namespace fedra

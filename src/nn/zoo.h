@@ -1,0 +1,62 @@
+// Model zoo: reduced-scale but architecture-faithful versions of the five
+// networks in the paper's Table 2 (LeNet-5, VGG16*, DenseNet121/201,
+// ConvNeXtLarge), plus an MLP family used for the Theta-vs-d sweep of
+// Fig. 12. See DESIGN.md for the width-reduction rationale.
+//
+// All factories take the input geometry so the same architectures serve the
+// MNIST-like (1-channel) and CIFAR-like (3-channel) synthetic datasets.
+
+#ifndef FEDRA_NN_ZOO_H_
+#define FEDRA_NN_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace fedra {
+namespace zoo {
+
+/// LeNet-5 (LeCun et al. 1998): conv5-pool-conv5-pool-fc120-fc84-fc, tanh
+/// activations, Glorot uniform init (paper Table 2). image_size must be a
+/// multiple of 4 and >= 8.
+std::unique_ptr<Model> LeNet5(int in_channels, int image_size,
+                              int num_classes);
+
+/// VGG16*-style: 3 double-conv blocks with maxpool, then 2 hidden FC layers
+/// (the paper's downscaled VGG16 with 512-unit FCs, further width-reduced).
+/// Glorot uniform init. image_size must be a multiple of 8.
+std::unique_ptr<Model> VggStar(int in_channels, int image_size,
+                               int num_classes);
+
+/// DenseNet-lite: stem + 3 dense blocks with transitions, BN-ReLU-Conv
+/// composite layers, dropout 0.2, He normal init (paper Table 2 settings for
+/// DenseNet121/201). `layers_per_block` and `growth` select the depth
+/// variant: (4, 8) mirrors DenseNet121's role, (6, 10) DenseNet201's.
+std::unique_ptr<Model> DenseNetLite(int in_channels, int image_size,
+                                    int num_classes, int layers_per_block,
+                                    int growth);
+
+/// Convenience depth variants matching the paper's two DenseNets.
+std::unique_ptr<Model> DenseNet121Lite(int in_channels, int image_size,
+                                       int num_classes);
+std::unique_ptr<Model> DenseNet201Lite(int in_channels, int image_size,
+                                       int num_classes);
+
+/// ConvNeXt-lite (Liu et al. 2022): patchify stem, depthwise-7x7 +
+/// LayerNorm + inverted-bottleneck MLP blocks with residuals, GELU.
+/// `width` is the stem channel count (paper's largest model; used in the
+/// Fig. 13 transfer-learning scenario). image_size must be a multiple of 8.
+std::unique_ptr<Model> ConvNeXtLite(int in_channels, int image_size,
+                                    int num_classes, int width);
+
+/// Plain MLP: input -> hidden... -> classes, ReLU, Glorot uniform.
+/// Used by the Fig. 12 sweep to produce models of smoothly varying d.
+std::unique_ptr<Model> Mlp(int input_dim, const std::vector<int>& hidden,
+                           int num_classes);
+
+}  // namespace zoo
+}  // namespace fedra
+
+#endif  // FEDRA_NN_ZOO_H_

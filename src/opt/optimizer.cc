@@ -1,0 +1,210 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace fedra {
+
+OptimizerConfig OptimizerConfig::Sgd(float lr, float weight_decay) {
+  OptimizerConfig config;
+  config.kind = Kind::kSgd;
+  config.learning_rate = lr;
+  config.weight_decay = weight_decay;
+  return config;
+}
+
+OptimizerConfig OptimizerConfig::SgdMomentum(float lr, float momentum,
+                                             bool nesterov,
+                                             float weight_decay) {
+  OptimizerConfig config;
+  config.kind = Kind::kSgdMomentum;
+  config.learning_rate = lr;
+  config.momentum = momentum;
+  config.nesterov = nesterov;
+  config.weight_decay = weight_decay;
+  return config;
+}
+
+OptimizerConfig OptimizerConfig::Adam(float lr) {
+  OptimizerConfig config;
+  config.kind = Kind::kAdam;
+  config.learning_rate = lr;
+  return config;
+}
+
+OptimizerConfig OptimizerConfig::AdamW(float lr, float weight_decay) {
+  OptimizerConfig config;
+  config.kind = Kind::kAdamW;
+  config.learning_rate = lr;
+  config.weight_decay = weight_decay;
+  return config;
+}
+
+Status OptimizerConfig::Validate() const {
+  if (!(learning_rate > 0.0f)) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  if (momentum < 0.0f || momentum >= 1.0f) {
+    return Status::InvalidArgument("momentum must be in [0, 1)");
+  }
+  if (kind == Kind::kAdam || kind == Kind::kAdamW) {
+    if (beta1 <= 0.0f || beta1 >= 1.0f || beta2 <= 0.0f || beta2 >= 1.0f) {
+      return Status::InvalidArgument("Adam betas must be in (0, 1)");
+    }
+    if (!(epsilon > 0.0f)) {
+      return Status::InvalidArgument("Adam epsilon must be > 0");
+    }
+  }
+  if (weight_decay < 0.0f) {
+    return Status::InvalidArgument("weight_decay must be >= 0");
+  }
+  return Status::Ok();
+}
+
+std::string OptimizerConfig::ToString() const {
+  switch (kind) {
+    case Kind::kSgd:
+      return StrFormat("SGD(lr=%g, wd=%g)",
+                       static_cast<double>(learning_rate),
+                       static_cast<double>(weight_decay));
+    case Kind::kSgdMomentum:
+      return StrFormat("SGD-%sM(lr=%g, m=%g, wd=%g)", nesterov ? "N" : "",
+                       static_cast<double>(learning_rate),
+                       static_cast<double>(momentum),
+                       static_cast<double>(weight_decay));
+    case Kind::kAdam:
+      return StrFormat("Adam(lr=%g)", static_cast<double>(learning_rate));
+    case Kind::kAdamW:
+      return StrFormat("AdamW(lr=%g, wd=%g)",
+                       static_cast<double>(learning_rate),
+                       static_cast<double>(weight_decay));
+  }
+  return "unknown";
+}
+
+namespace {
+
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(const OptimizerConfig& config, size_t dim) : config_(config) {
+    if (config_.kind == OptimizerConfig::Kind::kSgdMomentum) {
+      velocity_.assign(dim, 0.0f);
+    }
+  }
+
+  void Step(float* params, const float* grads, size_t n) override {
+    const float lr = config_.learning_rate;
+    const float wd = config_.weight_decay;
+    if (config_.kind == OptimizerConfig::Kind::kSgd) {
+      for (size_t i = 0; i < n; ++i) {
+        const float g = grads[i] + wd * params[i];
+        params[i] -= lr * g;
+      }
+      return;
+    }
+    FEDRA_CHECK_EQ(velocity_.size(), n);
+    const float mu = config_.momentum;
+    if (config_.nesterov) {
+      // v <- mu*v + g ; w <- w - lr*(g + mu*v)  (Sutskever formulation)
+      for (size_t i = 0; i < n; ++i) {
+        const float g = grads[i] + wd * params[i];
+        velocity_[i] = mu * velocity_[i] + g;
+        params[i] -= lr * (g + mu * velocity_[i]);
+      }
+    } else {
+      // v <- mu*v + g ; w <- w - lr*v
+      for (size_t i = 0; i < n; ++i) {
+        const float g = grads[i] + wd * params[i];
+        velocity_[i] = mu * velocity_[i] + g;
+        params[i] -= lr * velocity_[i];
+      }
+    }
+  }
+
+  void Reset() override {
+    for (float& v : velocity_) {
+      v = 0.0f;
+    }
+  }
+
+  std::string name() const override { return config_.ToString(); }
+
+ private:
+  OptimizerConfig config_;
+  std::vector<float> velocity_;
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(const OptimizerConfig& config, size_t dim)
+      : config_(config), m_(dim, 0.0f), v_(dim, 0.0f) {}
+
+  void Step(float* params, const float* grads, size_t n) override {
+    FEDRA_CHECK_EQ(m_.size(), n);
+    ++step_;
+    const float lr = config_.learning_rate;
+    const float b1 = config_.beta1;
+    const float b2 = config_.beta2;
+    const float eps = config_.epsilon;
+    const bool decoupled = config_.kind == OptimizerConfig::Kind::kAdamW;
+    const float wd = config_.weight_decay;
+    const double bias1 =
+        1.0 - std::pow(static_cast<double>(b1), static_cast<double>(step_));
+    const double bias2 =
+        1.0 - std::pow(static_cast<double>(b2), static_cast<double>(step_));
+    const float corrected_lr =
+        lr * static_cast<float>(std::sqrt(bias2) / bias1);
+    for (size_t i = 0; i < n; ++i) {
+      float g = grads[i];
+      if (!decoupled) {
+        g += wd * params[i];  // classic L2 regularization
+      }
+      m_[i] = b1 * m_[i] + (1.0f - b1) * g;
+      v_[i] = b2 * v_[i] + (1.0f - b2) * g * g;
+      params[i] -= corrected_lr * m_[i] / (std::sqrt(v_[i]) + eps);
+      if (decoupled) {
+        params[i] -= lr * wd * params[i];  // AdamW decoupled decay
+      }
+    }
+  }
+
+  void Reset() override {
+    step_ = 0;
+    for (float& x : m_) {
+      x = 0.0f;
+    }
+    for (float& x : v_) {
+      x = 0.0f;
+    }
+  }
+
+  std::string name() const override { return config_.ToString(); }
+
+ private:
+  OptimizerConfig config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  uint64_t step_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Optimizer> Optimizer::Create(const OptimizerConfig& config,
+                                             size_t dim) {
+  FEDRA_CHECK_OK(config.Validate());
+  switch (config.kind) {
+    case OptimizerConfig::Kind::kSgd:
+    case OptimizerConfig::Kind::kSgdMomentum:
+      return std::make_unique<SgdOptimizer>(config, dim);
+    case OptimizerConfig::Kind::kAdam:
+    case OptimizerConfig::Kind::kAdamW:
+      return std::make_unique<AdamOptimizer>(config, dim);
+  }
+  FEDRA_CHECK(false) << "unknown optimizer kind";
+  return nullptr;
+}
+
+}  // namespace fedra

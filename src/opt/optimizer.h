@@ -1,0 +1,69 @@
+// Optimizers over flat parameter vectors.
+//
+// The same interface serves two roles, mirroring the paper's setup:
+//  - local optimizers on each worker (Table 2: Adam for LeNet-5 / VGG16*,
+//    SGD with Nesterov momentum for the DenseNets, AdamW for ConvNeXt);
+//  - *server* optimizers for the FedOpt family (FedAvgM = server SGD with
+//    momentum, FedAdam = server Adam), which treat the negated average
+//    client delta as a pseudo-gradient (Reddi et al., 2021).
+
+#ifndef FEDRA_OPT_OPTIMIZER_H_
+#define FEDRA_OPT_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace fedra {
+
+struct OptimizerConfig {
+  enum class Kind { kSgd, kSgdMomentum, kAdam, kAdamW };
+
+  Kind kind = Kind::kSgd;
+  float learning_rate = 0.01f;
+  float momentum = 0.0f;    // SGD-family only
+  bool nesterov = false;    // SGD-family only
+  float beta1 = 0.9f;       // Adam-family only
+  float beta2 = 0.999f;     // Adam-family only
+  float epsilon = 1e-7f;    // Adam-family only (Keras default)
+  float weight_decay = 0.0f;  // L2 for SGD/Adam; decoupled for AdamW
+
+  /// Plain SGD.
+  static OptimizerConfig Sgd(float lr, float weight_decay = 0.0f);
+  /// SGD with (optionally Nesterov) momentum; the paper's SGD-NM uses
+  /// momentum 0.9.
+  static OptimizerConfig SgdMomentum(float lr, float momentum,
+                                     bool nesterov = true,
+                                     float weight_decay = 0.0f);
+  /// Adam with Kingma-Ba defaults.
+  static OptimizerConfig Adam(float lr = 0.001f);
+  /// AdamW (decoupled weight decay; Loshchilov-Hutter).
+  static OptimizerConfig AdamW(float lr = 0.001f, float weight_decay = 0.01f);
+
+  /// Validates ranges (lr > 0, momentum in [0,1), betas in (0,1), ...).
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step: params -= f(grads, state).
+  virtual void Step(float* params, const float* grads, size_t n) = 0;
+
+  /// Clears internal state (momentum buffers, Adam moments, step count).
+  virtual void Reset() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Creates an optimizer for a model of dimension `dim`.
+  static std::unique_ptr<Optimizer> Create(const OptimizerConfig& config,
+                                           size_t dim);
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_OPT_OPTIMIZER_H_

@@ -1,0 +1,121 @@
+#include "sim/collectives.h"
+
+#include "tensor/vec_ops.h"
+#include "util/check.h"
+
+namespace fedra {
+
+SimNetwork::SimNetwork(int num_workers, NetworkModel model,
+                       AllReduceAlgorithm algorithm)
+    : num_workers_(num_workers),
+      model_(std::move(model)),
+      algorithm_(algorithm) {
+  FEDRA_CHECK_GT(num_workers, 0);
+}
+
+void SimNetwork::AccountAllReduce(size_t payload_bytes,
+                                  TrafficClass traffic) {
+  const size_t total_bytes = NetworkModel::AllReduceTotalBytes(
+      payload_bytes, num_workers_, algorithm_);
+  ++stats_.allreduce_calls;
+  stats_.bytes_total += total_bytes;
+  if (traffic == TrafficClass::kLocalState) {
+    stats_.bytes_local_state += total_bytes;
+  } else {
+    stats_.bytes_model_sync += total_bytes;
+    ++stats_.model_sync_count;
+  }
+  stats_.comm_seconds +=
+      model_.AllReduceSeconds(payload_bytes, num_workers_, algorithm_);
+}
+
+void SimNetwork::AllReduceAverage(const std::vector<float*>& buffers,
+                                  size_t n, TrafficClass traffic) {
+  AllReduceAverageWithPayload(buffers, n, n * sizeof(float), traffic);
+}
+
+void SimNetwork::AllReduceAverageWithPayload(
+    const std::vector<float*>& buffers, size_t n, size_t payload_bytes,
+    TrafficClass traffic) {
+  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
+  reduce_buffer_.assign(n, 0.0);
+  for (const float* buffer : buffers) {
+    for (size_t i = 0; i < n; ++i) {
+      reduce_buffer_[i] += static_cast<double>(buffer[i]);
+    }
+  }
+  const double inv_k = 1.0 / static_cast<double>(num_workers_);
+  for (float* buffer : buffers) {
+    for (size_t i = 0; i < n; ++i) {
+      buffer[i] = static_cast<float>(reduce_buffer_[i] * inv_k);
+    }
+  }
+  AccountAllReduce(payload_bytes, traffic);
+}
+
+void SimNetwork::AllReduceWeightedAverage(const std::vector<float*>& buffers,
+                                          const std::vector<double>& weights,
+                                          size_t n, TrafficClass traffic) {
+  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
+  FEDRA_CHECK_EQ(weights.size(), buffers.size());
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    FEDRA_CHECK_GE(w, 0.0);
+    weight_sum += w;
+  }
+  FEDRA_CHECK_GT(weight_sum, 0.0);
+  reduce_buffer_.assign(n, 0.0);
+  for (size_t k = 0; k < buffers.size(); ++k) {
+    const float* buffer = buffers[k];
+    const double w = weights[k] / weight_sum;
+    for (size_t i = 0; i < n; ++i) {
+      reduce_buffer_[i] += w * static_cast<double>(buffer[i]);
+    }
+  }
+  for (float* buffer : buffers) {
+    for (size_t i = 0; i < n; ++i) {
+      buffer[i] = static_cast<float>(reduce_buffer_[i]);
+    }
+  }
+  AccountAllReduce(n * sizeof(float), traffic);
+}
+
+void SimNetwork::Broadcast(const std::vector<float*>& buffers, size_t n,
+                           int root, TrafficClass traffic) {
+  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
+  FEDRA_CHECK(root >= 0 && root < num_workers_);
+  const float* src = buffers[static_cast<size_t>(root)];
+  for (int k = 0; k < num_workers_; ++k) {
+    if (k == root) {
+      continue;
+    }
+    vec::Copy(src, buffers[static_cast<size_t>(k)], n);
+  }
+  const size_t payload = n * sizeof(float);
+  const size_t total = payload * static_cast<size_t>(num_workers_ - 1);
+  ++stats_.allreduce_calls;
+  stats_.bytes_total += total;
+  if (traffic == TrafficClass::kLocalState) {
+    stats_.bytes_local_state += total;
+  } else {
+    stats_.bytes_model_sync += total;
+  }
+  stats_.comm_seconds += model_.latency_seconds +
+                         static_cast<double>(payload) /
+                             model_.bandwidth_bytes_per_sec;
+}
+
+void SimNetwork::PointToPoint(size_t n, TrafficClass traffic) {
+  const size_t payload = n * sizeof(float);
+  stats_.bytes_total += payload;
+  if (traffic == TrafficClass::kLocalState) {
+    stats_.bytes_local_state += payload;
+  } else {
+    stats_.bytes_model_sync += payload;
+  }
+  stats_.comm_seconds += model_.latency_seconds +
+                         static_cast<double>(payload) /
+                             model_.bandwidth_bytes_per_sec;
+}
+
+}  // namespace fedra

@@ -1,0 +1,68 @@
+// SimNetwork: the collectives of the simulated cluster, with exact byte and
+// simulated-time accounting. The arithmetic result of AllReduceAverage is
+// the exact elementwise mean regardless of the chosen transport algorithm
+// (flat vs ring only changes cost accounting) — collectives are supposed to
+// be numerically transparent, and tests assert this.
+
+#ifndef FEDRA_SIM_COLLECTIVES_H_
+#define FEDRA_SIM_COLLECTIVES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/comm_stats.h"
+#include "sim/network_model.h"
+
+namespace fedra {
+
+class SimNetwork {
+ public:
+  SimNetwork(int num_workers, NetworkModel model,
+             AllReduceAlgorithm algorithm);
+
+  int num_workers() const { return num_workers_; }
+  const NetworkModel& network_model() const { return model_; }
+  AllReduceAlgorithm algorithm() const { return algorithm_; }
+
+  /// In-place AllReduce-average: each buffers[k] (length n) is replaced by
+  /// the elementwise mean over workers. Accounts bytes to `traffic`.
+  void AllReduceAverage(const std::vector<float*>& buffers, size_t n,
+                        TrafficClass traffic);
+
+  /// As AllReduceAverage, but billed at `payload_bytes` per worker instead
+  /// of n * sizeof(float) — the path compressed synchronization takes (the
+  /// arithmetic still averages the n decompressed floats).
+  void AllReduceAverageWithPayload(const std::vector<float*>& buffers,
+                                   size_t n, size_t payload_bytes,
+                                   TrafficClass traffic);
+
+  /// Weighted variant: mean with per-worker weights (used by FedAvg when
+  /// shards are unequal). Weights must sum to a positive value.
+  void AllReduceWeightedAverage(const std::vector<float*>& buffers,
+                                const std::vector<double>& weights, size_t n,
+                                TrafficClass traffic);
+
+  /// Broadcast worker `root`'s buffer to all others (accounted as one
+  /// payload transmission per receiving worker, flat accounting).
+  void Broadcast(const std::vector<float*>& buffers, size_t n, int root,
+                 TrafficClass traffic);
+
+  /// One worker uploads `n` floats to a coordinator (async FDA traffic).
+  void PointToPoint(size_t n, TrafficClass traffic);
+
+  const CommStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Clear(); }
+
+ private:
+  void AccountAllReduce(size_t payload_bytes, TrafficClass traffic);
+
+  int num_workers_;
+  NetworkModel model_;
+  AllReduceAlgorithm algorithm_;
+  CommStats stats_;
+  std::vector<double> reduce_buffer_;  // double accumulation for stability
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_SIM_COLLECTIVES_H_

@@ -1,0 +1,19 @@
+#include "sim/comm_stats.h"
+
+#include "util/string_util.h"
+
+namespace fedra {
+
+std::string CommStats::ToString() const {
+  return StrFormat(
+      "CommStats{allreduce=%llu, syncs=%llu, total=%s (state=%s, model=%s), "
+      "comm_time=%.3fs}",
+      static_cast<unsigned long long>(allreduce_calls),
+      static_cast<unsigned long long>(model_sync_count),
+      HumanBytes(static_cast<double>(bytes_total)).c_str(),
+      HumanBytes(static_cast<double>(bytes_local_state)).c_str(),
+      HumanBytes(static_cast<double>(bytes_model_sync)).c_str(),
+      comm_seconds);
+}
+
+}  // namespace fedra

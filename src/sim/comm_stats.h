@@ -1,0 +1,52 @@
+// Communication accounting for a simulated training run.
+//
+// The paper's primary metric is "total data (in bytes) transmitted by all
+// workers" (§4.1 Evaluation Methodology). The simulator attributes every
+// transmitted byte to one of two traffic classes so benches can report the
+// split the paper discusses: small per-step local-state traffic vs. the
+// expensive model synchronization traffic.
+
+#ifndef FEDRA_SIM_COMM_STATS_H_
+#define FEDRA_SIM_COMM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fedra {
+
+enum class TrafficClass {
+  kLocalState,  // FDA per-step state AllReduce (sketch / scalars)
+  kModelSync,   // full-model AllReduce (the costly synchronization)
+};
+
+struct CommStats {
+  uint64_t allreduce_calls = 0;
+  uint64_t model_sync_count = 0;     // #full-model synchronizations
+  uint64_t bytes_total = 0;          // all bytes transmitted by all workers
+  uint64_t bytes_local_state = 0;
+  uint64_t bytes_model_sync = 0;
+  double comm_seconds = 0.0;         // simulated time spent communicating
+
+  /// Resets all counters to zero.
+  void Clear() { *this = CommStats(); }
+
+  /// Accumulates another stats record into this one.
+  void Merge(const CommStats& other) {
+    allreduce_calls += other.allreduce_calls;
+    model_sync_count += other.model_sync_count;
+    bytes_total += other.bytes_total;
+    bytes_local_state += other.bytes_local_state;
+    bytes_model_sync += other.bytes_model_sync;
+    comm_seconds += other.comm_seconds;
+  }
+
+  double gigabytes_total() const {
+    return static_cast<double>(bytes_total) / (1024.0 * 1024.0 * 1024.0);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_SIM_COMM_STATS_H_

@@ -1,0 +1,75 @@
+#include "sim/network_model.h"
+
+#include "util/check.h"
+
+namespace fedra {
+
+double NetworkModel::AllReduceSeconds(size_t payload_bytes, int num_workers,
+                                      AllReduceAlgorithm algorithm) const {
+  FEDRA_CHECK_GT(num_workers, 0);
+  FEDRA_CHECK_GT(bandwidth_bytes_per_sec, 0.0);
+  if (num_workers == 1) {
+    return 0.0;  // nothing to communicate
+  }
+  switch (algorithm) {
+    case AllReduceAlgorithm::kFlat:
+      // Reduce + broadcast through the shared channel: the root receives
+      // K-1 payloads and sends one back; the channel is the bottleneck.
+      return latency_seconds + static_cast<double>(payload_bytes) /
+                                   bandwidth_bytes_per_sec;
+    case AllReduceAlgorithm::kRing:
+      // 2 (K-1) rounds, each moving payload/K per worker concurrently.
+      return 2.0 * (num_workers - 1) *
+                 (latency_seconds / num_workers +
+                  static_cast<double>(payload_bytes) /
+                      (num_workers * bandwidth_bytes_per_sec)) +
+             latency_seconds;
+  }
+  FEDRA_CHECK(false) << "unknown allreduce algorithm";
+  return 0.0;
+}
+
+size_t NetworkModel::AllReduceTotalBytes(size_t payload_bytes,
+                                         int num_workers,
+                                         AllReduceAlgorithm algorithm) {
+  FEDRA_CHECK_GT(num_workers, 0);
+  if (num_workers == 1) {
+    return 0;
+  }
+  switch (algorithm) {
+    case AllReduceAlgorithm::kFlat:
+      // The paper's accounting: every worker transmits its payload once.
+      return payload_bytes * static_cast<size_t>(num_workers);
+    case AllReduceAlgorithm::kRing:
+      // Each worker sends 2 (K-1)/K of a payload.
+      return 2 * payload_bytes * static_cast<size_t>(num_workers - 1);
+  }
+  FEDRA_CHECK(false) << "unknown allreduce algorithm";
+  return 0;
+}
+
+NetworkModel NetworkModel::Hpc() {
+  NetworkModel model;
+  model.name = "HPC";
+  model.bandwidth_bytes_per_sec = 56e9 / 8.0;  // 56 Gb/s InfiniBand FDR14
+  model.latency_seconds = 5e-6;
+  return model;
+}
+
+NetworkModel NetworkModel::Federated() {
+  NetworkModel model;
+  model.name = "FL";
+  model.bandwidth_bytes_per_sec = 0.5e9 / 8.0;  // 0.5 Gb/s shared channel
+  model.latency_seconds = 20e-3;
+  return model;
+}
+
+NetworkModel NetworkModel::Balanced() {
+  NetworkModel model;
+  model.name = "Balanced";
+  model.bandwidth_bytes_per_sec = 5e9 / 8.0;
+  model.latency_seconds = 1e-3;
+  return model;
+}
+
+}  // namespace fedra

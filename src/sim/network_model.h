@@ -1,0 +1,49 @@
+// NetworkModel: converts transmitted bytes into simulated wall-clock time.
+//
+// The paper evaluates three connectivity regimes when discussing the choice
+// of Theta (Fig. 12): an HPC cluster (InfiniBand FDR14, up to 56 Gb/s), a
+// federated setting with a 0.5 Gb/s shared channel, and a balanced middle
+// ground. The model is intentionally simple — per-collective latency plus
+// payload/bandwidth — because the paper's metrics only need relative time.
+
+#ifndef FEDRA_SIM_NETWORK_MODEL_H_
+#define FEDRA_SIM_NETWORK_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace fedra {
+
+enum class AllReduceAlgorithm {
+  kFlat,  // reduce-to-root + broadcast; paper-style accounting: each worker
+          // transmits its payload once per collective
+  kRing,  // bandwidth-optimal ring: 2 (K-1)/K payload per worker
+};
+
+struct NetworkModel {
+  std::string name = "custom";
+  double bandwidth_bytes_per_sec = 1e9;  // per worker uplink
+  double latency_seconds = 1e-4;         // per collective, fixed overhead
+
+  /// Simulated duration of one AllReduce of `payload_bytes` per worker.
+  /// The slowest link bounds the collective; with homogeneous links this is
+  /// latency + (bytes a single worker must push) / bandwidth.
+  double AllReduceSeconds(size_t payload_bytes, int num_workers,
+                          AllReduceAlgorithm algorithm) const;
+
+  /// Total bytes transmitted by all workers for one AllReduce.
+  static size_t AllReduceTotalBytes(size_t payload_bytes, int num_workers,
+                                    AllReduceAlgorithm algorithm);
+
+  /// ARIS-like HPC interconnect (InfiniBand FDR14, 56 Gb/s).
+  static NetworkModel Hpc();
+  /// Federated setting: 0.5 Gb/s shared channel, higher latency (paper
+  /// Fig. 12 "FL" line).
+  static NetworkModel Federated();
+  /// Balanced communication/computation regime (paper Fig. 12 "Balanced").
+  static NetworkModel Balanced();
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_SIM_NETWORK_MODEL_H_

@@ -1,0 +1,37 @@
+#include "sim/straggler.h"
+
+#include <cmath>
+
+namespace fedra {
+
+double StragglerModel::SampleWorkerFactor(Rng* rng) const {
+  if (slow_worker_prob > 0.0 && rng->NextBernoulli(slow_worker_prob)) {
+    return slow_factor;
+  }
+  return 1.0;
+}
+
+double StragglerModel::SampleStepSeconds(double worker_factor,
+                                         Rng* rng) const {
+  const double jitter = std::exp(lognormal_sigma * rng->NextGaussian());
+  return base_step_seconds * worker_factor * jitter;
+}
+
+StragglerModel StragglerModel::None(double base_step_seconds) {
+  StragglerModel model;
+  model.base_step_seconds = base_step_seconds;
+  model.lognormal_sigma = 0.0;
+  model.slow_worker_prob = 0.0;
+  return model;
+}
+
+StragglerModel StragglerModel::Heavy(double base_step_seconds) {
+  StragglerModel model;
+  model.base_step_seconds = base_step_seconds;
+  model.lognormal_sigma = 0.3;
+  model.slow_worker_prob = 0.2;
+  model.slow_factor = 8.0;
+  return model;
+}
+
+}  // namespace fedra

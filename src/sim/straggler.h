@@ -1,0 +1,33 @@
+// StragglerModel: per-worker compute-time sampling for the asynchronous FDA
+// evaluation (paper §3.3: async operation "allows training to continue even
+// in the presence of stragglers"). Step durations are log-normal around a
+// base time, with an optional heavy "slow worker" mode.
+
+#ifndef FEDRA_SIM_STRAGGLER_H_
+#define FEDRA_SIM_STRAGGLER_H_
+
+#include "util/rng.h"
+
+namespace fedra {
+
+struct StragglerModel {
+  double base_step_seconds = 0.01;  // median step time
+  double lognormal_sigma = 0.3;     // jitter on every step
+  double slow_worker_prob = 0.0;    // chance a worker is persistently slow
+  double slow_factor = 8.0;         // slow worker's multiplier
+
+  /// Persistent per-worker speed factor (draw once per worker).
+  double SampleWorkerFactor(Rng* rng) const;
+
+  /// Duration of one local step for a worker with `worker_factor`.
+  double SampleStepSeconds(double worker_factor, Rng* rng) const;
+
+  /// Homogeneous cluster (no stragglers).
+  static StragglerModel None(double base_step_seconds = 0.01);
+  /// A cluster where ~20% of workers run 8x slower.
+  static StragglerModel Heavy(double base_step_seconds = 0.01);
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_SIM_STRAGGLER_H_

@@ -1,0 +1,89 @@
+#include "sketch/hashing.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fedra {
+
+namespace {
+constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+}  // namespace
+
+uint64_t MersenneMod(unsigned __int128 x) {
+  // Fold twice: any 122-bit value reduces below 2*p after one fold.
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t result = lo + hi;
+  if (result >= kMersenne61) {
+    result -= kMersenne61;
+  }
+  return result;
+}
+
+FourWiseHash::FourWiseHash(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& c : coeff_) {
+    c = SplitMix64(sm) % kMersenne61;
+  }
+  // The leading coefficient must be nonzero for full independence.
+  if (coeff_[3] == 0) {
+    coeff_[3] = 1;
+  }
+}
+
+uint64_t FourWiseHash::Hash(uint64_t key) const {
+  const uint64_t x = key % kMersenne61;
+  // Horner evaluation of a3*x^3 + a2*x^2 + a1*x + a0 mod p.
+  uint64_t acc = coeff_[3];
+  for (int i = 2; i >= 0; --i) {
+    unsigned __int128 prod =
+        static_cast<unsigned __int128>(acc) * x + coeff_[i];
+    acc = MersenneMod(prod);
+  }
+  return acc;
+}
+
+PairwiseHash::PairwiseHash(uint64_t seed) {
+  uint64_t sm = seed ^ 0xabcdef1234567890ULL;
+  coeff_[0] = SplitMix64(sm) % kMersenne61;
+  coeff_[1] = SplitMix64(sm) % kMersenne61;
+  if (coeff_[1] == 0) {
+    coeff_[1] = 1;
+  }
+}
+
+uint32_t PairwiseHash::Bucket(uint64_t key, uint32_t num_buckets) const {
+  FEDRA_CHECK_GT(num_buckets, 0u);
+  const uint64_t x = key % kMersenne61;
+  unsigned __int128 prod =
+      static_cast<unsigned __int128>(coeff_[1]) * x + coeff_[0];
+  return static_cast<uint32_t>(MersenneMod(prod) % num_buckets);
+}
+
+AmsHashFamily::AmsHashFamily(int rows, int cols, size_t dim, uint64_t seed)
+    : rows_(rows), cols_(cols), dim_(dim), seed_(seed) {
+  FEDRA_CHECK_GT(rows, 0);
+  FEDRA_CHECK_GT(cols, 0);
+  FEDRA_CHECK_GT(dim, 0u);
+  buckets_.resize(static_cast<size_t>(rows) * dim);
+  signs_.resize(static_cast<size_t>(rows) * dim);
+  uint64_t sm = seed;
+  for (int r = 0; r < rows; ++r) {
+    const FourWiseHash sign_hash(SplitMix64(sm));
+    const PairwiseHash bucket_hash(SplitMix64(sm));
+    uint32_t* row_buckets = buckets_.data() + static_cast<size_t>(r) * dim;
+    uint8_t* row_signs = signs_.data() + static_cast<size_t>(r) * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      row_buckets[j] = bucket_hash.Bucket(j, static_cast<uint32_t>(cols));
+      row_signs[j] = sign_hash.Sign(j) > 0 ? 1 : 0;
+    }
+  }
+}
+
+std::shared_ptr<const AmsHashFamily> AmsHashFamily::Create(int rows, int cols,
+                                                           size_t dim,
+                                                           uint64_t seed) {
+  return std::make_shared<const AmsHashFamily>(rows, cols, dim, seed);
+}
+
+}  // namespace fedra

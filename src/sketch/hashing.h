@@ -1,0 +1,90 @@
+// Hash families for AMS sketches.
+//
+// The AMS F2 estimator needs, per sketch row, (a) a 4-wise independent
+// {-1,+1} sign hash and (b) a pairwise-independent bucket hash. Both are
+// polynomial hashes over the Mersenne prime p = 2^61 - 1 (Carter-Wegman),
+// which gives exactly the independence the estimator's variance analysis
+// requires. Because FDA sketches the same model dimension at every step,
+// the family precomputes (bucket, sign) tables once per dimension, turning
+// each per-coordinate update into one table lookup + one add.
+
+#ifndef FEDRA_SKETCH_HASHING_H_
+#define FEDRA_SKETCH_HASHING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fedra {
+
+/// x mod (2^61 - 1), for x already reduced once (x < 2^122).
+uint64_t MersenneMod(unsigned __int128 x);
+
+/// Degree-3 polynomial hash over GF(2^61 - 1): 4-wise independent.
+class FourWiseHash {
+ public:
+  /// Coefficients are drawn from `seed` via SplitMix64.
+  FourWiseHash(uint64_t seed);
+
+  /// Uniform 61-bit value, 4-wise independent across keys.
+  uint64_t Hash(uint64_t key) const;
+
+  /// Rademacher variable in {-1, +1}, 4-wise independent.
+  float Sign(uint64_t key) const { return (Hash(key) & 1) ? 1.0f : -1.0f; }
+
+ private:
+  uint64_t coeff_[4];
+};
+
+/// Degree-1 polynomial hash: pairwise independent, used for bucket choice.
+class PairwiseHash {
+ public:
+  PairwiseHash(uint64_t seed);
+
+  /// Bucket in [0, num_buckets).
+  uint32_t Bucket(uint64_t key, uint32_t num_buckets) const;
+
+ private:
+  uint64_t coeff_[2];
+};
+
+/// The shared, precomputed hash family for a fixed (rows, cols, dim).
+///
+/// All workers in a cluster must share one family (same seed) so that
+/// sketches are linear across workers: sk(a*u + b*v) = a*sk(u) + b*sk(v).
+class AmsHashFamily {
+ public:
+  /// Precomputes bucket and sign tables for coordinate indices [0, dim).
+  AmsHashFamily(int rows, int cols, size_t dim, uint64_t seed);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t dim() const { return dim_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Bucket of coordinate j in row r.
+  uint32_t bucket(int r, size_t j) const {
+    return buckets_[static_cast<size_t>(r) * dim_ + j];
+  }
+  /// Sign (+1/-1) of coordinate j in row r.
+  float sign(int r, size_t j) const {
+    return signs_[static_cast<size_t>(r) * dim_ + j] ? 1.0f : -1.0f;
+  }
+
+  /// Creates a family usable by every worker of a run (value-shared).
+  static std::shared_ptr<const AmsHashFamily> Create(int rows, int cols,
+                                                     size_t dim,
+                                                     uint64_t seed);
+
+ private:
+  int rows_;
+  int cols_;
+  size_t dim_;
+  uint64_t seed_;
+  std::vector<uint32_t> buckets_;  // rows x dim
+  std::vector<uint8_t> signs_;     // rows x dim; 1 => +1, 0 => -1
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_SKETCH_HASHING_H_

@@ -1,0 +1,76 @@
+// Dense-compute kernels used by the nn layers: GEMM and direct convolution /
+// pooling (NCHW). Direct loops are adequate at the reduced model scale this
+// repo targets (see DESIGN.md §1); all kernels have exact backward passes.
+
+#ifndef FEDRA_TENSOR_OPS_H_
+#define FEDRA_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedra {
+namespace ops {
+
+/// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
+/// op(A) is m x k, op(B) is k x n, C is m x n, all row-major.
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, const float* b, float beta, float* c);
+
+/// Spatial geometry of a convolution/pooling with square kernels.
+struct Conv2dGeometry {
+  int batch = 0;
+  int in_channels = 0;
+  int in_h = 0;
+  int in_w = 0;
+  int out_channels = 0;
+  int kernel = 1;
+  int stride = 1;
+  int pad = 0;
+
+  int out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  int out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+/// output[B, OC, OH, OW]; weight[OC, IC, K, K]; bias[OC] (may be null).
+void Conv2dForward(const Conv2dGeometry& g, const float* input,
+                   const float* weight, const float* bias, float* output);
+
+/// Accumulates gradients (caller zeroes them when appropriate).
+/// grad_input may be null (e.g. first layer).
+void Conv2dBackward(const Conv2dGeometry& g, const float* input,
+                    const float* weight, const float* grad_output,
+                    float* grad_input, float* grad_weight, float* grad_bias);
+
+/// Depthwise conv: out_channels == in_channels; weight[C, K, K]; bias[C].
+void DepthwiseConv2dForward(const Conv2dGeometry& g, const float* input,
+                            const float* weight, const float* bias,
+                            float* output);
+void DepthwiseConv2dBackward(const Conv2dGeometry& g, const float* input,
+                             const float* weight, const float* grad_output,
+                             float* grad_input, float* grad_weight,
+                             float* grad_bias);
+
+/// Max pooling; `argmax` receives the flat input index of each output
+/// element (size = output numel) for the backward pass.
+void MaxPool2dForward(const Conv2dGeometry& g, const float* input,
+                      float* output, int* argmax);
+void MaxPool2dBackward(const Conv2dGeometry& g, const float* grad_output,
+                       const int* argmax, float* grad_input);
+
+/// Average pooling over kernel windows.
+void AvgPool2dForward(const Conv2dGeometry& g, const float* input,
+                      float* output);
+void AvgPool2dBackward(const Conv2dGeometry& g, const float* grad_output,
+                       float* grad_input);
+
+/// Global average pooling: [B, C, H, W] -> [B, C].
+void GlobalAvgPoolForward(int batch, int channels, int h, int w,
+                          const float* input, float* output);
+void GlobalAvgPoolBackward(int batch, int channels, int h, int w,
+                           const float* grad_output, float* grad_input);
+
+}  // namespace ops
+}  // namespace fedra
+
+#endif  // FEDRA_TENSOR_OPS_H_

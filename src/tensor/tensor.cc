@@ -1,0 +1,54 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace fedra {
+namespace {
+
+size_t CheckedNumel(const std::vector<int>& shape) {
+  FEDRA_CHECK(!shape.empty()) << "Tensor shape must have at least one dim";
+  size_t numel = 1;
+  for (int dim : shape) {
+    FEDRA_CHECK_GT(dim, 0) << "Tensor dims must be positive";
+    numel *= static_cast<size_t>(dim);
+  }
+  return numel;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(CheckedNumel(shape_), 0.0f) {}
+
+Tensor Tensor::Full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.FillWith(value);
+  return t;
+}
+
+Tensor Tensor::Reshaped(std::vector<int> new_shape) const {
+  FEDRA_CHECK_EQ(CheckedNumel(new_shape), numel())
+      << "Reshape must preserve numel";
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::FillWith(float value) {
+  for (float& x : data_) {
+    x = value;
+  }
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    out << (i ? ", " : "") << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace fedra

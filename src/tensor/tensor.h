@@ -1,0 +1,103 @@
+// Tensor: a row-major, float32 nd-array (rank 1-4) sized for CPU training of
+// the reduced-scale model zoo. Layout convention for images is NCHW.
+
+#ifndef FEDRA_TENSOR_TENSOR_H_
+#define FEDRA_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fedra {
+
+class Tensor {
+ public:
+  /// Empty (rank 0, no elements).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape; all dims must be positive.
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::initializer_list<int> shape)
+      : Tensor(std::vector<int>(shape)) {}
+
+  static Tensor Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<int> shape, float value);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const {
+    FEDRA_CHECK_GE(i, 0);
+    FEDRA_CHECK_LT(i, rank());
+    return shape_[static_cast<size_t>(i)];
+  }
+  size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](size_t i) {
+    FEDRA_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    FEDRA_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+
+  /// 2-D accessor: tensor must have rank 2.
+  float& at(int i, int j) {
+    return data_[Offset2(i, j)];
+  }
+  float at(int i, int j) const { return data_[Offset2(i, j)]; }
+
+  /// 4-D accessor (NCHW): tensor must have rank 4.
+  float& at(int n, int c, int h, int w) { return data_[Offset4(n, c, h, w)]; }
+  float at(int n, int c, int h, int w) const {
+    return data_[Offset4(n, c, h, w)];
+  }
+
+  /// Returns a copy with a new shape of identical numel.
+  Tensor Reshaped(std::vector<int> new_shape) const;
+
+  /// Sets every element to `value`.
+  void FillWith(float value);
+
+  /// Sets every element to zero.
+  void Zero() { FillWith(0.0f); }
+
+  /// "[2, 3, 4]"
+  std::string ShapeString() const;
+
+  /// True if shapes are identical.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  size_t Offset2(int i, int j) const {
+    FEDRA_CHECK_EQ(rank(), 2);
+    FEDRA_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1])
+        << "index (" << i << "," << j << ") out of " << ShapeString();
+    return static_cast<size_t>(i) * static_cast<size_t>(shape_[1]) +
+           static_cast<size_t>(j);
+  }
+
+  size_t Offset4(int n, int c, int h, int w) const {
+    FEDRA_CHECK_EQ(rank(), 4);
+    FEDRA_CHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] &&
+                h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3])
+        << "index out of " << ShapeString();
+    return ((static_cast<size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+               static_cast<size_t>(shape_[3]) +
+           static_cast<size_t>(w);
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_TENSOR_TENSOR_H_

@@ -1,0 +1,87 @@
+#include "tensor/vec_ops.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace fedra {
+namespace vec {
+
+void Copy(const float* src, float* dst, size_t n) {
+  std::memcpy(dst, src, n * sizeof(float));
+}
+
+void Fill(float* dst, size_t n, float value) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = value;
+  }
+}
+
+void Scale(float* x, size_t n, float alpha) {
+  for (size_t i = 0; i < n; ++i) {
+    x[i] *= alpha;
+  }
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void Add(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+void Sub(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] - b[i];
+  }
+}
+
+void Mul(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+double Dot(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double SquaredNorm(const float* x, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return acc;
+}
+
+double Sum(const float* x, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]);
+  }
+  return acc;
+}
+
+double Norm(const float* x, size_t n) { return std::sqrt(SquaredNorm(x, n)); }
+
+double MaxAbsDiff(const float* a, const float* b, size_t n) {
+  double max_diff = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = std::fabs(static_cast<double>(a[i]) - b[i]);
+    if (diff > max_diff) {
+      max_diff = diff;
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace vec
+}  // namespace fedra

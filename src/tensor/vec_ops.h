@@ -1,0 +1,54 @@
+// Flat float-vector kernels.
+//
+// Model parameters, gradients, drifts (u_k = w_k - w_sync), and AllReduce
+// payloads are all contiguous float spans; these kernels are the numeric
+// backbone shared by the optimizers, the FDA monitors, and the simulator.
+
+#ifndef FEDRA_TENSOR_VEC_OPS_H_
+#define FEDRA_TENSOR_VEC_OPS_H_
+
+#include <cstddef>
+
+namespace fedra {
+namespace vec {
+
+/// dst[i] = src[i]
+void Copy(const float* src, float* dst, size_t n);
+
+/// dst[i] = value
+void Fill(float* dst, size_t n, float value);
+
+/// x[i] *= alpha
+void Scale(float* x, size_t n, float alpha);
+
+/// y[i] += alpha * x[i]
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// out[i] = a[i] + b[i]
+void Add(const float* a, const float* b, float* out, size_t n);
+
+/// out[i] = a[i] - b[i]
+void Sub(const float* a, const float* b, float* out, size_t n);
+
+/// out[i] = a[i] * b[i]
+void Mul(const float* a, const float* b, float* out, size_t n);
+
+/// Returns sum_i a[i] * b[i] (accumulated in double for stability).
+double Dot(const float* a, const float* b, size_t n);
+
+/// Returns sum_i x[i]^2 (accumulated in double).
+double SquaredNorm(const float* x, size_t n);
+
+/// Returns sum_i x[i].
+double Sum(const float* x, size_t n);
+
+/// Returns sqrt(SquaredNorm(x)).
+double Norm(const float* x, size_t n);
+
+/// Returns max_i |a[i] - b[i]|.
+double MaxAbsDiff(const float* a, const float* b, size_t n);
+
+}  // namespace vec
+}  // namespace fedra
+
+#endif  // FEDRA_TENSOR_VEC_OPS_H_

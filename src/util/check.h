@@ -1,0 +1,73 @@
+// FEDRA_CHECK family: fail-fast assertions for programming errors.
+//
+// These are active in all build types (unlike assert). A failed check prints
+// the location, the condition, any streamed context, and aborts. Use Status
+// (util/status.h) for errors the caller can reasonably handle instead.
+
+#ifndef FEDRA_UTIL_CHECK_H_
+#define FEDRA_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fedra {
+namespace internal {
+
+/// Accumulates streamed context after a failed check and aborts on
+/// destruction, after flushing the full message to stderr.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fedra
+
+#define FEDRA_CHECK(condition)                                        \
+  if (condition) {                                                    \
+  } else /* NOLINT */                                                 \
+    ::fedra::internal::CheckFailureStream("FEDRA_CHECK", __FILE__,    \
+                                          __LINE__, #condition)
+
+#define FEDRA_CHECK_OP(op, a, b)                                            \
+  if ((a)op(b)) {                                                           \
+  } else /* NOLINT */                                                       \
+    ::fedra::internal::CheckFailureStream("FEDRA_CHECK_" #op, __FILE__,     \
+                                          __LINE__, #a " " #op " " #b)      \
+        << "(with a=" << (a) << ", b=" << (b) << ")"
+
+#define FEDRA_CHECK_EQ(a, b) FEDRA_CHECK_OP(==, a, b)
+#define FEDRA_CHECK_NE(a, b) FEDRA_CHECK_OP(!=, a, b)
+#define FEDRA_CHECK_LT(a, b) FEDRA_CHECK_OP(<, a, b)
+#define FEDRA_CHECK_LE(a, b) FEDRA_CHECK_OP(<=, a, b)
+#define FEDRA_CHECK_GT(a, b) FEDRA_CHECK_OP(>, a, b)
+#define FEDRA_CHECK_GE(a, b) FEDRA_CHECK_OP(>=, a, b)
+
+/// Checks the Status-returning expression is OK; aborts with the status
+/// message otherwise. For use in tests, examples, and benches.
+#define FEDRA_CHECK_OK(expr)                                           \
+  do {                                                                 \
+    auto fedra_check_ok_tmp = (expr);                                  \
+    FEDRA_CHECK(fedra_check_ok_tmp.ok()) << fedra_check_ok_tmp.ToString(); \
+  } while (false)
+
+#endif  // FEDRA_UTIL_CHECK_H_

@@ -1,0 +1,61 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+
+namespace fedra {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FEDRA_CHECK(!header_.empty()) << "CSV header must have at least one column";
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& fields) {
+  FEDRA_CHECK_EQ(fields.size(), header_.size());
+  rows_.push_back(fields);
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  bool needs_quoting = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    out << (i ? "," : "") << Escape(header_[i]);
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i ? "," : "") << Escape(row[i]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file << ToString();
+  if (!file) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace fedra

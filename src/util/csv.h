@@ -1,0 +1,55 @@
+// CSV writer for experiment outputs (bench/*.csv). Fields containing the
+// separator, quotes, or newlines are quoted per RFC 4180.
+
+#ifndef FEDRA_UTIL_CSV_H_
+#define FEDRA_UTIL_CSV_H_
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedra {
+
+class CsvWriter {
+ public:
+  /// Builds rows in memory; call WriteToFile / ToString to emit.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return header_.size(); }
+
+  /// Appends one row; the field count must match the header.
+  void AddRow(const std::vector<std::string>& fields);
+
+  /// Convenience: accepts any streamable field types.
+  template <typename... Fields>
+  void Add(const Fields&... fields) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(fields));
+    (row.push_back(FieldToString(fields)), ...);
+    AddRow(row);
+  }
+
+  std::string ToString() const;
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  template <typename T>
+  static std::string FieldToString(const T& value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  }
+
+  static std::string Escape(const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_UTIL_CSV_H_

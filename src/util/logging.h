@@ -1,0 +1,62 @@
+// Minimal leveled logging: FEDRA_LOG(INFO) << "message";
+//
+// Log lines go to stderr with a level tag and source location. The global
+// minimum level can be raised to silence verbose output in benchmarks.
+
+#ifndef FEDRA_UTIL_LOGGING_H_
+#define FEDRA_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fedra {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the process-wide minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace fedra
+
+#define FEDRA_LOG_LEVEL_DEBUG ::fedra::LogLevel::kDebug
+#define FEDRA_LOG_LEVEL_INFO ::fedra::LogLevel::kInfo
+#define FEDRA_LOG_LEVEL_WARNING ::fedra::LogLevel::kWarning
+#define FEDRA_LOG_LEVEL_ERROR ::fedra::LogLevel::kError
+
+#define FEDRA_LOG(severity)                                          \
+  (FEDRA_LOG_LEVEL_##severity < ::fedra::MinLogLevel())              \
+      ? (void)0                                                      \
+      : ::fedra::internal::LogMessageVoidify() &                     \
+            ::fedra::internal::LogMessage(FEDRA_LOG_LEVEL_##severity, \
+                                          __FILE__, __LINE__)        \
+                .stream()
+
+#endif  // FEDRA_UTIL_LOGGING_H_

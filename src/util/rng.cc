@@ -1,0 +1,50 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace fedra {
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  FEDRA_CHECK_GT(bound, 0u);
+  // Rejection sampling: draw until the value falls inside the largest
+  // multiple of `bound` representable in 64 bits.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+double Rng::NextGaussian() {
+  if (cached_gaussian_valid_) {
+    cached_gaussian_valid_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller transform; u1 is kept away from 0 for log().
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  cached_gaussian_valid_ = true;
+  return radius * std::cos(theta);
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  Shuffle(perm);
+  return perm;
+}
+
+}  // namespace fedra

@@ -1,0 +1,113 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of fedra (weight init, batch sampling, sketch
+// hashing, partitioners, straggler models) draws from an explicitly seeded
+// Rng. Worker k in a simulated cluster derives an independent stream with
+// Rng::Fork(k), so runs are reproducible regardless of scheduling.
+
+#ifndef FEDRA_UTIL_RNG_H_
+#define FEDRA_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedra {
+
+/// SplitMix64: used for seeding and hashing; passes BigCrush when used as a
+/// mixer. Reference: Steele, Lea, Flood (2014).
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedfeedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+    cached_gaussian_valid_ = false;
+  }
+
+  /// Derives an independent stream for sub-component `id` (e.g. a worker
+  /// index) without perturbing this generator's own sequence.
+  Rng Fork(uint64_t id) const {
+    uint64_t mix = state_[0] ^ (0x9e3779b97f4a7c15ULL * (id + 1));
+    uint64_t sm = mix;
+    // One extra scramble so Fork(0) differs from the parent stream.
+    return Rng(SplitMix64(sm) ^ state_[3]);
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextUniform(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller (cached pair).
+  double NextGaussian();
+
+  /// Gaussian with given mean and standard deviation.
+  float NextGaussian(float mean, float stddev) {
+    return mean + stddev * static_cast<float>(NextGaussian());
+  }
+
+  /// Random sign in {-1.0f, +1.0f}.
+  float NextSign() { return (NextUint64() & 1) ? 1.0f : -1.0f; }
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Returns {0, 1, ..., n-1} in uniformly random order (Fisher-Yates).
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool cached_gaussian_valid_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_UTIL_RNG_H_

@@ -1,0 +1,138 @@
+// Status: error propagation without exceptions across the public API.
+//
+// Follows the RocksDB/Arrow idiom: fallible operations return a Status (or a
+// StatusOr<T>); callers test `ok()` and propagate with FEDRA_RETURN_IF_ERROR.
+// Programming errors (violated preconditions inside the library) use
+// FEDRA_CHECK from util/check.h instead.
+
+#ifndef FEDRA_UTIL_STATUS_H_
+#define FEDRA_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace fedra {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic result of a fallible operation.
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Access to `value()` on an
+/// error aborts (programming error), mirroring absl::StatusOr semantics.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : payload_(std::move(status)) {
+    FEDRA_CHECK(!std::get<Status>(payload_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : payload_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    FEDRA_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    FEDRA_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    FEDRA_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace fedra
+
+/// Propagates a non-OK Status to the caller.
+#define FEDRA_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::fedra::Status fedra_status_macro_tmp = (expr); \
+    if (!fedra_status_macro_tmp.ok()) {              \
+      return fedra_status_macro_tmp;                 \
+    }                                                \
+  } while (false)
+
+#endif  // FEDRA_UTIL_STATUS_H_

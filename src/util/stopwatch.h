@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for coarse timing of benches and examples.
+
+#ifndef FEDRA_UTIL_STOPWATCH_H_
+#define FEDRA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fedra {
+
+class Stopwatch {
+ public:
+  /// Starts running at construction.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_UTIL_STOPWATCH_H_

@@ -1,0 +1,77 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace fedra {
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  FEDRA_CHECK_GE(needed, 0) << "vsnprintf failed for format" << format;
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  double value = bytes;
+  while (value >= 1024.0 && unit < 5) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.2f %s", value, kUnits[unit]);
+}
+
+std::string HumanCount(uint64_t count) {
+  if (count >= 1000000000ULL) {
+    return StrFormat("%.1fB", static_cast<double>(count) / 1e9);
+  }
+  if (count >= 1000000ULL) {
+    return StrFormat("%.1fM", static_cast<double>(count) / 1e6);
+  }
+  if (count >= 1000ULL) {
+    return StrFormat("%.0fK", static_cast<double>(count) / 1e3);
+  }
+  return StrFormat("%llu", static_cast<unsigned long long>(count));
+}
+
+std::vector<std::string> StrSplit(const std::string& text, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+std::string PadLeft(const std::string& text, size_t width) {
+  if (text.size() >= width) {
+    return text;
+  }
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string PadRight(const std::string& text, size_t width) {
+  if (text.size() >= width) {
+    return text;
+  }
+  return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace fedra

@@ -1,0 +1,48 @@
+// Small string helpers used across metrics/benches: printf-style formatting,
+// joining, human-readable byte counts.
+
+#ifndef FEDRA_UTIL_STRING_UTIL_H_
+#define FEDRA_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fedra {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with `sep` using operator<<.
+template <typename Container>
+std::string StrJoin(const Container& items, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) {
+      out << sep;
+    }
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+/// "1.50 KB", "2.30 GB", ... (powers of 1024).
+std::string HumanBytes(double bytes);
+
+/// "6.9M", "62K", "512" — compact parameter-count formatting.
+std::string HumanCount(uint64_t count);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+/// Left-pads or right-pads with spaces to `width` (no-op if already longer).
+std::string PadLeft(const std::string& text, size_t width);
+std::string PadRight(const std::string& text, size_t width);
+
+}  // namespace fedra
+
+#endif  // FEDRA_UTIL_STRING_UTIL_H_

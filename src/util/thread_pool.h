@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a ParallelFor convenience.
+//
+// The simulated cluster can evaluate worker-local training steps in parallel;
+// determinism is preserved because each worker owns its forked Rng stream and
+// workers never share mutable state within a step.
+
+#ifndef FEDRA_UTIL_THREAD_POOL_H_
+#define FEDRA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedra {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task; it runs on some pool thread.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until all scheduled tasks have completed.
+  void Wait();
+
+  /// Runs body(i) for i in [0, n), distributing across the pool and blocking
+  /// until done. Runs inline when n == 1 or the pool has one thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Process-wide pool for library internals (sized to hardware concurrency).
+ThreadPool& GlobalThreadPool();
+
+}  // namespace fedra
+
+#endif  // FEDRA_UTIL_THREAD_POOL_H_

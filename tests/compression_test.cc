@@ -1,0 +1,358 @@
+// Tests for the synchronization-compression substrate (paper §2
+// compatibility), FedProx's proximal term, and the post-local SGD
+// schedule.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/compression.h"
+#include "data/synth.h"
+#include "nn/zoo.h"
+#include "tensor/vec_ops.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = rng.NextGaussian(0.0f, 1.0f);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------- configs
+
+TEST(CompressionConfigTest, FactoriesAndValidation) {
+  EXPECT_EQ(CompressionConfig::None().kind, CompressionKind::kNone);
+  EXPECT_EQ(CompressionConfig::Quantize8().kind,
+            CompressionKind::kQuantize8);
+  EXPECT_EQ(CompressionConfig::TopK(0.1).kind, CompressionKind::kTopK);
+  EXPECT_TRUE(CompressionConfig::TopK(0.5).Validate().ok());
+  EXPECT_FALSE(CompressionConfig::TopK(0.0).Validate().ok());
+  EXPECT_FALSE(CompressionConfig::TopK(1.5).Validate().ok());
+}
+
+TEST(CompressionConfigTest, ToStringNamesCodec) {
+  EXPECT_EQ(CompressionConfig::None().ToString(), "none");
+  EXPECT_EQ(CompressionConfig::Quantize8().ToString(), "q8");
+  EXPECT_EQ(CompressionConfig::Quantize4().ToString(), "q4");
+  EXPECT_NE(CompressionConfig::TopK(0.05).ToString().find("top"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- wire size
+
+TEST(CompressionTest, WireBytesShrink) {
+  const size_t n = 10000;
+  SyncCompressor none(CompressionConfig::None(), n, 1);
+  SyncCompressor q8(CompressionConfig::Quantize8(), n, 1);
+  SyncCompressor q4(CompressionConfig::Quantize4(), n, 1);
+  SyncCompressor topk(CompressionConfig::TopK(0.05), n, 1);
+  EXPECT_EQ(none.WireBytes(n), n * 4);
+  EXPECT_LT(q8.WireBytes(n), none.WireBytes(n) / 3);
+  EXPECT_LT(q4.WireBytes(n), q8.WireBytes(n));
+  EXPECT_LT(topk.WireBytes(n), none.WireBytes(n) / 2);
+}
+
+// ------------------------------------------------------------ quantization
+
+TEST(CompressionTest, Quantize8BoundsElementError) {
+  const size_t n = 4096;
+  auto v = RandomVec(n, 1);
+  auto original = v;
+  SyncCompressor compressor(CompressionConfig::Quantize8(false), n, 1);
+  compressor.CompressInPlace(0, v.data(), n);
+  float max_abs = 0.0f;
+  for (float x : original) {
+    max_abs = std::max(max_abs, std::fabs(x));
+  }
+  const float step = max_abs / 127.0f;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_LE(std::fabs(v[i] - original[i]), 0.5f * step + 1e-6f);
+  }
+}
+
+TEST(CompressionTest, Quantize4CoarserThanQuantize8) {
+  const size_t n = 4096;
+  auto v8 = RandomVec(n, 2);
+  auto v4 = v8;
+  auto original = v8;
+  SyncCompressor q8(CompressionConfig::Quantize8(false), n, 1);
+  SyncCompressor q4(CompressionConfig::Quantize4(false), n, 1);
+  q8.CompressInPlace(0, v8.data(), n);
+  q4.CompressInPlace(0, v4.data(), n);
+  const double err8 = [&] {
+    double e = 0;
+    for (size_t i = 0; i < n; ++i) {
+      e += std::fabs(v8[i] - original[i]);
+    }
+    return e;
+  }();
+  const double err4 = [&] {
+    double e = 0;
+    for (size_t i = 0; i < n; ++i) {
+      e += std::fabs(v4[i] - original[i]);
+    }
+    return e;
+  }();
+  EXPECT_GT(err4, 2.0 * err8);
+}
+
+TEST(CompressionTest, QuantizeZeroVectorIsNoop) {
+  std::vector<float> zeros(128, 0.0f);
+  SyncCompressor q8(CompressionConfig::Quantize8(false), 128, 1);
+  q8.CompressInPlace(0, zeros.data(), 128);
+  for (float x : zeros) {
+    EXPECT_EQ(x, 0.0f);
+  }
+}
+
+// ------------------------------------------------------------------ top-k
+
+TEST(CompressionTest, TopKKeepsLargestMagnitudes) {
+  std::vector<float> v = {0.1f, -5.0f, 0.2f, 3.0f, -0.05f, 0.01f,
+                          2.0f, -0.3f, 0.0f, 1.0f};
+  SyncCompressor topk(CompressionConfig::TopK(0.3, false), v.size(), 1);
+  topk.CompressInPlace(0, v.data(), v.size());
+  // 3 coordinates survive: -5, 3, 2.
+  EXPECT_FLOAT_EQ(v[1], -5.0f);
+  EXPECT_FLOAT_EQ(v[3], 3.0f);
+  EXPECT_FLOAT_EQ(v[6], 2.0f);
+  int nonzero = 0;
+  for (float x : v) {
+    nonzero += x != 0.0f;
+  }
+  EXPECT_EQ(nonzero, 3);
+}
+
+TEST(CompressionTest, TopKAlwaysKeepsAtLeastOne) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f};
+  SyncCompressor topk(CompressionConfig::TopK(0.01, false), 3, 1);
+  topk.CompressInPlace(0, v.data(), 3);
+  int nonzero = 0;
+  for (float x : v) {
+    nonzero += x != 0.0f;
+  }
+  EXPECT_EQ(nonzero, 1);
+  EXPECT_FLOAT_EQ(v[2], 3.0f);
+}
+
+// ---------------------------------------------------------- error feedback
+
+TEST(CompressionTest, ErrorFeedbackCarriesResidual) {
+  const size_t n = 64;
+  SyncCompressor compressor(CompressionConfig::TopK(0.1, true), n, 2);
+  auto v = RandomVec(n, 3);
+  EXPECT_EQ(compressor.ResidualEnergy(0), 0.0);
+  auto copy = v;
+  compressor.CompressInPlace(0, copy.data(), n);
+  EXPECT_GT(compressor.ResidualEnergy(0), 0.0);
+  // The other worker's residual is untouched.
+  EXPECT_EQ(compressor.ResidualEnergy(1), 0.0);
+  compressor.Reset();
+  EXPECT_EQ(compressor.ResidualEnergy(0), 0.0);
+}
+
+TEST(CompressionTest, ErrorFeedbackBacklogStaysBounded) {
+  // Feed the same vector repeatedly through an aggressive top-k
+  // compressor. By the EF identity, cumulative-transmitted minus
+  // cumulative-input equals exactly minus the final residual, so "nothing
+  // is permanently lost" == "the residual stays bounded over rounds"
+  // (without EF, the per-round loss would accumulate linearly).
+  const size_t n = 32;
+  auto input = RandomVec(n, 4);
+  SyncCompressor with_ef(CompressionConfig::TopK(0.1, true), n, 1);
+  const double input_energy = vec::SquaredNorm(input.data(), n);
+  double energy_at_30 = 0.0;
+  for (int round = 1; round <= 60; ++round) {
+    auto payload = input;
+    with_ef.CompressInPlace(0, payload.data(), n);
+    if (round == 30) {
+      energy_at_30 = with_ef.ResidualEnergy(0);
+    }
+  }
+  const double energy_at_60 = with_ef.ResidualEnergy(0);
+  // Bounded backlog: doubling the horizon must not keep growing the
+  // residual (linear growth would quadruple the energy).
+  EXPECT_GT(energy_at_30, 0.0);
+  EXPECT_LT(energy_at_60, 2.0 * energy_at_30 + 1e-9);
+  // And the backlog is comparable to a few copies of the input, far below
+  // the un-fed-back cumulative loss (~60^2 x input energy of the dropped
+  // 90% mass).
+  EXPECT_LT(energy_at_60, 200.0 * input_energy);
+}
+
+// ----------------------------------------------------- compressed training
+
+TEST(CompressionIntegrationTest, CompressedSyncStillLearnsAndSavesBytes) {
+  SynthImageConfig data_config = MnistLikeConfig();
+  data_config.num_train = 512;
+  data_config.num_test = 256;
+  auto data = GenerateSynthImages(data_config);
+  ASSERT_TRUE(data.ok());
+  ModelFactory factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+
+  auto run = [&](CompressionConfig compression) {
+    TrainerConfig config;
+    config.num_workers = 4;
+    config.batch_size = 16;
+    config.local_optimizer = OptimizerConfig::Adam(0.002f);
+    config.max_steps = 120;
+    config.eval_every_steps = 40;
+    config.eval_subset = 128;
+    config.seed = 5;
+    config.sync_compression = compression;
+    DistributedTrainer trainer(factory, data->train, data->test, config);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(0.2),
+                                 trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    return *result;
+  };
+
+  TrainResult plain = run(CompressionConfig::None());
+  TrainResult q8 = run(CompressionConfig::Quantize8());
+  ASSERT_GT(plain.total_syncs, 0u);
+  ASSERT_GT(q8.total_syncs, 0u);
+  // Bytes per sync shrink ~4x under q8.
+  const double plain_per_sync =
+      static_cast<double>(plain.comm.bytes_model_sync) /
+      static_cast<double>(plain.total_syncs);
+  const double q8_per_sync =
+      static_cast<double>(q8.comm.bytes_model_sync) /
+      static_cast<double>(q8.total_syncs);
+  EXPECT_LT(q8_per_sync, 0.3 * plain_per_sync);
+  // Learning survives lossy sync.
+  EXPECT_GT(q8.final_test_accuracy, 0.5);
+  EXPECT_GT(q8.final_test_accuracy, plain.final_test_accuracy - 0.15);
+}
+
+TEST(CompressionIntegrationTest, WorkersAgreeAfterCompressedSync) {
+  // After a compressed synchronization every worker holds the identical
+  // model (the decompressed average), exactly as in the plain path.
+  SynthImageConfig data_config = MnistLikeConfig();
+  data_config.num_train = 256;
+  data_config.num_test = 64;
+  auto data = GenerateSynthImages(data_config);
+  ASSERT_TRUE(data.ok());
+  ModelFactory factory = [] { return zoo::Mlp(16 * 16, {8}, 10); };
+  TrainerConfig config;
+  config.num_workers = 3;
+  config.batch_size = 16;
+  config.local_optimizer = OptimizerConfig::Adam(0.002f);
+  config.max_steps = 10;
+  config.eval_every_steps = 5;
+  config.seed = 6;
+  config.sync_compression = CompressionConfig::TopK(0.2);
+  DistributedTrainer trainer(factory, data->train, data->test, config);
+  // Synchronous => compressed sync every step; determinism test doubles as
+  // an agreement test because the eval model (average) matches workers.
+  auto policy = MakeSyncPolicy(AlgorithmConfig::Synchronous(),
+                               trainer.model_dim());
+  ASSERT_TRUE(policy.ok());
+  auto a = trainer.Run(policy->get());
+  ASSERT_TRUE(a.ok());
+  auto policy2 = MakeSyncPolicy(AlgorithmConfig::Synchronous(),
+                                trainer.model_dim());
+  auto b = trainer.Run(policy2->get());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->final_test_accuracy, b->final_test_accuracy);
+  EXPECT_EQ(a->comm.bytes_total, b->comm.bytes_total);
+}
+
+// ---------------------------------------------------------------- FedProx
+
+TEST(FedProxTest, ProximalTermShrinksDrift) {
+  SynthImageConfig data_config = MnistLikeConfig();
+  data_config.num_train = 512;
+  data_config.num_test = 128;
+  auto data = GenerateSynthImages(data_config);
+  ASSERT_TRUE(data.ok());
+  ModelFactory factory = [] { return zoo::Mlp(16 * 16, {16}, 10); };
+
+  auto drift_after = [&](float mu) {
+    TrainerConfig config;
+    config.num_workers = 4;
+    config.batch_size = 16;
+    config.local_optimizer = OptimizerConfig::Sgd(0.05f);
+    config.max_steps = 60;
+    config.eval_every_steps = 60;
+    config.eval_subset = 128;
+    config.seed = 7;
+    config.fedprox_mu = mu;
+    config.partition = PartitionConfig::SortedFraction(0.8);
+    DistributedTrainer trainer(factory, data->train, data->test, config);
+    // Never sync: measure pure local drift (variance estimate history).
+    auto policy = MakeSyncPolicy(AlgorithmConfig::ExactFda(1e18),
+                                 trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    // State traffic equals (d+1) floats/step regardless; use final
+    // accuracy gap as a proxy? No: compare comm-free metric — the exact
+    // monitor's last estimate is not exposed here, so instead return the
+    // variance proxy: none. Use total syncs==0 sanity and return
+    // final_train accuracy drift measure via history.
+    FEDRA_CHECK(result->total_syncs == 0);
+    return *result;
+  };
+  // With a strong proximal pull the worker models stay closer to the
+  // anchor; this manifests as *lower* variance, which we can observe via
+  // the FDA policy: with the same finite theta, mu > 0 must produce no
+  // MORE syncs than mu = 0.
+  auto syncs_with = [&](float mu) {
+    TrainerConfig config;
+    config.num_workers = 4;
+    config.batch_size = 16;
+    config.local_optimizer = OptimizerConfig::Sgd(0.05f);
+    config.max_steps = 80;
+    config.eval_every_steps = 80;
+    config.eval_subset = 128;
+    config.seed = 7;
+    config.fedprox_mu = mu;
+    config.partition = PartitionConfig::SortedFraction(0.8);
+    DistributedTrainer trainer(factory, data->train, data->test, config);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::ExactFda(0.02),
+                                 trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    return result->total_syncs;
+  };
+  (void)drift_after;
+  EXPECT_LE(syncs_with(1.0f), syncs_with(0.0f));
+}
+
+TEST(FedProxTest, NegativeMuRejected) {
+  SynthImageConfig data_config = MnistLikeConfig();
+  data_config.num_train = 64;
+  data_config.num_test = 32;
+  auto data = GenerateSynthImages(data_config);
+  ASSERT_TRUE(data.ok());
+  TrainerConfig config;
+  config.fedprox_mu = -1.0f;
+  DistributedTrainer trainer([] { return zoo::Mlp(16 * 16, {4}, 10); },
+                             data->train, data->test, config);
+  SynchronousPolicy policy;
+  EXPECT_FALSE(trainer.Run(&policy).ok());
+}
+
+// ------------------------------------------------------------- post-local
+
+TEST(PostLocalScheduleTest, BspPhaseThenLocal) {
+  TauSchedule schedule = TauSchedule::PostLocal(16, 3);
+  EXPECT_EQ(schedule.TauForRound(0), 1u);
+  EXPECT_EQ(schedule.TauForRound(2), 1u);
+  EXPECT_EQ(schedule.TauForRound(3), 16u);
+  EXPECT_EQ(schedule.TauForRound(100), 16u);
+  EXPECT_NE(schedule.ToString().find("post-local"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,580 @@
+// Layer tests: shape contracts, exact small cases, and finite-difference
+// gradient checks for every layer type (the invariant that makes the whole
+// DL substrate trustworthy).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "nn/composite.h"
+#include "nn/layers_basic.h"
+#include "nn/layers_conv.h"
+#include "nn/layers_norm.h"
+#include "nn/loss.h"
+#include "tests/test_util.h"
+
+namespace fedra {
+namespace {
+
+using testing::CheckInputGradient;
+using testing::FillUniform;
+
+/// Registers + binds + initializes a layer against a fresh store.
+std::unique_ptr<ParameterStore> Bind(Layer* layer, uint64_t seed = 1) {
+  auto store = std::make_unique<ParameterStore>();
+  layer->RegisterParams(store.get());
+  store->Finalize();
+  layer->BindParams(store.get());
+  Rng rng(seed);
+  layer->InitParams(&rng);
+  return store;
+}
+
+// ------------------------------------------------------------------ Dense
+
+TEST(DenseLayerTest, ForwardShapeAndBias) {
+  DenseLayer layer(3, 2);
+  auto store = Bind(&layer);
+  // Set known weights: W = [[1,0,0],[0,1,0]], b = [10, 20].
+  float* w = store->BlockParams(0);
+  float* b = store->BlockParams(1);
+  for (int i = 0; i < 6; ++i) {
+    w[i] = 0.0f;
+  }
+  w[0] = 1.0f;  // W(0,0)
+  w[4] = 1.0f;  // W(1,1)
+  b[0] = 10.0f;
+  b[1] = 20.0f;
+  Tensor x({1, 3});
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  x[2] = 3.0f;
+  Tensor y = layer.Forward(x, {});
+  ASSERT_EQ(y.rank(), 2);
+  EXPECT_EQ(y.dim(1), 2);
+  EXPECT_FLOAT_EQ(y[0], 11.0f);
+  EXPECT_FLOAT_EQ(y[1], 22.0f);
+}
+
+TEST(DenseLayerTest, InputGradientMatchesFiniteDifferences) {
+  DenseLayer layer(5, 4);
+  auto store = Bind(&layer);
+  Rng rng(2);
+  Tensor x({3, 5});
+  FillUniform(&x, &rng);
+  store->ZeroGrads();
+  auto result = CheckInputGradient(&layer, x, 77);
+  EXPECT_LT(result.max_rel_error, 2e-2) << "abs " << result.max_abs_error;
+}
+
+TEST(DenseLayerTest, ParamGradientAccumulates) {
+  DenseLayer layer(2, 2);
+  auto store = Bind(&layer);
+  Tensor x({1, 2});
+  x[0] = 1.0f;
+  x[1] = 1.0f;
+  Tensor go({1, 2});
+  go[0] = 1.0f;
+  go[1] = 0.0f;
+  store->ZeroGrads();
+  layer.Forward(x, {});
+  layer.Backward(go);
+  layer.Forward(x, {});
+  layer.Backward(go);  // second pass must add, not overwrite
+  EXPECT_FLOAT_EQ(store->BlockGrads(0)[0], 2.0f);
+}
+
+TEST(DenseLayerTest, GlorotInitWithinLimit) {
+  DenseLayer layer(100, 50);
+  auto store = Bind(&layer, 3);
+  const float limit = std::sqrt(6.0f / 150.0f);
+  const float* w = store->BlockParams(0);
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < 5000; ++i) {
+    max_abs = std::max(max_abs, std::fabs(w[i]));
+  }
+  EXPECT_LE(max_abs, limit);
+  EXPECT_GT(max_abs, 0.5f * limit);  // actually spread out
+}
+
+// ------------------------------------------------------------ Activations
+
+TEST(ActivationTest, ReluClampsNegatives) {
+  ActivationLayer relu(Activation::kRelu);
+  Tensor x({1, 4});
+  x[0] = -1.0f;
+  x[1] = 0.0f;
+  x[2] = 2.0f;
+  x[3] = -3.0f;
+  Tensor y = relu.Forward(x, {});
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+class ActivationGradTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationGradTest, GradientMatchesFiniteDifferences) {
+  ActivationLayer layer(GetParam());
+  Rng rng(4);
+  Tensor x({2, 8});
+  FillUniform(&x, &rng, -2.0f, 2.0f);
+  // Nudge values away from ReLU's kink where FD is ill-defined.
+  for (size_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) {
+      x[i] = 0.1f;
+    }
+  }
+  auto result = CheckInputGradient(&layer, x, 88);
+  EXPECT_LT(result.max_rel_error, 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ActivationGradTest,
+                         ::testing::Values(Activation::kRelu,
+                                           Activation::kTanh,
+                                           Activation::kGelu));
+
+TEST(ActivationTest, GeluMatchesKnownValues) {
+  ActivationLayer gelu(Activation::kGelu);
+  Tensor x({1, 3});
+  x[0] = 0.0f;
+  x[1] = 1.0f;
+  x[2] = -1.0f;
+  Tensor y = gelu.Forward(x, {});
+  EXPECT_NEAR(y[0], 0.0f, 1e-6);
+  EXPECT_NEAR(y[1], 0.8412f, 1e-3);
+  EXPECT_NEAR(y[2], -0.1588f, 1e-3);
+}
+
+// ---------------------------------------------------------------- Dropout
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  DropoutLayer dropout(0.5f);
+  Rng rng(5);
+  Tensor x({4, 8});
+  FillUniform(&x, &rng);
+  ForwardContext ctx;
+  ctx.training = false;
+  Tensor y = dropout.Forward(x, ctx);
+  for (size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(y[i], x[i]);
+  }
+}
+
+TEST(DropoutTest, TrainingZeroesAndRescales) {
+  DropoutLayer dropout(0.5f);
+  Rng rng(6);
+  Tensor x = Tensor::Full({1, 1000}, 1.0f);
+  ForwardContext ctx;
+  ctx.training = true;
+  ctx.rng = &rng;
+  Tensor y = dropout.Forward(x, ctx);
+  int zeros = 0;
+  for (size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_GT(zeros, 400);
+  EXPECT_LT(zeros, 600);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  DropoutLayer dropout(0.3f);
+  Rng rng(7);
+  Tensor x = Tensor::Full({1, 100}, 1.0f);
+  ForwardContext ctx;
+  ctx.training = true;
+  ctx.rng = &rng;
+  Tensor y = dropout.Forward(x, ctx);
+  Tensor go = Tensor::Full({1, 100}, 1.0f);
+  Tensor gi = dropout.Backward(go);
+  for (size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(gi[i], y[i]);  // same scaling pattern
+  }
+}
+
+TEST(DropoutTest, ZeroRateIsAlwaysIdentity) {
+  DropoutLayer dropout(0.0f);
+  Rng rng(8);
+  Tensor x({2, 4});
+  FillUniform(&x, &rng);
+  ForwardContext ctx;
+  ctx.training = true;
+  ctx.rng = &rng;
+  Tensor y = dropout.Forward(x, ctx);
+  for (size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(y[i], x[i]);
+  }
+}
+
+// ---------------------------------------------------------------- Flatten
+
+TEST(FlattenTest, RoundTrip) {
+  FlattenLayer flatten;
+  Rng rng(9);
+  Tensor x({2, 3, 4, 5});
+  FillUniform(&x, &rng);
+  Tensor y = flatten.Forward(x, {});
+  EXPECT_EQ(y.rank(), 2);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 60);
+  Tensor back = flatten.Backward(y);
+  EXPECT_TRUE(back.SameShape(x));
+  for (size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(back[i], x[i]);
+  }
+}
+
+// ------------------------------------------------------------ Conv layers
+
+TEST(Conv2dLayerTest, OutputShape) {
+  Conv2dLayer conv(3, 8, 3, 1, 1);
+  auto store = Bind(&conv);
+  Tensor x({2, 3, 6, 6});
+  Tensor y = conv.Forward(x, {});
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_EQ(y.dim(2), 6);
+  EXPECT_EQ(y.dim(3), 6);
+}
+
+TEST(Conv2dLayerTest, InputGradient) {
+  Conv2dLayer conv(2, 3, 3, 1, 1);
+  auto store = Bind(&conv);
+  Rng rng(10);
+  Tensor x({1, 2, 5, 5});
+  FillUniform(&x, &rng);
+  store->ZeroGrads();
+  auto result = CheckInputGradient(&conv, x, 99);
+  EXPECT_LT(result.max_rel_error, 3e-2);
+}
+
+TEST(DepthwiseLayerTest, InputGradient) {
+  DepthwiseConv2dLayer conv(3, 3, 1, 1);
+  auto store = Bind(&conv);
+  Rng rng(11);
+  Tensor x({1, 3, 5, 5});
+  FillUniform(&x, &rng);
+  store->ZeroGrads();
+  auto result = CheckInputGradient(&conv, x, 100);
+  EXPECT_LT(result.max_rel_error, 3e-2);
+}
+
+TEST(PoolLayerTest, MaxAndAvgGradients) {
+  Rng rng(12);
+  Tensor x({1, 2, 6, 6});
+  FillUniform(&x, &rng);
+  {
+    Pool2dLayer pool(PoolKind::kAvg, 2, 2);
+    auto result = CheckInputGradient(&pool, x, 101);
+    EXPECT_LT(result.max_rel_error, 2e-2);
+  }
+  {
+    // MaxPool FD checks need distinct values; random uniform floats are
+    // almost surely distinct.
+    Pool2dLayer pool(PoolKind::kMax, 2, 2);
+    auto result = CheckInputGradient(&pool, x, 102);
+    EXPECT_LT(result.max_rel_error, 2e-2);
+  }
+}
+
+TEST(GlobalAvgPoolLayerTest, ShapeAndGradient) {
+  GlobalAvgPoolLayer gap;
+  Rng rng(13);
+  Tensor x({2, 3, 4, 4});
+  FillUniform(&x, &rng);
+  Tensor y = gap.Forward(x, {});
+  EXPECT_EQ(y.rank(), 2);
+  EXPECT_EQ(y.dim(1), 3);
+  auto result = CheckInputGradient(&gap, x, 103);
+  EXPECT_LT(result.max_rel_error, 1e-2);
+}
+
+// ------------------------------------------------------------------ Norms
+
+TEST(BatchNormTest, NormalizesPerChannel) {
+  BatchNorm2dLayer bn(2);
+  auto store = Bind(&bn);
+  Rng rng(14);
+  Tensor x({4, 2, 3, 3});
+  FillUniform(&x, &rng, -3.0f, 5.0f);
+  Tensor y = bn.Forward(x, {});
+  // With gamma=1, beta=0 the per-channel mean ~ 0 and variance ~ 1.
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    int count = 0;
+    for (int n = 0; n < 4; ++n) {
+      for (int h = 0; h < 3; ++h) {
+        for (int w = 0; w < 3; ++w) {
+          const float v = y.at(n, c, h, w);
+          sum += v;
+          sum_sq += static_cast<double>(v) * v;
+          ++count;
+        }
+      }
+    }
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / count, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, InputGradient) {
+  BatchNorm2dLayer bn(2);
+  auto store = Bind(&bn);
+  Rng rng(15);
+  Tensor x({3, 2, 4, 4});
+  FillUniform(&x, &rng, -2.0f, 2.0f);
+  store->ZeroGrads();
+  auto result = CheckInputGradient(&bn, x, 104);
+  EXPECT_LT(result.max_rel_error, 5e-2);
+}
+
+TEST(LayerNormTest, NormalizesAcrossChannels) {
+  LayerNormChannelsLayer ln(8);
+  auto store = Bind(&ln);
+  Rng rng(16);
+  Tensor x({2, 8, 2, 2});
+  FillUniform(&x, &rng, -4.0f, 4.0f);
+  Tensor y = ln.Forward(x, {});
+  // Each (n, h, w) position: mean over channels ~ 0, var ~ 1.
+  for (int n = 0; n < 2; ++n) {
+    for (int h = 0; h < 2; ++h) {
+      for (int w = 0; w < 2; ++w) {
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        for (int c = 0; c < 8; ++c) {
+          sum += y.at(n, c, h, w);
+          sum_sq += static_cast<double>(y.at(n, c, h, w)) * y.at(n, c, h, w);
+        }
+        EXPECT_NEAR(sum / 8.0, 0.0, 1e-4);
+        EXPECT_NEAR(sum_sq / 8.0, 1.0, 2e-2);
+      }
+    }
+  }
+}
+
+TEST(LayerNormTest, AcceptsRank2Input) {
+  LayerNormChannelsLayer ln(6);
+  auto store = Bind(&ln);
+  Rng rng(17);
+  Tensor x({3, 6});
+  FillUniform(&x, &rng);
+  Tensor y = ln.Forward(x, {});
+  EXPECT_TRUE(y.SameShape(x));
+}
+
+TEST(LayerNormTest, InputGradient) {
+  LayerNormChannelsLayer ln(4);
+  auto store = Bind(&ln);
+  Rng rng(18);
+  Tensor x({2, 4, 3, 3});
+  FillUniform(&x, &rng, -2.0f, 2.0f);
+  store->ZeroGrads();
+  auto result = CheckInputGradient(&ln, x, 105);
+  EXPECT_LT(result.max_rel_error, 5e-2);
+}
+
+// ------------------------------------------------------------- Composites
+
+TEST(SequentialTest, ChainsLayersInOrder) {
+  auto seq = std::make_unique<Sequential>();
+  seq->Add(std::make_unique<DenseLayer>(4, 8));
+  seq->Add(std::make_unique<ActivationLayer>(Activation::kRelu));
+  seq->Add(std::make_unique<DenseLayer>(8, 2));
+  auto store = Bind(seq.get());
+  Rng rng(19);
+  Tensor x({2, 4});
+  FillUniform(&x, &rng);
+  Tensor y = seq->Forward(x, {});
+  EXPECT_EQ(y.dim(1), 2);
+  EXPECT_EQ(seq->size(), 3u);
+}
+
+TEST(SequentialTest, GradientFlowsThroughChain) {
+  auto seq = std::make_unique<Sequential>();
+  seq->Add(std::make_unique<DenseLayer>(4, 6));
+  seq->Add(std::make_unique<ActivationLayer>(Activation::kTanh));
+  seq->Add(std::make_unique<DenseLayer>(6, 3));
+  auto store = Bind(seq.get());
+  Rng rng(20);
+  Tensor x({2, 4});
+  FillUniform(&x, &rng);
+  store->ZeroGrads();
+  auto result = CheckInputGradient(seq.get(), x, 106);
+  EXPECT_LT(result.max_rel_error, 2e-2);
+}
+
+TEST(ResidualTest, AddsIdentity) {
+  // Residual around a zero-initialized dense layer = identity + bias(0).
+  auto inner = std::make_unique<DenseLayer>(4, 4, init::Scheme::kZeros);
+  ResidualLayer residual(std::move(inner));
+  auto store = Bind(&residual);
+  Rng rng(21);
+  Tensor x({2, 4});
+  FillUniform(&x, &rng);
+  Tensor y = residual.Forward(x, {});
+  for (size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], x[i]);
+  }
+}
+
+TEST(ResidualTest, Gradient) {
+  auto inner = std::make_unique<DenseLayer>(5, 5);
+  ResidualLayer residual(std::move(inner));
+  auto store = Bind(&residual);
+  Rng rng(22);
+  Tensor x({2, 5});
+  FillUniform(&x, &rng);
+  store->ZeroGrads();
+  auto result = CheckInputGradient(&residual, x, 107);
+  EXPECT_LT(result.max_rel_error, 2e-2);
+}
+
+TEST(ConcatSliceTest, RoundTrip) {
+  Rng rng(23);
+  Tensor a({2, 3, 4, 4});
+  Tensor b({2, 5, 4, 4});
+  FillUniform(&a, &rng);
+  FillUniform(&b, &rng);
+  Tensor cat = ConcatChannels(a, b);
+  EXPECT_EQ(cat.dim(1), 8);
+  Tensor a2 = SliceChannels(cat, 0, 3);
+  Tensor b2 = SliceChannels(cat, 3, 8);
+  for (size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a2[i], a[i]);
+  }
+  for (size_t i = 0; i < b.numel(); ++i) {
+    EXPECT_EQ(b2[i], b[i]);
+  }
+}
+
+TEST(DenseBlockTest, OutputChannels) {
+  DenseBlockLayer block(8, 4, 3);
+  EXPECT_EQ(block.out_channels(), 8 + 12);
+  auto store = Bind(&block);
+  Tensor x({1, 8, 4, 4});
+  Rng rng(24);
+  FillUniform(&x, &rng);
+  Tensor y = block.Forward(x, {});
+  EXPECT_EQ(y.dim(1), 20);
+  EXPECT_EQ(y.dim(2), 4);
+}
+
+TEST(DenseBlockTest, Gradient) {
+  DenseBlockLayer block(4, 3, 2);
+  auto store = Bind(&block);
+  Rng rng(25);
+  Tensor x({1, 4, 4, 4});
+  FillUniform(&x, &rng);
+  store->ZeroGrads();
+  auto result = CheckInputGradient(&block, x, 108);
+  EXPECT_LT(result.max_rel_error, 8e-2);
+}
+
+// ------------------------------------------------------------------- Loss
+
+TEST(LossTest, PerfectPredictionHasLowLoss) {
+  Tensor logits({2, 3});
+  logits.at(0, 0) = 100.0f;
+  logits.at(1, 2) = 100.0f;
+  LossResult result = SoftmaxCrossEntropy(logits, {0, 2});
+  EXPECT_LT(result.loss, 1e-3);
+  EXPECT_EQ(result.correct, 2u);
+}
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+  Tensor logits({1, 4});
+  LossResult result = SoftmaxCrossEntropy(logits, {1});
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-6);
+}
+
+TEST(LossTest, GradientSumsToZeroPerRow) {
+  Rng rng(26);
+  Tensor logits({3, 5});
+  FillUniform(&logits, &rng, -2.0f, 2.0f);
+  LossResult result = SoftmaxCrossEntropy(logits, {0, 3, 4});
+  for (int b = 0; b < 3; ++b) {
+    double sum = 0.0;
+    for (int c = 0; c < 5; ++c) {
+      sum += result.grad_logits.at(b, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(LossTest, GradientMatchesFiniteDifferences) {
+  Rng rng(27);
+  Tensor logits({2, 4});
+  FillUniform(&logits, &rng, -1.0f, 1.0f);
+  const std::vector<int> labels = {1, 3};
+  LossResult base = SoftmaxCrossEntropy(logits, labels);
+  const double eps = 1e-3;
+  for (size_t i = 0; i < logits.numel(); ++i) {
+    Tensor perturbed = logits;
+    perturbed[i] += static_cast<float>(eps);
+    const double hi = SoftmaxCrossEntropy(perturbed, labels).loss;
+    perturbed[i] -= static_cast<float>(2 * eps);
+    const double lo = SoftmaxCrossEntropy(perturbed, labels).loss;
+    EXPECT_NEAR(base.grad_logits[i], (hi - lo) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(LossTest, NumericallyStableForHugeLogits) {
+  Tensor logits({1, 3});
+  logits[0] = 1e4f;
+  logits[1] = -1e4f;
+  logits[2] = 0.0f;
+  LossResult result = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_LT(result.loss, 1e-3);
+}
+
+TEST(LossTest, CountCorrectMatches) {
+  Tensor logits({3, 2});
+  logits.at(0, 1) = 1.0f;  // pred 1
+  logits.at(1, 0) = 1.0f;  // pred 0
+  logits.at(2, 1) = 1.0f;  // pred 1
+  EXPECT_EQ(CountCorrect(logits, {1, 0, 0}), 2u);
+}
+
+// -------------------------------------------------------- ParameterStore
+
+TEST(ParameterStoreTest, LayoutIsContiguous) {
+  ParameterStore store;
+  const size_t a = store.Register("a", {2, 3});
+  const size_t b = store.Register("b", {4});
+  store.Finalize();
+  EXPECT_EQ(store.num_params(), 10u);
+  EXPECT_EQ(store.block(a).offset, 0u);
+  EXPECT_EQ(store.block(b).offset, 6u);
+  EXPECT_EQ(store.BlockParams(b), store.params() + 6);
+}
+
+TEST(ParameterStoreTest, ZeroGradsClears) {
+  ParameterStore store;
+  store.Register("a", {4});
+  store.Finalize();
+  store.grads()[2] = 5.0f;
+  store.ZeroGrads();
+  EXPECT_EQ(store.grads()[2], 0.0f);
+}
+
+TEST(ParameterStoreDeathTest, RegisterAfterFinalizeDies) {
+  ParameterStore store;
+  store.Register("a", {1});
+  store.Finalize();
+  EXPECT_DEATH(store.Register("b", {1}), "after Finalize");
+}
+
+TEST(ParameterStoreDeathTest, AccessBeforeFinalizeDies) {
+  ParameterStore store;
+  store.Register("a", {1});
+  EXPECT_DEATH(store.params(), "finalized");
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,107 @@
+// Tests for model checkpointing (nn/serialize).
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/serialize.h"
+#include "nn/zoo.h"
+
+namespace fedra {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesEveryParameter) {
+  auto model = zoo::Mlp(16, {8}, 4);
+  model->InitParams(42);
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(SaveModelParams(*model, path).ok());
+
+  auto restored = zoo::Mlp(16, {8}, 4);
+  restored->InitParams(7);  // different init, must be overwritten
+  ASSERT_TRUE(LoadModelParams(path, restored.get()).ok());
+  for (size_t i = 0; i < model->num_params(); ++i) {
+    ASSERT_EQ(model->params()[i], restored->params()[i]) << "param " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadParamsVectorMatches) {
+  auto model = zoo::LeNet5(1, 16, 10);
+  model->InitParams(3);
+  const std::string path = TempPath("vector.ckpt");
+  ASSERT_TRUE(SaveModelParams(*model, path).ok());
+  auto params = LoadParamsVector(path);
+  ASSERT_TRUE(params.ok());
+  ASSERT_EQ(params->size(), model->num_params());
+  EXPECT_EQ((*params)[0], model->params()[0]);
+  EXPECT_EQ(params->back(), model->params()[model->num_params() - 1]);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, DimensionMismatchRejected) {
+  auto model = zoo::Mlp(16, {8}, 4);
+  model->InitParams(1);
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(SaveModelParams(*model, path).ok());
+  auto other = zoo::Mlp(16, {9}, 4);
+  Status status = LoadModelParams(path, other.get());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  auto model = zoo::Mlp(16, {8}, 4);
+  EXPECT_EQ(LoadModelParams("/nonexistent/x.ckpt", model.get()).code(),
+            StatusCode::kIOError);
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.ckpt");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << "this is not a checkpoint at all, but long enough for a header";
+  }
+  auto params = LoadParamsVector(path);
+  EXPECT_EQ(params.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedPayloadRejected) {
+  auto model = zoo::Mlp(16, {8}, 4);
+  model->InitParams(5);
+  const std::string path = TempPath("truncated.ckpt");
+  ASSERT_TRUE(SaveModelParams(*model, path).ok());
+  // Chop off the last half of the file.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  auto params = LoadParamsVector(path);
+  EXPECT_EQ(params.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedHeaderRejected) {
+  const std::string path = TempPath("header.ckpt");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << "FEDRA";  // shorter than the header
+  }
+  auto params = LoadParamsVector(path);
+  EXPECT_EQ(params.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedra

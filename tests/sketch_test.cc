@@ -1,0 +1,280 @@
+// Tests for the AMS sketch library: hash family properties, sketch
+// linearity (the property Theorem 3.1 relies on), and the (1 +- eps)
+// accuracy/confidence guarantees of the M2 estimator.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/ams_sketch.h"
+#include "sketch/hashing.h"
+#include "tensor/vec_ops.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace {
+
+// ---------------------------------------------------------------- hashing
+
+TEST(HashingTest, MersenneModIsCorrect) {
+  const uint64_t p = (1ULL << 61) - 1;
+  EXPECT_EQ(MersenneMod(0), 0u);
+  EXPECT_EQ(MersenneMod(p), 0u);
+  EXPECT_EQ(MersenneMod(p + 1), 1u);
+  EXPECT_EQ(MersenneMod(static_cast<unsigned __int128>(p) * 5 + 3), 3u);
+}
+
+TEST(HashingTest, FourWiseHashIsDeterministic) {
+  FourWiseHash h1(42);
+  FourWiseHash h2(42);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(h1.Hash(key), h2.Hash(key));
+  }
+}
+
+TEST(HashingTest, DifferentSeedsGiveDifferentHashes) {
+  FourWiseHash h1(1);
+  FourWiseHash h2(2);
+  int equal = 0;
+  for (uint64_t key = 0; key < 128; ++key) {
+    equal += h1.Hash(key) == h2.Hash(key);
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(HashingTest, SignsAreBalanced) {
+  FourWiseHash h(7);
+  int pos = 0;
+  const int n = 20000;
+  for (int key = 0; key < n; ++key) {
+    pos += h.Sign(static_cast<uint64_t>(key)) > 0;
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.02);
+}
+
+TEST(HashingTest, PairwiseSignProductsAreBalanced) {
+  // 4-wise independence implies pairwise: E[s_i s_j] ~ 0 for i != j.
+  FourWiseHash h(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int key = 0; key < n; ++key) {
+    sum += h.Sign(static_cast<uint64_t>(key)) *
+           h.Sign(static_cast<uint64_t>(key) + 1);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+}
+
+TEST(HashingTest, BucketsInRangeAndSpread) {
+  PairwiseHash h(3);
+  const uint32_t buckets = 37;
+  std::vector<int> counts(buckets, 0);
+  const int n = 37000;
+  for (int key = 0; key < n; ++key) {
+    const uint32_t b = h.Bucket(static_cast<uint64_t>(key), buckets);
+    ASSERT_LT(b, buckets);
+    ++counts[b];
+  }
+  // Each bucket should get roughly n/buckets = 1000 keys.
+  for (int count : counts) {
+    EXPECT_GT(count, 700);
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(HashFamilyTest, PrecomputedTablesMatchDirectHashing) {
+  const uint64_t seed = 99;
+  AmsHashFamily family(3, 16, 100, seed);
+  EXPECT_EQ(family.rows(), 3);
+  EXPECT_EQ(family.cols(), 16);
+  EXPECT_EQ(family.dim(), 100u);
+  for (int r = 0; r < 3; ++r) {
+    for (size_t j = 0; j < 100; ++j) {
+      ASSERT_LT(family.bucket(r, j), 16u);
+      const float s = family.sign(r, j);
+      ASSERT_TRUE(s == 1.0f || s == -1.0f);
+    }
+  }
+}
+
+TEST(HashFamilyTest, SameSeedSameFamily) {
+  AmsHashFamily a(3, 8, 64, 5);
+  AmsHashFamily b(3, 8, 64, 5);
+  for (int r = 0; r < 3; ++r) {
+    for (size_t j = 0; j < 64; ++j) {
+      EXPECT_EQ(a.bucket(r, j), b.bucket(r, j));
+      EXPECT_EQ(a.sign(r, j), b.sign(r, j));
+    }
+  }
+}
+
+// ----------------------------------------------------------------- sketch
+
+std::vector<float> RandomVector(size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) {
+    x = rng.NextGaussian(0.0f, 1.0f);
+  }
+  return v;
+}
+
+TEST(AmsSketchTest, EmptySketchEstimatesZero) {
+  auto family = AmsHashFamily::Create(5, 32, 64, 1);
+  AmsSketch sketch(family);
+  EXPECT_DOUBLE_EQ(sketch.EstimateSquaredNorm(), 0.0);
+}
+
+TEST(AmsSketchTest, UpdateEqualsAccumulateVector) {
+  auto family = AmsHashFamily::Create(5, 32, 64, 2);
+  auto v = RandomVector(64, 3);
+  AmsSketch by_vector(family);
+  by_vector.AccumulateVector(v.data());
+  AmsSketch by_updates(family);
+  for (size_t j = 0; j < v.size(); ++j) {
+    by_updates.Update(j, v[j]);
+  }
+  for (size_t i = 0; i < by_vector.numel(); ++i) {
+    EXPECT_NEAR(by_vector.data()[i], by_updates.data()[i], 1e-4);
+  }
+}
+
+TEST(AmsSketchTest, LinearityUnderAddScaled) {
+  // sk(a*u + b*v) == a*sk(u) + b*sk(v): the property Theorem 3.1 needs so
+  // averaged sketches equal the sketch of the averaged drift.
+  auto family = AmsHashFamily::Create(5, 64, 256, 4);
+  auto u = RandomVector(256, 5);
+  auto v = RandomVector(256, 6);
+  const float a = 0.3f;
+  const float b = -1.7f;
+  std::vector<float> combo(256);
+  for (size_t i = 0; i < 256; ++i) {
+    combo[i] = a * u[i] + b * v[i];
+  }
+  AmsSketch direct = AmsSketch::OfVector(family, combo.data());
+  AmsSketch linear(family);
+  AmsSketch sk_u = AmsSketch::OfVector(family, u.data());
+  AmsSketch sk_v = AmsSketch::OfVector(family, v.data());
+  linear.AddScaled(sk_u, a);
+  linear.AddScaled(sk_v, b);
+  for (size_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_NEAR(direct.data()[i], linear.data()[i], 1e-3);
+  }
+}
+
+TEST(AmsSketchTest, ScaleScalesEstimateQuadratically) {
+  auto family = AmsHashFamily::Create(5, 64, 128, 7);
+  auto v = RandomVector(128, 8);
+  AmsSketch sketch = AmsSketch::OfVector(family, v.data());
+  const double base = sketch.EstimateSquaredNorm();
+  sketch.Scale(2.0f);
+  EXPECT_NEAR(sketch.EstimateSquaredNorm(), 4.0 * base, 1e-6 * base + 1e-9);
+}
+
+TEST(AmsSketchTest, ClearZeroes) {
+  auto family = AmsHashFamily::Create(3, 16, 64, 9);
+  auto v = RandomVector(64, 10);
+  AmsSketch sketch = AmsSketch::OfVector(family, v.data());
+  sketch.Clear();
+  EXPECT_DOUBLE_EQ(sketch.EstimateSquaredNorm(), 0.0);
+}
+
+TEST(AmsSketchTest, ByteSizeMatchesPaperExample) {
+  // Paper §3.3: l=5, m=250 => 5 kB sketches.
+  auto family = AmsHashFamily::Create(5, 250, 1000, 11);
+  AmsSketch sketch(family);
+  EXPECT_EQ(sketch.ByteSize(), 5u * 250u * 4u);
+}
+
+TEST(AmsSketchDeathTest, MixedFamiliesRejected) {
+  auto f1 = AmsHashFamily::Create(3, 16, 64, 1);
+  auto f2 = AmsHashFamily::Create(3, 16, 64, 2);
+  AmsSketch a(f1);
+  AmsSketch b(f2);
+  EXPECT_DEATH(a.AddScaled(b, 1.0f), "shared hash family");
+}
+
+/// Accuracy: with paper-recommended dims (5 x 250) the estimate should be
+/// within ~2*eps of the true squared norm for the vast majority of vectors.
+class SketchAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(SketchAccuracyTest, EstimateWithinTolerance) {
+  const auto [dim, cols] = GetParam();
+  const int trials = 30;
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto family = AmsHashFamily::Create(
+        5, cols, dim, 1000 + static_cast<uint64_t>(t));
+    auto v = RandomVector(dim, 2000 + static_cast<uint64_t>(t));
+    AmsSketch sketch = AmsSketch::OfVector(family, v.data());
+    const double truth = vec::SquaredNorm(v.data(), dim);
+    const double estimate = sketch.EstimateSquaredNorm();
+    const double eps = sketch.ErrorBound();
+    if (std::fabs(estimate - truth) > 2.0 * eps * truth) {
+      ++failures;
+    }
+  }
+  // 95% confidence per trial => ~1.5 expected failures at 30 trials; allow 5.
+  EXPECT_LE(failures, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndWidths, SketchAccuracyTest,
+    ::testing::Combine(::testing::Values<size_t>(128, 1024, 8192),
+                       ::testing::Values(64, 250)));
+
+TEST(SketchAccuracyTest, ErrorBoundMatchesPaperSetting) {
+  // l=5, m=250 should give eps ~= 6% (paper §3.3).
+  auto family = AmsHashFamily::Create(5, 250, 100, 1);
+  AmsSketch sketch(family);
+  EXPECT_NEAR(sketch.ErrorBound(), 0.06, 0.15 * 0.06 + 0.13);
+  EXPECT_LT(sketch.ErrorBound(), 0.20);
+}
+
+TEST(SketchAccuracyTest, WiderSketchIsMoreAccurate) {
+  // Mean relative error must shrink as cols grow.
+  const size_t dim = 2048;
+  auto mean_error = [&](int cols) {
+    double total = 0.0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+      auto family = AmsHashFamily::Create(
+          5, cols, dim, 5000 + static_cast<uint64_t>(t));
+      auto v = RandomVector(dim, 6000 + static_cast<uint64_t>(t));
+      AmsSketch sketch = AmsSketch::OfVector(family, v.data());
+      const double truth = vec::SquaredNorm(v.data(), dim);
+      total += std::fabs(sketch.EstimateSquaredNorm() - truth) / truth;
+    }
+    return total / trials;
+  };
+  EXPECT_LT(mean_error(256), mean_error(16));
+}
+
+TEST(AmsSketchTest, AveragedWorkerSketchesEqualSketchOfAverage) {
+  // The exact setting of FDA: K workers sketch their drifts; the AllReduce
+  // average of the sketches equals sk(mean drift).
+  const size_t dim = 512;
+  const int num_workers = 7;
+  auto family = AmsHashFamily::Create(5, 100, dim, 12345);
+  std::vector<std::vector<float>> drifts;
+  std::vector<float> mean_drift(dim, 0.0f);
+  for (int k = 0; k < num_workers; ++k) {
+    drifts.push_back(RandomVector(dim, 100 + static_cast<uint64_t>(k)));
+    vec::Axpy(1.0f / num_workers, drifts.back().data(), mean_drift.data(),
+              dim);
+  }
+  AmsSketch averaged(family);
+  for (const auto& drift : drifts) {
+    AmsSketch sk = AmsSketch::OfVector(family, drift.data());
+    averaged.AddScaled(sk, 1.0f / num_workers);
+  }
+  AmsSketch direct = AmsSketch::OfVector(family, mean_drift.data());
+  for (size_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_NEAR(averaged.data()[i], direct.data()[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace fedra

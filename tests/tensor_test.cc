@@ -1,0 +1,442 @@
+// Unit + property tests for Tensor and the dense-compute kernels (GEMM,
+// conv, pooling). GEMM is checked against a naive reference across all
+// transpose combinations; conv/pool backward passes are checked against
+// central finite differences.
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace {
+
+// ----------------------------------------------------------------- Tensor
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, ShapeAccessors) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(3), 5);
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4, 5]");
+}
+
+TEST(TensorTest, At2dRowMajor) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(TensorTest, At4dNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[t.numel() - 1], 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  Tensor r = t.Reshaped({3, 4});
+  EXPECT_EQ(r.rank(), 2);
+  EXPECT_EQ(r.dim(0), 3);
+  for (size_t i = 0; i < r.numel(); ++i) {
+    EXPECT_EQ(r[i], static_cast<float>(i));
+  }
+}
+
+TEST(TensorDeathTest, BadReshapeDies) {
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.Reshaped({4, 2}), "numel");
+}
+
+TEST(TensorDeathTest, OutOfRangeIndexDies) {
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.at(2, 0), "out of");
+}
+
+TEST(TensorDeathTest, NonPositiveDimDies) {
+  EXPECT_DEATH(Tensor({2, 0}), "positive");
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(t[i], 2.5f);
+  }
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).SameShape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).SameShape(Tensor({3, 2})));
+}
+
+// ------------------------------------------------------------------- GEMM
+
+/// Naive reference: C = alpha*op(A)*op(B) + beta*C.
+void GemmReference(bool trans_a, bool trans_b, int m, int n, int k,
+                   float alpha, const std::vector<float>& a,
+                   const std::vector<float>& b, float beta,
+                   std::vector<float>* c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const float av = trans_a ? a[static_cast<size_t>(p) * m + i]
+                                 : a[static_cast<size_t>(i) * k + p];
+        const float bv = trans_b ? b[static_cast<size_t>(j) * k + p]
+                                 : b[static_cast<size_t>(p) * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      float& out = (*c)[static_cast<size_t>(i) * n + j];
+      out = alpha * static_cast<float>(acc) + beta * out;
+    }
+  }
+}
+
+class GemmParamTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {
+};
+
+TEST_P(GemmParamTest, MatchesReference) {
+  const auto [trans_a, trans_b, m, n, k] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 73 + n * 7 + k + trans_a * 2 + trans_b));
+  std::vector<float> a(static_cast<size_t>(m) * k);
+  std::vector<float> b(static_cast<size_t>(k) * n);
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  for (auto& x : a) {
+    x = rng.NextUniform(-1.0f, 1.0f);
+  }
+  for (auto& x : b) {
+    x = rng.NextUniform(-1.0f, 1.0f);
+  }
+  for (auto& x : c) {
+    x = rng.NextUniform(-1.0f, 1.0f);
+  }
+  std::vector<float> expected = c;
+  GemmReference(trans_a, trans_b, m, n, k, 0.7f, a, b, 0.3f, &expected);
+  ops::Gemm(trans_a, trans_b, m, n, k, 0.7f, a.data(), b.data(), 0.3f,
+            c.data());
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-4) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposesAndShapes, GemmParamTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 3, 8), ::testing::Values(1, 5),
+                       ::testing::Values(1, 4, 9)));
+
+TEST(GemmTest, BetaZeroOverwritesGarbage) {
+  std::vector<float> a = {1.0f, 2.0f};
+  std::vector<float> b = {3.0f, 4.0f};
+  std::vector<float> c = {std::nanf(""), std::nanf("")};
+  // [1;2] * [3 4] => 1x... use m=2, n=1? Keep m=1,n=1,k=2: c = 1*3+2*4 = 11.
+  ops::Gemm(false, false, 1, 1, 2, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 3.0f + 8.0f);
+}
+
+// ------------------------------------------------------------ Convolution
+
+ops::Conv2dGeometry MakeGeometry(int batch, int ic, int hw, int oc, int k,
+                                 int stride, int pad) {
+  ops::Conv2dGeometry g;
+  g.batch = batch;
+  g.in_channels = ic;
+  g.in_h = hw;
+  g.in_w = hw;
+  g.out_channels = oc;
+  g.kernel = k;
+  g.stride = stride;
+  g.pad = pad;
+  return g;
+}
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  // 1x1 kernel with weight 1 and zero bias is the identity.
+  auto g = MakeGeometry(1, 1, 4, 1, 1, 1, 0);
+  std::vector<float> input(16);
+  for (size_t i = 0; i < 16; ++i) {
+    input[i] = static_cast<float>(i);
+  }
+  std::vector<float> weight = {1.0f};
+  std::vector<float> output(16, -1.0f);
+  ops::Conv2dForward(g, input.data(), weight.data(), nullptr, output.data());
+  EXPECT_EQ(input, output);
+}
+
+TEST(Conv2dTest, KnownSmallCase) {
+  // 2x2 input, 2x2 kernel, no pad: single output = sum(input * kernel).
+  auto g = MakeGeometry(1, 1, 2, 1, 2, 1, 0);
+  std::vector<float> input = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> weight = {10.0f, 20.0f, 30.0f, 40.0f};
+  std::vector<float> bias = {5.0f};
+  std::vector<float> output(1);
+  ops::Conv2dForward(g, input.data(), weight.data(), bias.data(),
+                     output.data());
+  EXPECT_FLOAT_EQ(output[0], 10.0f + 40.0f + 90.0f + 160.0f + 5.0f);
+}
+
+TEST(Conv2dTest, PaddingProducesSameSize) {
+  auto g = MakeGeometry(2, 3, 5, 4, 3, 1, 1);
+  EXPECT_EQ(g.out_h(), 5);
+  EXPECT_EQ(g.out_w(), 5);
+}
+
+TEST(Conv2dTest, StrideHalvesOutput) {
+  auto g = MakeGeometry(1, 1, 8, 1, 2, 2, 0);
+  EXPECT_EQ(g.out_h(), 4);
+}
+
+/// Finite-difference check of Conv2dBackward for all three gradients.
+class ConvBackwardTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvBackwardTest, MatchesFiniteDifferences) {
+  const auto [kernel, stride, pad, channels] = GetParam();
+  auto g = MakeGeometry(2, channels, 6, 3, kernel, stride, pad);
+  if (g.out_h() <= 0) {
+    GTEST_SKIP() << "empty output for this combination";
+  }
+  Rng rng(99);
+  const size_t in_size = static_cast<size_t>(g.batch) * g.in_channels *
+                         g.in_h * g.in_w;
+  const size_t w_size = static_cast<size_t>(g.out_channels) *
+                        g.in_channels * g.kernel * g.kernel;
+  const size_t out_size = static_cast<size_t>(g.batch) * g.out_channels *
+                          g.out_h() * g.out_w();
+  std::vector<float> input(in_size);
+  std::vector<float> weight(w_size);
+  std::vector<float> bias(static_cast<size_t>(g.out_channels));
+  std::vector<float> loss_weights(out_size);
+  for (auto* v : {&input, &weight, &bias, &loss_weights}) {
+    for (auto& x : *v) {
+      x = rng.NextUniform(-1.0f, 1.0f);
+    }
+  }
+  auto loss = [&](const std::vector<float>& in,
+                  const std::vector<float>& w, const std::vector<float>& b) {
+    std::vector<float> out(out_size);
+    ops::Conv2dForward(g, in.data(), w.data(), b.data(), out.data());
+    double acc = 0.0;
+    for (size_t i = 0; i < out_size; ++i) {
+      acc += static_cast<double>(out[i]) * loss_weights[i];
+    }
+    return acc;
+  };
+  std::vector<float> grad_in(in_size, 0.0f);
+  std::vector<float> grad_w(w_size, 0.0f);
+  std::vector<float> grad_b(static_cast<size_t>(g.out_channels), 0.0f);
+  ops::Conv2dBackward(g, input.data(), weight.data(), loss_weights.data(),
+                      grad_in.data(), grad_w.data(), grad_b.data());
+  const double eps = 1e-3;
+  // Probe a handful of coordinates of each gradient.
+  for (int probe = 0; probe < 8; ++probe) {
+    const size_t i = rng.NextBounded(in_size);
+    auto in2 = input;
+    in2[i] += static_cast<float>(eps);
+    const double hi = loss(in2, weight, bias);
+    in2[i] -= static_cast<float>(2 * eps);
+    const double lo = loss(in2, weight, bias);
+    EXPECT_NEAR(grad_in[i], (hi - lo) / (2 * eps), 5e-2) << "input grad";
+  }
+  for (int probe = 0; probe < 8; ++probe) {
+    const size_t i = rng.NextBounded(w_size);
+    auto w2 = weight;
+    w2[i] += static_cast<float>(eps);
+    const double hi = loss(input, w2, bias);
+    w2[i] -= static_cast<float>(2 * eps);
+    const double lo = loss(input, w2, bias);
+    EXPECT_NEAR(grad_w[i], (hi - lo) / (2 * eps), 5e-2) << "weight grad";
+  }
+  for (size_t i = 0; i < bias.size(); ++i) {
+    auto b2 = bias;
+    b2[i] += static_cast<float>(eps);
+    const double hi = loss(input, weight, b2);
+    b2[i] -= static_cast<float>(2 * eps);
+    const double lo = loss(input, weight, b2);
+    EXPECT_NEAR(grad_b[i], (hi - lo) / (2 * eps), 5e-2) << "bias grad";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvBackwardTest,
+    ::testing::Values(std::make_tuple(3, 1, 1, 2),
+                      std::make_tuple(3, 1, 0, 1),
+                      std::make_tuple(5, 1, 2, 2),
+                      std::make_tuple(2, 2, 0, 3),
+                      std::make_tuple(1, 1, 0, 2)));
+
+TEST(DepthwiseConvTest, MatchesPerChannelDenseConv) {
+  // Depthwise conv == per-channel standard conv with diagonal weight.
+  auto g = MakeGeometry(1, 2, 4, 2, 3, 1, 1);
+  Rng rng(5);
+  std::vector<float> input(static_cast<size_t>(g.batch) * 2 * 16);
+  std::vector<float> dw_weight(2 * 9);
+  for (auto& x : input) {
+    x = rng.NextUniform(-1.0f, 1.0f);
+  }
+  for (auto& x : dw_weight) {
+    x = rng.NextUniform(-1.0f, 1.0f);
+  }
+  std::vector<float> dw_out(input.size());
+  ops::DepthwiseConv2dForward(g, input.data(), dw_weight.data(), nullptr,
+                              dw_out.data());
+  // Dense weight: [oc=2, ic=2, 3, 3] with zero cross-channel blocks.
+  std::vector<float> dense_weight(2 * 2 * 9, 0.0f);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 9; ++i) {
+      dense_weight[(static_cast<size_t>(c) * 2 + c) * 9 +
+                   static_cast<size_t>(i)] = dw_weight[c * 9 + i];
+    }
+  }
+  std::vector<float> dense_out(input.size());
+  ops::Conv2dForward(g, input.data(), dense_weight.data(), nullptr,
+                     dense_out.data());
+  for (size_t i = 0; i < dw_out.size(); ++i) {
+    EXPECT_NEAR(dw_out[i], dense_out[i], 1e-5);
+  }
+}
+
+TEST(DepthwiseConvTest, BackwardMatchesFiniteDifferences) {
+  auto g = MakeGeometry(1, 2, 5, 2, 3, 1, 1);
+  Rng rng(6);
+  const size_t in_size = 2 * 25;
+  const size_t w_size = 2 * 9;
+  const size_t out_size = 2 * 25;
+  std::vector<float> input(in_size);
+  std::vector<float> weight(w_size);
+  std::vector<float> loss_weights(out_size);
+  for (auto* v : {&input, &weight, &loss_weights}) {
+    for (auto& x : *v) {
+      x = rng.NextUniform(-1.0f, 1.0f);
+    }
+  }
+  auto loss = [&](const std::vector<float>& in,
+                  const std::vector<float>& w) {
+    std::vector<float> out(out_size);
+    ops::DepthwiseConv2dForward(g, in.data(), w.data(), nullptr, out.data());
+    double acc = 0.0;
+    for (size_t i = 0; i < out_size; ++i) {
+      acc += static_cast<double>(out[i]) * loss_weights[i];
+    }
+    return acc;
+  };
+  std::vector<float> grad_in(in_size, 0.0f);
+  std::vector<float> grad_w(w_size, 0.0f);
+  ops::DepthwiseConv2dBackward(g, input.data(), weight.data(),
+                               loss_weights.data(), grad_in.data(),
+                               grad_w.data(), nullptr);
+  const double eps = 1e-3;
+  for (int probe = 0; probe < 10; ++probe) {
+    const size_t i = rng.NextBounded(in_size);
+    auto in2 = input;
+    in2[i] += static_cast<float>(eps);
+    const double hi = loss(in2, weight);
+    in2[i] -= static_cast<float>(2 * eps);
+    const double lo = loss(in2, weight);
+    EXPECT_NEAR(grad_in[i], (hi - lo) / (2 * eps), 5e-2);
+  }
+  for (int probe = 0; probe < 10; ++probe) {
+    const size_t i = rng.NextBounded(w_size);
+    auto w2 = weight;
+    w2[i] += static_cast<float>(eps);
+    const double hi = loss(input, w2);
+    w2[i] -= static_cast<float>(2 * eps);
+    const double lo = loss(input, w2);
+    EXPECT_NEAR(grad_w[i], (hi - lo) / (2 * eps), 5e-2);
+  }
+}
+
+// ---------------------------------------------------------------- Pooling
+
+TEST(MaxPoolTest, SelectsWindowMaximum) {
+  auto g = MakeGeometry(1, 1, 4, 1, 2, 2, 0);
+  std::vector<float> input = {1, 5, 2, 0,  //
+                              3, 4, 1, 1,  //
+                              0, 0, 9, 8,  //
+                              0, 0, 7, 6};
+  std::vector<float> output(4);
+  std::vector<int> argmax(4);
+  ops::MaxPool2dForward(g, input.data(), output.data(), argmax.data());
+  EXPECT_FLOAT_EQ(output[0], 5.0f);
+  EXPECT_FLOAT_EQ(output[1], 2.0f);
+  EXPECT_FLOAT_EQ(output[2], 0.0f);
+  EXPECT_FLOAT_EQ(output[3], 9.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  auto g = MakeGeometry(1, 1, 4, 1, 2, 2, 0);
+  std::vector<float> input = {1, 5, 2, 0, 3, 4, 1, 1,
+                              0, 0, 9, 8, 0, 0, 7, 6};
+  std::vector<float> output(4);
+  std::vector<int> argmax(4);
+  ops::MaxPool2dForward(g, input.data(), output.data(), argmax.data());
+  std::vector<float> grad_out = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> grad_in(16, 0.0f);
+  ops::MaxPool2dBackward(g, grad_out.data(), argmax.data(), grad_in.data());
+  EXPECT_FLOAT_EQ(grad_in[1], 1.0f);   // the "5"
+  EXPECT_FLOAT_EQ(grad_in[2], 2.0f);   // the "2"
+  EXPECT_FLOAT_EQ(grad_in[10], 4.0f);  // the "9"
+  double total = 0.0;
+  for (float x : grad_in) {
+    total += x;
+  }
+  EXPECT_DOUBLE_EQ(total, 10.0);  // gradient mass preserved
+}
+
+TEST(AvgPoolTest, AveragesWindow) {
+  auto g = MakeGeometry(1, 1, 4, 1, 2, 2, 0);
+  std::vector<float> input = {1, 3, 0, 0, 5, 7, 0, 0,
+                              0, 0, 2, 2, 0, 0, 2, 2};
+  std::vector<float> output(4);
+  ops::AvgPool2dForward(g, input.data(), output.data());
+  EXPECT_FLOAT_EQ(output[0], 4.0f);
+  EXPECT_FLOAT_EQ(output[3], 2.0f);
+}
+
+TEST(AvgPoolTest, BackwardSpreadsEvenly) {
+  auto g = MakeGeometry(1, 1, 4, 1, 2, 2, 0);
+  std::vector<float> grad_out = {4.0f, 0.0f, 0.0f, 8.0f};
+  std::vector<float> grad_in(16, 0.0f);
+  ops::AvgPool2dBackward(g, grad_out.data(), grad_in.data());
+  EXPECT_FLOAT_EQ(grad_in[0], 1.0f);
+  EXPECT_FLOAT_EQ(grad_in[5], 1.0f);
+  EXPECT_FLOAT_EQ(grad_in[10], 2.0f);
+  EXPECT_FLOAT_EQ(grad_in[15], 2.0f);
+}
+
+TEST(GlobalAvgPoolTest, ForwardAndBackward) {
+  std::vector<float> input = {1, 2, 3, 4,   // n0 c0
+                              10, 20, 30, 40};  // n0 c1
+  std::vector<float> output(2);
+  ops::GlobalAvgPoolForward(1, 2, 2, 2, input.data(), output.data());
+  EXPECT_FLOAT_EQ(output[0], 2.5f);
+  EXPECT_FLOAT_EQ(output[1], 25.0f);
+  std::vector<float> grad_out = {4.0f, 8.0f};
+  std::vector<float> grad_in(8, 0.0f);
+  ops::GlobalAvgPoolBackward(1, 2, 2, 2, grad_out.data(), grad_in.data());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(grad_in[static_cast<size_t>(i)], 1.0f);
+    EXPECT_FLOAT_EQ(grad_in[static_cast<size_t>(4 + i)], 2.0f);
+  }
+}
+
+}  // namespace
+}  // namespace fedra

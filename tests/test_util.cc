@@ -1,0 +1,102 @@
+#include "tests/test_util.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace fedra {
+namespace testing {
+
+namespace {
+
+/// loss = sum_i weight_i * output_i with fixed random weights.
+double WeightedLoss(const Tensor& output, const std::vector<float>& weights) {
+  FEDRA_CHECK_EQ(output.numel(), weights.size());
+  double loss = 0.0;
+  for (size_t i = 0; i < output.numel(); ++i) {
+    loss += static_cast<double>(output[i]) * weights[i];
+  }
+  return loss;
+}
+
+void UpdateErrors(double analytic, double numeric, GradCheckResult* result) {
+  const double abs_error = std::fabs(analytic - numeric);
+  // The scale floor absorbs central-difference noise on near-zero
+  // gradients: float32 forward passes of deep nets perturb the loss by
+  // ~1e-5, which divided by 2*eps would otherwise dominate the relative
+  // error whenever the true gradient is ~0.
+  const double scale =
+      std::max({std::fabs(analytic), std::fabs(numeric), 2e-2});
+  result->max_abs_error = std::max(result->max_abs_error, abs_error);
+  result->max_rel_error = std::max(result->max_rel_error, abs_error / scale);
+}
+
+}  // namespace
+
+GradCheckResult CheckInputGradient(Layer* layer, const Tensor& input,
+                                   uint64_t seed, double epsilon) {
+  Rng rng(seed);
+  ForwardContext ctx;
+  ctx.training = false;  // deterministic path (no dropout masks)
+
+  Tensor base_output = layer->Forward(input, ctx);
+  std::vector<float> weights(base_output.numel());
+  FillUniform(weights.data(), weights.size(), &rng, -1.0f, 1.0f);
+
+  // Analytic gradient: backprop the loss weights.
+  Tensor grad_output(base_output.shape());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    grad_output[i] = weights[i];
+  }
+  // Re-run forward so the layer's caches match this input.
+  layer->Forward(input, ctx);
+  Tensor analytic = layer->Backward(grad_output);
+
+  GradCheckResult result;
+  Tensor perturbed = input;
+  for (size_t i = 0; i < input.numel(); ++i) {
+    const float saved = perturbed[i];
+    perturbed[i] = saved + static_cast<float>(epsilon);
+    const double loss_hi = WeightedLoss(layer->Forward(perturbed, ctx),
+                                        weights);
+    perturbed[i] = saved - static_cast<float>(epsilon);
+    const double loss_lo = WeightedLoss(layer->Forward(perturbed, ctx),
+                                        weights);
+    perturbed[i] = saved;
+    const double numeric = (loss_hi - loss_lo) / (2.0 * epsilon);
+    UpdateErrors(static_cast<double>(analytic[i]), numeric, &result);
+  }
+  return result;
+}
+
+GradCheckResult CheckParamGradient(Model* model, const Tensor& input,
+                                   const std::vector<int>& labels,
+                                   size_t num_probes, uint64_t seed,
+                                   double epsilon) {
+  Rng rng(seed);
+  model->ZeroGrads();
+  Tensor logits = model->Forward(input, /*training=*/false);
+  LossResult loss = SoftmaxCrossEntropy(logits, labels);
+  model->Backward(loss.grad_logits);
+
+  GradCheckResult result;
+  const size_t dim = model->num_params();
+  for (size_t probe = 0; probe < num_probes; ++probe) {
+    const size_t i = static_cast<size_t>(rng.NextBounded(dim));
+    const float saved = model->params()[i];
+    model->params()[i] = saved + static_cast<float>(epsilon);
+    const double loss_hi =
+        SoftmaxCrossEntropy(model->Forward(input, false), labels).loss;
+    model->params()[i] = saved - static_cast<float>(epsilon);
+    const double loss_lo =
+        SoftmaxCrossEntropy(model->Forward(input, false), labels).loss;
+    model->params()[i] = saved;
+    const double numeric = (loss_hi - loss_lo) / (2.0 * epsilon);
+    UpdateErrors(static_cast<double>(model->grads()[i]), numeric, &result);
+  }
+  return result;
+}
+
+}  // namespace testing
+}  // namespace fedra

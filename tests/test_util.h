@@ -1,0 +1,55 @@
+// Shared test helpers: random tensor filling and finite-difference gradient
+// checking for layers and models.
+
+#ifndef FEDRA_TESTS_TEST_UTIL_H_
+#define FEDRA_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/model.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace testing {
+
+inline void FillUniform(Tensor* t, Rng* rng, float lo = -1.0f,
+                        float hi = 1.0f) {
+  for (size_t i = 0; i < t->numel(); ++i) {
+    (*t)[i] = rng->NextUniform(lo, hi);
+  }
+}
+
+inline void FillUniform(float* data, size_t n, Rng* rng, float lo = -1.0f,
+                        float hi = 1.0f) {
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = rng->NextUniform(lo, hi);
+  }
+}
+
+/// Scalar loss used for gradient checks: weighted sum of the output.
+/// Fixed random weights make the check sensitive to every output element.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Checks d(loss)/d(input) of a layer against central finite differences.
+/// The layer must be bound to `store` if it has parameters.
+GradCheckResult CheckInputGradient(Layer* layer, const Tensor& input,
+                                   uint64_t seed, double epsilon = 1e-3);
+
+/// Checks d(loss)/d(params) of a model (all parameters at once, sampled
+/// `num_probes` coordinates to keep runtime bounded).
+GradCheckResult CheckParamGradient(Model* model, const Tensor& input,
+                                   const std::vector<int>& labels,
+                                   size_t num_probes, uint64_t seed,
+                                   double epsilon = 1e-3);
+
+}  // namespace testing
+}  // namespace fedra
+
+#endif  // FEDRA_TESTS_TEST_UTIL_H_

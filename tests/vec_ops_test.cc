@@ -1,0 +1,111 @@
+// Unit tests for the flat-vector kernels in src/tensor/vec_ops.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/vec_ops.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = rng.NextUniform(-2.0f, 2.0f);
+  }
+  return v;
+}
+
+TEST(VecOpsTest, CopyAndFill) {
+  auto src = RandomVec(100, 1);
+  std::vector<float> dst(100, 0.0f);
+  vec::Copy(src.data(), dst.data(), 100);
+  EXPECT_EQ(src, dst);
+  vec::Fill(dst.data(), 100, 3.5f);
+  for (float x : dst) {
+    EXPECT_EQ(x, 3.5f);
+  }
+}
+
+TEST(VecOpsTest, ScaleMultipliesEveryElement) {
+  auto v = RandomVec(64, 2);
+  auto expected = v;
+  vec::Scale(v.data(), v.size(), -2.0f);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_FLOAT_EQ(v[i], expected[i] * -2.0f);
+  }
+}
+
+TEST(VecOpsTest, AxpyAccumulates) {
+  auto x = RandomVec(64, 3);
+  auto y = RandomVec(64, 4);
+  auto y0 = y;
+  vec::Axpy(0.5f, x.data(), y.data(), 64);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_FLOAT_EQ(y[i], y0[i] + 0.5f * x[i]);
+  }
+}
+
+TEST(VecOpsTest, AddSubMulElementwise) {
+  auto a = RandomVec(33, 5);
+  auto b = RandomVec(33, 6);
+  std::vector<float> out(33);
+  vec::Add(a.data(), b.data(), out.data(), 33);
+  for (size_t i = 0; i < 33; ++i) {
+    EXPECT_FLOAT_EQ(out[i], a[i] + b[i]);
+  }
+  vec::Sub(a.data(), b.data(), out.data(), 33);
+  for (size_t i = 0; i < 33; ++i) {
+    EXPECT_FLOAT_EQ(out[i], a[i] - b[i]);
+  }
+  vec::Mul(a.data(), b.data(), out.data(), 33);
+  for (size_t i = 0; i < 33; ++i) {
+    EXPECT_FLOAT_EQ(out[i], a[i] * b[i]);
+  }
+}
+
+TEST(VecOpsTest, DotMatchesManualSum) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::vector<float> b = {4.0f, -5.0f, 6.0f};
+  EXPECT_DOUBLE_EQ(vec::Dot(a.data(), b.data(), 3), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VecOpsTest, SquaredNormAndNorm) {
+  std::vector<float> v = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(vec::SquaredNorm(v.data(), 2), 25.0);
+  EXPECT_DOUBLE_EQ(vec::Norm(v.data(), 2), 5.0);
+}
+
+TEST(VecOpsTest, SumAccumulates) {
+  std::vector<float> v = {0.5f, -1.5f, 2.0f};
+  EXPECT_DOUBLE_EQ(vec::Sum(v.data(), 3), 1.0);
+}
+
+TEST(VecOpsTest, DotIsStableForLargeVectors) {
+  // Double accumulation keeps error tiny even at 1e6 elements.
+  const size_t n = 1 << 20;
+  std::vector<float> ones(n, 1.0f);
+  EXPECT_DOUBLE_EQ(vec::Sum(ones.data(), n), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(vec::Dot(ones.data(), ones.data(), n),
+                   static_cast<double>(n));
+}
+
+TEST(VecOpsTest, MaxAbsDiff) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::vector<float> b = {1.5f, 2.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(vec::MaxAbsDiff(a.data(), b.data(), 3), 2.0);
+  EXPECT_DOUBLE_EQ(vec::MaxAbsDiff(a.data(), a.data(), 3), 0.0);
+}
+
+TEST(VecOpsTest, ZeroLengthIsSafe) {
+  vec::Fill(nullptr, 0, 1.0f);
+  EXPECT_DOUBLE_EQ(vec::Sum(nullptr, 0), 0.0);
+  EXPECT_DOUBLE_EQ(vec::SquaredNorm(nullptr, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace fedra
