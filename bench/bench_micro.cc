@@ -1,19 +1,32 @@
 // Micro-benchmarks (google-benchmark) of the kernels FDA's per-step cost
 // rests on: AMS sketch construction and estimation, the simulated
-// AllReduce, GEMM, and direct convolution.
+// AllReduce, GEMM, convolution, and the fused FDA vec kernels.
+//
+// --backend=ref|fast (default fast) selects which implementation the GEMM
+// and Conv2d benchmarks run: `fast` is the blocked/packed backend in
+// tensor/ops.cc, `ref` the scalar oracle in tensor/ref_ops.h. Record results
+// with google-benchmark's own flags, e.g.
+//   bench_micro --backend=ref --benchmark_out=BENCH_micro_ref.json
+//               --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "sim/collectives.h"
 #include "sketch/ams_sketch.h"
 #include "tensor/ops.h"
+#include "tensor/ref_ops.h"
 #include "tensor/vec_ops.h"
 #include "util/rng.h"
 
 namespace fedra {
 namespace {
+
+bool g_use_ref_backend = false;
 
 std::vector<float> RandomVec(size_t n, uint64_t seed) {
   Rng rng(seed);
@@ -22,6 +35,15 @@ std::vector<float> RandomVec(size_t n, uint64_t seed) {
     x = rng.NextGaussian(0.0f, 1.0f);
   }
   return v;
+}
+
+void GemmDispatch(int m, int n, int k, const float* a, const float* b,
+                  float* c) {
+  if (g_use_ref_backend) {
+    ref::Gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, c);
+  } else {
+    ops::Gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, c);
+  }
 }
 
 void BM_SketchAccumulate(benchmark::State& state) {
@@ -87,13 +109,38 @@ void BM_Gemm(benchmark::State& state) {
   auto b = RandomVec(static_cast<size_t>(n) * n, 21);
   std::vector<float> c(static_cast<size_t>(n) * n);
   for (auto _ : state) {
-    ops::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
-              c.data());
+    GemmDispatch(n, n, n, a.data(), b.data(), c.data());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(128)->Arg(256);
+
+void RunConvBench(benchmark::State& state, const ops::Conv2dGeometry& g) {
+  auto input = RandomVec(static_cast<size_t>(g.batch) * g.in_channels *
+                             g.in_h * g.in_w,
+                         30);
+  auto weight = RandomVec(static_cast<size_t>(g.out_channels) *
+                              g.in_channels * g.kernel * g.kernel,
+                          31);
+  std::vector<float> bias(static_cast<size_t>(g.out_channels), 0.1f);
+  std::vector<float> output(static_cast<size_t>(g.batch) * g.out_channels *
+                            g.out_h() * g.out_w());
+  ops::Conv2dWorkspace workspace;
+  for (auto _ : state) {
+    if (g_use_ref_backend) {
+      ref::Conv2dForward(g, input.data(), weight.data(), bias.data(),
+                         output.data());
+    } else {
+      ops::Conv2dForward(g, input.data(), weight.data(), bias.data(),
+                         output.data(), &workspace);
+    }
+    benchmark::DoNotOptimize(output.data());
+  }
+  const long long flops = 2LL * g.batch * g.out_channels * g.out_h() *
+                          g.out_w() * g.in_channels * g.kernel * g.kernel;
+  state.SetItemsProcessed(state.iterations() * flops);
+}
 
 void BM_Conv2dForward(benchmark::State& state) {
   ops::Conv2dGeometry g;
@@ -104,22 +151,23 @@ void BM_Conv2dForward(benchmark::State& state) {
   g.kernel = 3;
   g.stride = 1;
   g.pad = 1;
-  auto input = RandomVec(static_cast<size_t>(g.batch) * g.in_channels *
-                             g.in_h * g.in_w,
-                         30);
-  auto weight = RandomVec(static_cast<size_t>(g.out_channels) *
-                              g.in_channels * 9,
-                          31);
-  std::vector<float> bias(static_cast<size_t>(g.out_channels), 0.1f);
-  std::vector<float> output(static_cast<size_t>(g.batch) * g.out_channels *
-                            g.out_h() * g.out_w());
-  for (auto _ : state) {
-    ops::Conv2dForward(g, input.data(), weight.data(), bias.data(),
-                       output.data());
-    benchmark::DoNotOptimize(output.data());
-  }
+  RunConvBench(state, g);
 }
 BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dForwardVgg(benchmark::State& state) {
+  // VGG-style body conv: 3x3, 64 -> 64 channels, 32x32 feature map.
+  ops::Conv2dGeometry g;
+  g.batch = 2;
+  g.in_channels = 64;
+  g.in_h = g.in_w = 32;
+  g.out_channels = 64;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  RunConvBench(state, g);
+}
+BENCHMARK(BM_Conv2dForwardVgg);
 
 void BM_VarianceIdentity(benchmark::State& state) {
   // The per-step scalar work of LinearFDA's state computation.
@@ -134,7 +182,71 @@ void BM_VarianceIdentity(benchmark::State& state) {
 }
 BENCHMARK(BM_VarianceIdentity)->Arg(1 << 14)->Arg(1 << 18);
 
+void BM_SubSquaredNorm(benchmark::State& state) {
+  // The fused drift kernel: u = w - w_sync and ||u||^2 in one pass.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  auto w = RandomVec(dim, 50);
+  auto w_sync = RandomVec(dim, 51);
+  std::vector<float> u(dim);
+  for (auto _ : state) {
+    if (g_use_ref_backend) {
+      benchmark::DoNotOptimize(
+          ref::SubSquaredNorm(w.data(), w_sync.data(), u.data(), dim));
+    } else {
+      benchmark::DoNotOptimize(
+          vec::SubSquaredNorm(w.data(), w_sync.data(), u.data(), dim));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+}
+BENCHMARK(BM_SubSquaredNorm)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_AxpyNorm(benchmark::State& state) {
+  // The fused SGD update kernel: w -= lr * g and ||w||^2 in one pass.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  auto g = RandomVec(dim, 60);
+  auto w = RandomVec(dim, 61);
+  for (auto _ : state) {
+    if (g_use_ref_backend) {
+      benchmark::DoNotOptimize(
+          ref::AxpyNorm(-0.01f, g.data(), w.data(), dim));
+    } else {
+      benchmark::DoNotOptimize(
+          vec::AxpyNorm(-0.01f, g.data(), w.data(), dim));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+}
+BENCHMARK(BM_AxpyNorm)->Arg(1 << 14)->Arg(1 << 18);
+
 }  // namespace
 }  // namespace fedra
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out our own --backend flag before google-benchmark sees argv.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      const std::string value = argv[i] + 10;
+      if (value == "ref") {
+        fedra::g_use_ref_backend = true;
+      } else if (value == "fast") {
+        fedra::g_use_ref_backend = false;
+      } else {
+        std::fprintf(stderr, "unknown --backend=%s (want ref|fast)\n",
+                     value.c_str());
+        return 1;
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

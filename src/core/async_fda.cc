@@ -134,10 +134,10 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
                            dim_);
     ++total_steps;
 
-    // Upload the local state to the coordinator (point-to-point).
-    vec::Sub(worker.model->params(), sync_params.data(),
-             worker.drift.data(), dim_);
-    monitor->ComputeLocalState(worker.drift.data(), worker.state.data());
+    // Upload the local state to the coordinator (point-to-point); the fused
+    // kernel computes the drift and its squared norm in one pass.
+    monitor->ComputeDriftAndState(worker.model->params(), sync_params.data(),
+                                  worker.drift.data(), worker.state.data());
     latest_states[static_cast<size_t>(event.worker)] = worker.state;
     network.PointToPoint(monitor->StateSize(), TrafficClass::kLocalState);
 

@@ -27,11 +27,12 @@ void FdaSyncPolicy::Initialize(ClusterContext& ctx) {
 
 bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
   FEDRA_CHECK_EQ(monitor_->dim(), ctx.dim);
-  // (Alg. 1 line 6) every worker updates its local state from its drift.
+  // (Alg. 1 line 6) every worker updates its local state from its drift;
+  // the fused kernel writes u_k = w_k - w_sync and ||u_k||^2 in one pass.
   for (auto& worker : *ctx.workers) {
-    vec::Sub(worker.model->params(), ctx.sync_params->data(),
-             worker.drift.data(), ctx.dim);
-    monitor_->ComputeLocalState(worker.drift.data(), worker.state.data());
+    monitor_->ComputeDriftAndState(worker.model->params(),
+                                   ctx.sync_params->data(),
+                                   worker.drift.data(), worker.state.data());
   }
   // (line 7) AllReduce the small states.
   std::vector<float*> states = ctx.StatePointers();

@@ -8,6 +8,21 @@
 
 namespace fedra {
 
+// ---------------------------------------------------------------- base --
+
+void VarianceMonitor::ComputeLocalState(const float* drift, float* state) {
+  state[0] = static_cast<float>(vec::SquaredNorm(drift, dim_));
+  FillStateTail(drift, state);
+}
+
+void VarianceMonitor::ComputeDriftAndState(const float* params,
+                                           const float* sync_params,
+                                           float* drift, float* state) {
+  state[0] =
+      static_cast<float>(vec::SubSquaredNorm(params, sync_params, drift, dim_));
+  FillStateTail(drift, state);
+}
+
 // ------------------------------------------------------------ ExactFDA --
 
 ExactVarianceMonitor::ExactVarianceMonitor(size_t dim)
@@ -15,9 +30,7 @@ ExactVarianceMonitor::ExactVarianceMonitor(size_t dim)
   FEDRA_CHECK_GT(dim, 0u);
 }
 
-void ExactVarianceMonitor::ComputeLocalState(const float* drift,
-                                             float* state) {
-  state[0] = static_cast<float>(vec::SquaredNorm(drift, dim()));
+void ExactVarianceMonitor::FillStateTail(const float* drift, float* state) {
   vec::Copy(drift, state + 1, dim());
 }
 
@@ -39,9 +52,7 @@ size_t SketchVarianceMonitor::StateSize() const {
   return 1 + scratch_.numel();
 }
 
-void SketchVarianceMonitor::ComputeLocalState(const float* drift,
-                                              float* state) {
-  state[0] = static_cast<float>(vec::SquaredNorm(drift, dim()));
+void SketchVarianceMonitor::FillStateTail(const float* drift, float* state) {
   scratch_.Clear();
   scratch_.AccumulateVector(drift);
   vec::Copy(scratch_.data(), state + 1, scratch_.numel());
@@ -66,9 +77,7 @@ LinearVarianceMonitor::LinearVarianceMonitor(size_t dim)
   FEDRA_CHECK_GT(dim, 0u);
 }
 
-void LinearVarianceMonitor::ComputeLocalState(const float* drift,
-                                              float* state) {
-  state[0] = static_cast<float>(vec::SquaredNorm(drift, dim()));
+void LinearVarianceMonitor::FillStateTail(const float* drift, float* state) {
   state[1] = xi_valid_
                  ? static_cast<float>(vec::Dot(xi_.data(), drift, dim()))
                  : 0.0f;
@@ -85,8 +94,8 @@ void LinearVarianceMonitor::OnSynchronized(const float* new_global,
                                            const float* prev_global) {
   // xi = (w_t0 - w_t-1) / ||w_t0 - w_t-1|| — computable by every worker
   // locally from the last two synchronized models (paper §3.2).
-  vec::Sub(new_global, prev_global, xi_.data(), dim());
-  const double norm = vec::Norm(xi_.data(), dim());
+  const double norm = std::sqrt(
+      vec::SubSquaredNorm(new_global, prev_global, xi_.data(), dim()));
   if (norm <= 1e-12) {
     std::memset(xi_.data(), 0, dim() * sizeof(float));
     xi_valid_ = false;

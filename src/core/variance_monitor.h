@@ -34,7 +34,15 @@ class VarianceMonitor {
   virtual size_t StateSize() const = 0;
 
   /// Computes this worker's local state from its drift (length dim()).
-  virtual void ComputeLocalState(const float* drift, float* state) = 0;
+  /// state[0] = ||drift||^2; the monitor-specific tail follows.
+  void ComputeLocalState(const float* drift, float* state);
+
+  /// Fused per-step path: writes drift = params - sync_params and computes
+  /// the local state, obtaining ||drift||^2 in the same pass over the
+  /// model-sized spans (vec::SubSquaredNorm). Equivalent to vec::Sub followed
+  /// by ComputeLocalState, at roughly half the memory traffic.
+  void ComputeDriftAndState(const float* params, const float* sync_params,
+                            float* drift, float* state);
 
   /// H(S_bar): the variance over-estimate from the averaged state.
   virtual double EstimateVariance(const float* avg_state) const = 0;
@@ -56,6 +64,10 @@ class VarianceMonitor {
  protected:
   explicit VarianceMonitor(size_t dim) : dim_(dim) {}
 
+  /// Fills state[1..] from the drift; state[0] (= ||drift||^2) is already
+  /// set by the public entry points.
+  virtual void FillStateTail(const float* drift, float* state) = 0;
+
  private:
   size_t dim_;
 };
@@ -69,9 +81,11 @@ class ExactVarianceMonitor : public VarianceMonitor {
   explicit ExactVarianceMonitor(size_t dim);
 
   size_t StateSize() const override { return dim() + 1; }
-  void ComputeLocalState(const float* drift, float* state) override;
   double EstimateVariance(const float* avg_state) const override;
   std::string name() const override { return "ExactFDA"; }
+
+ protected:
+  void FillStateTail(const float* drift, float* state) override;
 };
 
 /// SketchFDA (Thm 3.1): state = (||u||^2, sk(u)). The averaged sketch equals
@@ -83,12 +97,14 @@ class SketchVarianceMonitor : public VarianceMonitor {
   SketchVarianceMonitor(size_t dim, int rows, int cols, uint64_t seed);
 
   size_t StateSize() const override;
-  void ComputeLocalState(const float* drift, float* state) override;
   double EstimateVariance(const float* avg_state) const override;
   std::string name() const override { return "SketchFDA"; }
 
   const AmsHashFamily& family() const { return *family_; }
   double epsilon() const { return scratch_.ErrorBound(); }
+
+ protected:
+  void FillStateTail(const float* drift, float* state) override;
 
  private:
   std::shared_ptr<const AmsHashFamily> family_;
@@ -105,7 +121,6 @@ class LinearVarianceMonitor : public VarianceMonitor {
   explicit LinearVarianceMonitor(size_t dim);
 
   size_t StateSize() const override { return 2; }
-  void ComputeLocalState(const float* drift, float* state) override;
   double EstimateVariance(const float* avg_state) const override;
   void OnSynchronized(const float* new_global,
                       const float* prev_global) override;
@@ -113,6 +128,9 @@ class LinearVarianceMonitor : public VarianceMonitor {
 
   /// Current heuristic direction (unit norm or all-zero before 2 syncs).
   const std::vector<float>& xi() const { return xi_; }
+
+ protected:
+  void FillStateTail(const float* drift, float* state) override;
 
  private:
   std::vector<float> xi_;

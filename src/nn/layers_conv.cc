@@ -57,7 +57,8 @@ Tensor Conv2dLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
                out_channels_, kernel_,     stride_,      pad_};
   Tensor output(
       {geometry_.batch, out_channels_, geometry_.out_h(), geometry_.out_w()});
-  ops::Conv2dForward(geometry_, input.data(), weight_, bias_, output.data());
+  ops::Conv2dForward(geometry_, input.data(), weight_, bias_, output.data(),
+                     &workspace_);
   return output;
 }
 
@@ -65,7 +66,7 @@ Tensor Conv2dLayer::Backward(const Tensor& grad_output) {
   Tensor grad_input(cached_input_.shape());
   ops::Conv2dBackward(geometry_, cached_input_.data(), weight_,
                       grad_output.data(), grad_input.data(), grad_weight_,
-                      grad_bias_);
+                      grad_bias_, &workspace_);
   return grad_input;
 }
 

@@ -42,6 +42,9 @@ class Conv2dLayer : public Layer {
   float* grad_bias_ = nullptr;
   Tensor cached_input_;
   ops::Conv2dGeometry geometry_;
+  // Per-layer im2col scratch, reused across steps: the inner training loop
+  // allocates nothing once the buffers reach steady-state capacity.
+  ops::Conv2dWorkspace workspace_;
 };
 
 /// Depthwise 2-D convolution (one filter per channel); used by ConvNeXt.

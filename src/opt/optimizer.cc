@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/vec_ops.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -99,6 +100,12 @@ class SgdOptimizer : public Optimizer {
     const float lr = config_.learning_rate;
     const float wd = config_.weight_decay;
     if (config_.kind == OptimizerConfig::Kind::kSgd) {
+      if (wd == 0.0f) {
+        // params -= lr * grads is a single fused AXPY; the same pass yields
+        // the post-step parameter norm.
+        last_param_sq_norm_ = vec::AxpyNorm(-lr, grads, params, n);
+        return;
+      }
       for (size_t i = 0; i < n; ++i) {
         const float g = grads[i] + wd * params[i];
         params[i] -= lr * g;
@@ -128,13 +135,17 @@ class SgdOptimizer : public Optimizer {
     for (float& v : velocity_) {
       v = 0.0f;
     }
+    last_param_sq_norm_ = -1.0;
   }
 
   std::string name() const override { return config_.ToString(); }
 
+  double last_param_sq_norm() const override { return last_param_sq_norm_; }
+
  private:
   OptimizerConfig config_;
   std::vector<float> velocity_;
+  double last_param_sq_norm_ = -1.0;
 };
 
 class AdamOptimizer : public Optimizer {

@@ -59,6 +59,12 @@ class Optimizer {
 
   virtual std::string name() const = 0;
 
+  /// ||params||^2 after the most recent Step, when the active update path
+  /// tracks it for free (plain SGD fuses the update and the reduction via
+  /// vec::AxpyNorm); negative when the path doesn't track it. A steadily
+  /// growing value is a cheap divergence signal.
+  virtual double last_param_sq_norm() const { return -1.0; }
+
   /// Creates an optimizer for a model of dimension `dim`.
   static std::unique_ptr<Optimizer> Create(const OptimizerConfig& config,
                                            size_t dim);

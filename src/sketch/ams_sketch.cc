@@ -37,12 +37,20 @@ void AmsSketch::Update(size_t j, float delta) {
 void AmsSketch::AccumulateVector(const float* v) {
   const size_t dim = family_->dim();
   const int num_rows = family_->rows();
-  const int num_cols = family_->cols();
-  for (int r = 0; r < num_rows; ++r) {
-    float* row = cells_.data() + static_cast<size_t>(r) * num_cols;
-    for (size_t j = 0; j < dim; ++j) {
-      // sign is +-1 stored as a byte; branchless add.
-      row[family_->bucket(r, j)] += family_->sign(r, j) * v[j];
+  float* cells = cells_.data();
+  // Blocked per-depth accumulation: walk v once per block (it stays in L1
+  // across the row loop) using the family's precomputed absolute-cell-offset
+  // and float-sign tables — one gather-multiply-add per (row, coordinate),
+  // no per-element bucket arithmetic or int-to-float sign conversion.
+  constexpr size_t kBlock = 4096;
+  for (size_t j0 = 0; j0 < dim; j0 += kBlock) {
+    const size_t j1 = std::min(dim, j0 + kBlock);
+    for (int r = 0; r < num_rows; ++r) {
+      const uint32_t* offsets = family_->cell_offsets(r);
+      const float* signs = family_->sign_values(r);
+      for (size_t j = j0; j < j1; ++j) {
+        cells[offsets[j]] += signs[j] * v[j];
+      }
     }
   }
 }

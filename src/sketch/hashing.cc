@@ -65,17 +65,21 @@ AmsHashFamily::AmsHashFamily(int rows, int cols, size_t dim, uint64_t seed)
   FEDRA_CHECK_GT(rows, 0);
   FEDRA_CHECK_GT(cols, 0);
   FEDRA_CHECK_GT(dim, 0u);
-  buckets_.resize(static_cast<size_t>(rows) * dim);
-  signs_.resize(static_cast<size_t>(rows) * dim);
+  cell_offsets_.resize(static_cast<size_t>(rows) * dim);
+  sign_values_.resize(static_cast<size_t>(rows) * dim);
   uint64_t sm = seed;
   for (int r = 0; r < rows; ++r) {
     const FourWiseHash sign_hash(SplitMix64(sm));
     const PairwiseHash bucket_hash(SplitMix64(sm));
-    uint32_t* row_buckets = buckets_.data() + static_cast<size_t>(r) * dim;
-    uint8_t* row_signs = signs_.data() + static_cast<size_t>(r) * dim;
+    const size_t row_base = static_cast<size_t>(r) * dim;
+    uint32_t* row_offsets = cell_offsets_.data() + row_base;
+    float* row_sign_values = sign_values_.data() + row_base;
+    const uint32_t cell_base = static_cast<uint32_t>(r) *
+                               static_cast<uint32_t>(cols);
     for (size_t j = 0; j < dim; ++j) {
-      row_buckets[j] = bucket_hash.Bucket(j, static_cast<uint32_t>(cols));
-      row_signs[j] = sign_hash.Sign(j) > 0 ? 1 : 0;
+      row_offsets[j] =
+          cell_base + bucket_hash.Bucket(j, static_cast<uint32_t>(cols));
+      row_sign_values[j] = sign_hash.Sign(j);
     }
   }
 }

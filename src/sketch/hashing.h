@@ -64,11 +64,25 @@ class AmsHashFamily {
 
   /// Bucket of coordinate j in row r.
   uint32_t bucket(int r, size_t j) const {
-    return buckets_[static_cast<size_t>(r) * dim_ + j];
+    return cell_offsets_[static_cast<size_t>(r) * dim_ + j] -
+           static_cast<uint32_t>(r) * static_cast<uint32_t>(cols_);
   }
   /// Sign (+1/-1) of coordinate j in row r.
   float sign(int r, size_t j) const {
-    return signs_[static_cast<size_t>(r) * dim_ + j] ? 1.0f : -1.0f;
+    return sign_values_[static_cast<size_t>(r) * dim_ + j];
+  }
+
+  /// Flat accumulation tables for AmsSketch::AccumulateVector: per row r,
+  /// cell_offsets(r)[j] is the *absolute* cell index r*cols + bucket(r, j)
+  /// and sign_values(r)[j] the sign as a float, so the hot loop is a single
+  /// gather-multiply-add per (row, coordinate) with no int-to-float
+  /// conversion or row-base arithmetic. These are the only stored tables;
+  /// bucket()/sign() above derive their values from them.
+  const uint32_t* cell_offsets(int r) const {
+    return cell_offsets_.data() + static_cast<size_t>(r) * dim_;
+  }
+  const float* sign_values(int r) const {
+    return sign_values_.data() + static_cast<size_t>(r) * dim_;
   }
 
   /// Creates a family usable by every worker of a run (value-shared).
@@ -81,8 +95,8 @@ class AmsHashFamily {
   int cols_;
   size_t dim_;
   uint64_t seed_;
-  std::vector<uint32_t> buckets_;  // rows x dim
-  std::vector<uint8_t> signs_;     // rows x dim; 1 => +1, 0 => -1
+  std::vector<uint32_t> cell_offsets_;  // rows x dim; r*cols + bucket
+  std::vector<float> sign_values_;      // rows x dim; +-1.0f
 };
 
 }  // namespace fedra

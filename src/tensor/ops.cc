@@ -1,56 +1,221 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <vector>
 
+#include "tensor/vec_ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace fedra {
 namespace ops {
 
-void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
-          const float* a, const float* b, float beta, float* c) {
-  FEDRA_CHECK(m > 0 && n > 0 && k > 0);
-  // Scale/zero C first so the accumulation loop stays simple.
-  const size_t c_size = static_cast<size_t>(m) * static_cast<size_t>(n);
-  if (beta == 0.0f) {
-    std::fill(c, c + c_size, 0.0f);
-  } else if (beta != 1.0f) {
-    for (size_t i = 0; i < c_size; ++i) {
-      c[i] *= beta;
+// ------------------------------------------------------------------ GEMM --
+//
+// Classic three-level blocking (Goto-style): B is packed once per (jc, pc)
+// panel into NR-wide column micro-panels, each MC-row block of A is packed
+// into MR-tall row micro-panels, and a register-tiled MR x NR micro-kernel
+// runs over the packed panels. Row blocks are independent, so they fan out
+// over GlobalThreadPool; packing zero-pads tile edges so the micro-kernel
+// never branches on bounds.
+
+namespace {
+
+constexpr int kMR = 8;    // micro-tile rows
+constexpr int kNR = 32;   // micro-tile cols: two 16-float accumulator
+                          // vectors per row (16 chains hide FMA latency)
+constexpr int kMC = 96;   // A block rows per panel (multiple of kMR)
+constexpr int kKC = 256;  // shared depth per panel
+constexpr int kNC = 1024; // B panel cols (multiple of kNR)
+
+// Parallelize only when the panel loop has enough arithmetic to amortize the
+// pool's wake/wait round-trip.
+constexpr long long kParallelFlopThreshold = 1LL << 21;
+
+// Packs rows [i0, i0+mc) x depth [p0, p0+kc) of op(A) into MR-tall panels:
+// panel ir holds elements [p][ii] at apack[ir/MR * kc*MR + p*MR + ii],
+// zero-padded past mc.
+void PackA(bool trans_a, const float* a, int m, int k, int i0, int mc, int p0,
+           int kc, float* apack) {
+  for (int ir = 0; ir < mc; ir += kMR) {
+    float* panel = apack + static_cast<size_t>(ir / kMR) * kc * kMR;
+    const int mr_eff = std::min(kMR, mc - ir);
+    if (mr_eff < kMR) {
+      std::fill(panel, panel + static_cast<size_t>(kc) * kMR, 0.0f);
     }
-  }
-  // a(i, p): lda depends on transposition; same for b(p, j).
-  auto a_at = [&](int i, int p) -> float {
-    return trans_a ? a[static_cast<size_t>(p) * m + i]
-                   : a[static_cast<size_t>(i) * k + p];
-  };
-  auto b_at = [&](int p, int j) -> float {
-    return trans_b ? b[static_cast<size_t>(j) * k + p]
-                   : b[static_cast<size_t>(p) * n + j];
-  };
-  // i-p-j loop order keeps the inner loop contiguous over C (and over B when
-  // B is not transposed), which is the common case in our layers.
-  for (int i = 0; i < m; ++i) {
-    float* c_row = c + static_cast<size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float a_ip = alpha * a_at(i, p);
-      if (a_ip == 0.0f) {
-        continue;
-      }
-      if (!trans_b) {
-        const float* b_row = b + static_cast<size_t>(p) * n;
-        for (int j = 0; j < n; ++j) {
-          c_row[j] += a_ip * b_row[j];
+    if (!trans_a) {
+      // Row-major A: walk each source row contiguously; the strided panel
+      // writes stay inside the L1-resident panel.
+      for (int ii = 0; ii < mr_eff; ++ii) {
+        const float* src =
+            a + static_cast<size_t>(i0 + ir + ii) * k + p0;
+        for (int p = 0; p < kc; ++p) {
+          panel[static_cast<size_t>(p) * kMR + ii] = src[p];
         }
-      } else {
-        for (int j = 0; j < n; ++j) {
-          c_row[j] += a_ip * b_at(p, j);
+      }
+    } else {
+      // A^T: coordinates (i0+ii, p0+p) live contiguously along ii.
+      for (int p = 0; p < kc; ++p) {
+        const float* src = a + static_cast<size_t>(p0 + p) * m + (i0 + ir);
+        float* dst = panel + static_cast<size_t>(p) * kMR;
+        for (int ii = 0; ii < mr_eff; ++ii) {
+          dst[ii] = src[ii];
         }
       }
     }
   }
 }
+
+// Packs depth [p0, p0+kc) x cols [j0, j0+nc) of op(B) into NR-wide panels:
+// panel jr holds elements [p][jj] at bpack[jr/NR * kc*NR + p*NR + jj],
+// zero-padded past nc.
+void PackB(bool trans_b, const float* b, int k, int n, int p0, int kc, int j0,
+           int nc, float* bpack) {
+  for (int jr = 0; jr < nc; jr += kNR) {
+    float* panel = bpack + static_cast<size_t>(jr / kNR) * kc * kNR;
+    const int nr_eff = std::min(kNR, nc - jr);
+    for (int p = 0; p < kc; ++p) {
+      float* dst = panel + static_cast<size_t>(p) * kNR;
+      if (!trans_b) {
+        const float* src =
+            b + static_cast<size_t>(p0 + p) * n + (j0 + jr);
+        std::memcpy(dst, src, static_cast<size_t>(nr_eff) * sizeof(float));
+      } else {
+        for (int jj = 0; jj < nr_eff; ++jj) {
+          dst[jj] = b[static_cast<size_t>(j0 + jr + jj) * k + (p0 + p)];
+        }
+      }
+      for (int jj = nr_eff; jj < kNR; ++jj) {
+        dst[jj] = 0.0f;
+      }
+    }
+  }
+}
+
+// acc[MR][NR] = apanel * bpanel over kc depth steps.
+//
+// The accumulators are GCC/Clang vector-extension values held in registers
+// for the whole kc loop, so each depth step issues one B-panel vector load
+// plus kMR broadcast-FMAs. This formulation matters: GCC 12 compiles the
+// equivalent scalar `local[i][j] += a[i] * b[j]` loops to shuffle-heavy
+// 4-wide code (~25x slower) because the loop vectorizer rejects the
+// interleaved 2-D access pattern. Kept out-of-line so the optimizer treats
+// the __restrict__ panels as genuinely disjoint at every call site.
+#if defined(__GNUC__) || defined(__clang__)
+#define FEDRA_GEMM_VECEXT 1
+#define FEDRA_NOINLINE __attribute__((noinline))
+#define FEDRA_RESTRICT __restrict__
+typedef float Vf16 __attribute__((vector_size(64), aligned(4)));
+static_assert(kNR == 2 * 16, "micro-kernel assumes two 16-float vectors");
+#else
+#define FEDRA_NOINLINE
+#define FEDRA_RESTRICT
+#endif
+
+FEDRA_NOINLINE void MicroKernel(int kc, const float* FEDRA_RESTRICT apanel,
+                                const float* FEDRA_RESTRICT bpanel,
+                                float* FEDRA_RESTRICT acc) {
+#ifdef FEDRA_GEMM_VECEXT
+  Vf16 local[kMR][2] = {};
+  for (int p = 0; p < kc; ++p, apanel += kMR, bpanel += kNR) {
+    const Vf16 b0 = *reinterpret_cast<const Vf16*>(bpanel);
+    const Vf16 b1 = *reinterpret_cast<const Vf16*>(bpanel + 16);
+    for (int i = 0; i < kMR; ++i) {
+      local[i][0] += apanel[i] * b0;
+      local[i][1] += apanel[i] * b1;
+    }
+  }
+  std::memcpy(acc, local, sizeof(local));
+#else
+  float local[kMR][kNR] = {};
+  for (int p = 0; p < kc; ++p, apanel += kMR, bpanel += kNR) {
+    for (int i = 0; i < kMR; ++i) {
+      const float ai = apanel[i];
+      for (int j = 0; j < kNR; ++j) {
+        local[i][j] += ai * bpanel[j];
+      }
+    }
+  }
+  std::memcpy(acc, local, sizeof(local));
+#endif
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  FEDRA_CHECK(m > 0 && n > 0 && k > 0);
+  // Scale/zero C up front; the panel loop below only ever accumulates.
+  const size_t c_size = static_cast<size_t>(m) * static_cast<size_t>(n);
+  if (beta == 0.0f) {
+    std::fill(c, c + c_size, 0.0f);
+  } else if (beta != 1.0f) {
+    vec::Scale(c, c_size, beta);
+  }
+  if (alpha == 0.0f) {
+    return;
+  }
+
+  // Caller-thread B panel; worker threads only read it. Thread-local so
+  // repeated GEMM calls reuse the allocation.
+  thread_local std::vector<float> bpack;
+  const long long flops = 2LL * m * n * k;
+
+  for (int jc = 0; jc < n; jc += kNC) {
+    const int nc = std::min(kNC, n - jc);
+    const int nc_panels = (nc + kNR - 1) / kNR;
+    for (int pc = 0; pc < k; pc += kKC) {
+      const int kc = std::min(kKC, k - pc);
+      bpack.resize(static_cast<size_t>(nc_panels) * kc * kNR);
+      PackB(trans_b, b, k, n, pc, kc, jc, nc, bpack.data());
+      const float* bpack_data = bpack.data();
+
+      const int num_iblocks = (m + kMC - 1) / kMC;
+      auto process_iblock = [&, kc, nc, jc, pc](size_t bi) {
+        const int ic = static_cast<int>(bi) * kMC;
+        const int mc = std::min(kMC, m - ic);
+        const int mc_panels = (mc + kMR - 1) / kMR;
+        thread_local std::vector<float> apack;
+        apack.resize(static_cast<size_t>(mc_panels) * kc * kMR);
+        PackA(trans_a, a, m, k, ic, mc, pc, kc, apack.data());
+        alignas(64) float acc[kMR * kNR];
+        for (int jr = 0; jr < nc; jr += kNR) {
+          const float* bpanel =
+              bpack_data + static_cast<size_t>(jr / kNR) * kc * kNR;
+          const int nr_eff = std::min(kNR, nc - jr);
+          for (int ir = 0; ir < mc; ir += kMR) {
+            const float* apanel =
+                apack.data() + static_cast<size_t>(ir / kMR) * kc * kMR;
+            MicroKernel(kc, apanel, bpanel, acc);
+            const int mr_eff = std::min(kMR, mc - ir);
+            for (int ii = 0; ii < mr_eff; ++ii) {
+              float* c_row =
+                  c + static_cast<size_t>(ic + ir + ii) * n + (jc + jr);
+              const float* acc_row = acc + ii * kNR;
+              for (int jj = 0; jj < nr_eff; ++jj) {
+                c_row[jj] += alpha * acc_row[jj];
+              }
+            }
+          }
+        }
+      };
+
+      if (num_iblocks > 1 && flops >= kParallelFlopThreshold &&
+          !ThreadPool::OnPoolThread()) {
+        GlobalThreadPool().ParallelFor(static_cast<size_t>(num_iblocks),
+                                       process_iblock);
+      } else {
+        for (int bi = 0; bi < num_iblocks; ++bi) {
+          process_iblock(static_cast<size_t>(bi));
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ conv --
 
 namespace {
 
@@ -61,95 +226,183 @@ inline size_t Idx4(int n, int c, int h, int w, int channels, int height,
          w;
 }
 
+// 1x1 stride-1 unpadded convs (DenseNet bottlenecks) are already a plain
+// GEMM over the input plane; skip the im2col copy for them.
+inline bool IsPointwise(const Conv2dGeometry& g) {
+  return g.kernel == 1 && g.stride == 1 && g.pad == 0;
+}
+
+thread_local Conv2dWorkspace tls_conv_workspace;
+
 }  // namespace
 
-void Conv2dForward(const Conv2dGeometry& g, const float* input,
-                   const float* weight, const float* bias, float* output) {
+void Im2col(const Conv2dGeometry& g, const float* input, float* col) {
   const int oh = g.out_h();
   const int ow = g.out_w();
-  FEDRA_CHECK(oh > 0 && ow > 0) << "conv output is empty";
-  for (int n = 0; n < g.batch; ++n) {
-    for (int oc = 0; oc < g.out_channels; ++oc) {
-      for (int y = 0; y < oh; ++y) {
-        for (int x = 0; x < ow; ++x) {
-          float acc = bias ? bias[oc] : 0.0f;
-          const int h0 = y * g.stride - g.pad;
-          const int w0 = x * g.stride - g.pad;
-          for (int ic = 0; ic < g.in_channels; ++ic) {
-            for (int ky = 0; ky < g.kernel; ++ky) {
-              const int h = h0 + ky;
-              if (h < 0 || h >= g.in_h) {
-                continue;
-              }
-              for (int kx = 0; kx < g.kernel; ++kx) {
-                const int w = w0 + kx;
-                if (w < 0 || w >= g.in_w) {
-                  continue;
-                }
-                const float in_val =
-                    input[Idx4(n, ic, h, w, g.in_channels, g.in_h, g.in_w)];
-                const float w_val =
-                    weight[((static_cast<size_t>(oc) * g.in_channels + ic) *
-                                g.kernel +
-                            ky) *
-                               g.kernel +
-                           kx];
-                acc += in_val * w_val;
-              }
+  const size_t ohw = static_cast<size_t>(oh) * ow;
+  for (int ic = 0; ic < g.in_channels; ++ic) {
+    const float* plane =
+        input + static_cast<size_t>(ic) * g.in_h * g.in_w;
+    for (int ky = 0; ky < g.kernel; ++ky) {
+      for (int kx = 0; kx < g.kernel; ++kx) {
+        float* row =
+            col + ((static_cast<size_t>(ic) * g.kernel + ky) * g.kernel + kx) *
+                      ohw;
+        for (int y = 0; y < oh; ++y) {
+          const int h = y * g.stride - g.pad + ky;
+          float* dst = row + static_cast<size_t>(y) * ow;
+          if (h < 0 || h >= g.in_h) {
+            std::fill(dst, dst + ow, 0.0f);
+            continue;
+          }
+          const float* src_row = plane + static_cast<size_t>(h) * g.in_w;
+          if (g.stride == 1) {
+            // Contiguous middle segment; only the pad fringes need zeros.
+            const int w0 = kx - g.pad;  // input col at x = 0
+            const int x_lo = std::min(ow, std::max(0, -w0));
+            const int x_hi = std::max(x_lo, std::min(ow, g.in_w - w0));
+            std::fill(dst, dst + x_lo, 0.0f);
+            std::memcpy(dst + x_lo, src_row + w0 + x_lo,
+                        static_cast<size_t>(x_hi - x_lo) * sizeof(float));
+            std::fill(dst + x_hi, dst + ow, 0.0f);
+          } else {
+            for (int x = 0; x < ow; ++x) {
+              const int w = x * g.stride - g.pad + kx;
+              dst[x] = (w >= 0 && w < g.in_w) ? src_row[w] : 0.0f;
             }
           }
-          output[Idx4(n, oc, y, x, g.out_channels, oh, ow)] = acc;
         }
       }
     }
   }
 }
 
-void Conv2dBackward(const Conv2dGeometry& g, const float* input,
-                    const float* weight, const float* grad_output,
-                    float* grad_input, float* grad_weight, float* grad_bias) {
+void Col2imAdd(const Conv2dGeometry& g, const float* col, float* grad_input) {
   const int oh = g.out_h();
   const int ow = g.out_w();
-  for (int n = 0; n < g.batch; ++n) {
-    for (int oc = 0; oc < g.out_channels; ++oc) {
-      for (int y = 0; y < oh; ++y) {
-        for (int x = 0; x < ow; ++x) {
-          const float go =
-              grad_output[Idx4(n, oc, y, x, g.out_channels, oh, ow)];
-          if (grad_bias) {
-            grad_bias[oc] += go;
+  const size_t ohw = static_cast<size_t>(oh) * ow;
+  for (int ic = 0; ic < g.in_channels; ++ic) {
+    float* plane = grad_input + static_cast<size_t>(ic) * g.in_h * g.in_w;
+    for (int ky = 0; ky < g.kernel; ++ky) {
+      for (int kx = 0; kx < g.kernel; ++kx) {
+        const float* row =
+            col + ((static_cast<size_t>(ic) * g.kernel + ky) * g.kernel + kx) *
+                      ohw;
+        for (int y = 0; y < oh; ++y) {
+          const int h = y * g.stride - g.pad + ky;
+          if (h < 0 || h >= g.in_h) {
+            continue;
           }
-          const int h0 = y * g.stride - g.pad;
-          const int w0 = x * g.stride - g.pad;
-          for (int ic = 0; ic < g.in_channels; ++ic) {
-            for (int ky = 0; ky < g.kernel; ++ky) {
-              const int h = h0 + ky;
-              if (h < 0 || h >= g.in_h) {
-                continue;
-              }
-              for (int kx = 0; kx < g.kernel; ++kx) {
-                const int w = w0 + kx;
-                if (w < 0 || w >= g.in_w) {
-                  continue;
-                }
-                const size_t in_idx =
-                    Idx4(n, ic, h, w, g.in_channels, g.in_h, g.in_w);
-                const size_t w_idx =
-                    ((static_cast<size_t>(oc) * g.in_channels + ic) *
-                         g.kernel +
-                     ky) *
-                        g.kernel +
-                    kx;
-                if (grad_weight) {
-                  grad_weight[w_idx] += go * input[in_idx];
-                }
-                if (grad_input) {
-                  grad_input[in_idx] += go * weight[w_idx];
-                }
+          const float* src = row + static_cast<size_t>(y) * ow;
+          float* dst_row = plane + static_cast<size_t>(h) * g.in_w;
+          if (g.stride == 1) {
+            const int w0 = kx - g.pad;
+            const int x_lo = std::min(ow, std::max(0, -w0));
+            const int x_hi = std::max(x_lo, std::min(ow, g.in_w - w0));
+            for (int x = x_lo; x < x_hi; ++x) {
+              dst_row[w0 + x] += src[x];
+            }
+          } else {
+            for (int x = 0; x < ow; ++x) {
+              const int w = x * g.stride - g.pad + kx;
+              if (w >= 0 && w < g.in_w) {
+                dst_row[w] += src[x];
               }
             }
           }
         }
+      }
+    }
+  }
+}
+
+void Conv2dForward(const Conv2dGeometry& g, const float* input,
+                   const float* weight, const float* bias, float* output,
+                   Conv2dWorkspace* workspace) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  FEDRA_CHECK(oh > 0 && ow > 0) << "conv output is empty";
+  const int ohw = oh * ow;
+  const int ickk = g.in_channels * g.kernel * g.kernel;
+  const bool pointwise = IsPointwise(g);
+  Conv2dWorkspace* ws = workspace ? workspace : &tls_conv_workspace;
+  if (!pointwise) {
+    ws->col.resize(static_cast<size_t>(ickk) * ohw);
+  }
+  for (int n = 0; n < g.batch; ++n) {
+    const float* in_n =
+        input + Idx4(n, 0, 0, 0, g.in_channels, g.in_h, g.in_w);
+    float* out_n = output + Idx4(n, 0, 0, 0, g.out_channels, oh, ow);
+    const float* col = in_n;
+    if (!pointwise) {
+      Im2col(g, in_n, ws->col.data());
+      col = ws->col.data();
+    }
+    // Seed each output row with its bias, then accumulate the GEMM on top.
+    if (bias) {
+      for (int oc = 0; oc < g.out_channels; ++oc) {
+        vec::Fill(out_n + static_cast<size_t>(oc) * ohw,
+                  static_cast<size_t>(ohw), bias[oc]);
+      }
+    } else {
+      vec::Fill(out_n, static_cast<size_t>(g.out_channels) * ohw, 0.0f);
+    }
+    // out[OC, OH*OW] += weight[OC, IC*K*K] * col[IC*K*K, OH*OW]
+    Gemm(false, false, g.out_channels, ohw, ickk, 1.0f, weight, col, 1.0f,
+         out_n);
+  }
+}
+
+void Conv2dBackward(const Conv2dGeometry& g, const float* input,
+                    const float* weight, const float* grad_output,
+                    float* grad_input, float* grad_weight, float* grad_bias,
+                    Conv2dWorkspace* workspace) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int ohw = oh * ow;
+  const int ickk = g.in_channels * g.kernel * g.kernel;
+  const bool pointwise = IsPointwise(g);
+  Conv2dWorkspace* ws = workspace ? workspace : &tls_conv_workspace;
+  if (!pointwise) {
+    if (grad_weight) {
+      ws->col.resize(static_cast<size_t>(ickk) * ohw);
+    }
+    if (grad_input) {
+      ws->grad_col.resize(static_cast<size_t>(ickk) * ohw);
+    }
+  }
+  for (int n = 0; n < g.batch; ++n) {
+    const float* in_n =
+        input + Idx4(n, 0, 0, 0, g.in_channels, g.in_h, g.in_w);
+    const float* go_n = grad_output + Idx4(n, 0, 0, 0, g.out_channels, oh, ow);
+    if (grad_bias) {
+      for (int oc = 0; oc < g.out_channels; ++oc) {
+        grad_bias[oc] += static_cast<float>(
+            vec::Sum(go_n + static_cast<size_t>(oc) * ohw,
+                     static_cast<size_t>(ohw)));
+      }
+    }
+    if (grad_weight) {
+      const float* col = in_n;
+      if (!pointwise) {
+        Im2col(g, in_n, ws->col.data());
+        col = ws->col.data();
+      }
+      // dW[OC, IC*K*K] += dY[OC, OH*OW] * col^T
+      Gemm(false, true, g.out_channels, ickk, ohw, 1.0f, go_n, col, 1.0f,
+           grad_weight);
+    }
+    if (grad_input) {
+      float* gi_n =
+          grad_input + Idx4(n, 0, 0, 0, g.in_channels, g.in_h, g.in_w);
+      if (pointwise) {
+        // dX[IC, H*W] += W^T[IC, OC] * dY[OC, H*W]
+        Gemm(true, false, ickk, ohw, g.out_channels, 1.0f, weight, go_n, 1.0f,
+             gi_n);
+      } else {
+        Gemm(true, false, ickk, ohw, g.out_channels, 1.0f, weight, go_n, 0.0f,
+             ws->grad_col.data());
+        Col2imAdd(g, ws->grad_col.data(), gi_n);
       }
     }
   }

@@ -1,0 +1,214 @@
+#include "tensor/ref_ops.h"
+
+#include "util/check.h"
+
+namespace fedra {
+namespace ref {
+
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  FEDRA_CHECK(m > 0 && n > 0 && k > 0);
+  const size_t c_size = static_cast<size_t>(m) * static_cast<size_t>(n);
+  if (beta == 0.0f) {
+    for (size_t i = 0; i < c_size; ++i) {
+      c[i] = 0.0f;
+    }
+  } else if (beta != 1.0f) {
+    for (size_t i = 0; i < c_size; ++i) {
+      c[i] *= beta;
+    }
+  }
+  auto a_at = [&](int i, int p) -> float {
+    return trans_a ? a[static_cast<size_t>(p) * m + i]
+                   : a[static_cast<size_t>(i) * k + p];
+  };
+  auto b_at = [&](int p, int j) -> float {
+    return trans_b ? b[static_cast<size_t>(j) * k + p]
+                   : b[static_cast<size_t>(p) * n + j];
+  };
+  for (int i = 0; i < m; ++i) {
+    float* c_row = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float a_ip = alpha * a_at(i, p);
+      for (int j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_at(p, j);
+      }
+    }
+  }
+}
+
+namespace {
+
+inline size_t Idx4(int n, int c, int h, int w, int channels, int height,
+                   int width) {
+  return ((static_cast<size_t>(n) * channels + c) * height + h) *
+             static_cast<size_t>(width) +
+         w;
+}
+
+}  // namespace
+
+void Conv2dForward(const ops::Conv2dGeometry& g, const float* input,
+                   const float* weight, const float* bias, float* output) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  FEDRA_CHECK(oh > 0 && ow > 0) << "conv output is empty";
+  for (int n = 0; n < g.batch; ++n) {
+    for (int oc = 0; oc < g.out_channels; ++oc) {
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x) {
+          float acc = bias ? bias[oc] : 0.0f;
+          const int h0 = y * g.stride - g.pad;
+          const int w0 = x * g.stride - g.pad;
+          for (int ic = 0; ic < g.in_channels; ++ic) {
+            for (int ky = 0; ky < g.kernel; ++ky) {
+              const int h = h0 + ky;
+              if (h < 0 || h >= g.in_h) {
+                continue;
+              }
+              for (int kx = 0; kx < g.kernel; ++kx) {
+                const int w = w0 + kx;
+                if (w < 0 || w >= g.in_w) {
+                  continue;
+                }
+                const float in_val =
+                    input[Idx4(n, ic, h, w, g.in_channels, g.in_h, g.in_w)];
+                const float w_val =
+                    weight[((static_cast<size_t>(oc) * g.in_channels + ic) *
+                                g.kernel +
+                            ky) *
+                               g.kernel +
+                           kx];
+                acc += in_val * w_val;
+              }
+            }
+          }
+          output[Idx4(n, oc, y, x, g.out_channels, oh, ow)] = acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv2dBackward(const ops::Conv2dGeometry& g, const float* input,
+                    const float* weight, const float* grad_output,
+                    float* grad_input, float* grad_weight, float* grad_bias) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  for (int n = 0; n < g.batch; ++n) {
+    for (int oc = 0; oc < g.out_channels; ++oc) {
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x) {
+          const float go =
+              grad_output[Idx4(n, oc, y, x, g.out_channels, oh, ow)];
+          if (grad_bias) {
+            grad_bias[oc] += go;
+          }
+          const int h0 = y * g.stride - g.pad;
+          const int w0 = x * g.stride - g.pad;
+          for (int ic = 0; ic < g.in_channels; ++ic) {
+            for (int ky = 0; ky < g.kernel; ++ky) {
+              const int h = h0 + ky;
+              if (h < 0 || h >= g.in_h) {
+                continue;
+              }
+              for (int kx = 0; kx < g.kernel; ++kx) {
+                const int w = w0 + kx;
+                if (w < 0 || w >= g.in_w) {
+                  continue;
+                }
+                const size_t in_idx =
+                    Idx4(n, ic, h, w, g.in_channels, g.in_h, g.in_w);
+                const size_t w_idx =
+                    ((static_cast<size_t>(oc) * g.in_channels + ic) *
+                         g.kernel +
+                     ky) *
+                        g.kernel +
+                    kx;
+                if (grad_weight) {
+                  grad_weight[w_idx] += go * input[in_idx];
+                }
+                if (grad_input) {
+                  grad_input[in_idx] += go * weight[w_idx];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Fill(float* dst, size_t n, float value) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = value;
+  }
+}
+
+void Scale(float* x, size_t n, float alpha) {
+  for (size_t i = 0; i < n; ++i) {
+    x[i] *= alpha;
+  }
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void Add(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+void Sub(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] - b[i];
+  }
+}
+
+void Mul(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+double Dot(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double SquaredNorm(const float* x, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return acc;
+}
+
+double Sum(const float* x, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]);
+  }
+  return acc;
+}
+
+double SubSquaredNorm(const float* a, const float* b, float* out, size_t n) {
+  Sub(a, b, out, n);
+  return SquaredNorm(out, n);
+}
+
+double AxpyNorm(float alpha, const float* x, float* y, size_t n) {
+  Axpy(alpha, x, y, n);
+  return SquaredNorm(y, n);
+}
+
+}  // namespace ref
+}  // namespace fedra

@@ -1,0 +1,49 @@
+// Reference scalar kernels: the original naive loops kept verbatim as the
+// correctness oracle for the fast backend in ops.cc / vec_ops.cc.
+//
+// Everything here is deliberately simple and unoptimized. Parity tests
+// (tests/backend_parity_test.cc) compare the fast kernels against these, and
+// bench_micro exposes them via --backend=ref so speedups are measured
+// against a fixed baseline instead of a moving one.
+
+#ifndef FEDRA_TENSOR_REF_OPS_H_
+#define FEDRA_TENSOR_REF_OPS_H_
+
+#include <cstddef>
+
+#include "tensor/ops.h"
+
+namespace fedra {
+namespace ref {
+
+/// C = alpha * op(A) * op(B) + beta * C; scalar i-p-j loops.
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, const float* b, float beta, float* c);
+
+/// Direct (non-im2col) convolution, NCHW.
+void Conv2dForward(const ops::Conv2dGeometry& g, const float* input,
+                   const float* weight, const float* bias, float* output);
+void Conv2dBackward(const ops::Conv2dGeometry& g, const float* input,
+                    const float* weight, const float* grad_output,
+                    float* grad_input, float* grad_weight, float* grad_bias);
+
+/// Scalar flat-span kernels (single-accumulator loops).
+void Fill(float* dst, size_t n, float value);
+void Scale(float* x, size_t n, float alpha);
+void Axpy(float alpha, const float* x, float* y, size_t n);
+void Add(const float* a, const float* b, float* out, size_t n);
+void Sub(const float* a, const float* b, float* out, size_t n);
+void Mul(const float* a, const float* b, float* out, size_t n);
+double Dot(const float* a, const float* b, size_t n);
+double SquaredNorm(const float* x, size_t n);
+double Sum(const float* x, size_t n);
+
+/// Unfused references for the fused fast kernels: out = a - b and returns
+/// ||out||^2; y += alpha * x and returns ||y||^2.
+double SubSquaredNorm(const float* a, const float* b, float* out, size_t n);
+double AxpyNorm(float alpha, const float* x, float* y, size_t n);
+
+}  // namespace ref
+}  // namespace fedra
+
+#endif  // FEDRA_TENSOR_REF_OPS_H_

@@ -1,20 +1,22 @@
 #include "tensor/vec_ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 namespace fedra {
 namespace vec {
 
+// The element-wise kernels are written as plain contiguous loops: at -O3 the
+// compiler turns each into packed SIMD. The reductions need more care — a
+// single double accumulator serializes on the add latency — so they run four
+// independent accumulator lanes and combine at the end.
+
 void Copy(const float* src, float* dst, size_t n) {
   std::memcpy(dst, src, n * sizeof(float));
 }
 
-void Fill(float* dst, size_t n, float value) {
-  for (size_t i = 0; i < n; ++i) {
-    dst[i] = value;
-  }
-}
+void Fill(float* dst, size_t n, float value) { std::fill(dst, dst + n, value); }
 
 void Scale(float* x, size_t n, float alpha) {
   for (size_t i = 0; i < n; ++i) {
@@ -47,27 +49,50 @@ void Mul(const float* a, const float* b, float* out, size_t n) {
 }
 
 double Dot(const float* a, const float* b, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    acc1 += static_cast<double>(a[i + 1]) * static_cast<double>(b[i + 1]);
+    acc2 += static_cast<double>(a[i + 2]) * static_cast<double>(b[i + 2]);
+    acc3 += static_cast<double>(a[i + 3]) * static_cast<double>(b[i + 3]);
   }
-  return acc;
+  for (; i < n; ++i) {
+    acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
 }
 
 double SquaredNorm(const float* x, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double x0 = x[i], x1 = x[i + 1], x2 = x[i + 2], x3 = x[i + 3];
+    acc0 += x0 * x0;
+    acc1 += x1 * x1;
+    acc2 += x2 * x2;
+    acc3 += x3 * x3;
   }
-  return acc;
+  for (; i < n; ++i) {
+    const double xi = x[i];
+    acc0 += xi * xi;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
 }
 
 double Sum(const float* x, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(x[i]);
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<double>(x[i]);
+    acc1 += static_cast<double>(x[i + 1]);
+    acc2 += static_cast<double>(x[i + 2]);
+    acc3 += static_cast<double>(x[i + 3]);
   }
-  return acc;
+  for (; i < n; ++i) {
+    acc0 += static_cast<double>(x[i]);
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
 }
 
 double Norm(const float* x, size_t n) { return std::sqrt(SquaredNorm(x, n)); }
@@ -81,6 +106,56 @@ double MaxAbsDiff(const float* a, const float* b, size_t n) {
     }
   }
   return max_diff;
+}
+
+double SubSquaredNorm(const float* a, const float* b, float* out, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    out[i] = d0;
+    out[i + 1] = d1;
+    out[i + 2] = d2;
+    out[i + 3] = d3;
+    acc0 += static_cast<double>(d0) * static_cast<double>(d0);
+    acc1 += static_cast<double>(d1) * static_cast<double>(d1);
+    acc2 += static_cast<double>(d2) * static_cast<double>(d2);
+    acc3 += static_cast<double>(d3) * static_cast<double>(d3);
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    out[i] = d;
+    acc0 += static_cast<double>(d) * static_cast<double>(d);
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+double AxpyNorm(float alpha, const float* x, float* y, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float y0 = y[i] + alpha * x[i];
+    const float y1 = y[i + 1] + alpha * x[i + 1];
+    const float y2 = y[i + 2] + alpha * x[i + 2];
+    const float y3 = y[i + 3] + alpha * x[i + 3];
+    y[i] = y0;
+    y[i + 1] = y1;
+    y[i + 2] = y2;
+    y[i + 3] = y3;
+    acc0 += static_cast<double>(y0) * static_cast<double>(y0);
+    acc1 += static_cast<double>(y1) * static_cast<double>(y1);
+    acc2 += static_cast<double>(y2) * static_cast<double>(y2);
+    acc3 += static_cast<double>(y3) * static_cast<double>(y3);
+  }
+  for (; i < n; ++i) {
+    const float yi = y[i] + alpha * x[i];
+    y[i] = yi;
+    acc0 += static_cast<double>(yi) * static_cast<double>(yi);
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
 }
 
 }  // namespace vec

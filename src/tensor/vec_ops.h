@@ -3,6 +3,14 @@
 // Model parameters, gradients, drifts (u_k = w_k - w_sync), and AllReduce
 // payloads are all contiguous float spans; these kernels are the numeric
 // backbone shared by the optimizers, the FDA monitors, and the simulator.
+//
+// Reductions accumulate in double across four independent lanes so the
+// compiler can keep them in SIMD registers; results therefore differ from a
+// single-accumulator loop only by floating-point reassociation. The fused
+// kernels (SubSquaredNorm, AxpyNorm) exist for the FDA hot path: every local
+// step computes a drift and its squared norm, and fusing the two halves the
+// memory traffic over the model-sized spans. Scalar oracles live in
+// tensor/ref_ops.h.
 
 #ifndef FEDRA_TENSOR_VEC_OPS_H_
 #define FEDRA_TENSOR_VEC_OPS_H_
@@ -47,6 +55,15 @@ double Norm(const float* x, size_t n);
 
 /// Returns max_i |a[i] - b[i]|.
 double MaxAbsDiff(const float* a, const float* b, size_t n);
+
+/// Fused drift kernel: out[i] = a[i] - b[i], returns sum_i out[i]^2.
+/// One pass instead of Sub + SquaredNorm (FDA computes u_k = w_k - w_sync
+/// and ||u_k||^2 on every local step).
+double SubSquaredNorm(const float* a, const float* b, float* out, size_t n);
+
+/// Fused update kernel: y[i] += alpha * x[i], returns sum_i y[i]^2 of the
+/// updated y. One pass instead of Axpy + SquaredNorm.
+double AxpyNorm(float alpha, const float* x, float* y, size_t n);
 
 }  // namespace vec
 }  // namespace fedra

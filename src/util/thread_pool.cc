@@ -1,10 +1,17 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "util/check.h"
 
 namespace fedra {
+
+namespace {
+thread_local bool tls_on_pool_thread = false;
+}  // namespace
+
+bool ThreadPool::OnPoolThread() { return tls_on_pool_thread; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -46,27 +53,41 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t)>& body) {
+                             const std::function<void(size_t)>& body,
+                             size_t grain) {
+  ParallelForRange(n, grain, [&body](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+  });
+}
+
+void ThreadPool::ParallelForRange(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& body) {
   if (n == 0) {
     return;
   }
-  if (n == 1 || threads_.size() == 1) {
-    for (size_t i = 0; i < n; ++i) {
-      body(i);
-    }
+  grain = std::max<size_t>(1, grain);
+  // Inline when parallelism can't help — or would deadlock: Wait() from a
+  // worker would block the very thread that has to drain the queue.
+  if (n <= grain || threads_.size() == 1 || OnPoolThread()) {
+    body(0, n);
     return;
   }
-  // Static round-robin partition: task t handles indices t, t+T, t+2T, ...
-  const size_t num_tasks = std::min(n, threads_.size());
+  // Chunked dynamic partition: tasks steal `grain`-sized index ranges, so
+  // the scheduling cost is one atomic per chunk instead of one enqueued
+  // std::function per index.
+  const size_t num_chunks = (n + grain - 1) / grain;
+  const size_t num_tasks = std::min(num_chunks, threads_.size());
   std::atomic<size_t> next{0};
   for (size_t t = 0; t < num_tasks; ++t) {
-    Schedule([&next, n, &body] {
+    Schedule([&next, n, grain, &body] {
       for (;;) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) {
+        const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) {
           return;
         }
-        body(i);
+        body(begin, std::min(begin + grain, n));
       }
     });
   }
@@ -74,6 +95,7 @@ void ThreadPool::ParallelFor(size_t n,
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_on_pool_thread = true;
   for (;;) {
     std::function<void()> task;
     {

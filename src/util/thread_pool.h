@@ -1,8 +1,10 @@
-// Fixed-size thread pool with a ParallelFor convenience.
+// Fixed-size thread pool with chunked ParallelFor conveniences.
 //
 // The simulated cluster can evaluate worker-local training steps in parallel;
 // determinism is preserved because each worker owns its forked Rng stream and
-// workers never share mutable state within a step.
+// workers never share mutable state within a step. The tensor backend also
+// uses the pool (GEMM row blocks), so ParallelFor is re-entrancy safe: a call
+// made from inside a pool worker runs inline instead of deadlocking on Wait().
 
 #ifndef FEDRA_UTIL_THREAD_POOL_H_
 #define FEDRA_UTIL_THREAD_POOL_H_
@@ -29,6 +31,10 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// True when the calling thread is a worker of *some* ThreadPool. Used to
+  /// run nested parallel loops inline.
+  static bool OnPoolThread();
+
   /// Enqueues a task; it runs on some pool thread.
   void Schedule(std::function<void()> task);
 
@@ -36,8 +42,17 @@ class ThreadPool {
   void Wait();
 
   /// Runs body(i) for i in [0, n), distributing across the pool and blocking
-  /// until done. Runs inline when n == 1 or the pool has one thread.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  /// until done. Indices are handed out `grain` at a time so fine-grained
+  /// loops don't pay one queue round-trip per index. Runs inline when the
+  /// pool has one thread, n <= grain, or the caller is itself a pool worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   size_t grain = 1);
+
+  /// Range flavor: runs body(begin, end) over disjoint [begin, end) chunks of
+  /// at most `grain` indices covering [0, n). Preferred for kernels that can
+  /// amortize work across a whole chunk (GEMM row-block panels, vec spans).
+  void ParallelForRange(size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& body);
 
  private:
   void WorkerLoop();

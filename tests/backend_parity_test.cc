@@ -1,0 +1,284 @@
+// Randomized parity tests: the fast compute backend (ops::Gemm blocked
+// packed GEMM, im2col Conv2d, fused vec kernels, batched sketch
+// accumulation) against the scalar reference oracle in tensor/ref_ops.h.
+// Differences come only from floating-point reassociation, so everything is
+// held to a relative tolerance of 1e-4.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/ams_sketch.h"
+#include "tensor/ops.h"
+#include "tensor/ref_ops.h"
+#include "tensor/vec_ops.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace {
+
+constexpr double kRelTol = 1e-4;
+
+std::vector<float> RandomVec(size_t n, uint64_t seed, float lo = -2.0f,
+                             float hi = 2.0f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = rng.NextUniform(lo, hi);
+  }
+  return v;
+}
+
+// Relative max-error between two spans, normalized by the larger magnitude
+// (with a floor of 1 so near-zero entries compare absolutely).
+double MaxRelError(const std::vector<float>& got,
+                   const std::vector<float>& want) {
+  EXPECT_EQ(got.size(), want.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double denom = std::max(
+        1.0, std::max(std::fabs(static_cast<double>(got[i])),
+                      std::fabs(static_cast<double>(want[i]))));
+    worst = std::max(
+        worst, std::fabs(static_cast<double>(got[i]) - want[i]) / denom);
+  }
+  return worst;
+}
+
+// ------------------------------------------------------------------ GEMM --
+
+void CheckGemmParity(bool trans_a, bool trans_b, int m, int n, int k,
+                     float alpha, float beta, uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "ta=" << trans_a << " tb=" << trans_b << " m=" << m
+               << " n=" << n << " k=" << k << " alpha=" << alpha
+               << " beta=" << beta);
+  auto a = RandomVec(static_cast<size_t>(m) * k, seed);
+  auto b = RandomVec(static_cast<size_t>(k) * n, seed + 1);
+  auto c0 = RandomVec(static_cast<size_t>(m) * n, seed + 2);
+  std::vector<float> c_fast = c0;
+  std::vector<float> c_ref = c0;
+  ops::Gemm(trans_a, trans_b, m, n, k, alpha, a.data(), b.data(), beta,
+            c_fast.data());
+  ref::Gemm(trans_a, trans_b, m, n, k, alpha, a.data(), b.data(), beta,
+            c_ref.data());
+  EXPECT_LE(MaxRelError(c_fast, c_ref), kRelTol);
+}
+
+TEST(GemmParityTest, AllTransposeCombos) {
+  uint64_t seed = 100;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      CheckGemmParity(ta, tb, 64, 64, 64, 1.0f, 0.0f, seed++);
+    }
+  }
+}
+
+TEST(GemmParityTest, OddShapesAndTileEdges) {
+  uint64_t seed = 200;
+  // Shapes straddling the micro-tile (8x32) and cache-block (96/256/1024)
+  // boundaries, plus degenerate dims.
+  const int shapes[][3] = {{1, 1, 1},    {3, 5, 7},     {17, 1, 9},
+                           {8, 32, 256}, {9, 33, 29},   {97, 17, 257},
+                           {96, 32, 256}, {5, 1030, 3}, {130, 130, 130}};
+  for (const auto& s : shapes) {
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        CheckGemmParity(ta, tb, s[0], s[1], s[2], 1.0f, 0.0f, seed++);
+      }
+    }
+  }
+}
+
+TEST(GemmParityTest, AlphaBeta) {
+  uint64_t seed = 300;
+  for (float alpha : {0.0f, 1.0f, -1.3f, 0.5f}) {
+    for (float beta : {0.0f, 1.0f, 0.25f, -2.0f}) {
+      CheckGemmParity(false, true, 37, 41, 23, alpha, beta, seed++);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ conv --
+
+struct ConvCase {
+  int kernel;
+  int stride;
+  int pad;
+};
+
+void CheckConvParity(const ConvCase& cc, int batch, int in_channels,
+                     int out_channels, int in_h, int in_w, uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "k=" << cc.kernel << " s=" << cc.stride << " p=" << cc.pad
+               << " in=" << in_h << "x" << in_w);
+  ops::Conv2dGeometry g;
+  g.batch = batch;
+  g.in_channels = in_channels;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.out_channels = out_channels;
+  g.kernel = cc.kernel;
+  g.stride = cc.stride;
+  g.pad = cc.pad;
+  ASSERT_GT(g.out_h(), 0);
+  ASSERT_GT(g.out_w(), 0);
+
+  const size_t in_numel =
+      static_cast<size_t>(batch) * in_channels * in_h * in_w;
+  const size_t w_numel = static_cast<size_t>(out_channels) * in_channels *
+                         cc.kernel * cc.kernel;
+  const size_t out_numel =
+      static_cast<size_t>(batch) * out_channels * g.out_h() * g.out_w();
+
+  auto input = RandomVec(in_numel, seed);
+  auto weight = RandomVec(w_numel, seed + 1, -0.5f, 0.5f);
+  auto bias = RandomVec(static_cast<size_t>(out_channels), seed + 2);
+
+  // Forward parity (with and without bias).
+  std::vector<float> out_fast(out_numel);
+  std::vector<float> out_ref(out_numel);
+  ops::Conv2dWorkspace ws;
+  ops::Conv2dForward(g, input.data(), weight.data(), bias.data(),
+                     out_fast.data(), &ws);
+  ref::Conv2dForward(g, input.data(), weight.data(), bias.data(),
+                     out_ref.data());
+  EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol) << "forward";
+
+  ops::Conv2dForward(g, input.data(), weight.data(), nullptr, out_fast.data(),
+                     &ws);
+  ref::Conv2dForward(g, input.data(), weight.data(), nullptr, out_ref.data());
+  EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol) << "forward, no bias";
+
+  // Backward parity: all gradients, accumulating on random initial values
+  // (the contract is +=, not =).
+  auto grad_out = RandomVec(out_numel, seed + 3);
+  auto gi0 = RandomVec(in_numel, seed + 4);
+  auto gw0 = RandomVec(w_numel, seed + 5);
+  auto gb0 = RandomVec(static_cast<size_t>(out_channels), seed + 6);
+  std::vector<float> gi_fast = gi0, gi_ref = gi0;
+  std::vector<float> gw_fast = gw0, gw_ref = gw0;
+  std::vector<float> gb_fast = gb0, gb_ref = gb0;
+  ops::Conv2dBackward(g, input.data(), weight.data(), grad_out.data(),
+                      gi_fast.data(), gw_fast.data(), gb_fast.data(), &ws);
+  ref::Conv2dBackward(g, input.data(), weight.data(), grad_out.data(),
+                      gi_ref.data(), gw_ref.data(), gb_ref.data());
+  EXPECT_LE(MaxRelError(gi_fast, gi_ref), kRelTol) << "grad_input";
+  EXPECT_LE(MaxRelError(gw_fast, gw_ref), kRelTol) << "grad_weight";
+  EXPECT_LE(MaxRelError(gb_fast, gb_ref), kRelTol) << "grad_bias";
+
+  // Null grad_input / grad_bias (first layer; bias-less conv).
+  std::vector<float> gw2_fast = gw0, gw2_ref = gw0;
+  ops::Conv2dBackward(g, input.data(), weight.data(), grad_out.data(),
+                      nullptr, gw2_fast.data(), nullptr, &ws);
+  ref::Conv2dBackward(g, input.data(), weight.data(), grad_out.data(),
+                      nullptr, gw2_ref.data(), nullptr);
+  EXPECT_LE(MaxRelError(gw2_fast, gw2_ref), kRelTol)
+      << "grad_weight, null grad_input/grad_bias";
+}
+
+TEST(ConvParityTest, StridePadKernelSweep) {
+  const ConvCase cases[] = {
+      {1, 1, 0},  // pointwise fast path
+      {3, 1, 1},  // VGG-style same-conv
+      {3, 2, 1},  // strided downsampling
+      {5, 1, 2},  // large kernel, same padding
+      {2, 2, 0},  // even kernel, no padding
+      {3, 1, 0},  // valid conv
+      {4, 2, 1},  // even kernel with stride and pad
+      {3, 3, 2},  // stride > 1 with uneven coverage
+  };
+  uint64_t seed = 500;
+  for (const auto& cc : cases) {
+    CheckConvParity(cc, /*batch=*/2, /*in_channels=*/3, /*out_channels=*/4,
+                    /*in_h=*/9, /*in_w=*/7, seed);
+    seed += 10;
+  }
+}
+
+TEST(ConvParityTest, SinglePixelOutputAndChannelExtremes) {
+  CheckConvParity({3, 1, 0}, 1, 1, 1, 3, 3, 900);   // output is 1x1
+  CheckConvParity({3, 1, 1}, 1, 8, 1, 5, 5, 910);   // many-in one-out
+  CheckConvParity({1, 1, 0}, 3, 1, 8, 4, 4, 920);   // one-in many-out, 1x1
+}
+
+// ------------------------------------------------------------- vec fused --
+
+TEST(VecParityTest, ReductionsMatchScalarReference) {
+  for (size_t n : {size_t{1}, size_t{3}, size_t{7}, size_t{1023},
+                   size_t{4099}}) {
+    auto a = RandomVec(n, 40 + n);
+    auto b = RandomVec(n, 41 + n);
+    EXPECT_NEAR(vec::Dot(a.data(), b.data(), n),
+                ref::Dot(a.data(), b.data(), n),
+                kRelTol * std::max(1.0, std::fabs(ref::Dot(a.data(), b.data(),
+                                                           n))));
+    EXPECT_NEAR(vec::SquaredNorm(a.data(), n), ref::SquaredNorm(a.data(), n),
+                kRelTol * std::max(1.0, ref::SquaredNorm(a.data(), n)));
+    EXPECT_NEAR(vec::Sum(a.data(), n), ref::Sum(a.data(), n),
+                kRelTol * std::max(1.0, std::fabs(ref::Sum(a.data(), n))));
+  }
+}
+
+TEST(VecParityTest, SubSquaredNormMatchesUnfused) {
+  for (size_t n : {size_t{1}, size_t{5}, size_t{1024}, size_t{4097}}) {
+    auto a = RandomVec(n, 50 + n);
+    auto b = RandomVec(n, 51 + n);
+    std::vector<float> out_fast(n), out_ref(n);
+    const double sq_fast = vec::SubSquaredNorm(a.data(), b.data(),
+                                               out_fast.data(), n);
+    const double sq_ref = ref::SubSquaredNorm(a.data(), b.data(),
+                                              out_ref.data(), n);
+    EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol);
+    EXPECT_NEAR(sq_fast, sq_ref, kRelTol * std::max(1.0, sq_ref));
+  }
+}
+
+TEST(VecParityTest, AxpyNormMatchesUnfused) {
+  for (size_t n : {size_t{1}, size_t{6}, size_t{1025}, size_t{8191}}) {
+    auto x = RandomVec(n, 60 + n);
+    auto y0 = RandomVec(n, 61 + n);
+    std::vector<float> y_fast = y0, y_ref = y0;
+    const double sq_fast = vec::AxpyNorm(-0.37f, x.data(), y_fast.data(), n);
+    const double sq_ref = ref::AxpyNorm(-0.37f, x.data(), y_ref.data(), n);
+    EXPECT_LE(MaxRelError(y_fast, y_ref), kRelTol);
+    EXPECT_NEAR(sq_fast, sq_ref, kRelTol * std::max(1.0, sq_ref));
+  }
+}
+
+// ---------------------------------------------------------------- sketch --
+
+TEST(SketchParityTest, BatchedAccumulateMatchesPerCoordinateUpdate) {
+  const size_t dim = 10000;  // crosses the 4096-coordinate blocking boundary
+  auto family = AmsHashFamily::Create(5, 250, dim, 77);
+  auto v = RandomVec(dim, 78);
+  AmsSketch batched(family);
+  batched.AccumulateVector(v.data());
+  AmsSketch reference(family);
+  for (size_t j = 0; j < dim; ++j) {
+    reference.Update(j, v[j]);
+  }
+  std::vector<float> got(batched.data(), batched.data() + batched.numel());
+  std::vector<float> want(reference.data(),
+                          reference.data() + reference.numel());
+  EXPECT_LE(MaxRelError(got, want), kRelTol);
+}
+
+TEST(SketchParityTest, OffsetTablesMatchBucketSignAccessors) {
+  const size_t dim = 513;
+  auto family = AmsHashFamily::Create(3, 17, dim, 9);
+  for (int r = 0; r < family->rows(); ++r) {
+    const uint32_t* offsets = family->cell_offsets(r);
+    const float* signs = family->sign_values(r);
+    for (size_t j = 0; j < dim; ++j) {
+      EXPECT_EQ(offsets[j],
+                static_cast<uint32_t>(r) * family->cols() +
+                    family->bucket(r, j));
+      EXPECT_EQ(signs[j], family->sign(r, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedra

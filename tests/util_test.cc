@@ -232,6 +232,50 @@ TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
   EXPECT_EQ(runs, 1);
 }
 
+TEST(ThreadPoolTest, ParallelForChunkedGrainCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; },
+                   /*grain=*/64);
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRangeChunksAreDisjointAndComplete) {
+  ThreadPool pool(4);
+  const size_t n = 1003;
+  const size_t grain = 100;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<size_t> max_chunk{0};
+  pool.ParallelForRange(n, grain, [&](size_t begin, size_t end) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end - begin, grain);
+    size_t len = end - begin;
+    size_t prev = max_chunk.load();
+    while (len > prev && !max_chunk.compare_exchange_weak(prev, len)) {
+    }
+    for (size_t i = begin; i < end; ++i) {
+      ++hits[i];
+    }
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A ParallelFor issued from inside a pool worker must not deadlock on
+  // Wait(); it runs inline on the calling worker.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(4, [&](size_t) {
+    EXPECT_TRUE(ThreadPool::OnPoolThread());
+    pool.ParallelFor(8, [&](size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
 TEST(ThreadPoolTest, ScheduleAndWait) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
