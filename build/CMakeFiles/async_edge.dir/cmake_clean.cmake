@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_edge.dir/examples/async_edge.cpp.o"
+  "CMakeFiles/async_edge.dir/examples/async_edge.cpp.o.d"
+  "async_edge"
+  "async_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_parity_test.dir/tests/backend_parity_test.cc.o"
+  "CMakeFiles/backend_parity_test.dir/tests/backend_parity_test.cc.o.d"
+  "backend_parity_test"
+  "backend_parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_budget.dir/examples/bandwidth_budget.cpp.o"
+  "CMakeFiles/bandwidth_budget.dir/examples/bandwidth_budget.cpp.o.d"
+  "bandwidth_budget"
+  "bandwidth_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

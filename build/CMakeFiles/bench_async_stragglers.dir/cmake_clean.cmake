@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_stragglers.dir/bench/bench_async_stragglers.cc.o"
+  "CMakeFiles/bench_async_stragglers.dir/bench/bench_async_stragglers.cc.o.d"
+  "bench_async_stragglers"
+  "bench_async_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compression_compat.dir/bench/bench_compression_compat.cc.o"
+  "CMakeFiles/bench_compression_compat.dir/bench/bench_compression_compat.cc.o.d"
+  "bench_compression_compat"
+  "bench_compression_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compression_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_compression_compat.
+# This may be replaced when dependencies are built.

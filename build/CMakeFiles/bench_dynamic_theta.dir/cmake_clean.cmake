@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_theta.dir/bench/bench_dynamic_theta.cc.o"
+  "CMakeFiles/bench_dynamic_theta.dir/bench/bench_dynamic_theta.cc.o.d"
+  "bench_dynamic_theta"
+  "bench_dynamic_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_theta_guideline.dir/bench/bench_fig12_theta_guideline.cc.o"
+  "CMakeFiles/bench_fig12_theta_guideline.dir/bench/bench_fig12_theta_guideline.cc.o.d"
+  "bench_fig12_theta_guideline"
+  "bench_fig12_theta_guideline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_theta_guideline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

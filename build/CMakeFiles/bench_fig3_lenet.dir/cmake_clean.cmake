@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lenet.dir/bench/bench_fig3_lenet.cc.o"
+  "CMakeFiles/bench_fig3_lenet.dir/bench/bench_fig3_lenet.cc.o.d"
+  "bench_fig3_lenet"
+  "bench_fig3_lenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

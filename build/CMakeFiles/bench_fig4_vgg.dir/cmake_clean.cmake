@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_vgg.dir/bench/bench_fig4_vgg.cc.o"
+  "CMakeFiles/bench_fig4_vgg.dir/bench/bench_fig4_vgg.cc.o.d"
+  "bench_fig4_vgg"
+  "bench_fig4_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_densenet201.dir/bench/bench_fig6_densenet201.cc.o"
+  "CMakeFiles/bench_fig6_densenet201.dir/bench/bench_fig6_densenet201.cc.o.d"
+  "bench_fig6_densenet201"
+  "bench_fig6_densenet201.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_densenet201.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

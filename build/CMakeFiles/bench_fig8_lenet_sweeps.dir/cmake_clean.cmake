@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_lenet_sweeps.dir/bench/bench_fig8_lenet_sweeps.cc.o"
+  "CMakeFiles/bench_fig8_lenet_sweeps.dir/bench/bench_fig8_lenet_sweeps.cc.o.d"
+  "bench_fig8_lenet_sweeps"
+  "bench_fig8_lenet_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_lenet_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

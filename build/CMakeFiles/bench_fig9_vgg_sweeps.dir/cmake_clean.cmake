@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_vgg_sweeps.dir/bench/bench_fig9_vgg_sweeps.cc.o"
+  "CMakeFiles/bench_fig9_vgg_sweeps.dir/bench/bench_fig9_vgg_sweeps.cc.o.d"
+  "bench_fig9_vgg_sweeps"
+  "bench_fig9_vgg_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_vgg_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sketch_quality.dir/bench/bench_sketch_quality.cc.o"
+  "CMakeFiles/bench_sketch_quality.dir/bench/bench_sketch_quality.cc.o.d"
+  "bench_sketch_quality"
+  "bench_sketch_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketch_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

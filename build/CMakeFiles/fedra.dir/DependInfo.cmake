@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cc" "CMakeFiles/fedra.dir/src/core/algorithms.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/algorithms.cc.o.d"
+  "/root/repo/src/core/async_fda.cc" "CMakeFiles/fedra.dir/src/core/async_fda.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/async_fda.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "CMakeFiles/fedra.dir/src/core/baselines.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/baselines.cc.o.d"
+  "/root/repo/src/core/compression.cc" "CMakeFiles/fedra.dir/src/core/compression.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/compression.cc.o.d"
+  "/root/repo/src/core/fda_policy.cc" "CMakeFiles/fedra.dir/src/core/fda_policy.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/fda_policy.cc.o.d"
+  "/root/repo/src/core/fedopt_policy.cc" "CMakeFiles/fedra.dir/src/core/fedopt_policy.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/fedopt_policy.cc.o.d"
+  "/root/repo/src/core/theta_controller.cc" "CMakeFiles/fedra.dir/src/core/theta_controller.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/theta_controller.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "CMakeFiles/fedra.dir/src/core/trainer.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/trainer.cc.o.d"
+  "/root/repo/src/core/variance_monitor.cc" "CMakeFiles/fedra.dir/src/core/variance_monitor.cc.o" "gcc" "CMakeFiles/fedra.dir/src/core/variance_monitor.cc.o.d"
+  "/root/repo/src/data/batching.cc" "CMakeFiles/fedra.dir/src/data/batching.cc.o" "gcc" "CMakeFiles/fedra.dir/src/data/batching.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/fedra.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/fedra.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/partition.cc" "CMakeFiles/fedra.dir/src/data/partition.cc.o" "gcc" "CMakeFiles/fedra.dir/src/data/partition.cc.o.d"
+  "/root/repo/src/data/synth.cc" "CMakeFiles/fedra.dir/src/data/synth.cc.o" "gcc" "CMakeFiles/fedra.dir/src/data/synth.cc.o.d"
+  "/root/repo/src/data/transfer.cc" "CMakeFiles/fedra.dir/src/data/transfer.cc.o" "gcc" "CMakeFiles/fedra.dir/src/data/transfer.cc.o.d"
+  "/root/repo/src/metrics/ascii_plot.cc" "CMakeFiles/fedra.dir/src/metrics/ascii_plot.cc.o" "gcc" "CMakeFiles/fedra.dir/src/metrics/ascii_plot.cc.o.d"
+  "/root/repo/src/metrics/evaluation.cc" "CMakeFiles/fedra.dir/src/metrics/evaluation.cc.o" "gcc" "CMakeFiles/fedra.dir/src/metrics/evaluation.cc.o.d"
+  "/root/repo/src/metrics/kde.cc" "CMakeFiles/fedra.dir/src/metrics/kde.cc.o" "gcc" "CMakeFiles/fedra.dir/src/metrics/kde.cc.o.d"
+  "/root/repo/src/metrics/summary.cc" "CMakeFiles/fedra.dir/src/metrics/summary.cc.o" "gcc" "CMakeFiles/fedra.dir/src/metrics/summary.cc.o.d"
+  "/root/repo/src/nn/composite.cc" "CMakeFiles/fedra.dir/src/nn/composite.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/composite.cc.o.d"
+  "/root/repo/src/nn/init.cc" "CMakeFiles/fedra.dir/src/nn/init.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/init.cc.o.d"
+  "/root/repo/src/nn/layers_basic.cc" "CMakeFiles/fedra.dir/src/nn/layers_basic.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/layers_basic.cc.o.d"
+  "/root/repo/src/nn/layers_conv.cc" "CMakeFiles/fedra.dir/src/nn/layers_conv.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/layers_conv.cc.o.d"
+  "/root/repo/src/nn/layers_norm.cc" "CMakeFiles/fedra.dir/src/nn/layers_norm.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/layers_norm.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "CMakeFiles/fedra.dir/src/nn/loss.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/loss.cc.o.d"
+  "/root/repo/src/nn/model.cc" "CMakeFiles/fedra.dir/src/nn/model.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/model.cc.o.d"
+  "/root/repo/src/nn/parameter_store.cc" "CMakeFiles/fedra.dir/src/nn/parameter_store.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/parameter_store.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "CMakeFiles/fedra.dir/src/nn/serialize.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "CMakeFiles/fedra.dir/src/nn/zoo.cc.o" "gcc" "CMakeFiles/fedra.dir/src/nn/zoo.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "CMakeFiles/fedra.dir/src/opt/optimizer.cc.o" "gcc" "CMakeFiles/fedra.dir/src/opt/optimizer.cc.o.d"
+  "/root/repo/src/sim/collectives.cc" "CMakeFiles/fedra.dir/src/sim/collectives.cc.o" "gcc" "CMakeFiles/fedra.dir/src/sim/collectives.cc.o.d"
+  "/root/repo/src/sim/comm_stats.cc" "CMakeFiles/fedra.dir/src/sim/comm_stats.cc.o" "gcc" "CMakeFiles/fedra.dir/src/sim/comm_stats.cc.o.d"
+  "/root/repo/src/sim/network_model.cc" "CMakeFiles/fedra.dir/src/sim/network_model.cc.o" "gcc" "CMakeFiles/fedra.dir/src/sim/network_model.cc.o.d"
+  "/root/repo/src/sim/straggler.cc" "CMakeFiles/fedra.dir/src/sim/straggler.cc.o" "gcc" "CMakeFiles/fedra.dir/src/sim/straggler.cc.o.d"
+  "/root/repo/src/sketch/ams_sketch.cc" "CMakeFiles/fedra.dir/src/sketch/ams_sketch.cc.o" "gcc" "CMakeFiles/fedra.dir/src/sketch/ams_sketch.cc.o.d"
+  "/root/repo/src/sketch/hashing.cc" "CMakeFiles/fedra.dir/src/sketch/hashing.cc.o" "gcc" "CMakeFiles/fedra.dir/src/sketch/hashing.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "CMakeFiles/fedra.dir/src/tensor/ops.cc.o" "gcc" "CMakeFiles/fedra.dir/src/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/ref_ops.cc" "CMakeFiles/fedra.dir/src/tensor/ref_ops.cc.o" "gcc" "CMakeFiles/fedra.dir/src/tensor/ref_ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/fedra.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/fedra.dir/src/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/vec_ops.cc" "CMakeFiles/fedra.dir/src/tensor/vec_ops.cc.o" "gcc" "CMakeFiles/fedra.dir/src/tensor/vec_ops.cc.o.d"
+  "/root/repo/src/util/csv.cc" "CMakeFiles/fedra.dir/src/util/csv.cc.o" "gcc" "CMakeFiles/fedra.dir/src/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/fedra.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/fedra.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/fedra.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/fedra.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/fedra.dir/src/util/status.cc.o" "gcc" "CMakeFiles/fedra.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/fedra.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/fedra.dir/src/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/fedra.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/fedra.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

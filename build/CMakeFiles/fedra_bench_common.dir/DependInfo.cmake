@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/densenet_figure.cc" "CMakeFiles/fedra_bench_common.dir/bench/densenet_figure.cc.o" "gcc" "CMakeFiles/fedra_bench_common.dir/bench/densenet_figure.cc.o.d"
+  "/root/repo/bench/harness.cc" "CMakeFiles/fedra_bench_common.dir/bench/harness.cc.o" "gcc" "CMakeFiles/fedra_bench_common.dir/bench/harness.cc.o.d"
+  "/root/repo/bench/presets.cc" "CMakeFiles/fedra_bench_common.dir/bench/presets.cc.o" "gcc" "CMakeFiles/fedra_bench_common.dir/bench/presets.cc.o.d"
+  "/root/repo/bench/sweep_figure.cc" "CMakeFiles/fedra_bench_common.dir/bench/sweep_figure.cc.o" "gcc" "CMakeFiles/fedra_bench_common.dir/bench/sweep_figure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/fedra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

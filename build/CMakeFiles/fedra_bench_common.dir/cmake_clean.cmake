@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_bench_common.dir/bench/densenet_figure.cc.o"
+  "CMakeFiles/fedra_bench_common.dir/bench/densenet_figure.cc.o.d"
+  "CMakeFiles/fedra_bench_common.dir/bench/harness.cc.o"
+  "CMakeFiles/fedra_bench_common.dir/bench/harness.cc.o.d"
+  "CMakeFiles/fedra_bench_common.dir/bench/presets.cc.o"
+  "CMakeFiles/fedra_bench_common.dir/bench/presets.cc.o.d"
+  "CMakeFiles/fedra_bench_common.dir/bench/sweep_figure.cc.o"
+  "CMakeFiles/fedra_bench_common.dir/bench/sweep_figure.cc.o.d"
+  "libfedra_bench_common.a"
+  "libfedra_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_test_util.dir/tests/test_util.cc.o"
+  "CMakeFiles/fedra_test_util.dir/tests/test_util.cc.o.d"
+  "libfedra_test_util.a"
+  "libfedra_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedra_test_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneity.dir/examples/heterogeneity.cpp.o"
+  "CMakeFiles/heterogeneity.dir/examples/heterogeneity.cpp.o.d"
+  "heterogeneity"
+  "heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_controller_test.dir/tests/theta_controller_test.cc.o"
+  "CMakeFiles/theta_controller_test.dir/tests/theta_controller_test.cc.o.d"
+  "theta_controller_test"
+  "theta_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

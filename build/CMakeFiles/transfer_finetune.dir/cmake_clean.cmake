@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_finetune.dir/examples/transfer_finetune.cpp.o"
+  "CMakeFiles/transfer_finetune.dir/examples/transfer_finetune.cpp.o.d"
+  "transfer_finetune"
+  "transfer_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

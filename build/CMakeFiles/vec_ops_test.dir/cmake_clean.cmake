@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_ops_test.dir/tests/vec_ops_test.cc.o"
+  "CMakeFiles/vec_ops_test.dir/tests/vec_ops_test.cc.o.d"
+  "vec_ops_test"
+  "vec_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

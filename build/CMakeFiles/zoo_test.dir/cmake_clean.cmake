@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_test.dir/tests/zoo_test.cc.o"
+  "CMakeFiles/zoo_test.dir/tests/zoo_test.cc.o.d"
+  "zoo_test"
+  "zoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
