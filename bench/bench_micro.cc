@@ -2,16 +2,19 @@
 // rests on: AMS sketch construction and estimation, the simulated
 // AllReduce, GEMM, convolution, and the fused FDA vec kernels.
 //
-// --backend=ref|fast (default fast) selects which implementation the GEMM
-// and Conv2d benchmarks run: `fast` is the blocked/packed backend in
-// tensor/ops.cc, `ref` the scalar oracle in tensor/ref_ops.h. Record results
-// with google-benchmark's own flags, e.g.
+// --backend=ref|fast (default fast) selects which implementation the GEMM,
+// Conv2d, pooling, BatchNorm, and depthwise benchmarks run: `fast` is the
+// vectorized backend in tensor/ops.cc, `ref` the scalar oracle in
+// tensor/ref_ops.h. --threads=N pins the global thread pool (N=1 gives
+// deterministic single-core numbers; sweep N for scheduler scaling curves).
+// Record results with google-benchmark's own flags, e.g.
 //   bench_micro --backend=ref --benchmark_out=BENCH_micro_ref.json
 //               --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,6 +25,7 @@
 #include "tensor/ref_ops.h"
 #include "tensor/vec_ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace fedra {
 namespace {
@@ -201,6 +205,147 @@ void BM_SubSquaredNorm(benchmark::State& state) {
 }
 BENCHMARK(BM_SubSquaredNorm)->Arg(1 << 14)->Arg(1 << 18);
 
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // Scheduler round-trip cost: fan a trivial chunked loop over the pool and
+  // wait on its completion token. With --threads=1 this measures the inline
+  // fallback; with more threads, the push/steal/wake path.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> data(n, 1.0f);
+  for (auto _ : state) {
+    GlobalThreadPool().ParallelForRange(
+        n, /*grain=*/1024, [&](size_t begin, size_t end) {
+          float acc = 0.0f;
+          for (size_t i = begin; i < end; ++i) {
+            acc += data[i];
+          }
+          benchmark::DoNotOptimize(acc);
+        });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MaxPool2d(benchmark::State& state) {
+  // DenseNet/VGG-style downsampling: 2x2 stride-2 over a 32x32 map.
+  ops::Conv2dGeometry g;
+  g.batch = 8;
+  g.in_channels = 64;
+  g.in_h = g.in_w = 32;
+  g.out_channels = 64;
+  g.kernel = 2;
+  g.stride = 2;
+  g.pad = 0;
+  const size_t in_numel =
+      static_cast<size_t>(g.batch) * g.in_channels * g.in_h * g.in_w;
+  const size_t out_numel = static_cast<size_t>(g.batch) * g.in_channels *
+                           g.out_h() * g.out_w();
+  auto input = RandomVec(in_numel, 70);
+  std::vector<float> output(out_numel);
+  std::vector<int> argmax(out_numel);
+  for (auto _ : state) {
+    if (g_use_ref_backend) {
+      ref::MaxPool2dForward(g, input.data(), output.data(), argmax.data());
+    } else {
+      ops::MaxPool2dForward(g, input.data(), output.data(), argmax.data());
+    }
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out_numel) * g.kernel *
+                          g.kernel);
+}
+BENCHMARK(BM_MaxPool2d);
+
+void BM_AvgPool2d(benchmark::State& state) {
+  ops::Conv2dGeometry g;
+  g.batch = 8;
+  g.in_channels = 64;
+  g.in_h = g.in_w = 32;
+  g.out_channels = 64;
+  g.kernel = 2;
+  g.stride = 2;
+  g.pad = 0;
+  const size_t in_numel =
+      static_cast<size_t>(g.batch) * g.in_channels * g.in_h * g.in_w;
+  const size_t out_numel = static_cast<size_t>(g.batch) * g.in_channels *
+                           g.out_h() * g.out_w();
+  auto input = RandomVec(in_numel, 71);
+  std::vector<float> output(out_numel);
+  for (auto _ : state) {
+    if (g_use_ref_backend) {
+      ref::AvgPool2dForward(g, input.data(), output.data());
+    } else {
+      ops::AvgPool2dForward(g, input.data(), output.data());
+    }
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out_numel) * g.kernel *
+                          g.kernel);
+}
+BENCHMARK(BM_AvgPool2d);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  const int batch = 8;
+  const int channels = 64;
+  const size_t plane = 32 * 32;
+  const size_t numel = static_cast<size_t>(batch) * channels * plane;
+  auto input = RandomVec(numel, 72);
+  std::vector<float> gamma(static_cast<size_t>(channels), 1.0f);
+  std::vector<float> beta(static_cast<size_t>(channels), 0.0f);
+  std::vector<float> xhat(numel);
+  std::vector<float> inv_std(static_cast<size_t>(channels));
+  std::vector<float> output(numel);
+  for (auto _ : state) {
+    if (g_use_ref_backend) {
+      ref::BatchNorm2dForward(batch, channels, plane, input.data(),
+                              gamma.data(), beta.data(), 1e-5f, xhat.data(),
+                              inv_std.data(), output.data());
+    } else {
+      ops::BatchNorm2dForward(batch, channels, plane, input.data(),
+                              gamma.data(), beta.data(), 1e-5f, xhat.data(),
+                              inv_std.data(), output.data());
+    }
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(numel));
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_DepthwiseConv2dForward(benchmark::State& state) {
+  // ConvNeXt-style 7x7 depthwise over a 32x32 map.
+  ops::Conv2dGeometry g;
+  g.batch = 4;
+  g.in_channels = 64;
+  g.in_h = g.in_w = 32;
+  g.out_channels = 64;
+  g.kernel = 7;
+  g.stride = 1;
+  g.pad = 3;
+  const size_t in_numel =
+      static_cast<size_t>(g.batch) * g.in_channels * g.in_h * g.in_w;
+  auto input = RandomVec(in_numel, 73);
+  auto weight = RandomVec(
+      static_cast<size_t>(g.in_channels) * g.kernel * g.kernel, 74);
+  std::vector<float> bias(static_cast<size_t>(g.in_channels), 0.1f);
+  std::vector<float> output(static_cast<size_t>(g.batch) * g.in_channels *
+                            g.out_h() * g.out_w());
+  for (auto _ : state) {
+    if (g_use_ref_backend) {
+      ref::DepthwiseConv2dForward(g, input.data(), weight.data(), bias.data(),
+                                  output.data());
+    } else {
+      ops::DepthwiseConv2dForward(g, input.data(), weight.data(), bias.data(),
+                                  output.data());
+    }
+    benchmark::DoNotOptimize(output.data());
+  }
+  const long long flops = 2LL * g.batch * g.in_channels * g.out_h() *
+                          g.out_w() * g.kernel * g.kernel;
+  state.SetItemsProcessed(state.iterations() * flops);
+}
+BENCHMARK(BM_DepthwiseConv2dForward);
+
 void BM_AxpyNorm(benchmark::State& state) {
   // The fused SGD update kernel: w -= lr * g and ||w||^2 in one pass.
   const size_t dim = static_cast<size_t>(state.range(0));
@@ -223,7 +368,8 @@ BENCHMARK(BM_AxpyNorm)->Arg(1 << 14)->Arg(1 << 18);
 }  // namespace fedra
 
 int main(int argc, char** argv) {
-  // Pull out our own --backend flag before google-benchmark sees argv.
+  // Pull out our own --backend/--threads flags before google-benchmark sees
+  // argv.
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
@@ -237,6 +383,15 @@ int main(int argc, char** argv) {
                      value.c_str());
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      // Sizes the lazily created global pool; must land before any kernel
+      // touches it, which main() guarantees.
+      const unsigned long n = std::strtoul(argv[i] + 10, nullptr, 10);
+      if (n == 0) {
+        std::fprintf(stderr, "--threads=N needs N >= 1\n");
+        return 1;
+      }
+      fedra::SetGlobalThreadPoolThreads(static_cast<size_t>(n));
     } else {
       argv[out++] = argv[i];
     }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "tensor/ops.h"
 #include "util/string_util.h"
 
 namespace fedra {
@@ -44,84 +45,28 @@ Tensor BatchNorm2dLayer::Forward(const Tensor& input,
   FEDRA_CHECK_EQ(input.rank(), 4);
   FEDRA_CHECK_EQ(input.dim(1), channels_);
   const int batch = input.dim(0);
-  const int height = input.dim(2);
-  const int width = input.dim(3);
-  const size_t plane = static_cast<size_t>(height) * width;
-  const double count = static_cast<double>(batch) * plane;
+  const size_t plane =
+      static_cast<size_t>(input.dim(2)) * static_cast<size_t>(input.dim(3));
 
   cached_xhat_ = Tensor(input.shape());
   inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
   Tensor output(input.shape());
-
-  for (int c = 0; c < channels_; ++c) {
-    // Two passes per channel: statistics, then normalize.
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    for (int n = 0; n < batch; ++n) {
-      const float* x = input.data() +
-                       (static_cast<size_t>(n) * channels_ + c) * plane;
-      for (size_t i = 0; i < plane; ++i) {
-        sum += x[i];
-        sum_sq += static_cast<double>(x[i]) * x[i];
-      }
-    }
-    const double mean = sum / count;
-    const double var = sum_sq / count - mean * mean;
-    const float inv_std =
-        1.0f / std::sqrt(static_cast<float>(var) + epsilon_);
-    inv_std_[static_cast<size_t>(c)] = inv_std;
-    const float g = gamma_[c];
-    const float b = beta_[c];
-    for (int n = 0; n < batch; ++n) {
-      const size_t base = (static_cast<size_t>(n) * channels_ + c) * plane;
-      const float* x = input.data() + base;
-      float* xhat = cached_xhat_.data() + base;
-      float* y = output.data() + base;
-      for (size_t i = 0; i < plane; ++i) {
-        xhat[i] = (x[i] - static_cast<float>(mean)) * inv_std;
-        y[i] = g * xhat[i] + b;
-      }
-    }
-  }
+  ops::BatchNorm2dForward(batch, channels_, plane, input.data(), gamma_,
+                          beta_, epsilon_, cached_xhat_.data(),
+                          inv_std_.data(), output.data());
   return output;
 }
 
 Tensor BatchNorm2dLayer::Backward(const Tensor& grad_output) {
   FEDRA_CHECK(grad_output.SameShape(cached_xhat_));
   const int batch = grad_output.dim(0);
-  const int height = grad_output.dim(2);
-  const int width = grad_output.dim(3);
-  const size_t plane = static_cast<size_t>(height) * width;
-  const double count = static_cast<double>(batch) * plane;
+  const size_t plane = static_cast<size_t>(grad_output.dim(2)) *
+                       static_cast<size_t>(grad_output.dim(3));
 
   Tensor grad_input(grad_output.shape());
-  for (int c = 0; c < channels_; ++c) {
-    double sum_dy = 0.0;
-    double sum_dy_xhat = 0.0;
-    for (int n = 0; n < batch; ++n) {
-      const size_t base = (static_cast<size_t>(n) * channels_ + c) * plane;
-      const float* dy = grad_output.data() + base;
-      const float* xhat = cached_xhat_.data() + base;
-      for (size_t i = 0; i < plane; ++i) {
-        sum_dy += dy[i];
-        sum_dy_xhat += static_cast<double>(dy[i]) * xhat[i];
-      }
-    }
-    grad_beta_[c] += static_cast<float>(sum_dy);
-    grad_gamma_[c] += static_cast<float>(sum_dy_xhat);
-    const float scale = gamma_[c] * inv_std_[static_cast<size_t>(c)];
-    const float mean_dy = static_cast<float>(sum_dy / count);
-    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
-    for (int n = 0; n < batch; ++n) {
-      const size_t base = (static_cast<size_t>(n) * channels_ + c) * plane;
-      const float* dy = grad_output.data() + base;
-      const float* xhat = cached_xhat_.data() + base;
-      float* dx = grad_input.data() + base;
-      for (size_t i = 0; i < plane; ++i) {
-        dx[i] = scale * (dy[i] - mean_dy - xhat[i] * mean_dy_xhat);
-      }
-    }
-  }
+  ops::BatchNorm2dBackward(batch, channels_, plane, grad_output.data(),
+                           cached_xhat_.data(), inv_std_.data(), gamma_,
+                           grad_gamma_, grad_beta_, grad_input.data());
   return grad_input;
 }
 

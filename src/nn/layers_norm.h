@@ -20,7 +20,9 @@
 namespace fedra {
 
 /// Per-channel batch normalization for NCHW tensors with learnable
-/// scale (gamma) and shift (beta).
+/// scale (gamma) and shift (beta). Compute is delegated to the vectorized
+/// ops::BatchNorm2dForward/Backward kernels (scalar oracle:
+/// ref::BatchNorm2d* in tensor/ref_ops.h).
 class BatchNorm2dLayer : public Layer {
  public:
   explicit BatchNorm2dLayer(int channels, float epsilon = 1e-5f);

@@ -1,7 +1,9 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -17,9 +19,11 @@ namespace ops {
 // Classic three-level blocking (Goto-style): B is packed once per (jc, pc)
 // panel into NR-wide column micro-panels, each MC-row block of A is packed
 // into MR-tall row micro-panels, and a register-tiled MR x NR micro-kernel
-// runs over the packed panels. Row blocks are independent, so they fan out
-// over GlobalThreadPool; packing zero-pads tile edges so the micro-kernel
-// never branches on bounds.
+// runs over the packed panels. Parallel runs pack every A row block
+// cooperatively into one shared buffer, then fan a 2-D (row block x column
+// group) task grid over GlobalThreadPool — a 256x256 GEMM has only 3 row
+// blocks, so row-only parallelism stalls past 3 threads. Packing zero-pads
+// tile edges so the micro-kernel never branches on bounds.
 
 namespace {
 
@@ -159,8 +163,12 @@ void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
   }
 
   // Caller-thread B panel; worker threads only read it. Thread-local so
-  // repeated GEMM calls reuse the allocation.
+  // repeated GEMM calls reuse the allocation (bounded at kNC * kKC floats).
   thread_local std::vector<float> bpack;
+  // Shared A-pack buffer for the parallel path. Per-call, not thread_local:
+  // its size scales with m, and a high-water-mark allocation that large
+  // must not outlive the one GEMM that needed it.
+  std::vector<float> apack_all;
   const long long flops = 2LL * m * n * k;
 
   for (int jc = 0; jc < n; jc += kNC) {
@@ -173,21 +181,22 @@ void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
       const float* bpack_data = bpack.data();
 
       const int num_iblocks = (m + kMC - 1) / kMC;
-      auto process_iblock = [&, kc, nc, jc, pc](size_t bi) {
-        const int ic = static_cast<int>(bi) * kMC;
+      const int num_jpanels = (nc + kNR - 1) / kNR;
+
+      // Runs the micro-kernel over one row block x column-panel range of the
+      // packed operands, writing the disjoint C sub-block it owns.
+      auto compute_block = [&, kc, nc, jc](int bi, const float* apack_block,
+                                           int jr_begin, int jr_end) {
+        const int ic = bi * kMC;
         const int mc = std::min(kMC, m - ic);
-        const int mc_panels = (mc + kMR - 1) / kMR;
-        thread_local std::vector<float> apack;
-        apack.resize(static_cast<size_t>(mc_panels) * kc * kMR);
-        PackA(trans_a, a, m, k, ic, mc, pc, kc, apack.data());
         alignas(64) float acc[kMR * kNR];
-        for (int jr = 0; jr < nc; jr += kNR) {
+        for (int jr = jr_begin; jr < jr_end; jr += kNR) {
           const float* bpanel =
               bpack_data + static_cast<size_t>(jr / kNR) * kc * kNR;
           const int nr_eff = std::min(kNR, nc - jr);
           for (int ir = 0; ir < mc; ir += kMR) {
             const float* apanel =
-                apack.data() + static_cast<size_t>(ir / kMR) * kc * kMR;
+                apack_block + static_cast<size_t>(ir / kMR) * kc * kMR;
             MicroKernel(kc, apanel, bpanel, acc);
             const int mr_eff = std::min(kMR, mc - ir);
             for (int ii = 0; ii < mr_eff; ++ii) {
@@ -202,13 +211,56 @@ void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
         }
       };
 
-      if (num_iblocks > 1 && flops >= kParallelFlopThreshold &&
+      ThreadPool& pool = GlobalThreadPool();
+      const size_t num_pool_threads = pool.num_threads();
+      if (num_pool_threads > 1 && flops >= kParallelFlopThreshold &&
+          static_cast<long long>(num_iblocks) * num_jpanels > 1 &&
           !ThreadPool::OnPoolThread()) {
-        GlobalThreadPool().ParallelFor(static_cast<size_t>(num_iblocks),
-                                       process_iblock);
+        // Phase 1: pack every A row block cooperatively into one shared
+        // buffer (uniform kMC * kc stride per block; only the last block is
+        // short). Phase 2 reads it from every task.
+        const size_t block_stride =
+            static_cast<size_t>(kMC) * static_cast<size_t>(kc);
+        apack_all.resize(static_cast<size_t>(num_iblocks) * block_stride);
+        float* apack_data = apack_all.data();
+        pool.ParallelFor(static_cast<size_t>(num_iblocks), [&](size_t bi) {
+          const int ic = static_cast<int>(bi) * kMC;
+          const int mc = std::min(kMC, m - ic);
+          PackA(trans_a, a, m, k, ic, mc, pc, kc,
+                apack_data + bi * block_stride);
+        });
+        // Phase 2: 2-D (row block x column group) task grid. Column panels
+        // are grouped so the grid has ~3 tasks per thread — enough slack for
+        // dynamic balancing without shrinking the per-task GEMM below the
+        // panel reuse the packing paid for.
+        const size_t target_tasks = 3 * num_pool_threads;
+        size_t num_jgroups = std::max<size_t>(
+            1, std::min<size_t>(static_cast<size_t>(num_jpanels),
+                                target_tasks /
+                                    static_cast<size_t>(num_iblocks)));
+        const size_t panels_per_group =
+            (static_cast<size_t>(num_jpanels) + num_jgroups - 1) / num_jgroups;
+        num_jgroups = (static_cast<size_t>(num_jpanels) + panels_per_group -
+                       1) / panels_per_group;
+        pool.ParallelFor2d(
+            static_cast<size_t>(num_iblocks), num_jgroups,
+            [&](size_t bi, size_t gj) {
+              const int jr_begin =
+                  static_cast<int>(gj * panels_per_group) * kNR;
+              const int jr_end = std::min(
+                  nc, static_cast<int>((gj + 1) * panels_per_group) * kNR);
+              compute_block(static_cast<int>(bi),
+                            apack_data + bi * block_stride, jr_begin, jr_end);
+            });
       } else {
+        // Sequential: pack one block at a time and compute it while hot.
+        thread_local std::vector<float> apack;
+        apack.resize(static_cast<size_t>(kMC) * static_cast<size_t>(kc));
         for (int bi = 0; bi < num_iblocks; ++bi) {
-          process_iblock(static_cast<size_t>(bi));
+          const int ic = bi * kMC;
+          const int mc = std::min(kMC, m - ic);
+          PackA(trans_a, a, m, k, ic, mc, pc, kc, apack.data());
+          compute_block(bi, apack.data(), 0, nc);
         }
       }
     }
@@ -262,7 +314,7 @@ void Im2col(const Conv2dGeometry& g, const float* input, float* col) {
             const int x_lo = std::min(ow, std::max(0, -w0));
             const int x_hi = std::max(x_lo, std::min(ow, g.in_w - w0));
             std::fill(dst, dst + x_lo, 0.0f);
-            std::memcpy(dst + x_lo, src_row + w0 + x_lo,
+            std::memcpy(dst + x_lo, src_row + (w0 + x_lo),
                         static_cast<size_t>(x_hi - x_lo) * sizeof(float));
             std::fill(dst + x_hi, dst + ow, 0.0f);
           } else {
@@ -408,129 +460,236 @@ void Conv2dBackward(const Conv2dGeometry& g, const float* input,
   }
 }
 
+// ------------------------------------------------- pooling / depthwise --
+//
+// The scalar versions of these kernels iterated taps per output pixel, so
+// every inner loop branched on window bounds. The fast versions invert the
+// nests: per (ky, kx) tap, process the whole in-bounds span of output x at
+// once. For stride 1 that span is a contiguous FMA/max/add over the input
+// row — exactly what the autovectorizer wants — and border clipping is
+// hoisted into a range computation per tap. Plane-level parallelism fans
+// out over GlobalThreadPool. Scalar oracles: ref:: in tensor/ref_ops.h.
+
+namespace {
+
+// Valid output range for tap column offset w0 = kx - pad: every x in
+// [*x_lo, *x_hi) has 0 <= x * stride + w0 < in_w.
+inline void TapRange(int w0, int stride, int in_w, int ow, int* x_lo,
+                     int* x_hi) {
+  const int lo = w0 < 0 ? (-w0 + stride - 1) / stride : 0;
+  const int hi =
+      in_w > w0 ? std::min(ow, (in_w - w0 + stride - 1) / stride) : 0;
+  *x_lo = std::min(lo, hi);
+  *x_hi = hi;
+}
+
+// Fans plane-granular work over the global pool when the total is big
+// enough to amortize the wake/wait round-trip (ParallelFor already inlines
+// nested and single-thread calls).
+constexpr size_t kPlaneParallelThreshold = size_t{1} << 15;
+
+void ForEachPlane(size_t planes, size_t work_per_plane,
+                  const std::function<void(size_t)>& body) {
+  if (planes > 1 && planes * work_per_plane >= kPlaneParallelThreshold) {
+    GlobalThreadPool().ParallelFor(planes, body);
+  } else {
+    for (size_t p = 0; p < planes; ++p) {
+      body(p);
+    }
+  }
+}
+
+}  // namespace
+
 void DepthwiseConv2dForward(const Conv2dGeometry& g, const float* input,
                             const float* weight, const float* bias,
                             float* output) {
   FEDRA_CHECK_EQ(g.in_channels, g.out_channels);
   const int oh = g.out_h();
   const int ow = g.out_w();
-  for (int n = 0; n < g.batch; ++n) {
-    for (int c = 0; c < g.in_channels; ++c) {
-      const float* w_c =
-          weight + static_cast<size_t>(c) * g.kernel * g.kernel;
-      for (int y = 0; y < oh; ++y) {
-        for (int x = 0; x < ow; ++x) {
-          float acc = bias ? bias[c] : 0.0f;
-          const int h0 = y * g.stride - g.pad;
-          const int w0 = x * g.stride - g.pad;
-          for (int ky = 0; ky < g.kernel; ++ky) {
-            const int h = h0 + ky;
-            if (h < 0 || h >= g.in_h) {
-              continue;
-            }
-            for (int kx = 0; kx < g.kernel; ++kx) {
-              const int w = w0 + kx;
-              if (w < 0 || w >= g.in_w) {
-                continue;
-              }
-              acc += input[Idx4(n, c, h, w, g.in_channels, g.in_h, g.in_w)] *
-                     w_c[ky * g.kernel + kx];
+  const size_t in_plane = static_cast<size_t>(g.in_h) * g.in_w;
+  const size_t out_plane = static_cast<size_t>(oh) * ow;
+  const size_t planes = static_cast<size_t>(g.batch) * g.in_channels;
+  const size_t work = out_plane * g.kernel * g.kernel;
+  ForEachPlane(planes, work, [&](size_t p) {
+    const int c = static_cast<int>(p % static_cast<size_t>(g.in_channels));
+    const float* in = input + p * in_plane;
+    float* out = output + p * out_plane;
+    const float* w_c = weight + static_cast<size_t>(c) * g.kernel * g.kernel;
+    for (int y = 0; y < oh; ++y) {
+      float* out_row = out + static_cast<size_t>(y) * ow;
+      vec::Fill(out_row, static_cast<size_t>(ow), bias ? bias[c] : 0.0f);
+      const int h0 = y * g.stride - g.pad;
+      for (int ky = 0; ky < g.kernel; ++ky) {
+        const int h = h0 + ky;
+        if (h < 0 || h >= g.in_h) {
+          continue;
+        }
+        const float* src_row = in + static_cast<size_t>(h) * g.in_w;
+        for (int kx = 0; kx < g.kernel; ++kx) {
+          const int w0 = kx - g.pad;
+          int x_lo, x_hi;
+          TapRange(w0, g.stride, g.in_w, ow, &x_lo, &x_hi);
+          const float wv = w_c[ky * g.kernel + kx];
+          if (g.stride == 1) {
+            vec::Axpy(wv, src_row + (w0 + x_lo), out_row + x_lo,
+                      static_cast<size_t>(x_hi - x_lo));
+          } else {
+            for (int x = x_lo; x < x_hi; ++x) {
+              out_row[x] += wv * src_row[x * g.stride + w0];
             }
           }
-          output[Idx4(n, c, y, x, g.in_channels, oh, ow)] = acc;
         }
       }
     }
-  }
+  });
 }
 
 void DepthwiseConv2dBackward(const Conv2dGeometry& g, const float* input,
                              const float* weight, const float* grad_output,
                              float* grad_input, float* grad_weight,
                              float* grad_bias) {
+  FEDRA_CHECK_EQ(g.in_channels, g.out_channels);
   const int oh = g.out_h();
   const int ow = g.out_w();
-  for (int n = 0; n < g.batch; ++n) {
-    for (int c = 0; c < g.in_channels; ++c) {
-      const float* w_c =
-          weight + static_cast<size_t>(c) * g.kernel * g.kernel;
-      float* gw_c =
-          grad_weight
-              ? grad_weight + static_cast<size_t>(c) * g.kernel * g.kernel
-              : nullptr;
+  const size_t in_plane = static_cast<size_t>(g.in_h) * g.in_w;
+  const size_t out_plane = static_cast<size_t>(oh) * ow;
+  const size_t work = static_cast<size_t>(g.batch) * out_plane * g.kernel *
+                      g.kernel;
+  // Parallel over channels (not batch x channels): grad_weight/grad_bias
+  // accumulate per channel across the batch, so a channel is the largest
+  // unit whose writes are disjoint.
+  ForEachPlane(static_cast<size_t>(g.in_channels), work, [&](size_t pc) {
+    const int c = static_cast<int>(pc);
+    const float* w_c = weight + static_cast<size_t>(c) * g.kernel * g.kernel;
+    float* gw_c = grad_weight ? grad_weight + static_cast<size_t>(c) *
+                                                  g.kernel * g.kernel
+                              : nullptr;
+    double gb_acc = 0.0;
+    // Per-tap double accumulators keep the += contract exact while the row
+    // dots run multi-lane.
+    std::vector<double> gw_acc(
+        gw_c ? static_cast<size_t>(g.kernel) * g.kernel : 0, 0.0);
+    for (int n = 0; n < g.batch; ++n) {
+      const size_t plane_idx =
+          static_cast<size_t>(n) * g.in_channels + static_cast<size_t>(c);
+      const float* in = input + plane_idx * in_plane;
+      const float* go = grad_output + plane_idx * out_plane;
+      float* gi = grad_input ? grad_input + plane_idx * in_plane : nullptr;
       for (int y = 0; y < oh; ++y) {
-        for (int x = 0; x < ow; ++x) {
-          const float go =
-              grad_output[Idx4(n, c, y, x, g.in_channels, oh, ow)];
-          if (grad_bias) {
-            grad_bias[c] += go;
+        const float* go_row = go + static_cast<size_t>(y) * ow;
+        if (grad_bias) {
+          gb_acc += vec::Sum(go_row, static_cast<size_t>(ow));
+        }
+        const int h0 = y * g.stride - g.pad;
+        for (int ky = 0; ky < g.kernel; ++ky) {
+          const int h = h0 + ky;
+          if (h < 0 || h >= g.in_h) {
+            continue;
           }
-          const int h0 = y * g.stride - g.pad;
-          const int w0 = x * g.stride - g.pad;
-          for (int ky = 0; ky < g.kernel; ++ky) {
-            const int h = h0 + ky;
-            if (h < 0 || h >= g.in_h) {
+          const float* in_row = in + static_cast<size_t>(h) * g.in_w;
+          float* gi_row =
+              gi ? gi + static_cast<size_t>(h) * g.in_w : nullptr;
+          for (int kx = 0; kx < g.kernel; ++kx) {
+            const int w0 = kx - g.pad;
+            int x_lo, x_hi;
+            TapRange(w0, g.stride, g.in_w, ow, &x_lo, &x_hi);
+            if (x_lo >= x_hi) {
               continue;
             }
-            for (int kx = 0; kx < g.kernel; ++kx) {
-              const int w = w0 + kx;
-              if (w < 0 || w >= g.in_w) {
-                continue;
-              }
-              const size_t in_idx =
-                  Idx4(n, c, h, w, g.in_channels, g.in_h, g.in_w);
+            const size_t len = static_cast<size_t>(x_hi - x_lo);
+            if (g.stride == 1) {
               if (gw_c) {
-                gw_c[ky * g.kernel + kx] += go * input[in_idx];
+                gw_acc[static_cast<size_t>(ky) * g.kernel + kx] +=
+                    vec::Dot(go_row + x_lo, in_row + (w0 + x_lo), len);
               }
-              if (grad_input) {
-                grad_input[in_idx] += go * w_c[ky * g.kernel + kx];
+              if (gi_row) {
+                vec::Axpy(w_c[ky * g.kernel + kx], go_row + x_lo,
+                          gi_row + (w0 + x_lo), len);
+              }
+            } else {
+              const float wv = w_c[ky * g.kernel + kx];
+              double dot = 0.0;
+              for (int x = x_lo; x < x_hi; ++x) {
+                const int w = x * g.stride + w0;
+                dot += static_cast<double>(go_row[x]) * in_row[w];
+                if (gi_row) {
+                  gi_row[w] += wv * go_row[x];
+                }
+              }
+              if (gw_c) {
+                gw_acc[static_cast<size_t>(ky) * g.kernel + kx] += dot;
               }
             }
           }
         }
       }
     }
-  }
+    if (grad_bias) {
+      grad_bias[c] += static_cast<float>(gb_acc);
+    }
+    if (gw_c) {
+      for (size_t t = 0; t < gw_acc.size(); ++t) {
+        gw_c[t] += static_cast<float>(gw_acc[t]);
+      }
+    }
+  });
 }
 
+// Max pooling keeps the per-pixel window scan (the argmax select chains
+// through every tap, which defeats per-tap row passes — tracking two output
+// arrays per tap costs more memory traffic than the scan saves), but hoists
+// all border clipping into [ky_lo, ky_hi) x [kx_lo, kx_hi) ranges so the
+// window loop has no bounds branches and no index multiplies — that, not
+// the scan itself, is what the reference kernel pays for per tap. Taps
+// visit (ky, kx) in the same order as the oracle with a strict >, so
+// argmax ties resolve identically.
 void MaxPool2dForward(const Conv2dGeometry& g, const float* input,
                       float* output, int* argmax) {
   const int oh = g.out_h();
   const int ow = g.out_w();
-  for (int n = 0; n < g.batch; ++n) {
-    for (int c = 0; c < g.in_channels; ++c) {
-      for (int y = 0; y < oh; ++y) {
-        for (int x = 0; x < ow; ++x) {
-          float best = -std::numeric_limits<float>::infinity();
-          int best_idx = -1;
-          const int h0 = y * g.stride - g.pad;
-          const int w0 = x * g.stride - g.pad;
-          for (int ky = 0; ky < g.kernel; ++ky) {
-            const int h = h0 + ky;
-            if (h < 0 || h >= g.in_h) {
-              continue;
-            }
-            for (int kx = 0; kx < g.kernel; ++kx) {
-              const int w = w0 + kx;
-              if (w < 0 || w >= g.in_w) {
-                continue;
-              }
-              const size_t idx =
-                  Idx4(n, c, h, w, g.in_channels, g.in_h, g.in_w);
-              if (input[idx] > best) {
-                best = input[idx];
-                best_idx = static_cast<int>(idx);
-              }
+  const size_t in_plane = static_cast<size_t>(g.in_h) * g.in_w;
+  const size_t out_plane = static_cast<size_t>(oh) * ow;
+  const size_t planes = static_cast<size_t>(g.batch) * g.in_channels;
+  const size_t work = out_plane * g.kernel * g.kernel;
+  ForEachPlane(planes, work, [&](size_t p) {
+    const float* in = input + p * in_plane;
+    float* out = output + p * out_plane;
+    int* arg = argmax + p * out_plane;
+    const int plane_idx = static_cast<int>(p * in_plane);
+    for (int y = 0; y < oh; ++y) {
+      float* out_row = out + static_cast<size_t>(y) * ow;
+      int* arg_row = arg + static_cast<size_t>(y) * ow;
+      const int h0 = y * g.stride - g.pad;
+      const int ky_lo = std::max(0, -h0);
+      const int ky_hi = std::min(g.kernel, g.in_h - h0);
+      for (int x = 0; x < ow; ++x) {
+        const int w0 = x * g.stride - g.pad;
+        const int kx_lo = std::max(0, -w0);
+        const int kx_hi = std::min(g.kernel, g.in_w - w0);
+        float best = -std::numeric_limits<float>::infinity();
+        int best_idx = -1;
+        // kx_lo is folded into the base offset so the pointer never sits
+        // before the plane when the window clips the left border.
+        const int w_first = w0 + kx_lo;
+        for (int ky = ky_lo; ky < ky_hi; ++ky) {
+          const int h = h0 + ky;
+          const float* row = in + static_cast<size_t>(h) * g.in_w + w_first;
+          const int row_idx = plane_idx + h * g.in_w + w_first;
+          for (int kx = 0; kx < kx_hi - kx_lo; ++kx) {
+            const float v = row[kx];
+            if (v > best) {
+              best = v;
+              best_idx = row_idx + kx;
             }
           }
-          FEDRA_CHECK_GE(best_idx, 0) << "empty pooling window";
-          const size_t out_idx = Idx4(n, c, y, x, g.in_channels, oh, ow);
-          output[out_idx] = best;
-          argmax[out_idx] = best_idx;
         }
+        FEDRA_CHECK_GE(best_idx, 0) << "empty pooling window";
+        out_row[x] = best;
+        arg_row[x] = best_idx;
       }
     }
-  }
+  });
 }
 
 void MaxPool2dBackward(const Conv2dGeometry& g, const float* grad_output,
@@ -542,88 +701,131 @@ void MaxPool2dBackward(const Conv2dGeometry& g, const float* grad_output,
   }
 }
 
+namespace {
+
+// Per-axis tap counts of a clipped pooling window; the window count
+// factorizes as counts_y[y] * counts_x[x].
+std::vector<int> ClippedTapCounts(int out, int kernel, int stride, int pad,
+                                  int in_extent) {
+  std::vector<int> counts(static_cast<size_t>(out), 0);
+  for (int i = 0; i < out; ++i) {
+    const int lo = i * stride - pad;
+    counts[static_cast<size_t>(i)] =
+        std::min(lo + kernel, in_extent) - std::max(lo, 0);
+  }
+  return counts;
+}
+
+}  // namespace
+
 void AvgPool2dForward(const Conv2dGeometry& g, const float* input,
                       float* output) {
   const int oh = g.out_h();
   const int ow = g.out_w();
-  for (int n = 0; n < g.batch; ++n) {
-    for (int c = 0; c < g.in_channels; ++c) {
-      for (int y = 0; y < oh; ++y) {
-        for (int x = 0; x < ow; ++x) {
-          float acc = 0.0f;
-          int count = 0;
-          const int h0 = y * g.stride - g.pad;
-          const int w0 = x * g.stride - g.pad;
-          for (int ky = 0; ky < g.kernel; ++ky) {
-            const int h = h0 + ky;
-            if (h < 0 || h >= g.in_h) {
-              continue;
-            }
-            for (int kx = 0; kx < g.kernel; ++kx) {
-              const int w = w0 + kx;
-              if (w < 0 || w >= g.in_w) {
-                continue;
-              }
-              acc += input[Idx4(n, c, h, w, g.in_channels, g.in_h, g.in_w)];
-              ++count;
-            }
-          }
-          output[Idx4(n, c, y, x, g.in_channels, oh, ow)] =
-              count > 0 ? acc / static_cast<float>(count) : 0.0f;
-        }
-      }
+  const size_t in_plane = static_cast<size_t>(g.in_h) * g.in_w;
+  const size_t out_plane = static_cast<size_t>(oh) * ow;
+  const size_t planes = static_cast<size_t>(g.batch) * g.in_channels;
+  const auto ch = ClippedTapCounts(oh, g.kernel, g.stride, g.pad, g.in_h);
+  const auto cw = ClippedTapCounts(ow, g.kernel, g.stride, g.pad, g.in_w);
+  std::vector<float> inv_cw(static_cast<size_t>(ow), 0.0f);
+  for (int x = 0; x < ow; ++x) {
+    if (cw[static_cast<size_t>(x)] > 0) {
+      inv_cw[static_cast<size_t>(x)] =
+          1.0f / static_cast<float>(cw[static_cast<size_t>(x)]);
     }
   }
+  const size_t work = out_plane * g.kernel * g.kernel;
+  ForEachPlane(planes, work, [&](size_t p) {
+    const float* in = input + p * in_plane;
+    float* out = output + p * out_plane;
+    for (int y = 0; y < oh; ++y) {
+      float* out_row = out + static_cast<size_t>(y) * ow;
+      vec::Fill(out_row, static_cast<size_t>(ow), 0.0f);
+      const int h0 = y * g.stride - g.pad;
+      for (int ky = 0; ky < g.kernel; ++ky) {
+        const int h = h0 + ky;
+        if (h < 0 || h >= g.in_h) {
+          continue;
+        }
+        const float* src_row = in + static_cast<size_t>(h) * g.in_w;
+        for (int kx = 0; kx < g.kernel; ++kx) {
+          const int w0 = kx - g.pad;
+          int x_lo, x_hi;
+          TapRange(w0, g.stride, g.in_w, ow, &x_lo, &x_hi);
+          if (g.stride == 1) {
+            vec::Axpy(1.0f, src_row + (w0 + x_lo), out_row + x_lo,
+                      static_cast<size_t>(x_hi - x_lo));
+          } else {
+            for (int x = x_lo; x < x_hi; ++x) {
+              out_row[x] += src_row[x * g.stride + w0];
+            }
+          }
+        }
+      }
+      const int chy = ch[static_cast<size_t>(y)];
+      if (chy <= 0) {
+        vec::Fill(out_row, static_cast<size_t>(ow), 0.0f);
+        continue;
+      }
+      const float inv_chy = 1.0f / static_cast<float>(chy);
+      for (int x = 0; x < ow; ++x) {
+        out_row[x] *= inv_chy * inv_cw[static_cast<size_t>(x)];
+      }
+    }
+  });
 }
 
 void AvgPool2dBackward(const Conv2dGeometry& g, const float* grad_output,
                        float* grad_input) {
   const int oh = g.out_h();
   const int ow = g.out_w();
-  for (int n = 0; n < g.batch; ++n) {
-    for (int c = 0; c < g.in_channels; ++c) {
-      for (int y = 0; y < oh; ++y) {
-        for (int x = 0; x < ow; ++x) {
-          // Count matches the forward pass (windows clipped at borders).
-          int count = 0;
-          const int h0 = y * g.stride - g.pad;
-          const int w0 = x * g.stride - g.pad;
-          for (int ky = 0; ky < g.kernel; ++ky) {
-            const int h = h0 + ky;
-            if (h < 0 || h >= g.in_h) {
-              continue;
-            }
-            for (int kx = 0; kx < g.kernel; ++kx) {
-              const int w = w0 + kx;
-              if (w >= 0 && w < g.in_w) {
-                ++count;
-              }
-            }
-          }
-          if (count == 0) {
-            continue;
-          }
-          const float share =
-              grad_output[Idx4(n, c, y, x, g.in_channels, oh, ow)] /
-              static_cast<float>(count);
-          for (int ky = 0; ky < g.kernel; ++ky) {
-            const int h = h0 + ky;
-            if (h < 0 || h >= g.in_h) {
-              continue;
-            }
-            for (int kx = 0; kx < g.kernel; ++kx) {
-              const int w = w0 + kx;
-              if (w < 0 || w >= g.in_w) {
-                continue;
-              }
-              grad_input[Idx4(n, c, h, w, g.in_channels, g.in_h, g.in_w)] +=
-                  share;
+  const size_t in_plane = static_cast<size_t>(g.in_h) * g.in_w;
+  const size_t out_plane = static_cast<size_t>(oh) * ow;
+  const size_t planes = static_cast<size_t>(g.batch) * g.in_channels;
+  const auto ch = ClippedTapCounts(oh, g.kernel, g.stride, g.pad, g.in_h);
+  const auto cw = ClippedTapCounts(ow, g.kernel, g.stride, g.pad, g.in_w);
+  const size_t work = out_plane * g.kernel * g.kernel;
+  ForEachPlane(planes, work, [&](size_t p) {
+    const float* go = grad_output + p * out_plane;
+    float* gi = grad_input + p * in_plane;
+    // Count matches the forward pass (windows clipped at borders).
+    thread_local std::vector<float> share;
+    share.resize(static_cast<size_t>(ow));
+    for (int y = 0; y < oh; ++y) {
+      const int chy = ch[static_cast<size_t>(y)];
+      if (chy <= 0) {
+        continue;
+      }
+      const float* go_row = go + static_cast<size_t>(y) * ow;
+      const float inv_chy = 1.0f / static_cast<float>(chy);
+      for (int x = 0; x < ow; ++x) {
+        const int cwx = cw[static_cast<size_t>(x)];
+        share[static_cast<size_t>(x)] =
+            cwx > 0 ? go_row[x] * inv_chy / static_cast<float>(cwx) : 0.0f;
+      }
+      const int h0 = y * g.stride - g.pad;
+      for (int ky = 0; ky < g.kernel; ++ky) {
+        const int h = h0 + ky;
+        if (h < 0 || h >= g.in_h) {
+          continue;
+        }
+        float* gi_row = gi + static_cast<size_t>(h) * g.in_w;
+        for (int kx = 0; kx < g.kernel; ++kx) {
+          const int w0 = kx - g.pad;
+          int x_lo, x_hi;
+          TapRange(w0, g.stride, g.in_w, ow, &x_lo, &x_hi);
+          if (g.stride == 1) {
+            vec::Axpy(1.0f, share.data() + x_lo, gi_row + (w0 + x_lo),
+                      static_cast<size_t>(x_hi - x_lo));
+          } else {
+            for (int x = x_lo; x < x_hi; ++x) {
+              gi_row[x * g.stride + w0] += share[static_cast<size_t>(x)];
             }
           }
         }
       }
     }
-  }
+  });
 }
 
 void GlobalAvgPoolForward(int batch, int channels, int h, int w,
@@ -654,6 +856,74 @@ void GlobalAvgPoolBackward(int batch, int channels, int h, int w,
       }
     }
   }
+}
+
+// ------------------------------------------------------------ batchnorm --
+//
+// Channels are independent (statistics reduce over batch x plane within one
+// channel; gamma/beta gradients are per channel), so both passes fan out
+// over channels. The per-channel inner loops are the fused vec kernels:
+// one pass for sum + sum of squares, one for normalize + affine.
+
+void BatchNorm2dForward(int batch, int channels, size_t plane,
+                        const float* input, const float* gamma,
+                        const float* beta, float epsilon, float* xhat,
+                        float* inv_std, float* output) {
+  FEDRA_CHECK(batch > 0 && channels > 0 && plane > 0);
+  const double count = static_cast<double>(batch) * plane;
+  const size_t sample_stride = static_cast<size_t>(channels) * plane;
+  ForEachPlane(static_cast<size_t>(channels),
+               static_cast<size_t>(batch) * plane, [&](size_t pc) {
+    const int c = static_cast<int>(pc);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int n = 0; n < batch; ++n) {
+      vec::SumAndSquaredNorm(
+          input + static_cast<size_t>(n) * sample_stride + pc * plane, plane,
+          &sum, &sum_sq);
+    }
+    const double mean = sum / count;
+    const double var = sum_sq / count - mean * mean;
+    const float istd = 1.0f / std::sqrt(static_cast<float>(var) + epsilon);
+    inv_std[c] = istd;
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = static_cast<size_t>(n) * sample_stride + pc * plane;
+      vec::NormalizeAffine(input + base, static_cast<float>(mean), istd,
+                           gamma[c], beta[c], xhat + base, output + base,
+                           plane);
+    }
+  });
+}
+
+void BatchNorm2dBackward(int batch, int channels, size_t plane,
+                         const float* grad_output, const float* xhat,
+                         const float* inv_std, const float* gamma,
+                         float* grad_gamma, float* grad_beta,
+                         float* grad_input) {
+  FEDRA_CHECK(batch > 0 && channels > 0 && plane > 0);
+  const double count = static_cast<double>(batch) * plane;
+  const size_t sample_stride = static_cast<size_t>(channels) * plane;
+  ForEachPlane(static_cast<size_t>(channels),
+               static_cast<size_t>(batch) * plane, [&](size_t pc) {
+    const int c = static_cast<int>(pc);
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = static_cast<size_t>(n) * sample_stride + pc * plane;
+      sum_dy += vec::Sum(grad_output + base, plane);
+      sum_dy_xhat += vec::Dot(grad_output + base, xhat + base, plane);
+    }
+    grad_beta[c] += static_cast<float>(sum_dy);
+    grad_gamma[c] += static_cast<float>(sum_dy_xhat);
+    const float scale = gamma[c] * inv_std[c];
+    const float mean_dy = static_cast<float>(sum_dy / count);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = static_cast<size_t>(n) * sample_stride + pc * plane;
+      vec::NormBackwardDx(grad_output + base, xhat + base, scale, mean_dy,
+                          mean_dy_xhat, grad_input + base, plane);
+    }
+  });
 }
 
 }  // namespace ops

@@ -97,6 +97,22 @@ void GlobalAvgPoolForward(int batch, int channels, int h, int w,
 void GlobalAvgPoolBackward(int batch, int channels, int h, int w,
                            const float* grad_output, float* grad_input);
 
+/// Per-channel batch normalization over (batch, plane) using batch
+/// statistics. Writes xhat (normalized input, cached for backward), one
+/// inv_std per channel, and output = gamma * xhat + beta. `plane` is
+/// H * W for NCHW inputs.
+void BatchNorm2dForward(int batch, int channels, size_t plane,
+                        const float* input, const float* gamma,
+                        const float* beta, float epsilon, float* xhat,
+                        float* inv_std, float* output);
+
+/// Accumulates grad_gamma/grad_beta (+=) and writes grad_input.
+void BatchNorm2dBackward(int batch, int channels, size_t plane,
+                         const float* grad_output, const float* xhat,
+                         const float* inv_std, const float* gamma,
+                         float* grad_gamma, float* grad_beta,
+                         float* grad_input);
+
 }  // namespace ops
 }  // namespace fedra
 

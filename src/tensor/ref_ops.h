@@ -27,6 +27,37 @@ void Conv2dBackward(const ops::Conv2dGeometry& g, const float* input,
                     const float* weight, const float* grad_output,
                     float* grad_input, float* grad_weight, float* grad_bias);
 
+/// Direct depthwise convolution (per-output-pixel tap loops).
+void DepthwiseConv2dForward(const ops::Conv2dGeometry& g, const float* input,
+                            const float* weight, const float* bias,
+                            float* output);
+void DepthwiseConv2dBackward(const ops::Conv2dGeometry& g, const float* input,
+                             const float* weight, const float* grad_output,
+                             float* grad_input, float* grad_weight,
+                             float* grad_bias);
+
+/// Per-output-pixel pooling loops (windows clipped at borders).
+void MaxPool2dForward(const ops::Conv2dGeometry& g, const float* input,
+                      float* output, int* argmax);
+void MaxPool2dBackward(const ops::Conv2dGeometry& g, const float* grad_output,
+                       const int* argmax, float* grad_input);
+void AvgPool2dForward(const ops::Conv2dGeometry& g, const float* input,
+                      float* output);
+void AvgPool2dBackward(const ops::Conv2dGeometry& g, const float* grad_output,
+                       float* grad_input);
+
+/// Per-channel batch normalization over (batch, plane) with single-
+/// accumulator statistics loops; same contract as ops::BatchNorm2d*.
+void BatchNorm2dForward(int batch, int channels, size_t plane,
+                        const float* input, const float* gamma,
+                        const float* beta, float epsilon, float* xhat,
+                        float* inv_std, float* output);
+void BatchNorm2dBackward(int batch, int channels, size_t plane,
+                         const float* grad_output, const float* xhat,
+                         const float* inv_std, const float* gamma,
+                         float* grad_gamma, float* grad_beta,
+                         float* grad_input);
+
 /// Scalar flat-span kernels (single-accumulator loops).
 void Fill(float* dst, size_t n, float value);
 void Scale(float* x, size_t n, float alpha);

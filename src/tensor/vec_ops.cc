@@ -158,5 +158,46 @@ double AxpyNorm(float alpha, const float* x, float* y, size_t n) {
   return (acc0 + acc1) + (acc2 + acc3);
 }
 
+void SumAndSquaredNorm(const float* x, size_t n, double* sum,
+                       double* sum_sq) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double q0 = 0.0, q1 = 0.0, q2 = 0.0, q3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double x0 = x[i], x1 = x[i + 1], x2 = x[i + 2], x3 = x[i + 3];
+    s0 += x0;
+    s1 += x1;
+    s2 += x2;
+    s3 += x3;
+    q0 += x0 * x0;
+    q1 += x1 * x1;
+    q2 += x2 * x2;
+    q3 += x3 * x3;
+  }
+  for (; i < n; ++i) {
+    const double xi = x[i];
+    s0 += xi;
+    q0 += xi * xi;
+  }
+  *sum += (s0 + s1) + (s2 + s3);
+  *sum_sq += (q0 + q1) + (q2 + q3);
+}
+
+void NormalizeAffine(const float* x, float mean, float inv_std, float gamma,
+                     float beta, float* xhat, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float xh = (x[i] - mean) * inv_std;
+    xhat[i] = xh;
+    y[i] = gamma * xh + beta;
+  }
+}
+
+void NormBackwardDx(const float* dy, const float* xhat, float scale,
+                    float mean_dy, float mean_dy_xhat, float* dx, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dx[i] = scale * (dy[i] - mean_dy - xhat[i] * mean_dy_xhat);
+  }
+}
+
 }  // namespace vec
 }  // namespace fedra

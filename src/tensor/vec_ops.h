@@ -65,6 +65,20 @@ double SubSquaredNorm(const float* a, const float* b, float* out, size_t n);
 /// updated y. One pass instead of Axpy + SquaredNorm.
 double AxpyNorm(float alpha, const float* x, float* y, size_t n);
 
+/// Fused moment kernel: *sum += sum_i x[i], *sum_sq += sum_i x[i]^2 in one
+/// pass. BatchNorm's statistics pass needs both over every channel plane.
+void SumAndSquaredNorm(const float* x, size_t n, double* sum, double* sum_sq);
+
+/// Fused normalize kernel: xhat[i] = (x[i] - mean) * inv_std and
+/// y[i] = gamma * xhat[i] + beta. The BatchNorm forward normalize pass.
+void NormalizeAffine(const float* x, float mean, float inv_std, float gamma,
+                     float beta, float* xhat, float* y, size_t n);
+
+/// BatchNorm backward input-gradient kernel:
+/// dx[i] = scale * (dy[i] - mean_dy - xhat[i] * mean_dy_xhat).
+void NormBackwardDx(const float* dy, const float* xhat, float scale,
+                    float mean_dy, float mean_dy_xhat, float* dx, size_t n);
+
 }  // namespace vec
 }  // namespace fedra
 

@@ -1,14 +1,50 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdlib>
 
 #include "util/check.h"
 
 namespace fedra {
 
 namespace {
+
 thread_local bool tls_on_pool_thread = false;
+
+// Completion token for one ParallelForRange call. Heap-owned (shared_ptr)
+// because runner tasks can outlive the call: once every chunk is claimed the
+// caller returns, but runners still queued behind other callers' work wake up
+// later, see the exhausted counter, and exit without touching the body.
+struct ParallelCallState {
+  std::atomic<size_t> next{0};  // first unclaimed index
+  std::atomic<size_t> done{0};  // completed chunks
+  size_t n = 0;
+  size_t grain = 0;
+  size_t num_chunks = 0;
+  std::function<void(size_t, size_t)> body;
+  std::mutex mutex;
+  std::condition_variable all_done;
+
+  // Claims grain-sized chunks until none remain. Any thread — the caller or
+  // a pool worker — can run this; the dynamic handout balances load without
+  // per-chunk queue traffic.
+  void RunChunks() {
+    for (;;) {
+      const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) {
+        return;
+      }
+      body(begin, std::min(begin + grain, n));
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        // Lock pairs with the caller's predicate check so the final wakeup
+        // can't slip between its check and its sleep.
+        std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
 }  // namespace
 
 bool ThreadPool::OnPoolThread() { return tls_on_pool_thread; }
@@ -20,16 +56,22 @@ ThreadPool::ThreadPool(size_t num_threads) {
       num_threads = 1;
     }
   }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  shutting_down_.store(true, std::memory_order_release);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    shutting_down_ = true;
+    // Fence against a worker that has checked the predicate but not yet gone
+    // to sleep; see PushTask for the same idiom.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
   }
   work_available_.notify_all();
   for (auto& thread : threads_) {
@@ -37,19 +79,85 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::Schedule(std::function<void()> task) {
+void ThreadPool::PushTask(std::function<void()> task) {
+  const size_t index =
+      push_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  // Publish the count before the task so queued_ never underflows when a
+  // worker pops between the two writes; a transiently high count only costs
+  // a spurious wakeup.
+  queued_.fetch_add(1, std::memory_order_release);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    FEDRA_CHECK(!shutting_down_) << "Schedule() after shutdown";
-    queue_.push(std::move(task));
-    ++in_flight_;
+    std::lock_guard<std::mutex> lock(queues_[index]->mutex);
+    queues_[index]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
   }
   work_available_.notify_one();
 }
 
+std::function<void()> ThreadPool::TryPop(size_t preferred) {
+  const size_t num_queues = queues_.size();
+  for (size_t offset = 0; offset < num_queues; ++offset) {
+    WorkerQueue& queue = *queues_[(preferred + offset) % num_queues];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty()) {
+      continue;
+    }
+    std::function<void()> task;
+    if (offset == 0) {
+      // Own deque: pop the oldest for FIFO fairness across callers.
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    } else {
+      // Steal from the other end to reduce contention with the owner.
+      task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    }
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    return task;
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_on_pool_thread = true;
+  for (;;) {
+    std::function<void()> task = TryPop(worker_index);
+    if (task) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    work_available_.wait(lock, [this] {
+      return shutting_down_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutting_down_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;  // shutting down and drained
+    }
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  FEDRA_CHECK(!shutting_down_.load(std::memory_order_acquire))
+      << "Schedule() after shutdown";
+  scheduled_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  PushTask([this, task = std::move(task)] {
+    task();
+    if (scheduled_in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      scheduled_done_.notify_all();
+    }
+  });
+}
+
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  scheduled_done_.wait(lock, [this] {
+    return scheduled_in_flight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -68,59 +176,59 @@ void ThreadPool::ParallelForRange(
     return;
   }
   grain = std::max<size_t>(1, grain);
-  // Inline when parallelism can't help — or would deadlock: Wait() from a
-  // worker would block the very thread that has to drain the queue.
+  // Inline when parallelism can't help — or would deadlock: a worker waiting
+  // on its token would block the very thread that has to drain its deque.
   if (n <= grain || threads_.size() == 1 || OnPoolThread()) {
     body(0, n);
     return;
   }
-  // Chunked dynamic partition: tasks steal `grain`-sized index ranges, so
-  // the scheduling cost is one atomic per chunk instead of one enqueued
-  // std::function per index.
-  const size_t num_chunks = (n + grain - 1) / grain;
-  const size_t num_tasks = std::min(num_chunks, threads_.size());
-  std::atomic<size_t> next{0};
-  for (size_t t = 0; t < num_tasks; ++t) {
-    Schedule([&next, n, grain, &body] {
-      for (;;) {
-        const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
-        if (begin >= n) {
-          return;
-        }
-        body(begin, std::min(begin + grain, n));
-      }
-    });
+  auto state = std::make_shared<ParallelCallState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = (n + grain - 1) / grain;
+  state->body = body;
+  // The caller is one runner, so at most num_chunks - 1 helpers are useful.
+  const size_t helpers = std::min(state->num_chunks - 1, threads_.size());
+  for (size_t t = 0; t < helpers; ++t) {
+    PushTask([state] { state->RunChunks(); });
   }
-  Wait();
+  state->RunChunks();
+  // Wait for this call's chunks only. Chunks claimed by workers may still be
+  // running after the counter is exhausted; other callers' tasks never gate
+  // this wait.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->num_chunks;
+  });
 }
 
-void ThreadPool::WorkerLoop() {
-  tls_on_pool_thread = true;
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // shutting down and drained
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) {
-        all_done_.notify_all();
-      }
-    }
+void ThreadPool::ParallelFor2d(
+    size_t rows, size_t cols, const std::function<void(size_t, size_t)>& body) {
+  if (rows == 0 || cols == 0) {
+    return;
   }
+  ParallelFor(rows * cols,
+              [&body, cols](size_t t) { body(t / cols, t % cols); });
+}
+
+namespace {
+std::atomic<size_t> g_global_pool_threads{0};
+}  // namespace
+
+void SetGlobalThreadPoolThreads(size_t num_threads) {
+  g_global_pool_threads.store(num_threads, std::memory_order_release);
 }
 
 ThreadPool& GlobalThreadPool() {
-  static ThreadPool pool(0);
+  static ThreadPool pool([] {
+    size_t n = g_global_pool_threads.load(std::memory_order_acquire);
+    if (n == 0) {
+      if (const char* env = std::getenv("FEDRA_NUM_THREADS")) {
+        n = static_cast<size_t>(std::strtoul(env, nullptr, 10));
+      }
+    }
+    return n;
+  }());
   return pool;
 }
 

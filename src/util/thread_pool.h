@@ -1,19 +1,31 @@
-// Fixed-size thread pool with chunked ParallelFor conveniences.
+// Work-stealing thread pool with chunked ParallelFor conveniences.
 //
 // The simulated cluster can evaluate worker-local training steps in parallel;
 // determinism is preserved because each worker owns its forked Rng stream and
 // workers never share mutable state within a step. The tensor backend also
-// uses the pool (GEMM row blocks), so ParallelFor is re-entrancy safe: a call
-// made from inside a pool worker runs inline instead of deadlocking on Wait().
+// uses the pool (GEMM row x column tile grid), so ParallelFor is re-entrancy
+// safe: a call made from inside a pool worker runs inline instead of
+// deadlocking on its completion token.
+//
+// Scheduling model: each worker owns a deque; tasks are pushed round-robin
+// and a worker whose own deque is empty steals from the other end of its
+// peers' deques. Every ParallelFor/ParallelForRange call carries its own
+// heap-owned completion token, so two independent callers on different
+// threads only ever wait for their *own* chunks — never each other's (the
+// old single pool-wide in-flight counter serialized exactly that case). The
+// calling thread participates in draining its own chunks, so a ParallelFor
+// makes progress even when every worker is busy with someone else's work.
 
 #ifndef FEDRA_UTIL_THREAD_POOL_H_
 #define FEDRA_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -38,7 +50,8 @@ class ThreadPool {
   /// Enqueues a task; it runs on some pool thread.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until all scheduled tasks have completed.
+  /// Blocks until all tasks passed to Schedule() have completed. ParallelFor
+  /// chunks are tracked by their own per-call token and never count here.
   void Wait();
 
   /// Runs body(i) for i in [0, n), distributing across the pool and blocking
@@ -54,20 +67,49 @@ class ThreadPool {
   void ParallelForRange(size_t n, size_t grain,
                         const std::function<void(size_t, size_t)>& body);
 
- private:
-  void WorkerLoop();
+  /// 2-D tile grid: runs body(r, c) for every (r, c) in [0, rows) x [0, cols)
+  /// with one task per tile. Used by the packed-panel GEMM to expose
+  /// row x column parallelism instead of row blocks only.
+  void ParallelFor2d(size_t rows, size_t cols,
+                     const std::function<void(size_t, size_t)>& body);
 
+ private:
+  // One deque per worker. A plain mutex-guarded deque is enough here: tasks
+  // are coarse (a ParallelFor chunk runner or a Schedule()d closure), so the
+  // lock is held for nanoseconds between milliseconds of work.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  // Pops from the front of the worker's own deque, else steals from the back
+  // of a peer's. Returns an empty function when every deque is empty.
+  std::function<void()> TryPop(size_t preferred);
+  // Round-robin push + wakeup; the backbone of Schedule and ParallelFor.
+  void PushTask(std::function<void()> task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::atomic<size_t> queued_{0};       // tasks sitting in some deque
+  std::atomic<size_t> push_cursor_{0};  // round-robin target for PushTask
+  std::mutex sleep_mutex_;
   std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::atomic<size_t> scheduled_in_flight_{0};  // Schedule()d tasks only
+  std::mutex wait_mutex_;
+  std::condition_variable scheduled_done_;
+  std::atomic<bool> shutting_down_{false};
 };
 
-/// Process-wide pool for library internals (sized to hardware concurrency).
+/// Process-wide pool for library internals. Sized, in order of precedence, by
+/// SetGlobalThreadPoolThreads(), the FEDRA_NUM_THREADS environment variable,
+/// or hardware concurrency.
 ThreadPool& GlobalThreadPool();
+
+/// Overrides the size of the lazily created global pool. Must be called
+/// before the first GlobalThreadPool() use to have any effect (benchmarks
+/// call it from main() when given --threads=N); 0 restores the default.
+void SetGlobalThreadPoolThreads(size_t num_threads);
 
 }  // namespace fedra
 

@@ -247,6 +247,263 @@ TEST(VecParityTest, AxpyNormMatchesUnfused) {
   }
 }
 
+// -------------------------------------------------- pooling / depthwise --
+
+ops::Conv2dGeometry PoolGeometry(int batch, int channels, int in_h, int in_w,
+                                 int kernel, int stride, int pad) {
+  ops::Conv2dGeometry g;
+  g.batch = batch;
+  g.in_channels = channels;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.out_channels = channels;
+  g.kernel = kernel;
+  g.stride = stride;
+  g.pad = pad;
+  return g;
+}
+
+void CheckMaxPoolParity(int batch, int channels, int in_h, int in_w,
+                        int kernel, int stride, int pad, uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "maxpool k=" << kernel << " s=" << stride << " p=" << pad
+               << " in=" << in_h << "x" << in_w);
+  const auto g = PoolGeometry(batch, channels, in_h, in_w, kernel, stride,
+                              pad);
+  ASSERT_GT(g.out_h(), 0);
+  ASSERT_GT(g.out_w(), 0);
+  const size_t in_numel =
+      static_cast<size_t>(batch) * channels * in_h * in_w;
+  const size_t out_numel =
+      static_cast<size_t>(batch) * channels * g.out_h() * g.out_w();
+  auto input = RandomVec(in_numel, seed);
+
+  std::vector<float> out_fast(out_numel), out_ref(out_numel);
+  std::vector<int> arg_fast(out_numel, -1), arg_ref(out_numel, -1);
+  ops::MaxPool2dForward(g, input.data(), out_fast.data(), arg_fast.data());
+  ref::MaxPool2dForward(g, input.data(), out_ref.data(), arg_ref.data());
+  EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol) << "forward";
+  // Same strict-> comparison in the same tap order: argmax must match
+  // exactly, ties included.
+  EXPECT_EQ(arg_fast, arg_ref) << "argmax";
+
+  auto grad_out = RandomVec(out_numel, seed + 1);
+  auto gi0 = RandomVec(in_numel, seed + 2);
+  std::vector<float> gi_fast = gi0, gi_ref = gi0;
+  ops::MaxPool2dBackward(g, grad_out.data(), arg_fast.data(), gi_fast.data());
+  ref::MaxPool2dBackward(g, grad_out.data(), arg_ref.data(), gi_ref.data());
+  EXPECT_LE(MaxRelError(gi_fast, gi_ref), kRelTol) << "grad_input";
+}
+
+void CheckAvgPoolParity(int batch, int channels, int in_h, int in_w,
+                        int kernel, int stride, int pad, uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "avgpool k=" << kernel << " s=" << stride << " p=" << pad
+               << " in=" << in_h << "x" << in_w);
+  const auto g = PoolGeometry(batch, channels, in_h, in_w, kernel, stride,
+                              pad);
+  ASSERT_GT(g.out_h(), 0);
+  ASSERT_GT(g.out_w(), 0);
+  const size_t in_numel =
+      static_cast<size_t>(batch) * channels * in_h * in_w;
+  const size_t out_numel =
+      static_cast<size_t>(batch) * channels * g.out_h() * g.out_w();
+  auto input = RandomVec(in_numel, seed);
+
+  std::vector<float> out_fast(out_numel), out_ref(out_numel);
+  ops::AvgPool2dForward(g, input.data(), out_fast.data());
+  ref::AvgPool2dForward(g, input.data(), out_ref.data());
+  EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol) << "forward";
+
+  auto grad_out = RandomVec(out_numel, seed + 1);
+  auto gi0 = RandomVec(in_numel, seed + 2);
+  std::vector<float> gi_fast = gi0, gi_ref = gi0;
+  ops::AvgPool2dBackward(g, grad_out.data(), gi_fast.data());
+  ref::AvgPool2dBackward(g, grad_out.data(), gi_ref.data());
+  EXPECT_LE(MaxRelError(gi_fast, gi_ref), kRelTol) << "grad_input";
+}
+
+TEST(PoolParityTest, ShapeStridePadSweep) {
+  // Odd extents, stride > 1, windows clipping the right/bottom borders, and
+  // padded windows that clip on every side.
+  const int cases[][3] = {{2, 2, 0}, {3, 1, 0}, {3, 2, 0}, {3, 2, 1},
+                          {2, 1, 0}, {5, 3, 2}, {4, 4, 0}, {3, 3, 1}};
+  uint64_t seed = 2000;
+  for (const auto& c : cases) {
+    CheckMaxPoolParity(2, 3, 9, 7, c[0], c[1], c[2], seed);
+    CheckAvgPoolParity(2, 3, 9, 7, c[0], c[1], c[2], seed + 5);
+    CheckMaxPoolParity(1, 5, 11, 5, c[0], c[1], c[2], seed + 10);
+    CheckAvgPoolParity(1, 5, 11, 5, c[0], c[1], c[2], seed + 15);
+    seed += 20;
+  }
+  // Large enough to cross the plane-parallel threshold.
+  CheckMaxPoolParity(4, 16, 32, 32, 2, 2, 0, 2900);
+  CheckAvgPoolParity(4, 16, 32, 32, 2, 2, 0, 2910);
+}
+
+TEST(PoolParityTest, RepeatedValuesTieBreakIdentically) {
+  // Quantized inputs force duplicate window maxima; argmax must still pick
+  // the same (first) tap as the oracle.
+  const auto g = PoolGeometry(2, 2, 8, 8, 3, 1, 1);
+  const size_t in_numel = static_cast<size_t>(2) * 2 * 8 * 8;
+  auto input = RandomVec(in_numel, 3000);
+  for (auto& x : input) {
+    x = std::round(x);  // values in {-2, -1, 0, 1, 2}
+  }
+  const size_t out_numel =
+      static_cast<size_t>(2) * 2 * g.out_h() * g.out_w();
+  std::vector<float> out_fast(out_numel), out_ref(out_numel);
+  std::vector<int> arg_fast(out_numel), arg_ref(out_numel);
+  ops::MaxPool2dForward(g, input.data(), out_fast.data(), arg_fast.data());
+  ref::MaxPool2dForward(g, input.data(), out_ref.data(), arg_ref.data());
+  EXPECT_EQ(arg_fast, arg_ref);
+  EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol);
+}
+
+void CheckDepthwiseParity(int batch, int channels, int in_h, int in_w,
+                          int kernel, int stride, int pad, uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "dwconv k=" << kernel << " s=" << stride << " p=" << pad
+               << " c=" << channels << " in=" << in_h << "x" << in_w);
+  const auto g = PoolGeometry(batch, channels, in_h, in_w, kernel, stride,
+                              pad);
+  ASSERT_GT(g.out_h(), 0);
+  ASSERT_GT(g.out_w(), 0);
+  const size_t in_numel =
+      static_cast<size_t>(batch) * channels * in_h * in_w;
+  const size_t w_numel = static_cast<size_t>(channels) * kernel * kernel;
+  const size_t out_numel =
+      static_cast<size_t>(batch) * channels * g.out_h() * g.out_w();
+  auto input = RandomVec(in_numel, seed);
+  auto weight = RandomVec(w_numel, seed + 1, -0.5f, 0.5f);
+  auto bias = RandomVec(static_cast<size_t>(channels), seed + 2);
+
+  std::vector<float> out_fast(out_numel), out_ref(out_numel);
+  ops::DepthwiseConv2dForward(g, input.data(), weight.data(), bias.data(),
+                              out_fast.data());
+  ref::DepthwiseConv2dForward(g, input.data(), weight.data(), bias.data(),
+                              out_ref.data());
+  EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol) << "forward";
+
+  ops::DepthwiseConv2dForward(g, input.data(), weight.data(), nullptr,
+                              out_fast.data());
+  ref::DepthwiseConv2dForward(g, input.data(), weight.data(), nullptr,
+                              out_ref.data());
+  EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol) << "forward, no bias";
+
+  // Backward accumulates on random initial values (the contract is +=).
+  auto grad_out = RandomVec(out_numel, seed + 3);
+  auto gi0 = RandomVec(in_numel, seed + 4);
+  auto gw0 = RandomVec(w_numel, seed + 5);
+  auto gb0 = RandomVec(static_cast<size_t>(channels), seed + 6);
+  std::vector<float> gi_fast = gi0, gi_ref = gi0;
+  std::vector<float> gw_fast = gw0, gw_ref = gw0;
+  std::vector<float> gb_fast = gb0, gb_ref = gb0;
+  ops::DepthwiseConv2dBackward(g, input.data(), weight.data(),
+                               grad_out.data(), gi_fast.data(),
+                               gw_fast.data(), gb_fast.data());
+  ref::DepthwiseConv2dBackward(g, input.data(), weight.data(),
+                               grad_out.data(), gi_ref.data(), gw_ref.data(),
+                               gb_ref.data());
+  EXPECT_LE(MaxRelError(gi_fast, gi_ref), kRelTol) << "grad_input";
+  EXPECT_LE(MaxRelError(gw_fast, gw_ref), kRelTol) << "grad_weight";
+  EXPECT_LE(MaxRelError(gb_fast, gb_ref), kRelTol) << "grad_bias";
+
+  // Null grad_input / grad_bias.
+  std::vector<float> gw2_fast = gw0, gw2_ref = gw0;
+  ops::DepthwiseConv2dBackward(g, input.data(), weight.data(),
+                               grad_out.data(), nullptr, gw2_fast.data(),
+                               nullptr);
+  ref::DepthwiseConv2dBackward(g, input.data(), weight.data(),
+                               grad_out.data(), nullptr, gw2_ref.data(),
+                               nullptr);
+  EXPECT_LE(MaxRelError(gw2_fast, gw2_ref), kRelTol)
+      << "grad_weight, null grad_input/grad_bias";
+}
+
+TEST(DepthwiseParityTest, StridePadKernelSweep) {
+  const int cases[][3] = {{3, 1, 1},  // ConvNeXt-style same conv
+                          {3, 2, 1},  // strided downsampling
+                          {5, 1, 2},  // large kernel
+                          {7, 1, 3},  // ConvNeXt 7x7
+                          {2, 2, 0},  // even kernel
+                          {3, 1, 0},  // valid conv
+                          {3, 3, 2}}; // stride > kernel - pad
+  uint64_t seed = 4000;
+  for (const auto& c : cases) {
+    CheckDepthwiseParity(2, 3, 9, 7, c[0], c[1], c[2], seed);
+    CheckDepthwiseParity(1, 6, 13, 11, c[0], c[1], c[2], seed + 7);
+    seed += 20;
+  }
+  // Large enough to cross the plane-parallel threshold.
+  CheckDepthwiseParity(2, 32, 24, 24, 3, 1, 1, 4900);
+}
+
+// ------------------------------------------------------------- batchnorm --
+
+void CheckBatchNormParity(int batch, int channels, int h, int w,
+                          uint64_t seed) {
+  SCOPED_TRACE(::testing::Message() << "bn b=" << batch << " c=" << channels
+                                    << " plane=" << h << "x" << w);
+  const size_t plane = static_cast<size_t>(h) * w;
+  const size_t numel = static_cast<size_t>(batch) * channels * plane;
+  auto input = RandomVec(numel, seed);
+  auto gamma = RandomVec(static_cast<size_t>(channels), seed + 1, 0.5f, 1.5f);
+  auto beta = RandomVec(static_cast<size_t>(channels), seed + 2);
+  const float epsilon = 1e-5f;
+
+  std::vector<float> xhat_fast(numel), xhat_ref(numel);
+  std::vector<float> istd_fast(static_cast<size_t>(channels));
+  std::vector<float> istd_ref(static_cast<size_t>(channels));
+  std::vector<float> out_fast(numel), out_ref(numel);
+  ops::BatchNorm2dForward(batch, channels, plane, input.data(), gamma.data(),
+                          beta.data(), epsilon, xhat_fast.data(),
+                          istd_fast.data(), out_fast.data());
+  ref::BatchNorm2dForward(batch, channels, plane, input.data(), gamma.data(),
+                          beta.data(), epsilon, xhat_ref.data(),
+                          istd_ref.data(), out_ref.data());
+  EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol) << "output";
+  EXPECT_LE(MaxRelError(xhat_fast, xhat_ref), kRelTol) << "xhat";
+  EXPECT_LE(MaxRelError(istd_fast, istd_ref), kRelTol) << "inv_std";
+
+  auto grad_out = RandomVec(numel, seed + 3);
+  auto gg0 = RandomVec(static_cast<size_t>(channels), seed + 4);
+  auto gb0 = RandomVec(static_cast<size_t>(channels), seed + 5);
+  std::vector<float> gg_fast = gg0, gg_ref = gg0;
+  std::vector<float> gb_fast = gb0, gb_ref = gb0;
+  std::vector<float> gi_fast(numel), gi_ref(numel);
+  ops::BatchNorm2dBackward(batch, channels, plane, grad_out.data(),
+                           xhat_fast.data(), istd_fast.data(), gamma.data(),
+                           gg_fast.data(), gb_fast.data(), gi_fast.data());
+  ref::BatchNorm2dBackward(batch, channels, plane, grad_out.data(),
+                           xhat_ref.data(), istd_ref.data(), gamma.data(),
+                           gg_ref.data(), gb_ref.data(), gi_ref.data());
+  EXPECT_LE(MaxRelError(gi_fast, gi_ref), kRelTol) << "grad_input";
+  EXPECT_LE(MaxRelError(gg_fast, gg_ref), kRelTol) << "grad_gamma";
+  EXPECT_LE(MaxRelError(gb_fast, gb_ref), kRelTol) << "grad_beta";
+}
+
+TEST(BatchNormParityTest, ShapeSweep) {
+  CheckBatchNormParity(1, 1, 1, 1, 5000);      // degenerate
+  CheckBatchNormParity(2, 3, 5, 7, 5010);      // odd plane
+  CheckBatchNormParity(3, 8, 9, 9, 5020);      // odd, multi-channel
+  CheckBatchNormParity(4, 16, 16, 16, 5030);   // crosses parallel threshold
+  CheckBatchNormParity(2, 1, 31, 3, 5040);     // single channel, odd plane
+}
+
+TEST(VecParityTest, SumAndSquaredNormMatchesUnfused) {
+  for (size_t n : {size_t{1}, size_t{5}, size_t{1023}, size_t{4099}}) {
+    auto x = RandomVec(n, 70 + n);
+    double sum = 1.5;     // accumulates on a nonzero start (+= contract)
+    double sum_sq = -2.0;
+    vec::SumAndSquaredNorm(x.data(), n, &sum, &sum_sq);
+    const double want_sum = 1.5 + ref::Sum(x.data(), n);
+    const double want_sq = -2.0 + ref::SquaredNorm(x.data(), n);
+    EXPECT_NEAR(sum, want_sum, kRelTol * std::max(1.0, std::fabs(want_sum)));
+    EXPECT_NEAR(sum_sq, want_sq, kRelTol * std::max(1.0, std::fabs(want_sq)));
+  }
+}
+
 // ---------------------------------------------------------------- sketch --
 
 TEST(SketchParityTest, BatchedAccumulateMatchesPerCoordinateUpdate) {

@@ -1,0 +1,233 @@
+// Stress and regression tests for the work-stealing ThreadPool.
+//
+// The central regression: the old pool had one pool-wide in-flight counter,
+// so Wait() inside ParallelFor blocked until *every* queued task finished —
+// two independent callers on different threads each waited for the other's
+// chunks. The work-stealing pool gives every ParallelFor call its own
+// completion token, so a caller returns as soon as its own indices complete
+// even while another caller's tasks are still running.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace fedra {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Spin-waits (with yields) until pred() holds or `timeout` elapses; returns
+// whether pred() held.
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(ThreadPoolStressTest, ConcurrentCallersOnlyWaitForTheirOwnChunks) {
+  ThreadPool pool(4);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> slow_started{0};
+  std::atomic<bool> slow_done{false};
+  std::atomic<bool> fast_done{false};
+
+  // Caller A: two chunks that block on the gate (each pins a thread — one
+  // pool worker plus the helping caller).
+  std::thread slow_caller([&] {
+    pool.ParallelFor(2, [&](size_t) {
+      ++slow_started;
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    });
+    slow_done.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return slow_started.load() == 2; }, 5000ms))
+      << "slow caller's chunks never started";
+
+  // Caller B: trivial chunks. With the old pool-wide counter its Wait()
+  // would also wait out caller A's blocked tasks; with per-call tokens it
+  // must return promptly while A is still blocked.
+  std::thread fast_caller([&] {
+    pool.ParallelFor(2, [](size_t) {});
+    fast_done.store(true);
+  });
+  EXPECT_TRUE(WaitFor([&] { return fast_done.load(); }, 5000ms))
+      << "independent ParallelFor was over-blocked by another caller";
+  EXPECT_FALSE(slow_done.load());
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  slow_caller.join();
+  fast_caller.join();
+  EXPECT_TRUE(slow_done.load());
+}
+
+TEST(ThreadPoolStressTest, ManyConcurrentCallersCoverAllIndices) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr int kIters = 25;
+  constexpr size_t kN = 257;  // not a multiple of any grain below
+
+  std::vector<std::thread> callers;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kN, 0));
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int iter = 0; iter < kIters; ++iter) {
+        // Vary the grain so chunk boundaries differ between callers.
+        pool.ParallelFor(
+            kN, [&, t](size_t i) { ++hits[static_cast<size_t>(t)][i]; },
+            /*grain=*/static_cast<size_t>(1 + (t % 5)));
+      }
+    });
+  }
+  for (auto& caller : callers) {
+    caller.join();
+  }
+  for (int t = 0; t < kCallers; ++t) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(t)][i], kIters)
+          << "caller " << t << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolStressTest, ConcurrentRangeCallsAreDisjointAndComplete) {
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr size_t kN = 1003;
+
+  std::vector<std::thread> callers;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kN, 0));
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      pool.ParallelForRange(kN, /*grain=*/17,
+                            [&, t](size_t begin, size_t end) {
+                              for (size_t i = begin; i < end; ++i) {
+                                ++hits[static_cast<size_t>(t)][i];
+                              }
+                            });
+    });
+  }
+  for (auto& caller : callers) {
+    caller.join();
+  }
+  for (int t = 0; t < kCallers; ++t) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(t)][i], 1)
+          << "caller " << t << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolStressTest, NestedCallFromWorkerRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> inline_bodies{0};
+  pool.ParallelFor(8, [&](size_t) {
+    const bool on_worker = ThreadPool::OnPoolThread();
+    pool.ParallelFor(16, [&](size_t) {
+      if (on_worker) {
+        // Inline execution stays on the same (pool) thread.
+        EXPECT_TRUE(ThreadPool::OnPoolThread());
+        ++inline_bodies;
+      }
+      ++inner_total;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+  // The helping caller handles at most all 8 outer chunks, so at least some
+  // outer bodies ran on workers unless the caller claimed every chunk; in
+  // either case the nested calls above completed without deadlock.
+  EXPECT_GE(inline_bodies.load(), 0);
+}
+
+TEST(ThreadPoolStressTest, ParallelFor2dCoversTheGrid) {
+  ThreadPool pool(4);
+  constexpr size_t kRows = 13;
+  constexpr size_t kCols = 29;
+  std::vector<std::atomic<int>> hits(kRows * kCols);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  pool.ParallelFor2d(kRows, kCols, [&](size_t r, size_t c) {
+    ++hits[r * kCols + c];
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "tile " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, ScheduleFromManyThreadsThenWait) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 4;
+  constexpr int kTasksEach = 100;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.Schedule([&] { ++counter; });
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kProducers * kTasksEach);
+}
+
+TEST(ThreadPoolStressTest, ParallelForWhileScheduledTasksAreBlocked) {
+  // Schedule()d work pinning some workers must not stall an independent
+  // ParallelFor: the caller helps, and per-call tokens ignore Schedule()'s
+  // in-flight count entirely.
+  ThreadPool pool(3);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> blocked{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Schedule([&] {
+      ++blocked;
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    });
+  }
+  ASSERT_TRUE(WaitFor([&] { return blocked.load() == 2; }, 5000ms));
+
+  std::atomic<int> counter{0};
+  pool.ParallelFor(64, [&](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 64);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  pool.Wait();
+}
+
+}  // namespace
+}  // namespace fedra

@@ -265,13 +265,23 @@ TEST(ThreadPoolTest, ParallelForRangeChunksAreDisjointAndComplete) {
 }
 
 TEST(ThreadPoolTest, NestedParallelForRunsInline) {
-  // A ParallelFor issued from inside a pool worker must not deadlock on
-  // Wait(); it runs inline on the calling worker.
+  // A chunk body runs either on a pool worker or on the calling thread (the
+  // caller helps drain its own chunks). A nested ParallelFor must complete
+  // from both contexts: inline on a worker (a worker waiting on a nested
+  // token would block the thread that has to drain its deque), scheduled
+  // normally from the helping caller.
   ThreadPool pool(2);
   std::atomic<int> counter{0};
   pool.ParallelFor(4, [&](size_t) {
-    EXPECT_TRUE(ThreadPool::OnPoolThread());
-    pool.ParallelFor(8, [&](size_t) { ++counter; });
+    if (ThreadPool::OnPoolThread()) {
+      // Nested call from a worker: must run inline without touching queues.
+      pool.ParallelFor(8, [&](size_t) {
+        EXPECT_TRUE(ThreadPool::OnPoolThread());
+        ++counter;
+      });
+    } else {
+      pool.ParallelFor(8, [&](size_t) { ++counter; });
+    }
   });
   EXPECT_EQ(counter.load(), 32);
 }
