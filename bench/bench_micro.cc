@@ -86,6 +86,8 @@ void BM_HashFamilyBuild(benchmark::State& state) {
 BENCHMARK(BM_HashFamilyBuild)->Arg(1 << 14)->Arg(1 << 17);
 
 void BM_AllReduce(benchmark::State& state) {
+  // The parallel reduction engine behind every simulated collective:
+  // fused vec::ReduceScale tree-reduce over GlobalThreadPool chunks.
   const size_t dim = static_cast<size_t>(state.range(0));
   const int workers = static_cast<int>(state.range(1));
   std::vector<std::vector<float>> buffers(static_cast<size_t>(workers));
@@ -105,7 +107,89 @@ void BM_AllReduce(benchmark::State& state) {
                                                sizeof(float)));
 }
 BENCHMARK(BM_AllReduce)->Args({1 << 14, 4})->Args({1 << 14, 16})
-    ->Args({1 << 18, 4});
+    ->Args({1 << 18, 4})->Args({1 << 20, 8})->Args({1 << 22, 8});
+
+void BM_AllReduceSerial(benchmark::State& state) {
+  // The seed's serial scalar AllReduceAverage, kept verbatim as the fixed
+  // baseline the reduction engine is measured against: accumulate every
+  // buffer into a double scratch vector, then write the scaled mean back
+  // into every buffer — K extra passes over an n-double scratch.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  std::vector<std::vector<float>> buffers(static_cast<size_t>(workers));
+  std::vector<float*> pointers;
+  for (int k = 0; k < workers; ++k) {
+    buffers[static_cast<size_t>(k)] =
+        RandomVec(dim, 10 + static_cast<uint64_t>(k));
+    pointers.push_back(buffers[static_cast<size_t>(k)].data());
+  }
+  std::vector<double> reduce_buffer;
+  for (auto _ : state) {
+    reduce_buffer.assign(dim, 0.0);
+    for (const float* buffer : pointers) {
+      for (size_t i = 0; i < dim; ++i) {
+        reduce_buffer[i] += static_cast<double>(buffer[i]);
+      }
+    }
+    const double inv_k = 1.0 / static_cast<double>(workers);
+    for (float* buffer : pointers) {
+      for (size_t i = 0; i < dim; ++i) {
+        buffer[i] = static_cast<float>(reduce_buffer[i] * inv_k);
+      }
+    }
+    benchmark::DoNotOptimize(pointers[0]);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dim * workers *
+                                               sizeof(float)));
+}
+BENCHMARK(BM_AllReduceSerial)->Args({1 << 14, 4})->Args({1 << 18, 4})
+    ->Args({1 << 20, 8})->Args({1 << 22, 8});
+
+void BM_HierarchicalAllReduce(benchmark::State& state) {
+  // Grouped (edge->cloud) collective: identical arithmetic, two-tier cost
+  // accounting — measures the topology layer's overhead over BM_AllReduce.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  std::vector<std::vector<float>> buffers(static_cast<size_t>(workers));
+  std::vector<float*> pointers;
+  for (int k = 0; k < workers; ++k) {
+    buffers[static_cast<size_t>(k)] =
+        RandomVec(dim, 10 + static_cast<uint64_t>(k));
+    pointers.push_back(buffers[static_cast<size_t>(k)].data());
+  }
+  SimNetwork network(workers, HierarchicalNetworkModel::EdgeCloud(2),
+                     AllReduceAlgorithm::kFlat);
+  for (auto _ : state) {
+    network.AllReduceAverage(pointers, dim, TrafficClass::kModelSync);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dim * workers *
+                                               sizeof(float)));
+}
+BENCHMARK(BM_HierarchicalAllReduce)->Args({1 << 20, 8});
+
+void BM_ReduceMeanInto(benchmark::State& state) {
+  // The trainers' eval-model averaging (one output span, no install pass).
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  std::vector<std::vector<float>> buffers(static_cast<size_t>(workers));
+  std::vector<const float*> pointers;
+  for (int k = 0; k < workers; ++k) {
+    buffers[static_cast<size_t>(k)] =
+        RandomVec(dim, 10 + static_cast<uint64_t>(k));
+    pointers.push_back(buffers[static_cast<size_t>(k)].data());
+  }
+  std::vector<float> dst(dim);
+  for (auto _ : state) {
+    ReduceMeanInto(pointers.data(), pointers.size(), dim, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dim * workers *
+                                               sizeof(float)));
+}
+BENCHMARK(BM_ReduceMeanInto)->Args({1 << 20, 8});
 
 void BM_Gemm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

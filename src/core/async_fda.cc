@@ -46,8 +46,7 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
     return partition.status();
   }
 
-  SimNetwork network(config_.num_workers, config_.network,
-                     config_.allreduce);
+  SimNetwork network = MakeSimNetwork(config_);
   Rng master(config_.seed);
   // Fork id 101 matches DistributedTrainer::Setup so that the persistent
   // per-worker speed factors are identical across the sync and async
@@ -86,13 +85,13 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
   std::vector<float> mean_state(monitor->StateSize(), 0.0f);
 
   auto eval_model = factory_();
+  std::vector<const float*> eval_srcs(workers.size());
   auto refresh_eval_model = [&] {
-    float* avg = eval_model->params();
-    vec::Fill(avg, dim_, 0.0f);
-    const float inv_k = 1.0f / static_cast<float>(workers.size());
-    for (auto& worker : workers) {
-      vec::Axpy(inv_k, worker.model->params(), avg, dim_);
+    for (size_t k = 0; k < workers.size(); ++k) {
+      eval_srcs[k] = workers[k].model->params();
     }
+    ReduceMeanInto(eval_srcs.data(), eval_srcs.size(), dim_,
+                   eval_model->params());
   };
 
   // Event queue: next step-completion time per worker.
@@ -110,9 +109,11 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
   result.base.algorithm = "AsyncFDA(" + monitor->name() + ")";
   double clock = 0.0;
   size_t total_steps = 0;
+  const size_t steps_per_epoch =
+      std::max<size_t>(1, workers[0].sampler->steps_per_epoch());
   const size_t eval_every =
       (config_.eval_every_steps > 0 ? config_.eval_every_steps
-                                    : workers[0].sampler->steps_per_epoch()) *
+                                    : steps_per_epoch) *
       static_cast<size_t>(config_.num_workers);
   size_t next_eval = eval_every;
 
@@ -165,9 +166,9 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
       }
       ++result.sync_count;
       // Sync latency stalls everyone: rebuild the event queue from now.
-      clock += config_.network.AllReduceSeconds(dim_ * sizeof(float),
-                                                config_.num_workers,
-                                                config_.allreduce);
+      // The stall matches the configured topology (hierarchical grouped
+      // collectives included), mirroring what the accounting charged.
+      clock += network.ModelSyncSeconds(dim_ * sizeof(float));
       while (!events.empty()) {
         events.pop();
       }
@@ -189,9 +190,17 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
       EvalResult eval = EvaluateSubset(eval_model.get(), test_,
                                        config_.eval_subset,
                                        config_.seed ^ total_steps);
+      EvalResult train_eval =
+          EvaluateSubset(eval_model.get(), train_, config_.eval_subset,
+                         config_.seed ^ (total_steps + 77));
       EvalPoint point;
       point.step = total_steps / static_cast<size_t>(config_.num_workers);
+      // Same axes as the synchronous trainer's history so async CSV/plots
+      // are directly comparable.
+      point.epoch = static_cast<double>(point.step) /
+                    static_cast<double>(steps_per_epoch);
       point.test_accuracy = eval.accuracy;
+      point.train_accuracy = train_eval.accuracy;
       point.bytes = network.stats().bytes_total;
       point.sync_count = result.sync_count;
       point.sim_seconds = clock;

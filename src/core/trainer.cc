@@ -33,20 +33,21 @@ void ClusterContext::SynchronizeModels() {
   if (compressor != nullptr &&
       compressor->config().kind != CompressionKind::kNone) {
     // Compressed path: workers exchange lossy deltas from w_t0 instead of
-    // full models; the collective is billed at the wire size.
-    size_t payload_bytes = 0;
+    // full models; the collective is billed at each worker's actual wire
+    // size (variable-rate codecs produce different sizes per worker).
+    std::vector<size_t> payload_bytes(workers->size());
     std::vector<float*> deltas;
     deltas.reserve(workers->size());
     for (size_t k = 0; k < workers->size(); ++k) {
       WorkerState& worker = (*workers)[k];
       vec::Sub(worker.model->params(), sync_params->data(),
                worker.drift.data(), dim);
-      payload_bytes = compressor->CompressInPlace(
+      payload_bytes[k] = compressor->CompressInPlace(
           static_cast<int>(k), worker.drift.data(), dim);
       deltas.push_back(worker.drift.data());
     }
-    network->AllReduceAverageWithPayload(deltas, dim, payload_bytes,
-                                         TrafficClass::kModelSync);
+    network->AllReduceAverageWithPayloads(deltas, dim, payload_bytes,
+                                          TrafficClass::kModelSync);
     // New global = w_t0 + mean decompressed delta; install everywhere.
     *prev_sync_params = *sync_params;
     vec::Axpy(1.0f, deltas[0], sync_params->data(), dim);
@@ -66,6 +67,14 @@ void ClusterContext::SynchronizeModels() {
   ++sync_count;
 }
 
+SimNetwork MakeSimNetwork(const TrainerConfig& config) {
+  if (config.hierarchy.enabled()) {
+    return SimNetwork(config.num_workers, config.hierarchy,
+                      config.allreduce);
+  }
+  return SimNetwork(config.num_workers, config.network, config.allreduce);
+}
+
 Status TrainerConfig::Validate() const {
   if (num_workers < 1) {
     return Status::InvalidArgument("num_workers must be >= 1");
@@ -78,6 +87,10 @@ Status TrainerConfig::Validate() const {
   }
   if (fedprox_mu < 0.0f) {
     return Status::InvalidArgument("fedprox_mu must be >= 0");
+  }
+  if (hierarchy.enabled() && hierarchy.num_clusters > num_workers) {
+    return Status::InvalidArgument(
+        "hierarchy.num_clusters must be <= num_workers");
   }
   FEDRA_RETURN_IF_ERROR(local_optimizer.Validate());
   FEDRA_RETURN_IF_ERROR(partition.Validate());
@@ -152,13 +165,10 @@ void DistributedTrainer::WorkerStep(WorkerState* worker,
   LossResult loss = SoftmaxCrossEntropy(logits, labels);
   worker->model->Backward(loss.grad_logits);
   if (config_.fedprox_mu > 0.0f && fedprox_anchor_ != nullptr) {
-    // FedProx: + mu * (w_k - w_global) on every local gradient.
-    float* grads = worker->model->grads();
-    const float* params = worker->model->params();
-    const float* anchor = fedprox_anchor_;
-    for (size_t i = 0; i < dim_; ++i) {
-      grads[i] += config_.fedprox_mu * (params[i] - anchor[i]);
-    }
+    // FedProx: + mu * (w_k - w_global) on every local gradient, fused into
+    // one pass over the model span.
+    vec::AddScaledDiff(config_.fedprox_mu, worker->model->params(),
+                       fedprox_anchor_, worker->model->grads(), dim_);
   }
   worker->optimizer->Step(worker->model->params(), worker->model->grads(),
                           dim_);
@@ -170,8 +180,7 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
   FEDRA_RETURN_IF_ERROR(config_.Validate());
 
   std::vector<WorkerState> workers;
-  SimNetwork network(config_.num_workers, config_.network,
-                     config_.allreduce);
+  SimNetwork network = MakeSimNetwork(config_);
   FEDRA_RETURN_IF_ERROR(Setup(&workers, &network));
 
   std::vector<float> sync_params(dim_);
@@ -196,15 +205,16 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
 
   // The evaluation model holds the average of the worker models — the
   // global model w_bar the paper's methodology evaluates. Averaging for
-  // *measurement* does not transit the simulated network.
+  // *measurement* does not transit the simulated network but runs on the
+  // same parallel reduction engine as the collectives.
   auto eval_model = factory_();
+  std::vector<const float*> eval_srcs(workers.size());
   auto refresh_eval_model = [&] {
-    float* avg = eval_model->params();
-    vec::Fill(avg, dim_, 0.0f);
-    const float inv_k = 1.0f / static_cast<float>(config_.num_workers);
-    for (auto& worker : workers) {
-      vec::Axpy(inv_k, worker.model->params(), avg, dim_);
+    for (size_t k = 0; k < workers.size(); ++k) {
+      eval_srcs[k] = workers[k].model->params();
     }
+    ReduceMeanInto(eval_srcs.data(), eval_srcs.size(), dim_,
+                   eval_model->params());
   };
 
   const size_t steps_per_epoch = std::max<size_t>(

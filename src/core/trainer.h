@@ -99,6 +99,10 @@ struct TrainerConfig {
 
   NetworkModel network = NetworkModel::Hpc();
   AllReduceAlgorithm allreduce = AllReduceAlgorithm::kFlat;
+  /// When enabled (num_clusters > 0), collectives run grouped over the
+  /// two-tier topology and `network` is ignored; `allreduce` becomes the
+  /// cross-cluster algorithm the leaders use over the uplink.
+  HierarchicalNetworkModel hierarchy = HierarchicalNetworkModel::None();
   StragglerModel straggler = StragglerModel::None();
 
   /// Lossy compression of the synchronization payload (paper §2: FDA only
@@ -116,6 +120,12 @@ struct TrainerConfig {
 
   Status Validate() const;
 };
+
+/// Builds the SimNetwork a TrainerConfig describes: grouped two-tier
+/// collectives when `hierarchy` is enabled, single-tier otherwise. Shared
+/// by the synchronous and async trainers so topology selection cannot
+/// diverge between them.
+SimNetwork MakeSimNetwork(const TrainerConfig& config);
 
 /// One point of the training history (recorded at every evaluation).
 struct EvalPoint {

@@ -1,9 +1,64 @@
 #include "sim/collectives.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "tensor/vec_ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace fedra {
+
+namespace {
+
+// Elements per reduction-engine chunk. Boundaries depend only on the span
+// length (the pool hands out fixed [i*grain, (i+1)*grain) ranges), so the
+// combine order — and therefore the result — is bit-deterministic for any
+// thread count.
+constexpr size_t kReduceChunk = 1 << 15;
+
+// Elements per install tile: the reduced block is staged in an L1-resident
+// buffer and streamed to every worker's span from there, so each worker
+// buffer is read exactly once and written exactly once per collective (the
+// old serial path made 4x the memory passes via its n-double scratch).
+constexpr size_t kInstallBlock = 4096;
+
+// Reduces [begin, end) of all k buffers with `combine` into a stack tile
+// and installs the tile into every buffer's span.
+template <typename Combine>
+void ReduceInstallChunk(const std::vector<float*>& buffers, size_t begin,
+                        size_t end, const Combine& combine) {
+  const size_t k = buffers.size();
+  std::vector<const float*> srcs(k);
+  float tile[kInstallBlock];
+  for (size_t base = begin; base < end; base += kInstallBlock) {
+    const size_t len = std::min(kInstallBlock, end - base);
+    for (size_t kk = 0; kk < k; ++kk) {
+      srcs[kk] = buffers[kk] + base;
+    }
+    combine(srcs.data(), k, len, tile);
+    for (size_t kk = 0; kk < k; ++kk) {
+      vec::Copy(tile, buffers[kk] + base, len);
+    }
+  }
+}
+
+}  // namespace
+
+void ReduceMeanInto(const float* const* srcs, size_t num_srcs, size_t n,
+                    float* dst) {
+  FEDRA_CHECK_GT(num_srcs, 0u);
+  const double inv_k = 1.0 / static_cast<double>(num_srcs);
+  GlobalThreadPool().ParallelForRange(
+      n, kReduceChunk, [&](size_t begin, size_t end) {
+        std::vector<const float*> chunk(num_srcs);
+        for (size_t k = 0; k < num_srcs; ++k) {
+          chunk[k] = srcs[k] + begin;
+        }
+        vec::ReduceScale(chunk.data(), num_srcs, end - begin, inv_k,
+                         dst + begin);
+      });
+}
 
 SimNetwork::SimNetwork(int num_workers, NetworkModel model,
                        AllReduceAlgorithm algorithm)
@@ -13,20 +68,79 @@ SimNetwork::SimNetwork(int num_workers, NetworkModel model,
   FEDRA_CHECK_GT(num_workers, 0);
 }
 
-void SimNetwork::AccountAllReduce(size_t payload_bytes,
-                                  TrafficClass traffic) {
-  const size_t total_bytes = NetworkModel::AllReduceTotalBytes(
-      payload_bytes, num_workers_, algorithm_);
-  ++stats_.allreduce_calls;
-  stats_.bytes_total += total_bytes;
+SimNetwork::SimNetwork(int num_workers, HierarchicalNetworkModel hierarchy,
+                       AllReduceAlgorithm cross_algorithm)
+    : num_workers_(num_workers),
+      hierarchy_(std::move(hierarchy)),
+      algorithm_(cross_algorithm) {
+  FEDRA_CHECK_GT(num_workers, 0);
+  FEDRA_CHECK(hierarchy_.enabled());
+}
+
+void SimNetwork::Charge(size_t intra_bytes, size_t uplink_bytes,
+                        double intra_seconds, double uplink_seconds,
+                        TrafficClass traffic) {
+  const size_t bytes = intra_bytes + uplink_bytes;
+  const double seconds = intra_seconds + uplink_seconds;
+  stats_.bytes_total += bytes;
+  stats_.comm_seconds += seconds;
+  stats_.seconds_intra += intra_seconds;
+  stats_.seconds_uplink += uplink_seconds;
   if (traffic == TrafficClass::kLocalState) {
-    stats_.bytes_local_state += total_bytes;
+    stats_.bytes_local_state += bytes;
+    stats_.seconds_local_state += seconds;
   } else {
-    stats_.bytes_model_sync += total_bytes;
+    stats_.bytes_model_sync += bytes;
+    stats_.seconds_model_sync += seconds;
+  }
+}
+
+void SimNetwork::AccountAllReduce(size_t payload_bytes_sum,
+                                  TrafficClass traffic) {
+  ++stats_.allreduce_calls;
+  if (traffic == TrafficClass::kModelSync) {
     ++stats_.model_sync_count;
   }
-  stats_.comm_seconds +=
-      model_.AllReduceSeconds(payload_bytes, num_workers_, algorithm_);
+  if (num_workers_ == 1) {
+    return;  // nothing transits any link
+  }
+  // Mean wire size in double: variable-size compressed payloads are billed
+  // from their exact sum, never a truncated per-worker quotient.
+  const double per_worker = static_cast<double>(payload_bytes_sum) /
+                            static_cast<double>(num_workers_);
+  if (hierarchy_.enabled()) {
+    const HierarchicalNetworkModel::TierCost cost =
+        hierarchy_.GroupedAllReduceCost(per_worker, num_workers_,
+                                        algorithm_);
+    Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
+           cost.uplink_seconds, traffic);
+    return;
+  }
+  const size_t total_bytes = static_cast<size_t>(
+      std::llround(NetworkModel::AllReduceTotalBytesFromSum(
+          static_cast<double>(payload_bytes_sum), num_workers_,
+          algorithm_)));
+  const double seconds =
+      model_.AllReduceSeconds(per_worker, num_workers_, algorithm_);
+  Charge(0, total_bytes, 0.0, seconds, traffic);
+}
+
+void SimNetwork::ReduceMeanIntoAll(const std::vector<float*>& buffers,
+                                   size_t n) {
+  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
+  const size_t k = buffers.size();
+  if (k == 1) {
+    return;  // the mean of one buffer is itself
+  }
+  const double inv_k = 1.0 / static_cast<double>(k);
+  GlobalThreadPool().ParallelForRange(
+      n, kReduceChunk, [&](size_t begin, size_t end) {
+        ReduceInstallChunk(buffers, begin, end,
+                           [inv_k](const float* const* srcs, size_t kk,
+                                   size_t len, float* tile) {
+                             vec::ReduceScale(srcs, kk, len, inv_k, tile);
+                           });
+      });
 }
 
 void SimNetwork::AllReduceAverage(const std::vector<float*>& buffers,
@@ -37,20 +151,21 @@ void SimNetwork::AllReduceAverage(const std::vector<float*>& buffers,
 void SimNetwork::AllReduceAverageWithPayload(
     const std::vector<float*>& buffers, size_t n, size_t payload_bytes,
     TrafficClass traffic) {
-  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
-  reduce_buffer_.assign(n, 0.0);
-  for (const float* buffer : buffers) {
-    for (size_t i = 0; i < n; ++i) {
-      reduce_buffer_[i] += static_cast<double>(buffer[i]);
-    }
+  ReduceMeanIntoAll(buffers, n);
+  AccountAllReduce(payload_bytes * static_cast<size_t>(num_workers_),
+                   traffic);
+}
+
+void SimNetwork::AllReduceAverageWithPayloads(
+    const std::vector<float*>& buffers, size_t n,
+    const std::vector<size_t>& payload_bytes, TrafficClass traffic) {
+  FEDRA_CHECK_EQ(payload_bytes.size(), buffers.size());
+  size_t sum = 0;
+  for (size_t bytes : payload_bytes) {
+    sum += bytes;
   }
-  const double inv_k = 1.0 / static_cast<double>(num_workers_);
-  for (float* buffer : buffers) {
-    for (size_t i = 0; i < n; ++i) {
-      buffer[i] = static_cast<float>(reduce_buffer_[i] * inv_k);
-    }
-  }
-  AccountAllReduce(payload_bytes, traffic);
+  ReduceMeanIntoAll(buffers, n);
+  AccountAllReduce(sum, traffic);
 }
 
 void SimNetwork::AllReduceWeightedAverage(const std::vector<float*>& buffers,
@@ -64,20 +179,22 @@ void SimNetwork::AllReduceWeightedAverage(const std::vector<float*>& buffers,
     weight_sum += w;
   }
   FEDRA_CHECK_GT(weight_sum, 0.0);
-  reduce_buffer_.assign(n, 0.0);
-  for (size_t k = 0; k < buffers.size(); ++k) {
-    const float* buffer = buffers[k];
-    const double w = weights[k] / weight_sum;
-    for (size_t i = 0; i < n; ++i) {
-      reduce_buffer_[i] += w * static_cast<double>(buffer[i]);
-    }
+  const size_t k = buffers.size();
+  weight_scratch_.resize(k);
+  for (size_t kk = 0; kk < k; ++kk) {
+    weight_scratch_[kk] = weights[kk] / weight_sum;
   }
-  for (float* buffer : buffers) {
-    for (size_t i = 0; i < n; ++i) {
-      buffer[i] = static_cast<float>(reduce_buffer_[i]);
-    }
-  }
-  AccountAllReduce(n * sizeof(float), traffic);
+  const double* normalized = weight_scratch_.data();
+  GlobalThreadPool().ParallelForRange(
+      n, kReduceChunk, [&](size_t begin, size_t end) {
+        ReduceInstallChunk(buffers, begin, end,
+                           [normalized](const float* const* srcs, size_t kk,
+                                        size_t len, float* tile) {
+                             vec::WeightedReduce(srcs, normalized, kk, len,
+                                                 tile);
+                           });
+      });
+  AccountAllReduce(n * sizeof(float) * k, traffic);
 }
 
 void SimNetwork::Broadcast(const std::vector<float*>& buffers, size_t n,
@@ -85,37 +202,65 @@ void SimNetwork::Broadcast(const std::vector<float*>& buffers, size_t n,
   FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
   FEDRA_CHECK(root >= 0 && root < num_workers_);
   const float* src = buffers[static_cast<size_t>(root)];
-  for (int k = 0; k < num_workers_; ++k) {
-    if (k == root) {
-      continue;
-    }
-    vec::Copy(src, buffers[static_cast<size_t>(k)], n);
+  GlobalThreadPool().ParallelForRange(
+      n, kReduceChunk, [&](size_t begin, size_t end) {
+        for (int k = 0; k < num_workers_; ++k) {
+          if (k == root) {
+            continue;
+          }
+          vec::Copy(src + begin, buffers[static_cast<size_t>(k)] + begin,
+                    end - begin);
+        }
+      });
+  ++stats_.broadcast_calls;
+  if (traffic == TrafficClass::kModelSync) {
+    ++stats_.model_sync_count;
+  }
+  if (num_workers_ == 1) {
+    return;
   }
   const size_t payload = n * sizeof(float);
-  const size_t total = payload * static_cast<size_t>(num_workers_ - 1);
-  ++stats_.allreduce_calls;
-  stats_.bytes_total += total;
-  if (traffic == TrafficClass::kLocalState) {
-    stats_.bytes_local_state += total;
-  } else {
-    stats_.bytes_model_sync += total;
+  if (hierarchy_.enabled()) {
+    const HierarchicalNetworkModel::TierCost cost =
+        hierarchy_.BroadcastCost(payload, num_workers_);
+    Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
+           cost.uplink_seconds, traffic);
+    return;
   }
-  stats_.comm_seconds += model_.latency_seconds +
-                         static_cast<double>(payload) /
-                             model_.bandwidth_bytes_per_sec;
+  // K-1 transfers through the root's shared channel.
+  const size_t total = payload * static_cast<size_t>(num_workers_ - 1);
+  const double seconds =
+      model_.latency_seconds +
+      static_cast<double>(total) / model_.bandwidth_bytes_per_sec;
+  Charge(0, total, 0.0, seconds, traffic);
 }
 
 void SimNetwork::PointToPoint(size_t n, TrafficClass traffic) {
+  ++stats_.p2p_calls;
   const size_t payload = n * sizeof(float);
-  stats_.bytes_total += payload;
-  if (traffic == TrafficClass::kLocalState) {
-    stats_.bytes_local_state += payload;
-  } else {
-    stats_.bytes_model_sync += payload;
+  if (hierarchy_.enabled()) {
+    const HierarchicalNetworkModel::TierCost cost =
+        hierarchy_.PointToPointCost(payload);
+    Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
+           cost.uplink_seconds, traffic);
+    return;
   }
-  stats_.comm_seconds += model_.latency_seconds +
-                         static_cast<double>(payload) /
-                             model_.bandwidth_bytes_per_sec;
+  const double seconds =
+      model_.latency_seconds +
+      static_cast<double>(payload) / model_.bandwidth_bytes_per_sec;
+  Charge(0, payload, 0.0, seconds, traffic);
+}
+
+double SimNetwork::ModelSyncSeconds(size_t payload_bytes) const {
+  if (num_workers_ == 1) {
+    return 0.0;
+  }
+  if (hierarchy_.enabled()) {
+    return hierarchy_
+        .GroupedAllReduceCost(payload_bytes, num_workers_, algorithm_)
+        .total_seconds();
+  }
+  return model_.AllReduceSeconds(payload_bytes, num_workers_, algorithm_);
 }
 
 }  // namespace fedra

@@ -1,8 +1,15 @@
 // SimNetwork: the collectives of the simulated cluster, with exact byte and
 // simulated-time accounting. The arithmetic result of AllReduceAverage is
 // the exact elementwise mean regardless of the chosen transport algorithm
-// (flat vs ring only changes cost accounting) — collectives are supposed to
-// be numerically transparent, and tests assert this.
+// or topology (flat vs ring vs recursive-halving vs hierarchical only
+// changes cost accounting) — collectives are supposed to be numerically
+// transparent, and tests assert this.
+//
+// The arithmetic runs on a parallel reduction engine: model-sized spans are
+// split into fixed GlobalThreadPool chunks and each chunk runs the fused
+// vec::ReduceScale tree-reduce (double accumulators, fixed combine order).
+// Chunk boundaries depend only on the span length, so results are
+// bit-deterministic for any thread count.
 
 #ifndef FEDRA_SIM_COLLECTIVES_H_
 #define FEDRA_SIM_COLLECTIVES_H_
@@ -15,14 +22,31 @@
 
 namespace fedra {
 
+/// Averages `num_srcs` spans of length n into dst (exact elementwise mean,
+/// double accumulation) on the same parallel reduction engine the
+/// collectives use. No network accounting — this is the trainers'
+/// measurement-only eval-model averaging. dst may alias srcs[0].
+void ReduceMeanInto(const float* const* srcs, size_t num_srcs, size_t n,
+                    float* dst);
+
 class SimNetwork {
  public:
+  /// Single-tier topology: every collective is costed by `model` under
+  /// `algorithm`.
   SimNetwork(int num_workers, NetworkModel model,
              AllReduceAlgorithm algorithm);
+
+  /// Two-tier topology: collectives run grouped (reduce within cluster ->
+  /// exchange across clusters -> broadcast down); `cross_algorithm` is the
+  /// algorithm the cluster leaders use over the uplink.
+  SimNetwork(int num_workers, HierarchicalNetworkModel hierarchy,
+             AllReduceAlgorithm cross_algorithm);
 
   int num_workers() const { return num_workers_; }
   const NetworkModel& network_model() const { return model_; }
   AllReduceAlgorithm algorithm() const { return algorithm_; }
+  bool hierarchical() const { return hierarchy_.enabled(); }
+  const HierarchicalNetworkModel& hierarchy() const { return hierarchy_; }
 
   /// In-place AllReduce-average: each buffers[k] (length n) is replaced by
   /// the elementwise mean over workers. Accounts bytes to `traffic`.
@@ -36,31 +60,55 @@ class SimNetwork {
                                    size_t n, size_t payload_bytes,
                                    TrafficClass traffic);
 
+  /// Per-worker wire sizes (variable-rate codecs): worker k's payload is
+  /// billed at payload_bytes[k], so the collective costs the actual sum of
+  /// wire bytes rather than any single worker's size.
+  void AllReduceAverageWithPayloads(const std::vector<float*>& buffers,
+                                    size_t n,
+                                    const std::vector<size_t>& payload_bytes,
+                                    TrafficClass traffic);
+
   /// Weighted variant: mean with per-worker weights (used by FedAvg when
   /// shards are unequal). Weights must sum to a positive value.
   void AllReduceWeightedAverage(const std::vector<float*>& buffers,
                                 const std::vector<double>& weights, size_t n,
                                 TrafficClass traffic);
 
-  /// Broadcast worker `root`'s buffer to all others (accounted as one
-  /// payload transmission per receiving worker, flat accounting).
+  /// Broadcast worker `root`'s buffer to all others: K-1 payload transfers,
+  /// billed in both bytes and time under the configured topology. Counts as
+  /// a broadcast_calls entry (not allreduce_calls) and as a model
+  /// synchronization when `traffic` is kModelSync.
   void Broadcast(const std::vector<float*>& buffers, size_t n, int root,
                  TrafficClass traffic);
 
   /// One worker uploads `n` floats to a coordinator (async FDA traffic).
   void PointToPoint(size_t n, TrafficClass traffic);
 
+  /// Simulated duration of one full-model collective of `payload_bytes` per
+  /// worker under the configured topology/algorithm (no accounting) — the
+  /// async trainer's synchronization stall.
+  double ModelSyncSeconds(size_t payload_bytes) const;
+
   const CommStats& stats() const { return stats_; }
   void ResetStats() { stats_.Clear(); }
 
  private:
-  void AccountAllReduce(size_t payload_bytes, TrafficClass traffic);
+  // The arithmetic: mean over workers into every buffer, chunk-parallel.
+  void ReduceMeanIntoAll(const std::vector<float*>& buffers, size_t n);
+  // Cost accounting for one AllReduce whose workers transmit
+  // `payload_bytes_sum` bytes in total (== K * per-worker payload when
+  // uniform).
+  void AccountAllReduce(size_t payload_bytes_sum, TrafficClass traffic);
+  // Splits a charge across the class and tier breakdowns.
+  void Charge(size_t intra_bytes, size_t uplink_bytes, double intra_seconds,
+              double uplink_seconds, TrafficClass traffic);
 
   int num_workers_;
   NetworkModel model_;
+  HierarchicalNetworkModel hierarchy_;  // disabled for single-tier networks
   AllReduceAlgorithm algorithm_;
   CommStats stats_;
-  std::vector<double> reduce_buffer_;  // double accumulation for stability
+  std::vector<double> weight_scratch_;  // normalized weights per call
 };
 
 }  // namespace fedra

@@ -6,14 +6,17 @@ namespace fedra {
 
 std::string CommStats::ToString() const {
   return StrFormat(
-      "CommStats{allreduce=%llu, syncs=%llu, total=%s (state=%s, model=%s), "
-      "comm_time=%.3fs}",
+      "CommStats{allreduce=%llu, bcast=%llu, p2p=%llu, syncs=%llu, "
+      "total=%s (state=%s, model=%s), comm_time=%.3fs "
+      "(intra=%.3fs, uplink=%.3fs)}",
       static_cast<unsigned long long>(allreduce_calls),
+      static_cast<unsigned long long>(broadcast_calls),
+      static_cast<unsigned long long>(p2p_calls),
       static_cast<unsigned long long>(model_sync_count),
       HumanBytes(static_cast<double>(bytes_total)).c_str(),
       HumanBytes(static_cast<double>(bytes_local_state)).c_str(),
       HumanBytes(static_cast<double>(bytes_model_sync)).c_str(),
-      comm_seconds);
+      comm_seconds, seconds_intra, seconds_uplink);
 }
 
 }  // namespace fedra

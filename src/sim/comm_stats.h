@@ -4,7 +4,10 @@
 // workers" (§4.1 Evaluation Methodology). The simulator attributes every
 // transmitted byte to one of two traffic classes so benches can report the
 // split the paper discusses: small per-step local-state traffic vs. the
-// expensive model synchronization traffic.
+// expensive model synchronization traffic. Simulated time is broken down
+// twice: by traffic class, and by topology tier (intra-cluster links vs.
+// the cross-cluster uplink; single-tier topologies charge their one shared
+// channel as the uplink tier).
 
 #ifndef FEDRA_SIM_COMM_STATS_H_
 #define FEDRA_SIM_COMM_STATS_H_
@@ -21,11 +24,20 @@ enum class TrafficClass {
 
 struct CommStats {
   uint64_t allreduce_calls = 0;
+  uint64_t broadcast_calls = 0;
+  uint64_t p2p_calls = 0;
   uint64_t model_sync_count = 0;     // #full-model synchronizations
   uint64_t bytes_total = 0;          // all bytes transmitted by all workers
   uint64_t bytes_local_state = 0;
   uint64_t bytes_model_sync = 0;
   double comm_seconds = 0.0;         // simulated time spent communicating
+  // Per-traffic-class time split; sums to comm_seconds.
+  double seconds_local_state = 0.0;
+  double seconds_model_sync = 0.0;
+  // Per-tier time split; sums to comm_seconds. Single-tier topologies
+  // charge everything to the uplink (the shared channel).
+  double seconds_intra = 0.0;
+  double seconds_uplink = 0.0;
 
   /// Resets all counters to zero.
   void Clear() { *this = CommStats(); }
@@ -33,11 +45,17 @@ struct CommStats {
   /// Accumulates another stats record into this one.
   void Merge(const CommStats& other) {
     allreduce_calls += other.allreduce_calls;
+    broadcast_calls += other.broadcast_calls;
+    p2p_calls += other.p2p_calls;
     model_sync_count += other.model_sync_count;
     bytes_total += other.bytes_total;
     bytes_local_state += other.bytes_local_state;
     bytes_model_sync += other.bytes_model_sync;
     comm_seconds += other.comm_seconds;
+    seconds_local_state += other.seconds_local_state;
+    seconds_model_sync += other.seconds_model_sync;
+    seconds_intra += other.seconds_intra;
+    seconds_uplink += other.seconds_uplink;
   }
 
   double gigabytes_total() const {

@@ -1,10 +1,40 @@
 #include "sim/network_model.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.h"
 
 namespace fedra {
 
-double NetworkModel::AllReduceSeconds(size_t payload_bytes, int num_workers,
+namespace {
+
+// ceil(log2 k) for k >= 1: the round count of recursive halving/doubling.
+int CeilLog2(int k) {
+  int rounds = 0;
+  int reach = 1;
+  while (reach < k) {
+    reach *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+const char* AllReduceAlgorithmName(AllReduceAlgorithm algorithm) {
+  switch (algorithm) {
+    case AllReduceAlgorithm::kFlat:
+      return "flat";
+    case AllReduceAlgorithm::kRing:
+      return "ring";
+    case AllReduceAlgorithm::kRecursiveHalving:
+      return "halving";
+  }
+  return "unknown";
+}
+
+double NetworkModel::AllReduceSeconds(double payload_bytes, int num_workers,
                                       AllReduceAlgorithm algorithm) const {
   FEDRA_CHECK_GT(num_workers, 0);
   FEDRA_CHECK_GT(bandwidth_bytes_per_sec, 0.0);
@@ -13,17 +43,25 @@ double NetworkModel::AllReduceSeconds(size_t payload_bytes, int num_workers,
   }
   switch (algorithm) {
     case AllReduceAlgorithm::kFlat:
-      // Reduce + broadcast through the shared channel: the root receives
-      // K-1 payloads and sends one back; the channel is the bottleneck.
-      return latency_seconds + static_cast<double>(payload_bytes) /
-                                   bandwidth_bytes_per_sec;
+      // Shared channel: every worker transmits its payload once and all K
+      // payloads transit the same medium serially — the duration charges K
+      // payloads, matching AllReduceTotalBytes.
+      return latency_seconds + static_cast<double>(num_workers) *
+                                   payload_bytes / bandwidth_bytes_per_sec;
     case AllReduceAlgorithm::kRing:
-      // 2 (K-1) rounds, each moving payload/K per worker concurrently.
+      // Textbook alpha-beta cost (Thakur et al.): 2 (K-1) rounds, each
+      // paying the link latency and moving payload/K per worker
+      // concurrently.
       return 2.0 * (num_workers - 1) *
-                 (latency_seconds / num_workers +
-                  static_cast<double>(payload_bytes) /
-                      (num_workers * bandwidth_bytes_per_sec)) +
-             latency_seconds;
+             (latency_seconds +
+              payload_bytes / (num_workers * bandwidth_bytes_per_sec));
+    case AllReduceAlgorithm::kRecursiveHalving:
+      // Recursive-halving reduce-scatter + recursive-doubling allgather:
+      // 2 ceil(log2 K) rounds, each worker moving 2 (K-1)/K of a payload in
+      // total, all links active concurrently.
+      return 2.0 * CeilLog2(num_workers) * latency_seconds +
+             2.0 * (num_workers - 1) * payload_bytes /
+                 (num_workers * bandwidth_bytes_per_sec);
   }
   FEDRA_CHECK(false) << "unknown allreduce algorithm";
   return 0.0;
@@ -41,11 +79,30 @@ size_t NetworkModel::AllReduceTotalBytes(size_t payload_bytes,
       // The paper's accounting: every worker transmits its payload once.
       return payload_bytes * static_cast<size_t>(num_workers);
     case AllReduceAlgorithm::kRing:
+    case AllReduceAlgorithm::kRecursiveHalving:
       // Each worker sends 2 (K-1)/K of a payload.
       return 2 * payload_bytes * static_cast<size_t>(num_workers - 1);
   }
   FEDRA_CHECK(false) << "unknown allreduce algorithm";
   return 0;
+}
+
+double NetworkModel::AllReduceTotalBytesFromSum(
+    double payload_bytes_sum, int num_workers,
+    AllReduceAlgorithm algorithm) {
+  FEDRA_CHECK_GT(num_workers, 0);
+  if (num_workers == 1) {
+    return 0.0;
+  }
+  switch (algorithm) {
+    case AllReduceAlgorithm::kFlat:
+      return payload_bytes_sum;
+    case AllReduceAlgorithm::kRing:
+    case AllReduceAlgorithm::kRecursiveHalving:
+      return 2.0 * (num_workers - 1) * payload_bytes_sum / num_workers;
+  }
+  FEDRA_CHECK(false) << "unknown allreduce algorithm";
+  return 0.0;
 }
 
 NetworkModel NetworkModel::Hpc() {
@@ -69,6 +126,122 @@ NetworkModel NetworkModel::Balanced() {
   model.name = "Balanced";
   model.bandwidth_bytes_per_sec = 5e9 / 8.0;
   model.latency_seconds = 1e-3;
+  return model;
+}
+
+NetworkModel NetworkModel::EdgeLan() {
+  NetworkModel model;
+  model.name = "EdgeLAN";
+  model.bandwidth_bytes_per_sec = 10e9 / 8.0;  // 10 Gb/s local links
+  model.latency_seconds = 0.5e-3;
+  return model;
+}
+
+int HierarchicalNetworkModel::MaxClusterSize(int num_workers) const {
+  FEDRA_CHECK_GT(num_workers, 0);
+  FEDRA_CHECK(enabled());
+  const int clusters = std::min(num_clusters, num_workers);
+  return (num_workers + clusters - 1) / clusters;
+}
+
+HierarchicalNetworkModel::TierCost
+HierarchicalNetworkModel::GroupedAllReduceCost(
+    double payload_bytes, int num_workers,
+    AllReduceAlgorithm cross_algorithm) const {
+  FEDRA_CHECK_GT(num_workers, 0);
+  FEDRA_CHECK(enabled());
+  TierCost cost;
+  if (num_workers == 1) {
+    return cost;
+  }
+  const int clusters = std::min(num_clusters, num_workers);
+  const int max_cluster = MaxClusterSize(num_workers);
+  const double members = static_cast<double>(num_workers - clusters);
+  // Phase 1 — reduce to leaders: each member pushes one payload over its
+  // cluster's shared intra link; clusters run concurrently, so time follows
+  // the largest cluster.
+  const size_t member_bytes =
+      static_cast<size_t>(std::llround(members * payload_bytes));
+  if (max_cluster > 1) {
+    cost.intra_seconds += intra.latency_seconds +
+                          static_cast<double>(max_cluster - 1) *
+                              payload_bytes / intra.bandwidth_bytes_per_sec;
+    cost.intra_bytes += member_bytes;
+  }
+  // Phase 2 — leaders AllReduce the cluster partials across the uplink.
+  if (clusters > 1) {
+    cost.uplink_seconds +=
+        uplink.AllReduceSeconds(payload_bytes, clusters, cross_algorithm);
+    cost.uplink_bytes += static_cast<size_t>(
+        std::llround(NetworkModel::AllReduceTotalBytesFromSum(
+            static_cast<double>(clusters) * payload_bytes, clusters,
+            cross_algorithm)));
+  }
+  // Phase 3 — leaders broadcast the global result back down.
+  if (max_cluster > 1) {
+    cost.intra_seconds += intra.latency_seconds +
+                          static_cast<double>(max_cluster - 1) *
+                              payload_bytes / intra.bandwidth_bytes_per_sec;
+    cost.intra_bytes += member_bytes;
+  }
+  return cost;
+}
+
+HierarchicalNetworkModel::TierCost HierarchicalNetworkModel::BroadcastCost(
+    size_t payload_bytes, int num_workers) const {
+  FEDRA_CHECK_GT(num_workers, 0);
+  FEDRA_CHECK(enabled());
+  TierCost cost;
+  if (num_workers == 1) {
+    return cost;
+  }
+  const int clusters = std::min(num_clusters, num_workers);
+  const int max_cluster = MaxClusterSize(num_workers);
+  if (clusters > 1) {
+    cost.uplink_seconds += uplink.latency_seconds +
+                           static_cast<double>(clusters - 1) *
+                               static_cast<double>(payload_bytes) /
+                               uplink.bandwidth_bytes_per_sec;
+    cost.uplink_bytes += static_cast<size_t>(clusters - 1) * payload_bytes;
+  }
+  if (max_cluster > 1) {
+    cost.intra_seconds += intra.latency_seconds +
+                          static_cast<double>(max_cluster - 1) *
+                              static_cast<double>(payload_bytes) /
+                              intra.bandwidth_bytes_per_sec;
+    cost.intra_bytes +=
+        static_cast<size_t>(num_workers - clusters) * payload_bytes;
+  }
+  return cost;
+}
+
+HierarchicalNetworkModel::TierCost
+HierarchicalNetworkModel::PointToPointCost(size_t payload_bytes) const {
+  FEDRA_CHECK(enabled());
+  TierCost cost;
+  cost.intra_seconds = intra.latency_seconds +
+                       static_cast<double>(payload_bytes) /
+                           intra.bandwidth_bytes_per_sec;
+  cost.intra_bytes = payload_bytes;
+  cost.uplink_seconds = uplink.latency_seconds +
+                        static_cast<double>(payload_bytes) /
+                            uplink.bandwidth_bytes_per_sec;
+  cost.uplink_bytes = payload_bytes;
+  return cost;
+}
+
+HierarchicalNetworkModel HierarchicalNetworkModel::None() {
+  return HierarchicalNetworkModel();
+}
+
+HierarchicalNetworkModel HierarchicalNetworkModel::EdgeCloud(
+    int num_clusters) {
+  FEDRA_CHECK_GT(num_clusters, 0);
+  HierarchicalNetworkModel model;
+  model.name = "EdgeCloud";
+  model.intra = NetworkModel::EdgeLan();
+  model.uplink = NetworkModel::Federated();
+  model.num_clusters = num_clusters;
   return model;
 }
 

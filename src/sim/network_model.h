@@ -5,6 +5,13 @@
 // federated setting with a 0.5 Gb/s shared channel, and a balanced middle
 // ground. The model is intentionally simple — per-collective latency plus
 // payload/bandwidth — because the paper's metrics only need relative time.
+//
+// HierarchicalNetworkModel adds the two-tier topology the dynamic-averaging
+// literature (Kamp et al.) and the FL communication surveys emphasize: edge
+// workers grouped into clusters with a fast intra-cluster link, clusters
+// joined by a slow cross-cluster uplink. A grouped AllReduce then runs
+// reduce-within-cluster -> exchange-across-clusters -> broadcast-down, and
+// the cost of each tier is accounted separately.
 
 #ifndef FEDRA_SIM_NETWORK_MODEL_H_
 #define FEDRA_SIM_NETWORK_MODEL_H_
@@ -18,7 +25,13 @@ enum class AllReduceAlgorithm {
   kFlat,  // reduce-to-root + broadcast; paper-style accounting: each worker
           // transmits its payload once per collective
   kRing,  // bandwidth-optimal ring: 2 (K-1)/K payload per worker
+  kRecursiveHalving,  // recursive-halving reduce-scatter + recursive-doubling
+                      // allgather: 2 ceil(log2 K) latency rounds, ring-equal
+                      // bytes — the latency-optimal choice for small payloads
 };
+
+/// Short display name ("flat", "ring", "halving") for logs and benches.
+const char* AllReduceAlgorithmName(AllReduceAlgorithm algorithm);
 
 struct NetworkModel {
   std::string name = "custom";
@@ -26,14 +39,26 @@ struct NetworkModel {
   double latency_seconds = 1e-4;         // per collective, fixed overhead
 
   /// Simulated duration of one AllReduce of `payload_bytes` per worker.
-  /// The slowest link bounds the collective; with homogeneous links this is
-  /// latency + (bytes a single worker must push) / bandwidth.
-  double AllReduceSeconds(size_t payload_bytes, int num_workers,
+  /// kFlat models a shared channel: all K payloads transit it serially, so
+  /// the duration charges K payloads (consistent with AllReduceTotalBytes —
+  /// every worker transmits its payload once). kRing/kRecursiveHalving move
+  /// per-worker shares concurrently and pay per-round latencies instead.
+  /// Takes a double so variable-size compressed collectives can bill their
+  /// exact mean wire size (sum / K) without integer truncation.
+  double AllReduceSeconds(double payload_bytes, int num_workers,
                           AllReduceAlgorithm algorithm) const;
 
   /// Total bytes transmitted by all workers for one AllReduce.
   static size_t AllReduceTotalBytes(size_t payload_bytes, int num_workers,
                                     AllReduceAlgorithm algorithm);
+
+  /// Same mapping, computed from the summed wire size of all workers (the
+  /// variable-payload billing path): flat transmits the sum once, ring and
+  /// recursive halving move 2 (K-1)/K of it. Double in/out so no
+  /// truncation happens before the caller rounds to whole bytes.
+  static double AllReduceTotalBytesFromSum(double payload_bytes_sum,
+                                           int num_workers,
+                                           AllReduceAlgorithm algorithm);
 
   /// ARIS-like HPC interconnect (InfiniBand FDR14, 56 Gb/s).
   static NetworkModel Hpc();
@@ -42,6 +67,60 @@ struct NetworkModel {
   static NetworkModel Federated();
   /// Balanced communication/computation regime (paper Fig. 12 "Balanced").
   static NetworkModel Balanced();
+  /// Edge LAN: fast local links between co-located edge workers (the intra
+  /// tier of the edge->cloud hierarchy).
+  static NetworkModel EdgeLan();
+};
+
+/// Two-tier topology: `num_clusters` groups of workers (contiguous blocks,
+/// sizes as equal as possible). Members talk to their cluster leader over
+/// the `intra` link; leaders talk to each other over the `uplink`.
+/// num_clusters == 0 disables the hierarchy (single-tier/flat topology).
+struct HierarchicalNetworkModel {
+  std::string name = "hierarchical";
+  NetworkModel intra;   // tier 0: within-cluster (edge LAN)
+  NetworkModel uplink;  // tier 1: cross-cluster (edge -> cloud WAN)
+  int num_clusters = 0;
+
+  bool enabled() const { return num_clusters > 0; }
+
+  /// Per-tier cost of one collective. Bytes follow the paper's "total data
+  /// transmitted by all workers" convention; seconds take the slowest
+  /// cluster (clusters proceed concurrently, phases are serialized).
+  struct TierCost {
+    double intra_seconds = 0.0;
+    double uplink_seconds = 0.0;
+    size_t intra_bytes = 0;
+    size_t uplink_bytes = 0;
+
+    double total_seconds() const { return intra_seconds + uplink_seconds; }
+    size_t total_bytes() const { return intra_bytes + uplink_bytes; }
+  };
+
+  /// Grouped AllReduce of `payload_bytes` per worker over `num_workers`:
+  /// (1) members push payloads to their leader (flat, intra link),
+  /// (2) leaders AllReduce across clusters with `cross_algorithm` (uplink),
+  /// (3) leaders broadcast the result back down (flat, intra link).
+  /// `payload_bytes` is a double (mean wire size for variable-size
+  /// compressed payloads); per-tier byte totals round to the nearest byte.
+  TierCost GroupedAllReduceCost(double payload_bytes, int num_workers,
+                                AllReduceAlgorithm cross_algorithm) const;
+
+  /// Broadcast from one worker to all others: down the uplink across
+  /// cluster leaders, then down the intra links within each cluster.
+  TierCost BroadcastCost(size_t payload_bytes, int num_workers) const;
+
+  /// One worker uploads to the (cloud-side) coordinator: an intra hop to
+  /// the cluster leader plus an uplink hop.
+  TierCost PointToPointCost(size_t payload_bytes) const;
+
+  /// Largest cluster size for `num_workers` workers (contiguous blocks).
+  int MaxClusterSize(int num_workers) const;
+
+  /// Disabled topology (flat single tier).
+  static HierarchicalNetworkModel None();
+  /// Edge->cloud preset: EdgeLan() intra links, Federated() uplink.
+  static HierarchicalNetworkModel EdgeCloud(int num_clusters);
 };
 
 }  // namespace fedra

@@ -501,5 +501,34 @@ double AxpyNorm(float alpha, const float* x, float* y, size_t n) {
   return SquaredNorm(y, n);
 }
 
+void AddScaledDiff(float alpha, const float* a, const float* b, float* y,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += alpha * (a[i] - b[i]);
+  }
+}
+
+void ReduceScale(const float* const* bufs, size_t num_bufs, size_t n,
+                 double scale, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t k = 0; k < num_bufs; ++k) {
+      acc += static_cast<double>(bufs[k][i]);
+    }
+    out[i] = static_cast<float>(acc * scale);
+  }
+}
+
+void WeightedReduce(const float* const* bufs, const double* weights,
+                    size_t num_bufs, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t k = 0; k < num_bufs; ++k) {
+      acc += weights[k] * static_cast<double>(bufs[k][i]);
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
 }  // namespace ref
 }  // namespace fedra

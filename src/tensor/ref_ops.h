@@ -74,6 +74,18 @@ double Sum(const float* x, size_t n);
 double SubSquaredNorm(const float* a, const float* b, float* out, size_t n);
 double AxpyNorm(float alpha, const float* x, float* y, size_t n);
 
+/// Scalar FedProx proximal term: y[i] += alpha * (a[i] - b[i]).
+void AddScaledDiff(float alpha, const float* a, const float* b, float* y,
+                   size_t n);
+
+/// Serial element-major reduction oracles for the collectives engine:
+/// out[i] = scale * sum_k bufs[k][i] (resp. sum_k weights[k] * bufs[k][i]),
+/// one double accumulator per element.
+void ReduceScale(const float* const* bufs, size_t num_bufs, size_t n,
+                 double scale, float* out);
+void WeightedReduce(const float* const* bufs, const double* weights,
+                    size_t num_bufs, size_t n, float* out);
+
 }  // namespace ref
 }  // namespace fedra
 

@@ -199,5 +199,96 @@ void NormBackwardDx(const float* dy, const float* xhat, float scale,
   }
 }
 
+void AddScaledDiff(float alpha, const float* a, const float* b, float* y,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += alpha * (a[i] - b[i]);
+  }
+}
+
+namespace {
+
+// Block size for the reduction kernels: the double accumulator tile stays in
+// L1 (2 KB) while every input buffer streams through exactly once.
+constexpr size_t kReduceBlock = 256;
+
+}  // namespace
+
+void ReduceScale(const float* const* bufs, size_t num_bufs, size_t n,
+                 double scale, float* out) {
+  if (num_bufs == 0) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = 0.0f;
+    }
+    return;
+  }
+  double acc[kReduceBlock];
+  for (size_t base = 0; base < n; base += kReduceBlock) {
+    const size_t len = std::min(kReduceBlock, n - base);
+    // Seed from the first pair, then fold the remaining buffers in pairs —
+    // a fixed-order tree that halves the passes over the accumulator tile.
+    if (num_bufs == 1) {
+      const float* b0 = bufs[0] + base;
+      for (size_t j = 0; j < len; ++j) {
+        acc[j] = static_cast<double>(b0[j]);
+      }
+    } else {
+      const float* b0 = bufs[0] + base;
+      const float* b1 = bufs[1] + base;
+      for (size_t j = 0; j < len; ++j) {
+        acc[j] = static_cast<double>(b0[j]) + static_cast<double>(b1[j]);
+      }
+    }
+    size_t k = 2;
+    for (; k + 1 < num_bufs; k += 2) {
+      const float* ba = bufs[k] + base;
+      const float* bb = bufs[k + 1] + base;
+      for (size_t j = 0; j < len; ++j) {
+        acc[j] += static_cast<double>(ba[j]) + static_cast<double>(bb[j]);
+      }
+    }
+    if (k < num_bufs) {
+      const float* ba = bufs[k] + base;
+      for (size_t j = 0; j < len; ++j) {
+        acc[j] += static_cast<double>(ba[j]);
+      }
+    }
+    float* o = out + base;
+    for (size_t j = 0; j < len; ++j) {
+      o[j] = static_cast<float>(acc[j] * scale);
+    }
+  }
+}
+
+void WeightedReduce(const float* const* bufs, const double* weights,
+                    size_t num_bufs, size_t n, float* out) {
+  if (num_bufs == 0) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = 0.0f;
+    }
+    return;
+  }
+  double acc[kReduceBlock];
+  for (size_t base = 0; base < n; base += kReduceBlock) {
+    const size_t len = std::min(kReduceBlock, n - base);
+    const float* b0 = bufs[0] + base;
+    const double w0 = weights[0];
+    for (size_t j = 0; j < len; ++j) {
+      acc[j] = w0 * static_cast<double>(b0[j]);
+    }
+    for (size_t k = 1; k < num_bufs; ++k) {
+      const float* bk = bufs[k] + base;
+      const double wk = weights[k];
+      for (size_t j = 0; j < len; ++j) {
+        acc[j] += wk * static_cast<double>(bk[j]);
+      }
+    }
+    float* o = out + base;
+    for (size_t j = 0; j < len; ++j) {
+      o[j] = static_cast<float>(acc[j]);
+    }
+  }
+}
+
 }  // namespace vec
 }  // namespace fedra

@@ -79,6 +79,28 @@ void NormalizeAffine(const float* x, float mean, float inv_std, float gamma,
 void NormBackwardDx(const float* dy, const float* xhat, float scale,
                     float mean_dy, float mean_dy_xhat, float* dx, size_t n);
 
+/// Fused proximal-gradient kernel: y[i] += alpha * (a[i] - b[i]). One pass
+/// instead of Sub-into-scratch + Axpy (FedProx adds mu * (w_k - w_global) to
+/// every local gradient).
+void AddScaledDiff(float alpha, const float* a, const float* b, float* y,
+                   size_t n);
+
+/// Fused tree-reduce + scale kernel, the arithmetic core of the simulated
+/// collectives: out[i] = scale * sum_k bufs[k][i]. Buffers are combined
+/// pairwise in a fixed order with double accumulators held in L1-resident
+/// blocks, so each input span is read exactly once and results are
+/// bit-deterministic for a given num_bufs. `out` may alias bufs[0] (each
+/// block is fully read before it is written); it must not alias any other
+/// input.
+void ReduceScale(const float* const* bufs, size_t num_bufs, size_t n,
+                 double scale, float* out);
+
+/// Weighted flavor: out[i] = sum_k weights[k] * bufs[k][i]. Callers pass
+/// already-normalized weights. Same aliasing and determinism contract as
+/// ReduceScale.
+void WeightedReduce(const float* const* bufs, const double* weights,
+                    size_t num_bufs, size_t n, float* out);
+
 }  // namespace vec
 }  // namespace fedra
 

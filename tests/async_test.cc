@@ -53,6 +53,29 @@ TEST(AsyncFdaTest, RunsAndSynchronizes) {
   EXPECT_GT(result->base.comm.bytes_local_state, 0u);
 }
 
+TEST(AsyncFdaTest, HistoryCarriesEpochAndTrainAccuracy) {
+  // Regression: async history rows used to carry epoch=0 and no train
+  // accuracy, making async CSV/plots incomparable with the sync trainer's.
+  SynthImageData data = SmallData();
+  AsyncFdaConfig async;
+  async.theta = 0.05;
+  async.monitor.kind = MonitorKind::kLinear;
+  async.max_total_worker_steps = 400;
+  AsyncFdaTrainer trainer(MlpFactory(), data.train, data.test, BaseConfig(),
+                          async);
+  auto result = trainer.Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->base.history.empty());
+  double prev_epoch = 0.0;
+  for (const EvalPoint& point : result->base.history) {
+    EXPECT_GT(point.epoch, prev_epoch);
+    prev_epoch = point.epoch;
+    // 384 train samples / 4 workers / batch 16 = 6 steps per local epoch.
+    EXPECT_DOUBLE_EQ(point.epoch, static_cast<double>(point.step) / 6.0);
+    EXPECT_GT(point.train_accuracy, 0.02);  // recorded, not default zero
+  }
+}
+
 TEST(AsyncFdaTest, HugeThetaMeansNoSyncs) {
   SynthImageData data = SmallData();
   AsyncFdaConfig async;

@@ -247,6 +247,75 @@ TEST(VecParityTest, AxpyNormMatchesUnfused) {
   }
 }
 
+TEST(VecParityTest, AddScaledDiffMatchesRef) {
+  // The fused FedProx proximal kernel: y += mu * (w - anchor).
+  for (size_t n : {size_t{1}, size_t{5}, size_t{255}, size_t{1024},
+                   size_t{4099}}) {
+    auto w = RandomVec(n, 70 + n);
+    auto anchor = RandomVec(n, 71 + n);
+    auto y0 = RandomVec(n, 72 + n);
+    std::vector<float> y_fast = y0, y_ref = y0;
+    vec::AddScaledDiff(0.73f, w.data(), anchor.data(), y_fast.data(), n);
+    ref::AddScaledDiff(0.73f, w.data(), anchor.data(), y_ref.data(), n);
+    EXPECT_LE(MaxRelError(y_fast, y_ref), kRelTol);
+  }
+}
+
+TEST(VecParityTest, ReduceScaleMatchesRef) {
+  // The collectives' fused tree-reduce + scale kernel, across buffer counts
+  // straddling the pairwise-combine edge cases (1, odd, even) and lengths
+  // straddling the 256-element accumulator block.
+  for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{8}, size_t{9}}) {
+    for (size_t n : {size_t{1}, size_t{255}, size_t{256}, size_t{257},
+                     size_t{5000}}) {
+      std::vector<std::vector<float>> bufs(k);
+      std::vector<const float*> ptrs(k);
+      for (size_t kk = 0; kk < k; ++kk) {
+        bufs[kk] = RandomVec(n, 80 + 10 * k + kk);
+        ptrs[kk] = bufs[kk].data();
+      }
+      const double scale = 1.0 / static_cast<double>(k);
+      std::vector<float> out_fast(n), out_ref(n);
+      vec::ReduceScale(ptrs.data(), k, n, scale, out_fast.data());
+      ref::ReduceScale(ptrs.data(), k, n, scale, out_ref.data());
+      EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol);
+      // Aliasing contract: out may be bufs[0] itself.
+      std::vector<float> aliased = bufs[0];
+      ptrs[0] = aliased.data();
+      vec::ReduceScale(ptrs.data(), k, n, scale, aliased.data());
+      EXPECT_LE(MaxRelError(aliased, out_ref), kRelTol);
+      ptrs[0] = bufs[0].data();
+    }
+  }
+}
+
+TEST(VecParityTest, WeightedReduceMatchesRef) {
+  for (size_t k : {size_t{1}, size_t{4}, size_t{7}}) {
+    for (size_t n : {size_t{1}, size_t{250}, size_t{300}, size_t{2049}}) {
+      std::vector<std::vector<float>> bufs(k);
+      std::vector<const float*> ptrs(k);
+      std::vector<double> weights(k);
+      double sum = 0.0;
+      Rng rng(90 + 10 * k + n);
+      for (size_t kk = 0; kk < k; ++kk) {
+        bufs[kk] = RandomVec(n, 91 + 10 * k + kk);
+        ptrs[kk] = bufs[kk].data();
+        weights[kk] = rng.NextUniform(0.1f, 2.0f);
+        sum += weights[kk];
+      }
+      for (auto& w : weights) {
+        w /= sum;
+      }
+      std::vector<float> out_fast(n), out_ref(n);
+      vec::WeightedReduce(ptrs.data(), weights.data(), k, n,
+                          out_fast.data());
+      ref::WeightedReduce(ptrs.data(), weights.data(), k, n,
+                          out_ref.data());
+      EXPECT_LE(MaxRelError(out_fast, out_ref), kRelTol);
+    }
+  }
+}
+
 // -------------------------------------------------- pooling / depthwise --
 
 ops::Conv2dGeometry PoolGeometry(int batch, int channels, int in_h, int in_w,

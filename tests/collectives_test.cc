@@ -1,0 +1,429 @@
+// Collectives regression suite: the parallel reduction engine is
+// numerically transparent (identical means for every transport algorithm
+// and topology, matching the serial scalar oracle), bit-deterministic
+// across runs, and the byte/time accounting matches the cost model
+// formulas exactly — including the three historical accounting bugs: flat
+// AllReduce time now charges K payloads through the shared channel,
+// Broadcast bills K-1 transfers (and counts as a broadcast, not an
+// AllReduce), and variable-size compressed payloads are billed at the
+// per-worker sum.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/collectives.h"
+#include "sim/network_model.h"
+#include "tensor/ref_ops.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace {
+
+std::vector<std::vector<float>> RandomBuffers(int num_workers, size_t n,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> buffers(static_cast<size_t>(num_workers));
+  for (auto& buffer : buffers) {
+    buffer.resize(n);
+    for (auto& x : buffer) {
+      x = rng.NextUniform(-5.0f, 5.0f);
+    }
+  }
+  return buffers;
+}
+
+std::vector<float*> Pointers(std::vector<std::vector<float>>& buffers) {
+  std::vector<float*> pointers;
+  for (auto& buffer : buffers) {
+    pointers.push_back(buffer.data());
+  }
+  return pointers;
+}
+
+std::vector<const float*> ConstPointers(
+    const std::vector<std::vector<float>>& buffers) {
+  std::vector<const float*> pointers;
+  for (const auto& buffer : buffers) {
+    pointers.push_back(buffer.data());
+  }
+  return pointers;
+}
+
+// A network model with round-number parameters so golden values are exact.
+NetworkModel TestModel() {
+  NetworkModel model;
+  model.name = "test";
+  model.bandwidth_bytes_per_sec = 1e9;
+  model.latency_seconds = 1e-3;
+  return model;
+}
+
+// ----------------------------------------------------- numeric parity ----
+
+// The engine's mean must be independent of the transport algorithm and
+// topology (they only change cost accounting), and must match the serial
+// scalar oracle. Spans larger than one 32768-element pool chunk exercise
+// the chunked parallel path.
+TEST(ReductionEngineTest, MeanMatchesOracleForEveryAlgorithmAndTopology) {
+  for (int workers : {2, 5, 8}) {
+    for (size_t n : {size_t{1}, size_t{37}, size_t{1} << 13,
+                     (size_t{1} << 16) + 7}) {
+      auto original = RandomBuffers(workers, n, 1000 + n + workers);
+      std::vector<float> expected(n);
+      ref::ReduceScale(ConstPointers(original).data(),
+                       static_cast<size_t>(workers), n,
+                       1.0 / workers, expected.data());
+
+      auto run = [&](SimNetwork network) {
+        auto buffers = original;
+        auto pointers = Pointers(buffers);
+        network.AllReduceAverage(pointers, n, TrafficClass::kModelSync);
+        return buffers;
+      };
+      const auto flat = run(SimNetwork(workers, TestModel(),
+                                       AllReduceAlgorithm::kFlat));
+      const auto ring = run(SimNetwork(workers, TestModel(),
+                                       AllReduceAlgorithm::kRing));
+      const auto halving = run(SimNetwork(
+          workers, TestModel(), AllReduceAlgorithm::kRecursiveHalving));
+      const auto grouped = run(SimNetwork(
+          workers, HierarchicalNetworkModel::EdgeCloud(2),
+          AllReduceAlgorithm::kFlat));
+
+      for (int k = 0; k < workers; ++k) {
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(flat[static_cast<size_t>(k)][i], expected[i], 1e-5)
+              << "worker " << k << " i " << i;
+          // Identical engine => bitwise-identical results across transports.
+          ASSERT_EQ(flat[static_cast<size_t>(k)][i],
+                    ring[static_cast<size_t>(k)][i]);
+          ASSERT_EQ(flat[static_cast<size_t>(k)][i],
+                    halving[static_cast<size_t>(k)][i]);
+          ASSERT_EQ(flat[static_cast<size_t>(k)][i],
+                    grouped[static_cast<size_t>(k)][i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ReductionEngineTest, BitDeterministicAcrossRuns) {
+  const int workers = 7;
+  const size_t n = (size_t{1} << 17) + 311;  // several pool chunks
+  auto original = RandomBuffers(workers, n, 77);
+  auto run = [&] {
+    auto buffers = original;
+    auto pointers = Pointers(buffers);
+    SimNetwork network(workers, NetworkModel::Hpc(),
+                       AllReduceAlgorithm::kRing);
+    network.AllReduceAverage(pointers, n, TrafficClass::kModelSync);
+    return buffers;
+  };
+  const auto a = run();
+  const auto b = run();
+  for (int k = 0; k < workers; ++k) {
+    ASSERT_EQ(0, std::memcmp(a[static_cast<size_t>(k)].data(),
+                             b[static_cast<size_t>(k)].data(),
+                             n * sizeof(float)));
+  }
+}
+
+TEST(ReductionEngineTest, WeightedAverageMatchesOracle) {
+  const int workers = 5;
+  const size_t n = (size_t{1} << 16) + 13;
+  auto original = RandomBuffers(workers, n, 123);
+  std::vector<double> weights = {1.0, 2.0, 0.5, 3.0, 1.5};
+  double sum = 0.0;
+  for (double w : weights) {
+    sum += w;
+  }
+  std::vector<double> normalized = weights;
+  for (auto& w : normalized) {
+    w /= sum;
+  }
+  std::vector<float> expected(n);
+  ref::WeightedReduce(ConstPointers(original).data(), normalized.data(),
+                      static_cast<size_t>(workers), n, expected.data());
+  auto buffers = original;
+  auto pointers = Pointers(buffers);
+  SimNetwork network(workers, TestModel(), AllReduceAlgorithm::kFlat);
+  network.AllReduceWeightedAverage(pointers, weights, n,
+                                   TrafficClass::kModelSync);
+  for (int k = 0; k < workers; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(buffers[static_cast<size_t>(k)][i], expected[i], 1e-5);
+    }
+  }
+}
+
+TEST(ReductionEngineTest, ReduceMeanIntoMatchesOracle) {
+  // The trainers' eval-model averaging helper (no accounting).
+  const size_t n = (size_t{1} << 16) + 9;
+  const int workers = 6;
+  auto buffers = RandomBuffers(workers, n, 321);
+  std::vector<float> expected(n), got(n);
+  auto srcs = ConstPointers(buffers);
+  ref::ReduceScale(srcs.data(), srcs.size(), n, 1.0 / workers,
+                   expected.data());
+  ReduceMeanInto(srcs.data(), srcs.size(), n, got.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(got[i], expected[i], 1e-5);
+  }
+}
+
+// ------------------------------------------------ accounting goldens ----
+
+TEST(AccountingTest, FlatTimeChargesKPayloadsThroughSharedChannel) {
+  // Historical bug: flat time charged 1 payload while flat bytes charged K.
+  const size_t n = 100;
+  const size_t payload = n * sizeof(float);
+  const int workers = 4;
+  SimNetwork network(workers, TestModel(), AllReduceAlgorithm::kFlat);
+  auto buffers = RandomBuffers(workers, n, 1);
+  auto pointers = Pointers(buffers);
+  network.AllReduceAverage(pointers, n, TrafficClass::kModelSync);
+  EXPECT_EQ(network.stats().bytes_total, workers * payload);
+  EXPECT_DOUBLE_EQ(network.stats().comm_seconds,
+                   1e-3 + static_cast<double>(workers * payload) / 1e9);
+}
+
+TEST(AccountingTest, RecursiveHalvingFormulas) {
+  const size_t payload = 1000;
+  // K = 8: 3 halving + 3 doubling rounds, 2 * 7/8 payload per worker.
+  EXPECT_EQ(NetworkModel::AllReduceTotalBytes(
+                payload, 8, AllReduceAlgorithm::kRecursiveHalving),
+            2u * payload * 7u);
+  EXPECT_DOUBLE_EQ(TestModel().AllReduceSeconds(
+                       payload, 8, AllReduceAlgorithm::kRecursiveHalving),
+                   2.0 * 3 * 1e-3 + 2.0 * 7 * payload / (8 * 1e9));
+  // Non-power-of-two K = 5: ceil(log2 5) = 3 rounds each way.
+  EXPECT_EQ(NetworkModel::AllReduceTotalBytes(
+                payload, 5, AllReduceAlgorithm::kRecursiveHalving),
+            2u * payload * 4u);
+  EXPECT_DOUBLE_EQ(TestModel().AllReduceSeconds(
+                       payload, 5, AllReduceAlgorithm::kRecursiveHalving),
+                   2.0 * 3 * 1e-3 + 2.0 * 4 * payload / (5 * 1e9));
+  EXPECT_EQ(NetworkModel::AllReduceTotalBytes(
+                payload, 1, AllReduceAlgorithm::kRecursiveHalving),
+            0u);
+}
+
+TEST(AccountingTest, HalvingBeatsRingOnLatencyBoundPayloads) {
+  // The reason kRecursiveHalving exists: log K latency rounds instead of
+  // 2 (K-1). Tiny payload on a high-latency link => halving wins.
+  NetworkModel model = NetworkModel::Federated();
+  const double ring =
+      model.AllReduceSeconds(64, 16, AllReduceAlgorithm::kRing);
+  const double halving =
+      model.AllReduceSeconds(64, 16, AllReduceAlgorithm::kRecursiveHalving);
+  EXPECT_LT(halving, ring);
+}
+
+TEST(AccountingTest, BroadcastBillsKMinusOneTransfers) {
+  // Historical bugs: Broadcast charged one transfer's time regardless of
+  // fan-out, counted as an allreduce, and never counted as a model sync.
+  const size_t n = 128;
+  const size_t payload = n * sizeof(float);
+  const int workers = 4;
+  SimNetwork network(workers, TestModel(), AllReduceAlgorithm::kFlat);
+  auto buffers = RandomBuffers(workers, n, 2);
+  auto pointers = Pointers(buffers);
+  network.Broadcast(pointers, n, /*root=*/1, TrafficClass::kModelSync);
+  for (const auto& buffer : buffers) {
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buffer[i], buffers[1][i]);
+    }
+  }
+  EXPECT_EQ(network.stats().broadcast_calls, 1u);
+  EXPECT_EQ(network.stats().allreduce_calls, 0u);
+  EXPECT_EQ(network.stats().model_sync_count, 1u);
+  EXPECT_EQ(network.stats().bytes_total, 3u * payload);
+  EXPECT_EQ(network.stats().bytes_model_sync, 3u * payload);
+  EXPECT_DOUBLE_EQ(network.stats().comm_seconds,
+                   1e-3 + 3.0 * payload / 1e9);
+}
+
+TEST(AccountingTest, BroadcastLocalStateDoesNotCountAsModelSync) {
+  const int workers = 3;
+  SimNetwork network(workers, TestModel(), AllReduceAlgorithm::kFlat);
+  auto buffers = RandomBuffers(workers, 8, 3);
+  auto pointers = Pointers(buffers);
+  network.Broadcast(pointers, 8, /*root=*/0, TrafficClass::kLocalState);
+  EXPECT_EQ(network.stats().broadcast_calls, 1u);
+  EXPECT_EQ(network.stats().model_sync_count, 0u);
+  EXPECT_EQ(network.stats().bytes_local_state, network.stats().bytes_total);
+}
+
+TEST(AccountingTest, VariablePayloadsBillThePerWorkerSum) {
+  // Historical bug: the compressed-sync path billed the collective at the
+  // *last* worker's wire size. With per-worker sizes the total is the sum.
+  const size_t n = 64;
+  const int workers = 4;
+  SimNetwork network(workers, TestModel(), AllReduceAlgorithm::kFlat);
+  auto buffers = RandomBuffers(workers, n, 4);
+  auto pointers = Pointers(buffers);
+  const std::vector<size_t> payloads = {100, 200, 300, 400};
+  network.AllReduceAverageWithPayloads(pointers, n, payloads,
+                                       TrafficClass::kModelSync);
+  EXPECT_EQ(network.stats().bytes_total, 1000u);
+  EXPECT_DOUBLE_EQ(network.stats().comm_seconds, 1e-3 + 1000.0 / 1e9);
+  // The sum-based byte mapping is shared by every algorithm: ring moves
+  // 2 (K-1)/K of the summed wire size.
+  EXPECT_DOUBLE_EQ(NetworkModel::AllReduceTotalBytesFromSum(
+                       1000.0, 4, AllReduceAlgorithm::kRing),
+                   1500.0);
+  // The arithmetic still averaged the n floats exactly.
+  std::vector<float> expected(n);
+  auto original = RandomBuffers(workers, n, 4);
+  ref::ReduceScale(ConstPointers(original).data(),
+                   static_cast<size_t>(workers), n, 1.0 / workers,
+                   expected.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(buffers[0][i], expected[i], 1e-5);
+  }
+}
+
+TEST(AccountingTest, PerTrafficClassSecondsSumToTotal) {
+  SimNetwork network(4, TestModel(), AllReduceAlgorithm::kFlat);
+  auto buffers = RandomBuffers(4, 256, 5);
+  auto pointers = Pointers(buffers);
+  network.AllReduceAverage(pointers, 2, TrafficClass::kLocalState);
+  network.AllReduceAverage(pointers, 256, TrafficClass::kModelSync);
+  network.PointToPoint(16, TrafficClass::kLocalState);
+  const CommStats& stats = network.stats();
+  EXPECT_GT(stats.seconds_local_state, 0.0);
+  EXPECT_GT(stats.seconds_model_sync, 0.0);
+  // The splits accumulate in separate doubles; sums agree up to rounding.
+  EXPECT_NEAR(stats.seconds_local_state + stats.seconds_model_sync,
+              stats.comm_seconds, 1e-12);
+  EXPECT_NEAR(stats.seconds_intra + stats.seconds_uplink,
+              stats.comm_seconds, 1e-12);
+  EXPECT_EQ(stats.p2p_calls, 1u);
+}
+
+// --------------------------------------------------------- hierarchical ----
+
+HierarchicalNetworkModel TestHierarchy(int num_clusters) {
+  HierarchicalNetworkModel h;
+  h.name = "test2tier";
+  h.intra = TestModel();
+  h.intra.bandwidth_bytes_per_sec = 2e9;
+  h.intra.latency_seconds = 1e-4;
+  h.uplink = TestModel();
+  h.uplink.bandwidth_bytes_per_sec = 1e8;
+  h.uplink.latency_seconds = 1e-2;
+  h.num_clusters = num_clusters;
+  return h;
+}
+
+TEST(HierarchicalTest, SingleClusterMatchesFlatNumerically) {
+  const int workers = 6;
+  const size_t n = (size_t{1} << 15) + 3;
+  auto original = RandomBuffers(workers, n, 6);
+
+  auto flat_buffers = original;
+  auto flat_pointers = Pointers(flat_buffers);
+  SimNetwork flat(workers, TestModel(), AllReduceAlgorithm::kFlat);
+  flat.AllReduceAverage(flat_pointers, n, TrafficClass::kModelSync);
+
+  auto grouped_buffers = original;
+  auto grouped_pointers = Pointers(grouped_buffers);
+  SimNetwork grouped(workers, TestHierarchy(1), AllReduceAlgorithm::kFlat);
+  grouped.AllReduceAverage(grouped_pointers, n, TrafficClass::kModelSync);
+
+  for (int k = 0; k < workers; ++k) {
+    ASSERT_EQ(0, std::memcmp(flat_buffers[static_cast<size_t>(k)].data(),
+                             grouped_buffers[static_cast<size_t>(k)].data(),
+                             n * sizeof(float)));
+  }
+  // One cluster: no uplink traffic at all; gather + broadcast stay intra.
+  EXPECT_EQ(grouped.stats().bytes_total,
+            2u * 5u * n * sizeof(float));  // 2 phases x (K-1) payloads
+  EXPECT_GT(grouped.stats().seconds_intra, 0.0);
+  EXPECT_DOUBLE_EQ(grouped.stats().seconds_uplink, 0.0);
+  EXPECT_DOUBLE_EQ(grouped.stats().seconds_intra,
+                   grouped.stats().comm_seconds);
+}
+
+TEST(HierarchicalTest, TwoClusterGroupedAllReduceGolden) {
+  // K = 4 workers in 2 clusters of 2. Per-worker payload p:
+  //   gather:    intra latency + 1 payload over the 2 GB/s link, 2p bytes
+  //   cross:     flat AllReduce of 2 leaders over the uplink, 2p bytes
+  //   broadcast: same as gather.
+  const size_t n = 1024;
+  const size_t p = n * sizeof(float);
+  const int workers = 4;
+  SimNetwork network(workers, TestHierarchy(2), AllReduceAlgorithm::kFlat);
+  auto buffers = RandomBuffers(workers, n, 7);
+  auto pointers = Pointers(buffers);
+  network.AllReduceAverage(pointers, n, TrafficClass::kModelSync);
+  const CommStats& stats = network.stats();
+  const double intra_phase = 1e-4 + static_cast<double>(p) / 2e9;
+  const double uplink_phase = 1e-2 + 2.0 * static_cast<double>(p) / 1e8;
+  EXPECT_DOUBLE_EQ(stats.seconds_intra, 2.0 * intra_phase);
+  EXPECT_DOUBLE_EQ(stats.seconds_uplink, uplink_phase);
+  EXPECT_DOUBLE_EQ(stats.comm_seconds, 2.0 * intra_phase + uplink_phase);
+  EXPECT_EQ(stats.bytes_total, 6u * p);
+  EXPECT_EQ(stats.bytes_model_sync, 6u * p);
+  EXPECT_EQ(stats.model_sync_count, 1u);
+}
+
+TEST(HierarchicalTest, ModelSyncSecondsMatchesAccountedCharge) {
+  const size_t n = 4096;
+  const int workers = 8;
+  SimNetwork network(workers, TestHierarchy(2),
+                     AllReduceAlgorithm::kRecursiveHalving);
+  auto buffers = RandomBuffers(workers, n, 8);
+  auto pointers = Pointers(buffers);
+  const double predicted = network.ModelSyncSeconds(n * sizeof(float));
+  network.AllReduceAverage(pointers, n, TrafficClass::kModelSync);
+  EXPECT_DOUBLE_EQ(network.stats().comm_seconds, predicted);
+}
+
+TEST(HierarchicalTest, PointToPointCrossesBothTiers) {
+  SimNetwork network(4, TestHierarchy(2), AllReduceAlgorithm::kFlat);
+  network.PointToPoint(100, TrafficClass::kLocalState);
+  const size_t p = 400;
+  EXPECT_EQ(network.stats().bytes_total, 2u * p);  // intra hop + uplink hop
+  EXPECT_DOUBLE_EQ(network.stats().seconds_intra,
+                   1e-4 + static_cast<double>(p) / 2e9);
+  EXPECT_DOUBLE_EQ(network.stats().seconds_uplink,
+                   1e-2 + static_cast<double>(p) / 1e8);
+}
+
+TEST(HierarchicalTest, UnevenClustersUseLargestForTime) {
+  // K = 5 in 2 clusters -> sizes {3, 2}; phases pace on the 3-cluster.
+  const size_t p = 1000;
+  auto h = TestHierarchy(2);
+  EXPECT_EQ(h.MaxClusterSize(5), 3);
+  const auto cost =
+      h.GroupedAllReduceCost(p, 5, AllReduceAlgorithm::kFlat);
+  EXPECT_DOUBLE_EQ(cost.intra_seconds,
+                   2.0 * (1e-4 + 2.0 * static_cast<double>(p) / 2e9));
+  // Members: 5 workers - 2 leaders = 3 payloads per intra phase.
+  EXPECT_EQ(cost.intra_bytes, 2u * 3u * p);
+}
+
+TEST(AccountingTest, AlgorithmNames) {
+  EXPECT_STREQ(AllReduceAlgorithmName(AllReduceAlgorithm::kFlat), "flat");
+  EXPECT_STREQ(AllReduceAlgorithmName(AllReduceAlgorithm::kRing), "ring");
+  EXPECT_STREQ(
+      AllReduceAlgorithmName(AllReduceAlgorithm::kRecursiveHalving),
+      "halving");
+}
+
+TEST(HierarchicalTest, EdgeCloudPresetIsTwoTier) {
+  const auto preset = HierarchicalNetworkModel::EdgeCloud(3);
+  EXPECT_TRUE(preset.enabled());
+  EXPECT_EQ(preset.num_clusters, 3);
+  EXPECT_GT(preset.intra.bandwidth_bytes_per_sec,
+            preset.uplink.bandwidth_bytes_per_sec);
+  EXPECT_LT(preset.intra.latency_seconds, preset.uplink.latency_seconds);
+  EXPECT_FALSE(HierarchicalNetworkModel::None().enabled());
+}
+
+}  // namespace
+}  // namespace fedra

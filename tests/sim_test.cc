@@ -148,6 +148,11 @@ TEST(BroadcastTest, CopiesRootToAll) {
     EXPECT_EQ(buffer[1], 2.0f);
   }
   EXPECT_EQ(network.stats().bytes_total, 2u * 2u * sizeof(float));
+  // A broadcast is its own collective kind: K-1 transfers, counted as a
+  // model synchronization for kModelSync traffic, never as an AllReduce.
+  EXPECT_EQ(network.stats().broadcast_calls, 1u);
+  EXPECT_EQ(network.stats().allreduce_calls, 0u);
+  EXPECT_EQ(network.stats().model_sync_count, 1u);
 }
 
 TEST(PointToPointTest, AccountsPayload) {
@@ -201,6 +206,9 @@ TEST(NetworkModelTest, TotalBytesFormulas) {
             400u);
   EXPECT_EQ(NetworkModel::AllReduceTotalBytes(100, 4,
                                               AllReduceAlgorithm::kRing),
+            600u);
+  EXPECT_EQ(NetworkModel::AllReduceTotalBytes(
+                100, 4, AllReduceAlgorithm::kRecursiveHalving),
             600u);
   EXPECT_EQ(NetworkModel::AllReduceTotalBytes(100, 1,
                                               AllReduceAlgorithm::kFlat),
@@ -257,15 +265,27 @@ TEST(StragglerTest, JitterHasExpectedSpread) {
 TEST(CommStatsTest, MergeAccumulates) {
   CommStats a;
   a.allreduce_calls = 2;
+  a.broadcast_calls = 1;
+  a.p2p_calls = 3;
   a.bytes_total = 100;
   a.bytes_model_sync = 60;
   a.bytes_local_state = 40;
   a.comm_seconds = 1.5;
+  a.seconds_local_state = 0.5;
+  a.seconds_model_sync = 1.0;
+  a.seconds_intra = 0.25;
+  a.seconds_uplink = 1.25;
   CommStats b = a;
   a.Merge(b);
   EXPECT_EQ(a.allreduce_calls, 4u);
+  EXPECT_EQ(a.broadcast_calls, 2u);
+  EXPECT_EQ(a.p2p_calls, 6u);
   EXPECT_EQ(a.bytes_total, 200u);
   EXPECT_DOUBLE_EQ(a.comm_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(a.seconds_local_state, 1.0);
+  EXPECT_DOUBLE_EQ(a.seconds_model_sync, 2.0);
+  EXPECT_DOUBLE_EQ(a.seconds_intra, 0.5);
+  EXPECT_DOUBLE_EQ(a.seconds_uplink, 2.5);
 }
 
 TEST(CommStatsTest, GigabytesConversion) {

@@ -3,6 +3,7 @@
 // accuracy targets, determinism, and the paper's headline ordering
 // (FDA communicates orders of magnitude less than Synchronous).
 
+#include <algorithm>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -324,6 +325,62 @@ TEST(TrainerTest, HistoryIsMonotoneInStepsAndBytes) {
     EXPECT_GE(result->history[i].sync_count,
               result->history[i - 1].sync_count);
   }
+}
+
+TEST(TrainerTest, HierarchicalTopologyRunsAndSplitsTiers) {
+  // 2-cluster edge->cloud topology: the same training run, but every
+  // collective is grouped and its time lands in the per-tier breakdown.
+  SynthImageData data = SmallMnistLike();
+  TrainerConfig config = BaseConfig(4);
+  config.max_steps = 40;
+  config.hierarchy = HierarchicalNetworkModel::EdgeCloud(2);
+  DistributedTrainer trainer(SmallMlpFactory(), data.train, data.test,
+                             config);
+  auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(0.5),
+                               trainer.model_dim());
+  ASSERT_TRUE(policy.ok());
+  auto result = trainer.Run(policy->get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total_syncs, 0u);
+  EXPECT_GT(result->comm.seconds_intra, 0.0);
+  EXPECT_GT(result->comm.seconds_uplink, 0.0);
+  // Accumulated separately, so equal only up to rounding of the sums.
+  EXPECT_NEAR(result->comm.seconds_intra + result->comm.seconds_uplink,
+              result->comm.comm_seconds,
+              1e-9 * std::max(1.0, result->comm.comm_seconds));
+}
+
+TEST(TrainerTest, HierarchyValidationRejectsTooManyClusters) {
+  SynthImageData data = SmallMnistLike();
+  TrainerConfig config = BaseConfig(2);
+  config.hierarchy = HierarchicalNetworkModel::EdgeCloud(5);
+  DistributedTrainer trainer(SmallMlpFactory(), data.train, data.test,
+                             config);
+  SynchronousPolicy policy;
+  EXPECT_FALSE(trainer.Run(&policy).ok());
+}
+
+TEST(TrainerTest, FedProxProximalTermPullsWorkersTogether) {
+  // The fused proximal kernel must act: with a large mu, worker models stay
+  // near the anchor, so drift-based FDA variance stays lower and fewer
+  // syncs fire than with mu = 0 at the same theta.
+  SynthImageData data = SmallMnistLike();
+  TrainerConfig config = BaseConfig(4);
+  config.max_steps = 60;
+  auto syncs_with_mu = [&](float mu) {
+    TrainerConfig c = config;
+    c.fedprox_mu = mu;
+    DistributedTrainer trainer(SmallMlpFactory(), data.train, data.test, c);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(0.02),
+                                 trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    return result->total_syncs;
+  };
+  // Strict: if the proximal term silently became a no-op the counts would
+  // be equal and this must fail.
+  EXPECT_LT(syncs_with_mu(10.0f), syncs_with_mu(0.0f));
 }
 
 TEST(TrainerTest, HeterogeneityConfigsRun) {
