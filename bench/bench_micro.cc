@@ -19,6 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "core/worker_arena.h"
+#include "nn/loss.h"
+#include "nn/zoo.h"
+#include "opt/optimizer.h"
 #include "sim/collectives.h"
 #include "sketch/ams_sketch.h"
 #include "tensor/ops.h"
@@ -429,6 +433,94 @@ void BM_DepthwiseConv2dForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * flops);
 }
 BENCHMARK(BM_DepthwiseConv2dForward);
+
+// ------------------------------------------------- worker cohort bench --
+
+// One simulated worker training step through the shared-graph + arena
+// cohort: zero grads, Forward, loss, Backward, optimizer update — the unit
+// the trainers repeat K times per simulated step. `range(0)` is the worker
+// count K: the graph and arena are cohort-sized, the loop round-robins
+// workers so the measurement includes the slab-stride access pattern.
+// Counters report the arena's bytes per worker next to the old
+// one-Model-per-worker baseline (params + grads vectors per Model, plus a
+// per-worker optimizer-state and drift allocation).
+void BM_WorkerStepMlp(benchmark::State& state) {
+  const int num_workers = static_cast<int>(state.range(0));
+  const int batch = 32;
+  const int input_dim = 16 * 16;
+  auto model = zoo::Mlp(input_dim, {128, 64}, 10);
+  ModelGraph& graph = model->graph();
+  const size_t dim = graph.dim();
+  const OptimizerConfig opt_config = OptimizerConfig::Adam(0.001f);
+  WorkerArena arena(num_workers, dim, opt_config.StateSlots());
+  std::vector<std::unique_ptr<Optimizer>> optimizers;
+  for (int k = 0; k < num_workers; ++k) {
+    graph.InitParams(7, arena.view(k));
+    optimizers.push_back(Optimizer::Create(opt_config, dim,
+                                           arena.opt_state(k)));
+  }
+  Tensor images({batch, input_dim});
+  Rng rng(11);
+  for (size_t i = 0; i < images.numel(); ++i) {
+    images[i] = rng.NextGaussian(0.0f, 1.0f);
+  }
+  std::vector<int> labels(batch);
+  for (int b = 0; b < batch; ++b) {
+    labels[b] = static_cast<int>(rng.NextBounded(10));
+  }
+  Rng worker_rng(13);
+  int k = 0;
+  for (auto _ : state) {
+    ParameterView view = arena.view(k);
+    vec::Fill(view.grads, dim, 0.0f);
+    ModelGraph::ExecSlot slot = graph.AcquireSlot();
+    Tensor logits = graph.Forward(images, view, slot, /*training=*/true,
+                                  &worker_rng);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    graph.Backward(loss.grad_logits, view, slot);
+    optimizers[static_cast<size_t>(k)]->Step(view.params, view.grads, dim);
+    benchmark::DoNotOptimize(view.params[0]);
+    k = (k + 1) % num_workers;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["arena_bytes_per_worker"] = static_cast<double>(
+      arena.total_bytes() / static_cast<size_t>(num_workers));
+  // The cohort's total slab allocations (constant in K; the per-Model
+  // baseline performed ~5 heap allocations per worker) and the number of
+  // activation/im2col workspaces actually materialized (scales with
+  // concurrent executions, not with K — the baseline kept K of them).
+  state.counters["arena_allocations"] =
+      static_cast<double>(arena.allocation_count());
+  state.counters["graph_exec_slots"] =
+      static_cast<double>(graph.num_slots());
+}
+BENCHMARK(BM_WorkerStepMlp)->Arg(4)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// The cohort-construction cost itself: building the arena slabs and
+// initializing worker 0, as a function of K. Demonstrates that setup work
+// is slab-bound, not K-object-bound.
+void BM_WorkerCohortSetup(benchmark::State& state) {
+  const int num_workers = static_cast<int>(state.range(0));
+  auto model = zoo::Mlp(16 * 16, {128, 64}, 10);
+  ModelGraph& graph = model->graph();
+  const size_t dim = graph.dim();
+  const OptimizerConfig opt_config = OptimizerConfig::Adam(0.001f);
+  for (auto _ : state) {
+    WorkerArena arena(num_workers, dim, opt_config.StateSlots());
+    graph.InitParams(7, arena.view(0));
+    for (int k = 1; k < num_workers; ++k) {
+      vec::Copy(arena.params(0), arena.params(k), dim);
+    }
+    benchmark::DoNotOptimize(arena.params_slab());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_workers));
+}
+BENCHMARK(BM_WorkerCohortSetup)
+    ->Arg(4)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AxpyNorm(benchmark::State& state) {
   // The fused SGD update kernel: w -= lr * g and ||w||^2 in one pass.

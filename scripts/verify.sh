@@ -9,3 +9,10 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Trainer-level smoke runs: drive two examples end-to-end after the unit
+# suite so whole-trainer regressions surface even when every unit test
+# passes. Both finish in seconds.
+"$BUILD_DIR/quickstart" > /dev/null
+"$BUILD_DIR/hierarchical_fda" > /dev/null
+echo "smoke: quickstart + hierarchical_fda OK"

@@ -23,13 +23,14 @@ struct StepEvent {
 AsyncFdaTrainer::AsyncFdaTrainer(ModelFactory factory, Dataset train,
                                  Dataset test, TrainerConfig trainer_config,
                                  AsyncFdaConfig async_config)
-    : factory_(std::move(factory)),
-      train_(std::move(train)),
+    : train_(std::move(train)),
       test_(std::move(test)),
       config_(std::move(trainer_config)),
       async_(std::move(async_config)) {
-  auto probe = factory_();
-  dim_ = probe->num_params();
+  FEDRA_CHECK(factory != nullptr);
+  shared_model_ = factory();
+  FEDRA_CHECK(shared_model_ != nullptr);
+  dim_ = shared_model_->num_params();
 }
 
 StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
@@ -40,43 +41,29 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
   }
   std::unique_ptr<VarianceMonitor> monitor = std::move(monitor_or).value();
 
-  auto partition = PartitionDataset(train_.labels(), config_.num_workers,
-                                    config_.partition);
-  if (!partition.ok()) {
-    return partition.status();
-  }
-
   SimNetwork network = MakeSimNetwork(config_);
-  Rng master(config_.seed);
-  // Fork id 101 matches DistributedTrainer::Setup so that the persistent
-  // per-worker speed factors are identical across the sync and async
-  // trainers for a given seed (fair straggler comparisons).
-  Rng straggler_rng = master.Fork(101);
 
-  std::vector<WorkerState> workers(
-      static_cast<size_t>(config_.num_workers));
-  for (int k = 0; k < config_.num_workers; ++k) {
-    WorkerState& worker = workers[static_cast<size_t>(k)];
-    worker.model = factory_();
-    if (k == 0) {
-      worker.model->InitParams(config_.seed);
-    } else {
-      worker.model->CopyParamsFrom(*workers[0].model);
-    }
-    worker.optimizer = Optimizer::Create(config_.local_optimizer, dim_);
-    worker.sampler = std::make_unique<BatchSampler>(
-        std::move(partition.value()[static_cast<size_t>(k)]),
-        config_.batch_size, master.Fork(static_cast<uint64_t>(k) + 1));
-    worker.rng = master.Fork(static_cast<uint64_t>(k) + 1000);
-    worker.drift.assign(dim_, 0.0f);
-    worker.state.assign(monitor->StateSize(), 0.0f);
-    worker.speed_factor = config_.straggler.SampleWorkerFactor(
-        &straggler_rng);
-  }
+  // The cohort: one shared graph, one arena holding every per-worker slab.
+  // BuildWorkerCohort wires worker.state because the monitor scratch is
+  // allocated before it runs, and its shared rng forking keeps per-seed
+  // straggler factors identical to the synchronous trainer (fair
+  // comparisons).
+  ModelGraph& graph = shared_model_->graph();
+  WorkerArena arena(config_.num_workers, dim_,
+                    config_.local_optimizer.StateSlots());
+  arena.AllocateStateScratch(monitor->StateSize());
+  std::vector<WorkerState> workers;
+  Rng straggler_rng(0);  // overwritten with the post-setup stream
+  FEDRA_RETURN_IF_ERROR(BuildWorkerCohort(config_, train_, graph,
+                                          /*initial_params=*/{}, &arena,
+                                          &workers, &straggler_rng));
+
+  // Slowest-link collective cost, matching the synchronous trainer.
+  SetLinkFactorsFromWorkers(workers, &network);
 
   std::vector<float> sync_params(dim_);
   std::vector<float> prev_sync_params(dim_);
-  vec::Copy(workers[0].model->params(), sync_params.data(), dim_);
+  vec::Copy(workers[0].view.params, sync_params.data(), dim_);
   prev_sync_params = sync_params;
 
   // Coordinator's view: the latest state of every worker.
@@ -84,11 +71,11 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
       workers.size(), std::vector<float>(monitor->StateSize(), 0.0f));
   std::vector<float> mean_state(monitor->StateSize(), 0.0f);
 
-  auto eval_model = factory_();
+  Model* eval_model = shared_model_.get();
   std::vector<const float*> eval_srcs(workers.size());
   auto refresh_eval_model = [&] {
     for (size_t k = 0; k < workers.size(); ++k) {
-      eval_srcs[k] = workers[k].model->params();
+      eval_srcs[k] = workers[k].view.params;
     }
     ReduceMeanInto(eval_srcs.data(), eval_srcs.size(), dim_,
                    eval_model->params());
@@ -127,20 +114,26 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
     const std::vector<size_t>& batch = worker.sampler->NextBatch();
     Tensor images = train_.GatherImages(batch);
     std::vector<int> labels = train_.GatherLabels(batch);
-    worker.model->ZeroGrads();
-    Tensor logits = worker.model->Forward(images, true, &worker.rng);
-    LossResult loss = SoftmaxCrossEntropy(logits, labels);
-    worker.model->Backward(loss.grad_logits);
-    worker.optimizer->Step(worker.model->params(), worker.model->grads(),
-                           dim_);
+    vec::Fill(worker.view.grads, dim_, 0.0f);
+    {
+      ModelGraph::ExecSlot slot = graph.AcquireSlot();
+      Tensor logits = graph.Forward(images, worker.view, slot,
+                                    /*training=*/true, &worker.rng);
+      LossResult loss = SoftmaxCrossEntropy(logits, labels);
+      graph.Backward(loss.grad_logits, worker.view, slot);
+      worker.last_loss = loss.loss;
+    }
+    worker.optimizer->Step(worker.view.params, worker.view.grads, dim_);
     ++total_steps;
 
     // Upload the local state to the coordinator (point-to-point); the fused
     // kernel computes the drift and its squared norm in one pass.
-    monitor->ComputeDriftAndState(worker.model->params(), sync_params.data(),
-                                  worker.drift.data(), worker.state.data());
-    latest_states[static_cast<size_t>(event.worker)] = worker.state;
-    network.PointToPoint(monitor->StateSize(), TrafficClass::kLocalState);
+    monitor->ComputeDriftAndState(worker.view.params, sync_params.data(),
+                                  worker.drift, worker.state);
+    latest_states[static_cast<size_t>(event.worker)]
+        .assign(worker.state, worker.state + monitor->StateSize());
+    network.PointToPoint(monitor->StateSize(), TrafficClass::kLocalState,
+                         event.worker);
 
     // Coordinator decision on the freshest state of every worker.
     vec::Fill(mean_state.data(), mean_state.size(), 0.0f);
@@ -152,11 +145,7 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
     if (estimate > async_.theta) {
       // Coordinator-mediated synchronization (accounted as a full-model
       // collective). All in-flight compute is abandoned and re-queued.
-      std::vector<float*> params;
-      params.reserve(workers.size());
-      for (auto& w : workers) {
-        params.push_back(w.model->params());
-      }
+      std::vector<float*> params = arena.ParamPointers();
       network.AllReduceAverage(params, dim_, TrafficClass::kModelSync);
       prev_sync_params = sync_params;
       vec::Copy(params[0], sync_params.data(), dim_);
@@ -187,11 +176,11 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
     if (total_steps >= next_eval) {
       next_eval += eval_every;
       refresh_eval_model();
-      EvalResult eval = EvaluateSubset(eval_model.get(), test_,
+      EvalResult eval = EvaluateSubset(eval_model, test_,
                                        config_.eval_subset,
                                        config_.seed ^ total_steps);
       EvalResult train_eval =
-          EvaluateSubset(eval_model.get(), train_, config_.eval_subset,
+          EvaluateSubset(eval_model, train_, config_.eval_subset,
                          config_.seed ^ (total_steps + 77));
       EvalPoint point;
       point.step = total_steps / static_cast<size_t>(config_.num_workers);
@@ -219,7 +208,7 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
 
   refresh_eval_model();
   result.base.final_test_accuracy =
-      Evaluate(eval_model.get(), test_).accuracy;
+      Evaluate(eval_model, test_).accuracy;
   result.base.comm = network.stats();
   result.base.total_syncs = result.sync_count;
   result.sim_wall_seconds = clock;

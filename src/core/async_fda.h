@@ -47,11 +47,13 @@ class AsyncFdaTrainer {
   StatusOr<AsyncTrainResult> Run();
 
  private:
-  ModelFactory factory_;
   Dataset train_;
   Dataset test_;
   TrainerConfig config_;
   AsyncFdaConfig async_;
+  /// Shared layer graph + evaluation buffers (workers execute against the
+  /// graph over their WorkerArena slices).
+  std::unique_ptr<Model> shared_model_;
   size_t dim_ = 0;
 };
 

@@ -19,10 +19,8 @@ void FdaSyncPolicy::SetThetaController(
 }
 
 void FdaSyncPolicy::Initialize(ClusterContext& ctx) {
-  const size_t state_size = monitor_->StateSize();
-  for (auto& worker : *ctx.workers) {
-    worker.state.assign(state_size, 0.0f);
-  }
+  // One [K x state_size] arena slab backs every worker's monitor state.
+  ctx.AllocateWorkerStates(monitor_->StateSize());
 }
 
 bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
@@ -30,9 +28,9 @@ bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
   // (Alg. 1 line 6) every worker updates its local state from its drift;
   // the fused kernel writes u_k = w_k - w_sync and ||u_k||^2 in one pass.
   for (auto& worker : *ctx.workers) {
-    monitor_->ComputeDriftAndState(worker.model->params(),
-                                   ctx.sync_params->data(),
-                                   worker.drift.data(), worker.state.data());
+    monitor_->ComputeDriftAndState(worker.view.params,
+                                   ctx.sync_params->data(), worker.drift,
+                                   worker.state);
   }
   // (line 7) AllReduce the small states.
   std::vector<float*> states = ctx.StatePointers();

@@ -58,13 +58,13 @@ bool FedOptPolicy::MaybeSync(ClusterContext& ctx) {
   // Client deltas relative to the round-start global model w_global
   // (held in ctx.sync_params).
   for (auto& worker : *ctx.workers) {
-    vec::Sub(worker.model->params(), ctx.sync_params->data(),
-             worker.drift.data(), ctx.dim);
+    vec::Sub(worker.view.params, ctx.sync_params->data(), worker.drift,
+             ctx.dim);
   }
   std::vector<float*> deltas;
   deltas.reserve(ctx.workers->size());
   for (auto& worker : *ctx.workers) {
-    deltas.push_back(worker.drift.data());
+    deltas.push_back(worker.drift);
   }
   ctx.network->AllReduceAverage(deltas, ctx.dim, TrafficClass::kModelSync);
   // Pseudo-gradient is the negated average delta (Reddi et al.).
@@ -77,7 +77,7 @@ bool FedOptPolicy::MaybeSync(ClusterContext& ctx) {
   server_optimizer_->Step(ctx.sync_params->data(), pseudo_grad_.data(),
                           ctx.dim);
   for (auto& worker : *ctx.workers) {
-    vec::Copy(ctx.sync_params->data(), worker.model->params(), ctx.dim);
+    vec::Copy(ctx.sync_params->data(), worker.view.params, ctx.dim);
     if (config_.reset_local_optimizer) {
       worker.optimizer->Reset();
     }

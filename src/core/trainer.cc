@@ -12,21 +12,18 @@
 namespace fedra {
 
 std::vector<float*> ClusterContext::ParamPointers() {
-  std::vector<float*> pointers;
-  pointers.reserve(workers->size());
-  for (auto& worker : *workers) {
-    pointers.push_back(worker.model->params());
-  }
-  return pointers;
+  return arena->ParamPointers();
 }
 
 std::vector<float*> ClusterContext::StatePointers() {
-  std::vector<float*> pointers;
-  pointers.reserve(workers->size());
-  for (auto& worker : *workers) {
-    pointers.push_back(worker.state.data());
+  return arena->StatePointers();
+}
+
+void ClusterContext::AllocateWorkerStates(size_t state_size) {
+  arena->AllocateStateScratch(state_size);
+  for (size_t k = 0; k < workers->size(); ++k) {
+    (*workers)[k].state = arena->state(static_cast<int>(k));
   }
-  return pointers;
 }
 
 void ClusterContext::SynchronizeModels() {
@@ -40,11 +37,10 @@ void ClusterContext::SynchronizeModels() {
     deltas.reserve(workers->size());
     for (size_t k = 0; k < workers->size(); ++k) {
       WorkerState& worker = (*workers)[k];
-      vec::Sub(worker.model->params(), sync_params->data(),
-               worker.drift.data(), dim);
+      vec::Sub(worker.view.params, sync_params->data(), worker.drift, dim);
       payload_bytes[k] = compressor->CompressInPlace(
-          static_cast<int>(k), worker.drift.data(), dim);
-      deltas.push_back(worker.drift.data());
+          static_cast<int>(k), worker.drift, dim);
+      deltas.push_back(worker.drift);
     }
     network->AllReduceAverageWithPayloads(deltas, dim, payload_bytes,
                                           TrafficClass::kModelSync);
@@ -52,7 +48,7 @@ void ClusterContext::SynchronizeModels() {
     *prev_sync_params = *sync_params;
     vec::Axpy(1.0f, deltas[0], sync_params->data(), dim);
     for (auto& worker : *workers) {
-      vec::Copy(sync_params->data(), worker.model->params(), dim);
+      vec::Copy(sync_params->data(), worker.view.params, dim);
     }
     steps_since_sync = 0;
     ++sync_count;
@@ -65,6 +61,15 @@ void ClusterContext::SynchronizeModels() {
   vec::Copy(params[0], sync_params->data(), dim);
   steps_since_sync = 0;
   ++sync_count;
+}
+
+void SetLinkFactorsFromWorkers(const std::vector<WorkerState>& workers,
+                               SimNetwork* network) {
+  std::vector<double> link_factors(workers.size());
+  for (size_t k = 0; k < workers.size(); ++k) {
+    link_factors[k] = std::max(1.0, workers[k].speed_factor);
+  }
+  network->SetWorkerLinkFactors(std::move(link_factors));
 }
 
 SimNetwork MakeSimNetwork(const TrainerConfig& config) {
@@ -92,6 +97,12 @@ Status TrainerConfig::Validate() const {
     return Status::InvalidArgument(
         "hierarchy.num_clusters must be <= num_workers");
   }
+  if (hierarchy.enabled() && !hierarchy.cluster_intra.empty() &&
+      hierarchy.cluster_intra.size() !=
+          static_cast<size_t>(hierarchy.num_clusters)) {
+    return Status::InvalidArgument(
+        "hierarchy.cluster_intra must have one NetworkModel per cluster");
+  }
   FEDRA_RETURN_IF_ERROR(local_optimizer.Validate());
   FEDRA_RETURN_IF_ERROR(partition.Validate());
   FEDRA_RETURN_IF_ERROR(sync_compression.Validate());
@@ -100,14 +111,13 @@ Status TrainerConfig::Validate() const {
 
 DistributedTrainer::DistributedTrainer(ModelFactory factory, Dataset train,
                                        Dataset test, TrainerConfig config)
-    : factory_(std::move(factory)),
-      train_(std::move(train)),
+    : train_(std::move(train)),
       test_(std::move(test)),
       config_(std::move(config)) {
-  FEDRA_CHECK(factory_ != nullptr);
-  auto probe = factory_();
-  FEDRA_CHECK(probe != nullptr);
-  dim_ = probe->num_params();
+  FEDRA_CHECK(factory != nullptr);
+  shared_model_ = factory();
+  FEDRA_CHECK(shared_model_ != nullptr);
+  dim_ = shared_model_->num_params();
 }
 
 void DistributedTrainer::SetInitialParams(std::vector<float> params) {
@@ -115,43 +125,61 @@ void DistributedTrainer::SetInitialParams(std::vector<float> params) {
   initial_params_ = std::move(params);
 }
 
-Status DistributedTrainer::Setup(std::vector<WorkerState>* workers,
-                                 SimNetwork* network) {
-  (void)network;
+Status BuildWorkerCohort(const TrainerConfig& config, const Dataset& train,
+                         ModelGraph& graph,
+                         const std::vector<float>& initial_params,
+                         WorkerArena* arena,
+                         std::vector<WorkerState>* workers,
+                         Rng* straggler_rng_out) {
   auto partition =
-      PartitionDataset(train_.labels(), config_.num_workers,
-                       config_.partition);
+      PartitionDataset(train.labels(), config.num_workers, config.partition);
   if (!partition.ok()) {
     return partition.status();
   }
-  Rng master(config_.seed);
+  Rng master(config.seed);
+  // Fork id 101 is shared by both trainers so the persistent per-worker
+  // speed factors are identical across sync and async runs of one seed.
   Rng straggler_rng = master.Fork(101);
+  const size_t dim = graph.dim();
 
   workers->clear();
-  workers->resize(static_cast<size_t>(config_.num_workers));
-  for (int k = 0; k < config_.num_workers; ++k) {
+  workers->resize(static_cast<size_t>(config.num_workers));
+  for (int k = 0; k < config.num_workers; ++k) {
     WorkerState& worker = (*workers)[static_cast<size_t>(k)];
-    worker.model = factory_();
+    worker.view = arena->view(k);
     if (k == 0) {
-      if (initial_params_.empty()) {
-        worker.model->InitParams(config_.seed);
+      if (initial_params.empty()) {
+        graph.InitParams(config.seed, worker.view);
       } else {
-        vec::Copy(initial_params_.data(), worker.model->params(), dim_);
+        vec::Copy(initial_params.data(), worker.view.params, dim);
       }
     } else {
-      worker.model->CopyParamsFrom(*(*workers)[0].model);
+      vec::Copy(arena->params(0), worker.view.params, dim);
     }
-    worker.optimizer = Optimizer::Create(config_.local_optimizer, dim_);
+    worker.optimizer = Optimizer::Create(config.local_optimizer, dim,
+                                         arena->opt_state(k));
     worker.sampler = std::make_unique<BatchSampler>(
         std::move(partition.value()[static_cast<size_t>(k)]),
-        config_.batch_size, master.Fork(static_cast<uint64_t>(k) + 1));
+        config.batch_size, master.Fork(static_cast<uint64_t>(k) + 1));
     worker.rng = master.Fork(static_cast<uint64_t>(k) + 1000);
-    worker.drift.assign(dim_, 0.0f);
+    worker.drift = arena->drift(k);
+    if (arena->has_state_scratch()) {
+      worker.state = arena->state(k);
+    }
     worker.shard_size = worker.sampler->dataset_size();
     worker.speed_factor =
-        config_.straggler.SampleWorkerFactor(&straggler_rng);
+        config.straggler.SampleWorkerFactor(&straggler_rng);
+  }
+  if (straggler_rng_out != nullptr) {
+    *straggler_rng_out = straggler_rng;
   }
   return Status::Ok();
+}
+
+Status DistributedTrainer::Setup(std::vector<WorkerState>* workers,
+                                 WorkerArena* arena) {
+  return BuildWorkerCohort(config_, train_, shared_model_->graph(),
+                           initial_params_, arena, workers);
 }
 
 void DistributedTrainer::WorkerStep(WorkerState* worker,
@@ -159,19 +187,20 @@ void DistributedTrainer::WorkerStep(WorkerState* worker,
   const std::vector<size_t>& batch = worker->sampler->NextBatch();
   Tensor images = train.GatherImages(batch);
   std::vector<int> labels = train.GatherLabels(batch);
-  worker->model->ZeroGrads();
-  Tensor logits =
-      worker->model->Forward(images, /*training=*/true, &worker->rng);
+  vec::Fill(worker->view.grads, dim_, 0.0f);
+  ModelGraph& graph = shared_model_->graph();
+  ModelGraph::ExecSlot slot = graph.AcquireSlot();
+  Tensor logits = graph.Forward(images, worker->view, slot,
+                                /*training=*/true, &worker->rng);
   LossResult loss = SoftmaxCrossEntropy(logits, labels);
-  worker->model->Backward(loss.grad_logits);
+  graph.Backward(loss.grad_logits, worker->view, slot);
   if (config_.fedprox_mu > 0.0f && fedprox_anchor_ != nullptr) {
     // FedProx: + mu * (w_k - w_global) on every local gradient, fused into
     // one pass over the model span.
-    vec::AddScaledDiff(config_.fedprox_mu, worker->model->params(),
-                       fedprox_anchor_, worker->model->grads(), dim_);
+    vec::AddScaledDiff(config_.fedprox_mu, worker->view.params,
+                       fedprox_anchor_, worker->view.grads, dim_);
   }
-  worker->optimizer->Step(worker->model->params(), worker->model->grads(),
-                          dim_);
+  worker->optimizer->Step(worker->view.params, worker->view.grads, dim_);
   worker->last_loss = loss.loss;
 }
 
@@ -181,15 +210,24 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
 
   std::vector<WorkerState> workers;
   SimNetwork network = MakeSimNetwork(config_);
-  FEDRA_RETURN_IF_ERROR(Setup(&workers, &network));
+  // One params slab + one grads slab + one optimizer-state slab for the
+  // whole cohort; the shared layer graph lives in shared_model_.
+  WorkerArena arena(config_.num_workers, dim_,
+                    config_.local_optimizer.StateSlots());
+  FEDRA_RETURN_IF_ERROR(Setup(&workers, &arena));
+
+  // Straggler-aware collective cost: a persistently slow worker also paces
+  // the collectives it participates in (slowest-link formula).
+  SetLinkFactorsFromWorkers(workers, &network);
 
   std::vector<float> sync_params(dim_);
   std::vector<float> prev_sync_params(dim_);
-  vec::Copy(workers[0].model->params(), sync_params.data(), dim_);
-  vec::Copy(workers[0].model->params(), prev_sync_params.data(), dim_);
+  vec::Copy(workers[0].view.params, sync_params.data(), dim_);
+  vec::Copy(workers[0].view.params, prev_sync_params.data(), dim_);
 
   ClusterContext ctx;
   ctx.workers = &workers;
+  ctx.arena = &arena;
   ctx.network = &network;
   ctx.dim = dim_;
   ctx.sync_params = &sync_params;
@@ -206,12 +244,14 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
   // The evaluation model holds the average of the worker models — the
   // global model w_bar the paper's methodology evaluates. Averaging for
   // *measurement* does not transit the simulated network but runs on the
-  // same parallel reduction engine as the collectives.
-  auto eval_model = factory_();
+  // same parallel reduction engine as the collectives. The shared model's
+  // own buffers serve as the evaluation buffers; its graph is the one the
+  // workers execute against.
+  Model* eval_model = shared_model_.get();
   std::vector<const float*> eval_srcs(workers.size());
   auto refresh_eval_model = [&] {
     for (size_t k = 0; k < workers.size(); ++k) {
-      eval_srcs[k] = workers[k].model->params();
+      eval_srcs[k] = workers[k].view.params;
     }
     ReduceMeanInto(eval_srcs.data(), eval_srcs.size(), dim_,
                    eval_model->params());
@@ -255,9 +295,9 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
     if (step % eval_every == 0 || step == config_.max_steps) {
       refresh_eval_model();
       EvalResult test_eval = EvaluateSubset(
-          eval_model.get(), test_, config_.eval_subset, config_.seed ^ step);
+          eval_model, test_, config_.eval_subset, config_.seed ^ step);
       EvalResult train_eval =
-          EvaluateSubset(eval_model.get(), train_, config_.eval_subset,
+          EvaluateSubset(eval_model, train_, config_.eval_subset,
                          config_.seed ^ (step + 77));
       EvalPoint point;
       point.step = step;
@@ -285,9 +325,9 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
 
   refresh_eval_model();
   result.final_test_accuracy =
-      Evaluate(eval_model.get(), test_).accuracy;
+      Evaluate(eval_model, test_).accuracy;
   result.final_train_accuracy =
-      EvaluateSubset(eval_model.get(), train_,
+      EvaluateSubset(eval_model, train_,
                      std::min<size_t>(train_.size(), 2048),
                      config_.seed ^ 0x51ULL)
           .accuracy;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/compression.h"
+#include "core/worker_arena.h"
 #include "data/batching.h"
 #include "data/dataset.h"
 #include "data/partition.h"
@@ -29,14 +30,18 @@
 
 namespace fedra {
 
-/// Everything one simulated worker owns.
+/// Everything one simulated worker owns. The worker's model is a slice of
+/// the cohort's WorkerArena (view/drift/state point into its slabs); the
+/// layer graph itself is shared read-only across the whole cohort.
 struct WorkerState {
-  std::unique_ptr<Model> model;
-  std::unique_ptr<Optimizer> optimizer;
+  ParameterView view;  // w_k and its gradient: this worker's slab slices
+  std::unique_ptr<Optimizer> optimizer;  // scalar state only; vectors live
+                                         // in the arena's opt-state slab
   std::unique_ptr<BatchSampler> sampler;
   Rng rng;
-  std::vector<float> drift;   // scratch: u_k = w_k - w_sync
-  std::vector<float> state;   // scratch: the monitor's local state S_k
+  float* drift = nullptr;     // scratch: u_k = w_k - w_sync (arena slice)
+  float* state = nullptr;     // monitor state S_k (arena slice, after
+                              // ClusterContext::AllocateWorkerStates)
   double speed_factor = 1.0;  // straggler multiplier
   double last_loss = 0.0;
   size_t shard_size = 0;
@@ -45,6 +50,7 @@ struct WorkerState {
 /// Mutable view the SyncPolicy operates on each step.
 struct ClusterContext {
   std::vector<WorkerState>* workers = nullptr;
+  WorkerArena* arena = nullptr;
   SimNetwork* network = nullptr;
   size_t dim = 0;
   std::vector<float>* sync_params = nullptr;       // w_t0 (last sync)
@@ -57,10 +63,16 @@ struct ClusterContext {
 
   int num_workers() const { return static_cast<int>(workers->size()); }
 
-  /// Parameter pointers of all workers (for collectives).
+  /// Parameter pointers of all workers: dim-strided rows of the arena's
+  /// params slab (for collectives).
   std::vector<float*> ParamPointers();
-  /// State-scratch pointers of all workers.
+  /// State-scratch pointers of all workers (arena state slab rows).
   std::vector<float*> StatePointers();
+
+  /// Sizes the per-worker monitor-state scratch (one [K x state_size]
+  /// arena slab) and wires every worker's `state` pointer. Policies call
+  /// this from Initialize() once they know their monitor's StateSize().
+  void AllocateWorkerStates(size_t state_size);
 
   /// Plain synchronization: AllReduce-average all worker models, update the
   /// sync snapshots. Increments sync_count, resets steps_since_sync.
@@ -127,6 +139,33 @@ struct TrainerConfig {
 /// diverge between them.
 SimNetwork MakeSimNetwork(const TrainerConfig& config);
 
+/// Feeds the workers' persistent straggler speed factors into the
+/// network's slowest-link collective cost (clamped to >= 1: factors are
+/// slowdowns). Shared by both trainers so the straggler->link mapping
+/// cannot diverge between them; all-ones factors (no stragglers) keep the
+/// homogeneous cost bit-identical.
+void SetLinkFactorsFromWorkers(const std::vector<WorkerState>& workers,
+                               SimNetwork* network);
+
+/// Builds the worker cohort over `arena` against the shared `graph`:
+/// partitions `train`, wires every worker's slab slices (view, drift, and
+/// — when the arena's monitor-state scratch is already allocated — state),
+/// creates arena-backed optimizers and per-worker sampler/rng forks, and
+/// initializes worker 0 from `initial_params` (or the graph's seeded init
+/// when empty) before broadcasting it to every slice. Shared by the
+/// synchronous and async trainers so their per-seed rng streams (sampler
+/// fork k+1, worker rng fork k+1000, straggler fork 101) can never
+/// diverge — the fair sync-vs-async straggler comparisons depend on it.
+/// `straggler_rng_out` (optional) receives the straggler stream *after*
+/// the per-worker factor draws — the async trainer keeps sampling step
+/// durations from that exact continuation.
+Status BuildWorkerCohort(const TrainerConfig& config, const Dataset& train,
+                         ModelGraph& graph,
+                         const std::vector<float>& initial_params,
+                         WorkerArena* arena,
+                         std::vector<WorkerState>* workers,
+                         Rng* straggler_rng_out = nullptr);
+
 /// One point of the training history (recorded at every evaluation).
 struct EvalPoint {
   size_t step = 0;
@@ -163,11 +202,14 @@ struct TrainResult {
 
 class DistributedTrainer {
  public:
-  /// The factory builds one model per worker (identical architecture).
+  /// The factory is called once: it builds the single shared model whose
+  /// graph every worker executes against (workers differ only in their
+  /// arena slices) and whose buffers double as the evaluation model.
   DistributedTrainer(ModelFactory factory, Dataset train, Dataset test,
                      TrainerConfig config);
 
-  /// Runs the loop under `policy`. Each call restarts from fresh models.
+  /// Runs the loop under `policy`. Each call restarts from fresh weights
+  /// and a fresh arena.
   StatusOr<TrainResult> Run(SyncPolicy* policy);
 
   /// Optionally pre-load initial weights (transfer learning: fine-tune from
@@ -176,14 +218,20 @@ class DistributedTrainer {
 
   size_t model_dim() const { return dim_; }
 
+  /// The trainer's one model instance: the cohort's shared layer graph plus
+  /// the evaluation buffers. Exposed for tests and benches.
+  Model& shared_model() { return *shared_model_; }
+
  private:
-  Status Setup(std::vector<WorkerState>* workers, SimNetwork* network);
+  Status Setup(std::vector<WorkerState>* workers, WorkerArena* arena);
   void WorkerStep(WorkerState* worker, const Dataset& train);
 
-  ModelFactory factory_;
   Dataset train_;
   Dataset test_;
   TrainerConfig config_;
+  /// The one model instance of the trainer: shared layer graph + the
+  /// buffers the evaluation average w_bar is materialized into.
+  std::unique_ptr<Model> shared_model_;
   size_t dim_ = 0;
   std::vector<float> initial_params_;  // empty => random init from seed
   /// Valid only inside Run(): the last-synchronized global model FedProx's

@@ -1,0 +1,75 @@
+#include "core/worker_arena.h"
+
+#include "util/check.h"
+
+namespace fedra {
+
+WorkerArena::WorkerArena(int num_workers, size_t dim, size_t opt_state_slots)
+    : num_workers_(num_workers), dim_(dim), opt_state_slots_(opt_state_slots) {
+  FEDRA_CHECK_GT(num_workers, 0);
+  FEDRA_CHECK_GT(dim, 0u);
+  const size_t k = static_cast<size_t>(num_workers);
+  params_.assign(k * dim, 0.0f);
+  grads_.assign(k * dim, 0.0f);
+  drift_.assign(k * dim, 0.0f);
+  allocation_count_ = 3;
+  if (opt_state_slots_ > 0) {
+    opt_state_.assign(k * opt_state_slots_ * dim, 0.0f);
+    ++allocation_count_;
+  }
+}
+
+size_t WorkerArena::Offset(int k) const {
+  FEDRA_CHECK(k >= 0 && k < num_workers_);
+  return static_cast<size_t>(k) * dim_;
+}
+
+float* WorkerArena::opt_state(int k) {
+  if (opt_state_slots_ == 0) {
+    return nullptr;
+  }
+  FEDRA_CHECK(k >= 0 && k < num_workers_);
+  return opt_state_.data() + static_cast<size_t>(k) * opt_state_slots_ * dim_;
+}
+
+void WorkerArena::AllocateStateScratch(size_t state_size) {
+  FEDRA_CHECK_GT(state_size, 0u);
+  if (state_size_ == state_size) {
+    return;
+  }
+  FEDRA_CHECK_EQ(state_size_, 0u)
+      << "monitor state slab already sized differently";
+  state_size_ = state_size;
+  state_.assign(static_cast<size_t>(num_workers_) * state_size, 0.0f);
+  ++allocation_count_;
+}
+
+float* WorkerArena::state(int k) {
+  FEDRA_CHECK_GT(state_size_, 0u) << "AllocateStateScratch() first";
+  FEDRA_CHECK(k >= 0 && k < num_workers_);
+  return state_.data() + static_cast<size_t>(k) * state_size_;
+}
+
+std::vector<float*> WorkerArena::ParamPointers() {
+  std::vector<float*> pointers(static_cast<size_t>(num_workers_));
+  for (int k = 0; k < num_workers_; ++k) {
+    pointers[static_cast<size_t>(k)] = params(k);
+  }
+  return pointers;
+}
+
+std::vector<float*> WorkerArena::StatePointers() {
+  std::vector<float*> pointers(static_cast<size_t>(num_workers_));
+  for (int k = 0; k < num_workers_; ++k) {
+    pointers[static_cast<size_t>(k)] = state(k);
+  }
+  return pointers;
+}
+
+size_t WorkerArena::total_bytes() const {
+  return (params_.size() + grads_.size() + opt_state_.size() +
+          drift_.size() + state_.size()) *
+         sizeof(float);
+}
+
+}  // namespace fedra

@@ -1,0 +1,91 @@
+// WorkerArena: one contiguous slab per per-worker quantity of a simulated
+// cohort — parameters, gradients, optimizer state, drift scratch, and the
+// FDA monitor state — instead of K separately heap-allocated buffers.
+//
+// Worker k's model is rows [k*dim, (k+1)*dim) of the params and grads
+// slabs; the collectives engine chunks the slabs directly through the
+// per-worker pointer vectors, and memory/allocator traffic no longer grows
+// with K beyond the slabs themselves (5 allocations total, independent of
+// K). Each worker writes only its own slices, so parallel worker execution
+// stays deterministic while every worker shares one read-only ModelGraph.
+
+#ifndef FEDRA_CORE_WORKER_ARENA_H_
+#define FEDRA_CORE_WORKER_ARENA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedra {
+
+class WorkerArena {
+ public:
+  /// Slabs for `num_workers` workers of a `dim`-parameter model whose local
+  /// optimizer keeps `opt_state_slots` dim-length state vectors per worker
+  /// (OptimizerConfig::StateSlots()). All slabs are zero-initialized.
+  WorkerArena(int num_workers, size_t dim, size_t opt_state_slots);
+
+  WorkerArena(const WorkerArena&) = delete;
+  WorkerArena& operator=(const WorkerArena&) = delete;
+
+  int num_workers() const { return num_workers_; }
+  size_t dim() const { return dim_; }
+  size_t opt_state_slots() const { return opt_state_slots_; }
+
+  /// Worker k's model as a flat view: rows k of the params/grads slabs.
+  ParameterView view(int k) {
+    return ParameterView{params(k), grads(k), dim_};
+  }
+
+  float* params(int k) { return params_.data() + Offset(k); }
+  float* grads(int k) { return grads_.data() + Offset(k); }
+  float* drift(int k) { return drift_.data() + Offset(k); }
+
+  /// Worker k's optimizer-state slice: opt_state_slots * dim floats,
+  /// contiguous (pass to Optimizer::Create). Null when the optimizer is
+  /// stateless.
+  float* opt_state(int k);
+
+  /// Whole slabs (strided by dim) for code that walks all workers at once.
+  float* params_slab() { return params_.data(); }
+  float* grads_slab() { return grads_.data(); }
+
+  /// Allocates the [K x state_size] monitor-state slab. Policies call this
+  /// once they know their monitor's StateSize(); calling again with the
+  /// same size is a no-op (zeroes nothing).
+  void AllocateStateScratch(size_t state_size);
+  bool has_state_scratch() const { return state_size_ > 0; }
+  size_t state_size() const { return state_size_; }
+  float* state(int k);
+
+  /// Per-worker pointer vectors in slab order — the strided views the
+  /// collectives engine consumes.
+  std::vector<float*> ParamPointers();
+  std::vector<float*> StatePointers();
+
+  /// Number of slab allocations performed so far (layout tests: stays
+  /// constant in K).
+  size_t allocation_count() const { return allocation_count_; }
+
+  /// Bytes currently held across all slabs.
+  size_t total_bytes() const;
+
+ private:
+  size_t Offset(int k) const;
+
+  int num_workers_;
+  size_t dim_;
+  size_t opt_state_slots_;
+  size_t state_size_ = 0;
+  size_t allocation_count_ = 0;
+  std::vector<float> params_;     // [K x dim]
+  std::vector<float> grads_;      // [K x dim]
+  std::vector<float> opt_state_;  // [K x slots x dim]
+  std::vector<float> drift_;      // [K x dim]
+  std::vector<float> state_;      // [K x state_size], on demand
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_CORE_WORKER_ARENA_H_

@@ -23,19 +23,19 @@ void Sequential::RegisterParams(ParameterStore* store) {
   }
 }
 
-void Sequential::BindParams(ParameterStore* store) {
+void Sequential::BindOffsets(const ParameterStore& store) {
   for (auto& layer : layers_) {
-    layer->BindParams(store);
+    layer->BindOffsets(store);
   }
 }
 
-void Sequential::InitParams(Rng* rng) {
+void Sequential::InitParams(Rng* rng, const ParameterView& view) {
   for (auto& layer : layers_) {
-    layer->InitParams(rng);
+    layer->InitParams(rng, view);
   }
 }
 
-Tensor Sequential::Forward(const Tensor& input, const ForwardContext& ctx) {
+Tensor Sequential::Forward(const Tensor& input, ExecContext& ctx) {
   Tensor current = input;
   for (auto& layer : layers_) {
     current = layer->Forward(current, ctx);
@@ -43,17 +43,17 @@ Tensor Sequential::Forward(const Tensor& input, const ForwardContext& ctx) {
   return current;
 }
 
-Tensor Sequential::Backward(const Tensor& grad_output) {
+Tensor Sequential::Backward(const Tensor& grad_output, ExecContext& ctx) {
   Tensor current = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    current = (*it)->Backward(current);
+    current = (*it)->Backward(current, ctx);
   }
   return current;
 }
 
 // ------------------------------------------------------------- Residual --
 
-Tensor ResidualLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
+Tensor ResidualLayer::Forward(const Tensor& input, ExecContext& ctx) {
   Tensor inner_out = inner_->Forward(input, ctx);
   FEDRA_CHECK(inner_out.SameShape(input))
       << "residual branch must preserve shape: " << input.ShapeString()
@@ -66,8 +66,8 @@ Tensor ResidualLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
   return inner_out;
 }
 
-Tensor ResidualLayer::Backward(const Tensor& grad_output) {
-  Tensor grad_inner = inner_->Backward(grad_output);
+Tensor ResidualLayer::Backward(const Tensor& grad_output, ExecContext& ctx) {
+  Tensor grad_inner = inner_->Backward(grad_output, ctx);
   FEDRA_CHECK(grad_inner.SameShape(grad_output));
   float* gi = grad_inner.data();
   const float* go = grad_output.data();
@@ -146,26 +146,23 @@ void DenseBlockLayer::RegisterParams(ParameterStore* store) {
   }
 }
 
-void DenseBlockLayer::BindParams(ParameterStore* store) {
+void DenseBlockLayer::BindOffsets(const ParameterStore& store) {
   for (auto& sub : sublayers_) {
-    sub->BindParams(store);
+    sub->BindOffsets(store);
   }
 }
 
-void DenseBlockLayer::InitParams(Rng* rng) {
+void DenseBlockLayer::InitParams(Rng* rng, const ParameterView& view) {
   for (auto& sub : sublayers_) {
-    sub->InitParams(rng);
+    sub->InitParams(rng, view);
   }
 }
 
-Tensor DenseBlockLayer::Forward(const Tensor& input,
-                                const ForwardContext& ctx) {
+Tensor DenseBlockLayer::Forward(const Tensor& input, ExecContext& ctx) {
   FEDRA_CHECK_EQ(input.rank(), 4);
   FEDRA_CHECK_EQ(input.dim(1), in_channels_);
-  cached_features_.clear();
   Tensor features = input;
   for (int i = 0; i < num_layers_; ++i) {
-    cached_features_.push_back(features);  // input of sublayer i
     Tensor new_features = sublayers_[static_cast<size_t>(i)]->Forward(
         features, ctx);
     features = ConcatChannels(features, new_features);
@@ -173,7 +170,8 @@ Tensor DenseBlockLayer::Forward(const Tensor& input,
   return features;
 }
 
-Tensor DenseBlockLayer::Backward(const Tensor& grad_output) {
+Tensor DenseBlockLayer::Backward(const Tensor& grad_output,
+                                 ExecContext& ctx) {
   FEDRA_CHECK_EQ(grad_output.dim(1), out_channels());
   // grad_accum holds d(loss)/d(concat state); sublayers peel off their
   // growth-channel slice from the top and push gradient into the prefix.
@@ -184,7 +182,7 @@ Tensor DenseBlockLayer::Backward(const Tensor& grad_output) {
                                     prefix_ch + growth_);
     Tensor grad_prefix = SliceChannels(grad_accum, 0, prefix_ch);
     Tensor grad_sub_input =
-        sublayers_[static_cast<size_t>(i)]->Backward(grad_new);
+        sublayers_[static_cast<size_t>(i)]->Backward(grad_new, ctx);
     FEDRA_CHECK(grad_sub_input.SameShape(grad_prefix));
     float* gp = grad_prefix.data();
     const float* gs = grad_sub_input.data();

@@ -1,7 +1,7 @@
 // Composite layers: Sequential, Residual, and DenseNet-style dense blocks
-// (channel concatenation). Composites forward the parameter-store protocol
-// (Register/Bind/Init) to their children in order, so a whole model is one
-// flat parameter vector regardless of nesting.
+// (channel concatenation). Composites forward the parameter-layout protocol
+// (Register/BindOffsets/Init) to their children in order, so a whole model
+// is one flat parameter vector regardless of nesting.
 
 #ifndef FEDRA_NN_COMPOSITE_H_
 #define FEDRA_NN_COMPOSITE_H_
@@ -29,10 +29,10 @@ class Sequential : public Layer {
 
   std::string name() const override { return "sequential"; }
   void RegisterParams(ParameterStore* store) override;
-  void BindParams(ParameterStore* store) override;
-  void InitParams(Rng* rng) override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void BindOffsets(const ParameterStore& store) override;
+  void InitParams(Rng* rng, const ParameterView& view) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
   std::vector<LayerPtr> layers_;
@@ -47,12 +47,14 @@ class ResidualLayer : public Layer {
   void RegisterParams(ParameterStore* store) override {
     inner_->RegisterParams(store);
   }
-  void BindParams(ParameterStore* store) override {
-    inner_->BindParams(store);
+  void BindOffsets(const ParameterStore& store) override {
+    inner_->BindOffsets(store);
   }
-  void InitParams(Rng* rng) override { inner_->InitParams(rng); }
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void InitParams(Rng* rng, const ParameterView& view) override {
+    inner_->InitParams(rng, view);
+  }
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
   LayerPtr inner_;
@@ -72,17 +74,18 @@ class DenseBlockLayer : public Layer {
 
   std::string name() const override;
   void RegisterParams(ParameterStore* store) override;
-  void BindParams(ParameterStore* store) override;
-  void InitParams(Rng* rng) override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void BindOffsets(const ParameterStore& store) override;
+  void InitParams(Rng* rng, const ParameterView& view) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
+  // No own per-call state: Backward reconstructs everything from
+  // grad_output slices, and the sublayers cache their own inputs.
   int in_channels_;
   int growth_;
   int num_layers_;
   std::vector<LayerPtr> sublayers_;  // each: BN-ReLU-Conv3x3
-  std::vector<Tensor> cached_features_;  // concatenated input of sublayer i
 };
 
 /// Concatenates two NCHW tensors along channels.

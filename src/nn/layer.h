@@ -1,10 +1,19 @@
-// Layer: the building block of models. Layers register parameter blocks
-// with a ParameterStore, bind raw pointers once the store is finalized, and
-// implement Forward/Backward with cached activations in between.
+// Layer: the building block of models.
 //
-// The contract is single-threaded per layer instance: a layer belongs to
-// exactly one worker's model, Forward precedes Backward, and Backward
-// *accumulates* into parameter gradients (the store is zeroed per step).
+// A layer object is *immutable after construction + registration*: it holds
+// architecture constants and offsets into a flat parameter layout, never
+// parameter values or activations. Parameters live in whatever buffer the
+// caller passes as a ParameterView (a worker's slice of the trainer's
+// arena, a standalone Model's own vectors, a test's ParameterStore), and
+// every per-call cache a backward pass needs (activations, masks, im2col
+// scratch) lives in a LayerStateStore slot owned by the execution context.
+// One layer graph can therefore run many workers concurrently: workers
+// share the layer objects and differ only in the ExecContext they thread
+// through Forward/Backward.
+//
+// The contract per execution context is unchanged: Forward precedes
+// Backward with the same ExecContext, and Backward *accumulates* into
+// parameter gradients (the caller zeroes grads per step).
 
 #ifndef FEDRA_NN_LAYER_H_
 #define FEDRA_NN_LAYER_H_
@@ -15,15 +24,60 @@
 
 #include "nn/parameter_store.h"
 #include "tensor/tensor.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace fedra {
 
-/// Per-call context: training toggles dropout/batch-stats; rng drives any
-/// stochastic layer (dropout masks).
-struct ForwardContext {
+/// A model's parameters as one flat vector w in R^d plus its parallel
+/// gradient vector — the representation FDA, the optimizers, and the
+/// collectives operate on. Non-owning; typically a worker's slice of a
+/// WorkerArena slab.
+struct ParameterView {
+  float* params = nullptr;
+  float* grads = nullptr;
+  size_t dim = 0;
+};
+
+/// Base for per-execution mutable layer state (cached activations, dropout
+/// masks, conv workspaces). Each stateful layer defines a nested subclass.
+struct LayerState {
+  virtual ~LayerState() = default;
+};
+
+/// One slot of mutable state per stateful layer of a graph; a ModelGraph
+/// execution slot owns one store, so concurrent executions never share
+/// mutable layer state. Slots are default-constructed on first use.
+class LayerStateStore {
+ public:
+  explicit LayerStateStore(size_t num_slots) : slots_(num_slots) {}
+
+  template <typename T>
+  T& Get(size_t slot) {
+    FEDRA_CHECK_LT(slot, slots_.size());
+    std::unique_ptr<LayerState>& holder = slots_[slot];
+    if (holder == nullptr) {
+      holder = std::make_unique<T>();
+    }
+    T* state = dynamic_cast<T*>(holder.get());
+    FEDRA_CHECK(state != nullptr) << "layer state slot type mismatch";
+    return *state;
+  }
+
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<LayerState>> slots_;
+};
+
+/// Everything one Forward/Backward pair executes against: the parameter
+/// view, the per-execution layer state, and the per-call toggles (training
+/// enables dropout/batch-stats; rng drives stochastic layers).
+struct ExecContext {
   bool training = false;
   Rng* rng = nullptr;
+  ParameterView view;
+  LayerStateStore* states = nullptr;
 };
 
 class Layer {
@@ -33,21 +87,28 @@ class Layer {
   /// Short identifier, e.g. "dense(64->10)".
   virtual std::string name() const = 0;
 
-  /// Registers this layer's parameter blocks. Default: stateless layer.
+  /// Registers this layer's parameter blocks and claims a mutable-state
+  /// slot if it caches anything between Forward and Backward. Default:
+  /// stateless layer without parameters.
   virtual void RegisterParams(ParameterStore* store) { (void)store; }
 
-  /// Caches pointers into the finalized store.
-  virtual void BindParams(ParameterStore* store) { (void)store; }
+  /// Caches flat-buffer *offsets* from the finalized layout (never
+  /// pointers — the buffers belong to the ParameterView of each call).
+  virtual void BindOffsets(const ParameterStore& store) { (void)store; }
 
-  /// Writes initial parameter values (Glorot / He / constants).
-  virtual void InitParams(Rng* rng) { (void)rng; }
+  /// Writes initial parameter values (Glorot / He / constants) into `view`.
+  virtual void InitParams(Rng* rng, const ParameterView& view) {
+    (void)rng;
+    (void)view;
+  }
 
-  /// Computes the layer output; caches whatever Backward needs.
-  virtual Tensor Forward(const Tensor& input, const ForwardContext& ctx) = 0;
+  /// Computes the layer output; caches whatever Backward needs in the
+  /// context's state store.
+  virtual Tensor Forward(const Tensor& input, ExecContext& ctx) = 0;
 
-  /// Consumes d(loss)/d(output), accumulates parameter gradients, and
-  /// returns d(loss)/d(input).
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  /// Consumes d(loss)/d(output), accumulates parameter gradients into
+  /// ctx.view.grads, and returns d(loss)/d(input).
+  virtual Tensor Backward(const Tensor& grad_output, ExecContext& ctx) = 0;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -26,61 +26,66 @@ void DenseLayer::RegisterParams(ParameterStore* store) {
   weight_id_ = store->Register(name() + ".weight",
                                {out_features_, in_features_});
   bias_id_ = store->Register(name() + ".bias", {out_features_});
+  state_slot_ = store->RegisterStateSlot();
 }
 
-void DenseLayer::BindParams(ParameterStore* store) {
-  weight_ = store->BlockParams(weight_id_);
-  bias_ = store->BlockParams(bias_id_);
-  grad_weight_ = store->BlockGrads(weight_id_);
-  grad_bias_ = store->BlockGrads(bias_id_);
+void DenseLayer::BindOffsets(const ParameterStore& store) {
+  weight_offset_ = store.block(weight_id_).offset;
+  bias_offset_ = store.block(bias_id_).offset;
 }
 
-void DenseLayer::InitParams(Rng* rng) {
-  init::Fill(scheme_, weight_,
+void DenseLayer::InitParams(Rng* rng, const ParameterView& view) {
+  init::Fill(scheme_, view.params + weight_offset_,
              static_cast<size_t>(out_features_) * in_features_,
              static_cast<size_t>(in_features_),
              static_cast<size_t>(out_features_), rng);
-  init::Fill(init::Scheme::kZeros, bias_, static_cast<size_t>(out_features_),
-             0, 0, nullptr);
+  init::Fill(init::Scheme::kZeros, view.params + bias_offset_,
+             static_cast<size_t>(out_features_), 0, 0, nullptr);
 }
 
-Tensor DenseLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
-  (void)ctx;
+Tensor DenseLayer::Forward(const Tensor& input, ExecContext& ctx) {
   FEDRA_CHECK_EQ(input.rank(), 2);
   FEDRA_CHECK_EQ(input.dim(1), in_features_);
   const int batch = input.dim(0);
-  cached_input_ = input;
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.cached_input = input;
+  const float* weight = ctx.view.params + weight_offset_;
+  const float* bias = ctx.view.params + bias_offset_;
   Tensor output({batch, out_features_});
   // y[B, out] = x[B, in] * W^T[in, out]
   ops::Gemm(/*trans_a=*/false, /*trans_b=*/true, batch, out_features_,
-            in_features_, 1.0f, input.data(), weight_, 0.0f, output.data());
+            in_features_, 1.0f, input.data(), weight, 0.0f, output.data());
   for (int b = 0; b < batch; ++b) {
-    vec::Axpy(1.0f, bias_, output.data() + static_cast<size_t>(b) *
-                                out_features_,
+    vec::Axpy(1.0f, bias, output.data() + static_cast<size_t>(b) *
+                              out_features_,
               static_cast<size_t>(out_features_));
   }
   return output;
 }
 
-Tensor DenseLayer::Backward(const Tensor& grad_output) {
+Tensor DenseLayer::Backward(const Tensor& grad_output, ExecContext& ctx) {
   FEDRA_CHECK_EQ(grad_output.rank(), 2);
   FEDRA_CHECK_EQ(grad_output.dim(1), out_features_);
   const int batch = grad_output.dim(0);
-  FEDRA_CHECK_EQ(batch, cached_input_.dim(0));
+  State& state = ctx.states->Get<State>(state_slot_);
+  FEDRA_CHECK_EQ(batch, state.cached_input.dim(0));
+  const float* weight = ctx.view.params + weight_offset_;
+  float* grad_weight = ctx.view.grads + weight_offset_;
+  float* grad_bias = ctx.view.grads + bias_offset_;
   // dW[out, in] += dY^T[out, B] * X[B, in]
   ops::Gemm(/*trans_a=*/true, /*trans_b=*/false, out_features_, in_features_,
-            batch, 1.0f, grad_output.data(), cached_input_.data(), 1.0f,
-            grad_weight_);
+            batch, 1.0f, grad_output.data(), state.cached_input.data(), 1.0f,
+            grad_weight);
   // db[out] += column sums of dY
   for (int b = 0; b < batch; ++b) {
     vec::Axpy(1.0f,
               grad_output.data() + static_cast<size_t>(b) * out_features_,
-              grad_bias_, static_cast<size_t>(out_features_));
+              grad_bias, static_cast<size_t>(out_features_));
   }
   // dX[B, in] = dY[B, out] * W[out, in]
   Tensor grad_input({batch, in_features_});
   ops::Gemm(/*trans_a=*/false, /*trans_b=*/false, batch, in_features_,
-            out_features_, 1.0f, grad_output.data(), weight_, 0.0f,
+            out_features_, 1.0f, grad_output.data(), weight, 0.0f,
             grad_input.data());
   return grad_input;
 }
@@ -120,10 +125,13 @@ std::string ActivationLayer::name() const {
   return "activation";
 }
 
-Tensor ActivationLayer::Forward(const Tensor& input,
-                                const ForwardContext& ctx) {
-  (void)ctx;
-  cached_input_ = input;
+void ActivationLayer::RegisterParams(ParameterStore* store) {
+  state_slot_ = store->RegisterStateSlot();
+}
+
+Tensor ActivationLayer::Forward(const Tensor& input, ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.cached_input = input;
   Tensor output = input;
   float* out = output.data();
   const size_t n = output.numel();
@@ -147,11 +155,12 @@ Tensor ActivationLayer::Forward(const Tensor& input,
   return output;
 }
 
-Tensor ActivationLayer::Backward(const Tensor& grad_output) {
-  FEDRA_CHECK(grad_output.SameShape(cached_input_));
+Tensor ActivationLayer::Backward(const Tensor& grad_output, ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  FEDRA_CHECK(grad_output.SameShape(state.cached_input));
   Tensor grad_input = grad_output;
   float* gi = grad_input.data();
-  const float* x = cached_input_.data();
+  const float* x = state.cached_input.data();
   const size_t n = grad_input.numel();
   switch (kind_) {
     case Activation::kRelu:
@@ -184,19 +193,24 @@ std::string DropoutLayer::name() const {
   return StrFormat("dropout(%.2f)", static_cast<double>(rate_));
 }
 
-Tensor DropoutLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
-  last_was_training_ = ctx.training && rate_ > 0.0f;
-  if (!last_was_training_) {
+void DropoutLayer::RegisterParams(ParameterStore* store) {
+  state_slot_ = store->RegisterStateSlot();
+}
+
+Tensor DropoutLayer::Forward(const Tensor& input, ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.last_was_training = ctx.training && rate_ > 0.0f;
+  if (!state.last_was_training) {
     return input;
   }
   FEDRA_CHECK(ctx.rng != nullptr) << "dropout needs an Rng during training";
   const float keep_scale = 1.0f / (1.0f - rate_);
-  mask_.assign(input.numel(), 0.0f);
+  state.mask.assign(input.numel(), 0.0f);
   Tensor output = input;
   float* out = output.data();
-  for (size_t i = 0; i < mask_.size(); ++i) {
+  for (size_t i = 0; i < state.mask.size(); ++i) {
     if (!ctx.rng->NextBernoulli(rate_)) {
-      mask_[i] = keep_scale;
+      state.mask[i] = keep_scale;
       out[i] *= keep_scale;
     } else {
       out[i] = 0.0f;
@@ -205,32 +219,38 @@ Tensor DropoutLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
   return output;
 }
 
-Tensor DropoutLayer::Backward(const Tensor& grad_output) {
-  if (!last_was_training_) {
+Tensor DropoutLayer::Backward(const Tensor& grad_output, ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  if (!state.last_was_training) {
     return grad_output;
   }
-  FEDRA_CHECK_EQ(grad_output.numel(), mask_.size());
+  FEDRA_CHECK_EQ(grad_output.numel(), state.mask.size());
   Tensor grad_input = grad_output;
   float* gi = grad_input.data();
-  for (size_t i = 0; i < mask_.size(); ++i) {
-    gi[i] *= mask_[i];
+  for (size_t i = 0; i < state.mask.size(); ++i) {
+    gi[i] *= state.mask[i];
   }
   return grad_input;
 }
 
 // -------------------------------------------------------------- Flatten --
 
-Tensor FlattenLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
-  (void)ctx;
+void FlattenLayer::RegisterParams(ParameterStore* store) {
+  state_slot_ = store->RegisterStateSlot();
+}
+
+Tensor FlattenLayer::Forward(const Tensor& input, ExecContext& ctx) {
   FEDRA_CHECK_GE(input.rank(), 2);
-  cached_shape_ = input.shape();
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.cached_shape = input.shape();
   const int batch = input.dim(0);
   const int features = static_cast<int>(input.numel()) / batch;
   return input.Reshaped({batch, features});
 }
 
-Tensor FlattenLayer::Backward(const Tensor& grad_output) {
-  return grad_output.Reshaped(cached_shape_);
+Tensor FlattenLayer::Backward(const Tensor& grad_output, ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  return grad_output.Reshaped(state.cached_shape);
 }
 
 }  // namespace fedra

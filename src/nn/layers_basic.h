@@ -1,4 +1,8 @@
 // Basic layers: Dense (fully connected), activations, Dropout, Flatten.
+//
+// Layer objects are shareable across concurrent executions: they hold only
+// architecture constants and layout offsets; per-call caches live in the
+// ExecContext's LayerStateStore (see layer.h).
 
 #ifndef FEDRA_NN_LAYERS_BASIC_H_
 #define FEDRA_NN_LAYERS_BASIC_H_
@@ -19,25 +23,27 @@ class DenseLayer : public Layer {
 
   std::string name() const override;
   void RegisterParams(ParameterStore* store) override;
-  void BindParams(ParameterStore* store) override;
-  void InitParams(Rng* rng) override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void BindOffsets(const ParameterStore& store) override;
+  void InitParams(Rng* rng, const ParameterView& view) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }
 
  private:
+  struct State : LayerState {
+    Tensor cached_input;
+  };
+
   int in_features_;
   int out_features_;
   init::Scheme scheme_;
   size_t weight_id_ = 0;
   size_t bias_id_ = 0;
-  float* weight_ = nullptr;
-  float* bias_ = nullptr;
-  float* grad_weight_ = nullptr;
-  float* grad_bias_ = nullptr;
-  Tensor cached_input_;
+  size_t weight_offset_ = 0;
+  size_t bias_offset_ = 0;
+  size_t state_slot_ = 0;
 };
 
 /// Elementwise activation selection.
@@ -48,12 +54,17 @@ class ActivationLayer : public Layer {
   explicit ActivationLayer(Activation kind) : kind_(kind) {}
 
   std::string name() const override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void RegisterParams(ParameterStore* store) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
+  struct State : LayerState {
+    Tensor cached_input;
+  };
+
   Activation kind_;
-  Tensor cached_input_;
+  size_t state_slot_ = 0;
 };
 
 /// Inverted dropout: scales kept units by 1/(1-rate) during training; the
@@ -63,24 +74,34 @@ class DropoutLayer : public Layer {
   explicit DropoutLayer(float rate);
 
   std::string name() const override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void RegisterParams(ParameterStore* store) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
+  struct State : LayerState {
+    std::vector<float> mask;  // per-element keep-scale from the last Forward
+    bool last_was_training = false;
+  };
+
   float rate_;
-  std::vector<float> mask_;  // per-element keep-scale from the last Forward
-  bool last_was_training_ = false;
+  size_t state_slot_ = 0;
 };
 
 /// [B, ...] -> [B, prod(...)]
 class FlattenLayer : public Layer {
  public:
   std::string name() const override { return "flatten"; }
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void RegisterParams(ParameterStore* store) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
-  std::vector<int> cached_shape_;
+  struct State : LayerState {
+    std::vector<int> cached_shape;
+  };
+
+  size_t state_slot_ = 0;
 };
 
 }  // namespace fedra

@@ -27,46 +27,49 @@ void Conv2dLayer::RegisterParams(ParameterStore* store) {
   weight_id_ = store->Register(
       name() + ".weight", {out_channels_, in_channels_, kernel_, kernel_});
   bias_id_ = store->Register(name() + ".bias", {out_channels_});
+  state_slot_ = store->RegisterStateSlot();
 }
 
-void Conv2dLayer::BindParams(ParameterStore* store) {
-  weight_ = store->BlockParams(weight_id_);
-  bias_ = store->BlockParams(bias_id_);
-  grad_weight_ = store->BlockGrads(weight_id_);
-  grad_bias_ = store->BlockGrads(bias_id_);
+void Conv2dLayer::BindOffsets(const ParameterStore& store) {
+  weight_offset_ = store.block(weight_id_).offset;
+  bias_offset_ = store.block(bias_id_).offset;
 }
 
-void Conv2dLayer::InitParams(Rng* rng) {
+void Conv2dLayer::InitParams(Rng* rng, const ParameterView& view) {
   const size_t fan_in =
       static_cast<size_t>(in_channels_) * kernel_ * kernel_;
   const size_t fan_out =
       static_cast<size_t>(out_channels_) * kernel_ * kernel_;
-  init::Fill(scheme_, weight_,
+  init::Fill(scheme_, view.params + weight_offset_,
              static_cast<size_t>(out_channels_) * fan_in, fan_in, fan_out,
              rng);
-  init::Fill(init::Scheme::kZeros, bias_, static_cast<size_t>(out_channels_),
-             0, 0, nullptr);
+  init::Fill(init::Scheme::kZeros, view.params + bias_offset_,
+             static_cast<size_t>(out_channels_), 0, 0, nullptr);
 }
 
-Tensor Conv2dLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
-  (void)ctx;
+Tensor Conv2dLayer::Forward(const Tensor& input, ExecContext& ctx) {
   FEDRA_CHECK_EQ(input.rank(), 4);
   FEDRA_CHECK_EQ(input.dim(1), in_channels_);
-  cached_input_ = input;
-  geometry_ = {input.dim(0), in_channels_, input.dim(2), input.dim(3),
-               out_channels_, kernel_,     stride_,      pad_};
-  Tensor output(
-      {geometry_.batch, out_channels_, geometry_.out_h(), geometry_.out_w()});
-  ops::Conv2dForward(geometry_, input.data(), weight_, bias_, output.data(),
-                     &workspace_);
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.cached_input = input;
+  state.geometry = {input.dim(0), in_channels_, input.dim(2), input.dim(3),
+                    out_channels_, kernel_,     stride_,      pad_};
+  Tensor output({state.geometry.batch, out_channels_, state.geometry.out_h(),
+                 state.geometry.out_w()});
+  ops::Conv2dForward(state.geometry, input.data(),
+                     ctx.view.params + weight_offset_,
+                     ctx.view.params + bias_offset_, output.data(),
+                     &state.workspace);
   return output;
 }
 
-Tensor Conv2dLayer::Backward(const Tensor& grad_output) {
-  Tensor grad_input(cached_input_.shape());
-  ops::Conv2dBackward(geometry_, cached_input_.data(), weight_,
-                      grad_output.data(), grad_input.data(), grad_weight_,
-                      grad_bias_, &workspace_);
+Tensor Conv2dLayer::Backward(const Tensor& grad_output, ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  Tensor grad_input(state.cached_input.shape());
+  ops::Conv2dBackward(state.geometry, state.cached_input.data(),
+                      ctx.view.params + weight_offset_, grad_output.data(),
+                      grad_input.data(), ctx.view.grads + weight_offset_,
+                      ctx.view.grads + bias_offset_, &state.workspace);
   return grad_input;
 }
 
@@ -92,43 +95,46 @@ void DepthwiseConv2dLayer::RegisterParams(ParameterStore* store) {
   weight_id_ =
       store->Register(name() + ".weight", {channels_, kernel_, kernel_});
   bias_id_ = store->Register(name() + ".bias", {channels_});
+  state_slot_ = store->RegisterStateSlot();
 }
 
-void DepthwiseConv2dLayer::BindParams(ParameterStore* store) {
-  weight_ = store->BlockParams(weight_id_);
-  bias_ = store->BlockParams(bias_id_);
-  grad_weight_ = store->BlockGrads(weight_id_);
-  grad_bias_ = store->BlockGrads(bias_id_);
+void DepthwiseConv2dLayer::BindOffsets(const ParameterStore& store) {
+  weight_offset_ = store.block(weight_id_).offset;
+  bias_offset_ = store.block(bias_id_).offset;
 }
 
-void DepthwiseConv2dLayer::InitParams(Rng* rng) {
+void DepthwiseConv2dLayer::InitParams(Rng* rng, const ParameterView& view) {
   const size_t fan_in = static_cast<size_t>(kernel_) * kernel_;
-  init::Fill(scheme_, weight_, static_cast<size_t>(channels_) * fan_in,
-             fan_in, fan_in, rng);
-  init::Fill(init::Scheme::kZeros, bias_, static_cast<size_t>(channels_), 0,
-             0, nullptr);
+  init::Fill(scheme_, view.params + weight_offset_,
+             static_cast<size_t>(channels_) * fan_in, fan_in, fan_in, rng);
+  init::Fill(init::Scheme::kZeros, view.params + bias_offset_,
+             static_cast<size_t>(channels_), 0, 0, nullptr);
 }
 
-Tensor DepthwiseConv2dLayer::Forward(const Tensor& input,
-                                     const ForwardContext& ctx) {
-  (void)ctx;
+Tensor DepthwiseConv2dLayer::Forward(const Tensor& input, ExecContext& ctx) {
   FEDRA_CHECK_EQ(input.rank(), 4);
   FEDRA_CHECK_EQ(input.dim(1), channels_);
-  cached_input_ = input;
-  geometry_ = {input.dim(0), channels_, input.dim(2), input.dim(3),
-               channels_,    kernel_,   stride_,      pad_};
-  Tensor output(
-      {geometry_.batch, channels_, geometry_.out_h(), geometry_.out_w()});
-  ops::DepthwiseConv2dForward(geometry_, input.data(), weight_, bias_,
-                              output.data());
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.cached_input = input;
+  state.geometry = {input.dim(0), channels_, input.dim(2), input.dim(3),
+                    channels_,    kernel_,   stride_,      pad_};
+  Tensor output({state.geometry.batch, channels_, state.geometry.out_h(),
+                 state.geometry.out_w()});
+  ops::DepthwiseConv2dForward(state.geometry, input.data(),
+                              ctx.view.params + weight_offset_,
+                              ctx.view.params + bias_offset_, output.data());
   return output;
 }
 
-Tensor DepthwiseConv2dLayer::Backward(const Tensor& grad_output) {
-  Tensor grad_input(cached_input_.shape());
-  ops::DepthwiseConv2dBackward(geometry_, cached_input_.data(), weight_,
+Tensor DepthwiseConv2dLayer::Backward(const Tensor& grad_output,
+                                      ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  Tensor grad_input(state.cached_input.shape());
+  ops::DepthwiseConv2dBackward(state.geometry, state.cached_input.data(),
+                               ctx.view.params + weight_offset_,
                                grad_output.data(), grad_input.data(),
-                               grad_weight_, grad_bias_);
+                               ctx.view.grads + weight_offset_,
+                               ctx.view.grads + bias_offset_);
   return grad_input;
 }
 
@@ -144,52 +150,63 @@ std::string Pool2dLayer::name() const {
                    kernel_, kernel_, stride_);
 }
 
-Tensor Pool2dLayer::Forward(const Tensor& input, const ForwardContext& ctx) {
-  (void)ctx;
+void Pool2dLayer::RegisterParams(ParameterStore* store) {
+  state_slot_ = store->RegisterStateSlot();
+}
+
+Tensor Pool2dLayer::Forward(const Tensor& input, ExecContext& ctx) {
   FEDRA_CHECK_EQ(input.rank(), 4);
-  input_shape_ = input.shape();
-  geometry_ = {input.dim(0), input.dim(1), input.dim(2), input.dim(3),
-               input.dim(1), kernel_,      stride_,      0};
-  Tensor output({geometry_.batch, geometry_.in_channels, geometry_.out_h(),
-                 geometry_.out_w()});
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.input_shape = input.shape();
+  state.geometry = {input.dim(0), input.dim(1), input.dim(2), input.dim(3),
+                    input.dim(1), kernel_,      stride_,      0};
+  Tensor output({state.geometry.batch, state.geometry.in_channels,
+                 state.geometry.out_h(), state.geometry.out_w()});
   if (kind_ == PoolKind::kMax) {
-    argmax_.assign(output.numel(), -1);
-    ops::MaxPool2dForward(geometry_, input.data(), output.data(),
-                          argmax_.data());
+    state.argmax.assign(output.numel(), -1);
+    ops::MaxPool2dForward(state.geometry, input.data(), output.data(),
+                          state.argmax.data());
   } else {
-    ops::AvgPool2dForward(geometry_, input.data(), output.data());
+    ops::AvgPool2dForward(state.geometry, input.data(), output.data());
   }
   return output;
 }
 
-Tensor Pool2dLayer::Backward(const Tensor& grad_output) {
-  Tensor grad_input(input_shape_);
+Tensor Pool2dLayer::Backward(const Tensor& grad_output, ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  Tensor grad_input(state.input_shape);
   if (kind_ == PoolKind::kMax) {
-    ops::MaxPool2dBackward(geometry_, grad_output.data(), argmax_.data(),
-                           grad_input.data());
+    ops::MaxPool2dBackward(state.geometry, grad_output.data(),
+                           state.argmax.data(), grad_input.data());
   } else {
-    ops::AvgPool2dBackward(geometry_, grad_output.data(), grad_input.data());
+    ops::AvgPool2dBackward(state.geometry, grad_output.data(),
+                           grad_input.data());
   }
   return grad_input;
 }
 
 // -------------------------------------------------------- GlobalAvgPool --
 
-Tensor GlobalAvgPoolLayer::Forward(const Tensor& input,
-                                   const ForwardContext& ctx) {
-  (void)ctx;
+void GlobalAvgPoolLayer::RegisterParams(ParameterStore* store) {
+  state_slot_ = store->RegisterStateSlot();
+}
+
+Tensor GlobalAvgPoolLayer::Forward(const Tensor& input, ExecContext& ctx) {
   FEDRA_CHECK_EQ(input.rank(), 4);
-  input_shape_ = input.shape();
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.input_shape = input.shape();
   Tensor output({input.dim(0), input.dim(1)});
   ops::GlobalAvgPoolForward(input.dim(0), input.dim(1), input.dim(2),
                             input.dim(3), input.data(), output.data());
   return output;
 }
 
-Tensor GlobalAvgPoolLayer::Backward(const Tensor& grad_output) {
-  Tensor grad_input(input_shape_);
-  ops::GlobalAvgPoolBackward(input_shape_[0], input_shape_[1],
-                             input_shape_[2], input_shape_[3],
+Tensor GlobalAvgPoolLayer::Backward(const Tensor& grad_output,
+                                    ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  Tensor grad_input(state.input_shape);
+  ops::GlobalAvgPoolBackward(state.input_shape[0], state.input_shape[1],
+                             state.input_shape[2], state.input_shape[3],
                              grad_output.data(), grad_input.data());
   return grad_input;
 }

@@ -1,4 +1,6 @@
-// Convolution and pooling layers (NCHW).
+// Convolution and pooling layers (NCHW). Layer objects are shareable
+// across concurrent executions; per-call caches (cached inputs, geometry,
+// im2col workspaces, argmax maps) live in the ExecContext's state store.
 
 #ifndef FEDRA_NN_LAYERS_CONV_H_
 #define FEDRA_NN_LAYERS_CONV_H_
@@ -20,14 +22,22 @@ class Conv2dLayer : public Layer {
 
   std::string name() const override;
   void RegisterParams(ParameterStore* store) override;
-  void BindParams(ParameterStore* store) override;
-  void InitParams(Rng* rng) override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void BindOffsets(const ParameterStore& store) override;
+  void InitParams(Rng* rng, const ParameterView& view) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
   int out_channels() const { return out_channels_; }
 
  private:
+  struct State : LayerState {
+    Tensor cached_input;
+    ops::Conv2dGeometry geometry;
+    // Per-execution im2col scratch, reused across steps: the inner training
+    // loop allocates nothing once the buffers reach steady-state capacity.
+    ops::Conv2dWorkspace workspace;
+  };
+
   int in_channels_;
   int out_channels_;
   int kernel_;
@@ -36,15 +46,9 @@ class Conv2dLayer : public Layer {
   init::Scheme scheme_;
   size_t weight_id_ = 0;
   size_t bias_id_ = 0;
-  float* weight_ = nullptr;
-  float* bias_ = nullptr;
-  float* grad_weight_ = nullptr;
-  float* grad_bias_ = nullptr;
-  Tensor cached_input_;
-  ops::Conv2dGeometry geometry_;
-  // Per-layer im2col scratch, reused across steps: the inner training loop
-  // allocates nothing once the buffers reach steady-state capacity.
-  ops::Conv2dWorkspace workspace_;
+  size_t weight_offset_ = 0;
+  size_t bias_offset_ = 0;
+  size_t state_slot_ = 0;
 };
 
 /// Depthwise 2-D convolution (one filter per channel); used by ConvNeXt.
@@ -55,12 +59,17 @@ class DepthwiseConv2dLayer : public Layer {
 
   std::string name() const override;
   void RegisterParams(ParameterStore* store) override;
-  void BindParams(ParameterStore* store) override;
-  void InitParams(Rng* rng) override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void BindOffsets(const ParameterStore& store) override;
+  void InitParams(Rng* rng, const ParameterView& view) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
+  struct State : LayerState {
+    Tensor cached_input;
+    ops::Conv2dGeometry geometry;
+  };
+
   int channels_;
   int kernel_;
   int stride_;
@@ -68,12 +77,9 @@ class DepthwiseConv2dLayer : public Layer {
   init::Scheme scheme_;
   size_t weight_id_ = 0;
   size_t bias_id_ = 0;
-  float* weight_ = nullptr;
-  float* bias_ = nullptr;
-  float* grad_weight_ = nullptr;
-  float* grad_bias_ = nullptr;
-  Tensor cached_input_;
-  ops::Conv2dGeometry geometry_;
+  size_t weight_offset_ = 0;
+  size_t bias_offset_ = 0;
+  size_t state_slot_ = 0;
 };
 
 enum class PoolKind { kMax, kAvg };
@@ -84,27 +90,37 @@ class Pool2dLayer : public Layer {
   Pool2dLayer(PoolKind kind, int kernel, int stride);
 
   std::string name() const override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void RegisterParams(ParameterStore* store) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
+  struct State : LayerState {
+    ops::Conv2dGeometry geometry;
+    std::vector<int> argmax;
+    std::vector<int> input_shape;
+  };
+
   PoolKind kind_;
   int kernel_;
   int stride_;
-  ops::Conv2dGeometry geometry_;
-  std::vector<int> argmax_;
-  std::vector<int> input_shape_;
+  size_t state_slot_ = 0;
 };
 
 /// Global average pooling: [B, C, H, W] -> [B, C].
 class GlobalAvgPoolLayer : public Layer {
  public:
   std::string name() const override { return "global_avg_pool"; }
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void RegisterParams(ParameterStore* store) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
-  std::vector<int> input_shape_;
+  struct State : LayerState {
+    std::vector<int> input_shape;
+  };
+
+  size_t state_slot_ = 0;
 };
 
 }  // namespace fedra

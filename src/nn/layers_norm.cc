@@ -22,51 +22,57 @@ std::string BatchNorm2dLayer::name() const {
 void BatchNorm2dLayer::RegisterParams(ParameterStore* store) {
   gamma_id_ = store->Register(name() + ".gamma", {channels_});
   beta_id_ = store->Register(name() + ".beta", {channels_});
+  state_slot_ = store->RegisterStateSlot();
 }
 
-void BatchNorm2dLayer::BindParams(ParameterStore* store) {
-  gamma_ = store->BlockParams(gamma_id_);
-  beta_ = store->BlockParams(beta_id_);
-  grad_gamma_ = store->BlockGrads(gamma_id_);
-  grad_beta_ = store->BlockGrads(beta_id_);
+void BatchNorm2dLayer::BindOffsets(const ParameterStore& store) {
+  gamma_offset_ = store.block(gamma_id_).offset;
+  beta_offset_ = store.block(beta_id_).offset;
 }
 
-void BatchNorm2dLayer::InitParams(Rng* rng) {
+void BatchNorm2dLayer::InitParams(Rng* rng, const ParameterView& view) {
   (void)rng;
+  float* gamma = view.params + gamma_offset_;
+  float* beta = view.params + beta_offset_;
   for (int c = 0; c < channels_; ++c) {
-    gamma_[c] = 1.0f;
-    beta_[c] = 0.0f;
+    gamma[c] = 1.0f;
+    beta[c] = 0.0f;
   }
 }
 
-Tensor BatchNorm2dLayer::Forward(const Tensor& input,
-                                 const ForwardContext& ctx) {
-  (void)ctx;
+Tensor BatchNorm2dLayer::Forward(const Tensor& input, ExecContext& ctx) {
   FEDRA_CHECK_EQ(input.rank(), 4);
   FEDRA_CHECK_EQ(input.dim(1), channels_);
   const int batch = input.dim(0);
   const size_t plane =
       static_cast<size_t>(input.dim(2)) * static_cast<size_t>(input.dim(3));
 
-  cached_xhat_ = Tensor(input.shape());
-  inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
+  State& state = ctx.states->Get<State>(state_slot_);
+  state.cached_xhat = Tensor(input.shape());
+  state.inv_std.assign(static_cast<size_t>(channels_), 0.0f);
   Tensor output(input.shape());
-  ops::BatchNorm2dForward(batch, channels_, plane, input.data(), gamma_,
-                          beta_, epsilon_, cached_xhat_.data(),
-                          inv_std_.data(), output.data());
+  ops::BatchNorm2dForward(batch, channels_, plane, input.data(),
+                          ctx.view.params + gamma_offset_,
+                          ctx.view.params + beta_offset_, epsilon_,
+                          state.cached_xhat.data(), state.inv_std.data(),
+                          output.data());
   return output;
 }
 
-Tensor BatchNorm2dLayer::Backward(const Tensor& grad_output) {
-  FEDRA_CHECK(grad_output.SameShape(cached_xhat_));
+Tensor BatchNorm2dLayer::Backward(const Tensor& grad_output,
+                                  ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  FEDRA_CHECK(grad_output.SameShape(state.cached_xhat));
   const int batch = grad_output.dim(0);
   const size_t plane = static_cast<size_t>(grad_output.dim(2)) *
                        static_cast<size_t>(grad_output.dim(3));
 
   Tensor grad_input(grad_output.shape());
   ops::BatchNorm2dBackward(batch, channels_, plane, grad_output.data(),
-                           cached_xhat_.data(), inv_std_.data(), gamma_,
-                           grad_gamma_, grad_beta_, grad_input.data());
+                           state.cached_xhat.data(), state.inv_std.data(),
+                           ctx.view.params + gamma_offset_,
+                           ctx.view.grads + gamma_offset_,
+                           ctx.view.grads + beta_offset_, grad_input.data());
   return grad_input;
 }
 
@@ -84,27 +90,27 @@ std::string LayerNormChannelsLayer::name() const {
 void LayerNormChannelsLayer::RegisterParams(ParameterStore* store) {
   gamma_id_ = store->Register(name() + ".gamma", {channels_});
   beta_id_ = store->Register(name() + ".beta", {channels_});
+  state_slot_ = store->RegisterStateSlot();
 }
 
-void LayerNormChannelsLayer::BindParams(ParameterStore* store) {
-  gamma_ = store->BlockParams(gamma_id_);
-  beta_ = store->BlockParams(beta_id_);
-  grad_gamma_ = store->BlockGrads(gamma_id_);
-  grad_beta_ = store->BlockGrads(beta_id_);
+void LayerNormChannelsLayer::BindOffsets(const ParameterStore& store) {
+  gamma_offset_ = store.block(gamma_id_).offset;
+  beta_offset_ = store.block(beta_id_).offset;
 }
 
-void LayerNormChannelsLayer::InitParams(Rng* rng) {
+void LayerNormChannelsLayer::InitParams(Rng* rng, const ParameterView& view) {
   (void)rng;
+  float* gamma = view.params + gamma_offset_;
+  float* beta = view.params + beta_offset_;
   for (int c = 0; c < channels_; ++c) {
-    gamma_[c] = 1.0f;
-    beta_[c] = 0.0f;
+    gamma[c] = 1.0f;
+    beta[c] = 0.0f;
   }
 }
 
 Tensor LayerNormChannelsLayer::Forward(const Tensor& input,
-                                       const ForwardContext& ctx) {
-  (void)ctx;
-  input_shape_ = input.shape();
+                                       ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
   // Treat rank-2 [B, C] as [B, C, 1, 1].
   int batch;
   int height;
@@ -124,10 +130,12 @@ Tensor LayerNormChannelsLayer::Forward(const Tensor& input,
   const size_t plane = static_cast<size_t>(height) * width;
   const size_t num_positions = static_cast<size_t>(batch) * plane;
 
-  cached_xhat_ = Tensor(input.shape());
-  inv_std_.assign(num_positions, 0.0f);
+  state.cached_xhat = Tensor(input.shape());
+  state.inv_std.assign(num_positions, 0.0f);
   Tensor output(input.shape());
 
+  const float* gamma = ctx.view.params + gamma_offset_;
+  const float* beta = ctx.view.params + beta_offset_;
   const float inv_c = 1.0f / static_cast<float>(channels_);
   for (int n = 0; n < batch; ++n) {
     for (size_t p = 0; p < plane; ++p) {
@@ -144,20 +152,22 @@ Tensor LayerNormChannelsLayer::Forward(const Tensor& input,
       const float var =
           static_cast<float>(sum_sq) * inv_c - mean * mean;
       const float inv_std = 1.0f / std::sqrt(var + epsilon_);
-      inv_std_[static_cast<size_t>(n) * plane + p] = inv_std;
+      state.inv_std[static_cast<size_t>(n) * plane + p] = inv_std;
       for (int c = 0; c < channels_; ++c) {
         const size_t idx = base + static_cast<size_t>(c) * plane;
         const float xhat = (input.data()[idx] - mean) * inv_std;
-        cached_xhat_.data()[idx] = xhat;
-        output.data()[idx] = gamma_[c] * xhat + beta_[c];
+        state.cached_xhat.data()[idx] = xhat;
+        output.data()[idx] = gamma[c] * xhat + beta[c];
       }
     }
   }
   return output;
 }
 
-Tensor LayerNormChannelsLayer::Backward(const Tensor& grad_output) {
-  FEDRA_CHECK(grad_output.SameShape(cached_xhat_));
+Tensor LayerNormChannelsLayer::Backward(const Tensor& grad_output,
+                                        ExecContext& ctx) {
+  State& state = ctx.states->Get<State>(state_slot_);
+  FEDRA_CHECK(grad_output.SameShape(state.cached_xhat));
   int batch;
   int height;
   int width;
@@ -173,21 +183,24 @@ Tensor LayerNormChannelsLayer::Backward(const Tensor& grad_output) {
   const size_t plane = static_cast<size_t>(height) * width;
   const float inv_c = 1.0f / static_cast<float>(channels_);
 
+  const float* gamma = ctx.view.params + gamma_offset_;
+  float* grad_gamma = ctx.view.grads + gamma_offset_;
+  float* grad_beta = ctx.view.grads + beta_offset_;
   Tensor grad_input(grad_output.shape());
   for (int n = 0; n < batch; ++n) {
     for (size_t p = 0; p < plane; ++p) {
       const size_t base = static_cast<size_t>(n) * channels_ * plane + p;
-      const float inv_std = inv_std_[static_cast<size_t>(n) * plane + p];
+      const float inv_std = state.inv_std[static_cast<size_t>(n) * plane + p];
       // First pass: the two means the LayerNorm backward needs.
       float mean_g = 0.0f;       // mean_c(dy * gamma)
       float mean_g_xhat = 0.0f;  // mean_c(dy * gamma * xhat)
       for (int c = 0; c < channels_; ++c) {
         const size_t idx = base + static_cast<size_t>(c) * plane;
         const float dy = grad_output.data()[idx];
-        const float xhat = cached_xhat_.data()[idx];
-        grad_beta_[c] += dy;
-        grad_gamma_[c] += dy * xhat;
-        const float g = dy * gamma_[c];
+        const float xhat = state.cached_xhat.data()[idx];
+        grad_beta[c] += dy;
+        grad_gamma[c] += dy * xhat;
+        const float g = dy * gamma[c];
         mean_g += g;
         mean_g_xhat += g * xhat;
       }
@@ -196,9 +209,9 @@ Tensor LayerNormChannelsLayer::Backward(const Tensor& grad_output) {
       for (int c = 0; c < channels_; ++c) {
         const size_t idx = base + static_cast<size_t>(c) * plane;
         const float dy = grad_output.data()[idx];
-        const float xhat = cached_xhat_.data()[idx];
+        const float xhat = state.cached_xhat.data()[idx];
         grad_input.data()[idx] =
-            inv_std * (dy * gamma_[c] - mean_g - xhat * mean_g_xhat);
+            inv_std * (dy * gamma[c] - mean_g - xhat * mean_g_xhat);
       }
     }
   }

@@ -29,23 +29,25 @@ class BatchNorm2dLayer : public Layer {
 
   std::string name() const override;
   void RegisterParams(ParameterStore* store) override;
-  void BindParams(ParameterStore* store) override;
-  void InitParams(Rng* rng) override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void BindOffsets(const ParameterStore& store) override;
+  void InitParams(Rng* rng, const ParameterView& view) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
+  struct State : LayerState {
+    // Cached statistics of the last Forward for the backward pass.
+    Tensor cached_xhat;
+    std::vector<float> inv_std;  // per channel
+  };
+
   int channels_;
   float epsilon_;
   size_t gamma_id_ = 0;
   size_t beta_id_ = 0;
-  float* gamma_ = nullptr;
-  float* beta_ = nullptr;
-  float* grad_gamma_ = nullptr;
-  float* grad_beta_ = nullptr;
-  // Cached statistics of the last Forward for the backward pass.
-  Tensor cached_xhat_;
-  std::vector<float> inv_std_;  // per channel
+  size_t gamma_offset_ = 0;
+  size_t beta_offset_ = 0;
+  size_t state_slot_ = 0;
 };
 
 /// LayerNorm across the channel dimension at each (n, h, w) position; the
@@ -56,23 +58,24 @@ class LayerNormChannelsLayer : public Layer {
 
   std::string name() const override;
   void RegisterParams(ParameterStore* store) override;
-  void BindParams(ParameterStore* store) override;
-  void InitParams(Rng* rng) override;
-  Tensor Forward(const Tensor& input, const ForwardContext& ctx) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void BindOffsets(const ParameterStore& store) override;
+  void InitParams(Rng* rng, const ParameterView& view) override;
+  Tensor Forward(const Tensor& input, ExecContext& ctx) override;
+  Tensor Backward(const Tensor& grad_output, ExecContext& ctx) override;
 
  private:
+  struct State : LayerState {
+    Tensor cached_xhat;
+    std::vector<float> inv_std;  // per (n, h, w) position
+  };
+
   int channels_;
   float epsilon_;
   size_t gamma_id_ = 0;
   size_t beta_id_ = 0;
-  float* gamma_ = nullptr;
-  float* beta_ = nullptr;
-  float* grad_gamma_ = nullptr;
-  float* grad_beta_ = nullptr;
-  Tensor cached_xhat_;
-  std::vector<float> inv_std_;  // per (n, h, w) position
-  std::vector<int> input_shape_;
+  size_t gamma_offset_ = 0;
+  size_t beta_offset_ = 0;
+  size_t state_slot_ = 0;
 };
 
 }  // namespace fedra

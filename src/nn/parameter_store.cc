@@ -22,15 +22,25 @@ size_t ParameterStore::Register(std::string name, std::vector<int> shape) {
   return blocks_.size() - 1;
 }
 
-void ParameterStore::Finalize() {
+size_t ParameterStore::RegisterStateSlot() {
+  FEDRA_CHECK(!finalized_) << "RegisterStateSlot() after Finalize()";
+  return num_state_slots_++;
+}
+
+void ParameterStore::FinalizeLayout() {
   FEDRA_CHECK(!finalized_) << "Finalize() called twice";
-  params_.assign(total_size_, 0.0f);
-  grads_.assign(total_size_, 0.0f);
   finalized_ = true;
 }
 
+void ParameterStore::Finalize() {
+  FinalizeLayout();
+  params_.assign(total_size_, 0.0f);
+  grads_.assign(total_size_, 0.0f);
+  has_buffers_ = true;
+}
+
 void ParameterStore::ZeroGrads() {
-  FEDRA_CHECK(finalized_);
+  FEDRA_CHECK(has_buffers_) << "store not finalized with buffers";
   std::fill(grads_.begin(), grads_.end(), 0.0f);
 }
 

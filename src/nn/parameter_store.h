@@ -1,10 +1,20 @@
-// ParameterStore: one flat float buffer for all trainable parameters of a
-// model, plus a parallel flat gradient buffer.
+// ParameterStore: the flat-layout registry for a model's trainable
+// parameters, plus (optionally) one owned params/grads buffer pair.
 //
 // FDA, the optimizers, and the AllReduce collectives all operate on whole
 // models as contiguous vectors in R^d (the paper's w_k). Layers register
-// named blocks during model construction and are handed offsets into the
-// flat buffers once the store is finalized.
+// named blocks during model construction and read back offsets into the
+// flat layout once the store is finalized. Two finalization modes exist:
+//
+//  - FinalizeLayout(): computes offsets only. This is what a shared
+//    ModelGraph uses — the actual buffers are per-worker slices of the
+//    trainer's WorkerArena, handed to layers as ParameterViews.
+//  - Finalize(): layout + one owned params/grads buffer pair, for
+//    standalone use (a single Model, layer unit tests).
+//
+// The store also counts mutable-state slots: each stateful layer claims one
+// during registration, and every execution context materializes that many
+// LayerState entries.
 
 #ifndef FEDRA_NN_PARAMETER_STORE_H_
 #define FEDRA_NN_PARAMETER_STORE_H_
@@ -32,42 +42,52 @@ class ParameterStore {
   /// Registers a parameter block; returns its id. Must precede Finalize().
   size_t Register(std::string name, std::vector<int> shape);
 
-  /// Allocates the flat buffers. No further registration allowed.
+  /// Claims one mutable-state slot (cached activations etc.); returns the
+  /// slot id. Must precede finalization.
+  size_t RegisterStateSlot();
+
+  /// Computes block offsets; no buffer allocation. No further registration
+  /// allowed afterwards.
+  void FinalizeLayout();
+
+  /// FinalizeLayout() plus allocation of the owned params/grads buffers.
   void Finalize();
 
   bool finalized() const { return finalized_; }
+  bool has_buffers() const { return has_buffers_; }
   size_t num_params() const { return total_size_; }
   size_t num_blocks() const { return blocks_.size(); }
+  size_t num_state_slots() const { return num_state_slots_; }
   const ParamBlock& block(size_t id) const {
     FEDRA_CHECK_LT(id, blocks_.size());
     return blocks_[id];
   }
 
   float* params() {
-    FEDRA_CHECK(finalized_);
+    FEDRA_CHECK(has_buffers_) << "store not finalized with buffers";
     return params_.data();
   }
   const float* params() const {
-    FEDRA_CHECK(finalized_);
+    FEDRA_CHECK(has_buffers_) << "store not finalized with buffers";
     return params_.data();
   }
   float* grads() {
-    FEDRA_CHECK(finalized_);
+    FEDRA_CHECK(has_buffers_) << "store not finalized with buffers";
     return grads_.data();
   }
   const float* grads() const {
-    FEDRA_CHECK(finalized_);
+    FEDRA_CHECK(has_buffers_) << "store not finalized with buffers";
     return grads_.data();
   }
 
-  /// Pointer to the parameters / gradients of one block.
+  /// Pointer to the parameters / gradients of one block (owned buffers).
   float* BlockParams(size_t id) { return params() + block(id).offset; }
   const float* BlockParams(size_t id) const {
     return params() + block(id).offset;
   }
   float* BlockGrads(size_t id) { return grads() + block(id).offset; }
 
-  /// Zeroes the whole gradient buffer (start of each training step).
+  /// Zeroes the whole owned gradient buffer (start of each training step).
   void ZeroGrads();
 
  private:
@@ -75,7 +95,9 @@ class ParameterStore {
   std::vector<float> params_;
   std::vector<float> grads_;
   size_t total_size_ = 0;
+  size_t num_state_slots_ = 0;
   bool finalized_ = false;
+  bool has_buffers_ = false;
 };
 
 }  // namespace fedra

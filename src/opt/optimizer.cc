@@ -44,6 +44,20 @@ OptimizerConfig OptimizerConfig::AdamW(float lr, float weight_decay) {
   return config;
 }
 
+size_t OptimizerConfig::StateSlots() const {
+  switch (kind) {
+    case Kind::kSgd:
+      return 0;
+    case Kind::kSgdMomentum:
+      return 1;
+    case Kind::kAdam:
+    case Kind::kAdamW:
+      return 2;
+  }
+  FEDRA_CHECK(false) << "unknown optimizer kind";
+  return 0;
+}
+
 Status OptimizerConfig::Validate() const {
   if (!(learning_rate > 0.0f)) {
     return Status::InvalidArgument("learning_rate must be > 0");
@@ -90,9 +104,16 @@ namespace {
 
 class SgdOptimizer : public Optimizer {
  public:
-  SgdOptimizer(const OptimizerConfig& config, size_t dim) : config_(config) {
+  SgdOptimizer(const OptimizerConfig& config, size_t dim, float* state)
+      : config_(config), dim_(dim) {
     if (config_.kind == OptimizerConfig::Kind::kSgdMomentum) {
-      velocity_.assign(dim, 0.0f);
+      if (state != nullptr) {
+        velocity_ = state;
+      } else {
+        owned_.assign(dim, 0.0f);
+        velocity_ = owned_.data();
+      }
+      vec::Fill(velocity_, dim_, 0.0f);
     }
   }
 
@@ -112,28 +133,29 @@ class SgdOptimizer : public Optimizer {
       }
       return;
     }
-    FEDRA_CHECK_EQ(velocity_.size(), n);
+    FEDRA_CHECK_EQ(dim_, n);
+    float* velocity = velocity_;
     const float mu = config_.momentum;
     if (config_.nesterov) {
       // v <- mu*v + g ; w <- w - lr*(g + mu*v)  (Sutskever formulation)
       for (size_t i = 0; i < n; ++i) {
         const float g = grads[i] + wd * params[i];
-        velocity_[i] = mu * velocity_[i] + g;
-        params[i] -= lr * (g + mu * velocity_[i]);
+        velocity[i] = mu * velocity[i] + g;
+        params[i] -= lr * (g + mu * velocity[i]);
       }
     } else {
       // v <- mu*v + g ; w <- w - lr*v
       for (size_t i = 0; i < n; ++i) {
         const float g = grads[i] + wd * params[i];
-        velocity_[i] = mu * velocity_[i] + g;
-        params[i] -= lr * velocity_[i];
+        velocity[i] = mu * velocity[i] + g;
+        params[i] -= lr * velocity[i];
       }
     }
   }
 
   void Reset() override {
-    for (float& v : velocity_) {
-      v = 0.0f;
+    if (velocity_ != nullptr) {
+      vec::Fill(velocity_, dim_, 0.0f);
     }
     last_param_sq_norm_ = -1.0;
   }
@@ -144,17 +166,30 @@ class SgdOptimizer : public Optimizer {
 
  private:
   OptimizerConfig config_;
-  std::vector<float> velocity_;
+  size_t dim_;
+  float* velocity_ = nullptr;   // external slab slice or owned_.data()
+  std::vector<float> owned_;
   double last_param_sq_norm_ = -1.0;
 };
 
 class AdamOptimizer : public Optimizer {
  public:
-  AdamOptimizer(const OptimizerConfig& config, size_t dim)
-      : config_(config), m_(dim, 0.0f), v_(dim, 0.0f) {}
+  AdamOptimizer(const OptimizerConfig& config, size_t dim, float* state)
+      : config_(config), dim_(dim) {
+    if (state != nullptr) {
+      m_ = state;
+      v_ = state + dim;
+    } else {
+      owned_.assign(2 * dim, 0.0f);
+      m_ = owned_.data();
+      v_ = owned_.data() + dim;
+    }
+    vec::Fill(m_, dim_, 0.0f);
+    vec::Fill(v_, dim_, 0.0f);
+  }
 
   void Step(float* params, const float* grads, size_t n) override {
-    FEDRA_CHECK_EQ(m_.size(), n);
+    FEDRA_CHECK_EQ(dim_, n);
     ++step_;
     const float lr = config_.learning_rate;
     const float b1 = config_.beta1;
@@ -168,14 +203,16 @@ class AdamOptimizer : public Optimizer {
         1.0 - std::pow(static_cast<double>(b2), static_cast<double>(step_));
     const float corrected_lr =
         lr * static_cast<float>(std::sqrt(bias2) / bias1);
+    float* m = m_;
+    float* v = v_;
     for (size_t i = 0; i < n; ++i) {
       float g = grads[i];
       if (!decoupled) {
         g += wd * params[i];  // classic L2 regularization
       }
-      m_[i] = b1 * m_[i] + (1.0f - b1) * g;
-      v_[i] = b2 * v_[i] + (1.0f - b2) * g * g;
-      params[i] -= corrected_lr * m_[i] / (std::sqrt(v_[i]) + eps);
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      params[i] -= corrected_lr * m[i] / (std::sqrt(v[i]) + eps);
       if (decoupled) {
         params[i] -= lr * wd * params[i];  // AdamW decoupled decay
       }
@@ -184,35 +221,33 @@ class AdamOptimizer : public Optimizer {
 
   void Reset() override {
     step_ = 0;
-    for (float& x : m_) {
-      x = 0.0f;
-    }
-    for (float& x : v_) {
-      x = 0.0f;
-    }
+    vec::Fill(m_, dim_, 0.0f);
+    vec::Fill(v_, dim_, 0.0f);
   }
 
   std::string name() const override { return config_.ToString(); }
 
  private:
   OptimizerConfig config_;
-  std::vector<float> m_;
-  std::vector<float> v_;
+  size_t dim_;
+  float* m_ = nullptr;  // external slab slices or owned_.data()
+  float* v_ = nullptr;
+  std::vector<float> owned_;
   uint64_t step_ = 0;
 };
 
 }  // namespace
 
 std::unique_ptr<Optimizer> Optimizer::Create(const OptimizerConfig& config,
-                                             size_t dim) {
+                                             size_t dim, float* state) {
   FEDRA_CHECK_OK(config.Validate());
   switch (config.kind) {
     case OptimizerConfig::Kind::kSgd:
     case OptimizerConfig::Kind::kSgdMomentum:
-      return std::make_unique<SgdOptimizer>(config, dim);
+      return std::make_unique<SgdOptimizer>(config, dim, state);
     case OptimizerConfig::Kind::kAdam:
     case OptimizerConfig::Kind::kAdamW:
-      return std::make_unique<AdamOptimizer>(config, dim);
+      return std::make_unique<AdamOptimizer>(config, dim, state);
   }
   FEDRA_CHECK(false) << "unknown optimizer kind";
   return nullptr;

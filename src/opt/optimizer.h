@@ -44,6 +44,11 @@ struct OptimizerConfig {
   /// Validates ranges (lr > 0, momentum in [0,1), betas in (0,1), ...).
   Status Validate() const;
 
+  /// Number of dim-length state vectors this optimizer kind maintains
+  /// (0 for SGD, 1 for momentum, 2 for Adam/AdamW). A WorkerArena sizes
+  /// its optimizer-state slab as num_workers * StateSlots() * dim.
+  size_t StateSlots() const;
+
   std::string ToString() const;
 };
 
@@ -66,8 +71,16 @@ class Optimizer {
   virtual double last_param_sq_norm() const { return -1.0; }
 
   /// Creates an optimizer for a model of dimension `dim`.
+  ///
+  /// When `state` is non-null it must point at config.StateSlots() * dim
+  /// floats that outlive the optimizer (a worker's slice of the trainer's
+  /// arena slab); the optimizer zeroes and uses them in place of owned
+  /// buffers, so the cohort's whole optimizer state is one contiguous
+  /// [K x slots x dim] slab. When null the optimizer owns its state
+  /// (standalone use, server-side FedOpt optimizers).
   static std::unique_ptr<Optimizer> Create(const OptimizerConfig& config,
-                                           size_t dim);
+                                           size_t dim,
+                                           float* state = nullptr);
 };
 
 }  // namespace fedra

@@ -77,6 +77,32 @@ SimNetwork::SimNetwork(int num_workers, HierarchicalNetworkModel hierarchy,
   FEDRA_CHECK(hierarchy_.enabled());
 }
 
+void SimNetwork::SetWorkerLinkFactors(std::vector<double> factors) {
+  FEDRA_CHECK_EQ(factors.size(), static_cast<size_t>(num_workers_));
+  for (double factor : factors) {
+    FEDRA_CHECK_GE(factor, 1.0) << "link factors are slowdowns (>= 1)";
+  }
+  worker_link_factors_ = std::move(factors);
+}
+
+double SimNetwork::SlowestLinkFactor() const {
+  double max_factor = 1.0;
+  for (double factor : worker_link_factors_) {
+    max_factor = std::max(max_factor, factor);
+  }
+  return max_factor;
+}
+
+const std::vector<double>* SimNetwork::LinkFactorsOrNull() const {
+  return worker_link_factors_.empty() ? nullptr : &worker_link_factors_;
+}
+
+NetworkModel SimNetwork::EffectiveModel() const {
+  NetworkModel effective = model_;
+  effective.bandwidth_bytes_per_sec /= SlowestLinkFactor();
+  return effective;
+}
+
 void SimNetwork::Charge(size_t intra_bytes, size_t uplink_bytes,
                         double intra_seconds, double uplink_seconds,
                         TrafficClass traffic) {
@@ -110,8 +136,8 @@ void SimNetwork::AccountAllReduce(size_t payload_bytes_sum,
                             static_cast<double>(num_workers_);
   if (hierarchy_.enabled()) {
     const HierarchicalNetworkModel::TierCost cost =
-        hierarchy_.GroupedAllReduceCost(per_worker, num_workers_,
-                                        algorithm_);
+        hierarchy_.GroupedAllReduceCost(per_worker, num_workers_, algorithm_,
+                                        LinkFactorsOrNull());
     Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
            cost.uplink_seconds, traffic);
     return;
@@ -120,8 +146,10 @@ void SimNetwork::AccountAllReduce(size_t payload_bytes_sum,
       std::llround(NetworkModel::AllReduceTotalBytesFromSum(
           static_cast<double>(payload_bytes_sum), num_workers_,
           algorithm_)));
+  // Slowest-link formula: every worker participates, so the collective is
+  // paced by the slowest participant's channel.
   const double seconds =
-      model_.AllReduceSeconds(per_worker, num_workers_, algorithm_);
+      EffectiveModel().AllReduceSeconds(per_worker, num_workers_, algorithm_);
   Charge(0, total_bytes, 0.0, seconds, traffic);
 }
 
@@ -222,32 +250,42 @@ void SimNetwork::Broadcast(const std::vector<float*>& buffers, size_t n,
   const size_t payload = n * sizeof(float);
   if (hierarchy_.enabled()) {
     const HierarchicalNetworkModel::TierCost cost =
-        hierarchy_.BroadcastCost(payload, num_workers_);
+        hierarchy_.BroadcastCost(payload, num_workers_, LinkFactorsOrNull());
     Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
            cost.uplink_seconds, traffic);
     return;
   }
-  // K-1 transfers through the root's shared channel.
+  // K-1 transfers through the root's shared channel, paced by the slowest
+  // participating link.
+  const NetworkModel effective = EffectiveModel();
   const size_t total = payload * static_cast<size_t>(num_workers_ - 1);
   const double seconds =
-      model_.latency_seconds +
-      static_cast<double>(total) / model_.bandwidth_bytes_per_sec;
+      effective.latency_seconds +
+      static_cast<double>(total) / effective.bandwidth_bytes_per_sec;
   Charge(0, total, 0.0, seconds, traffic);
 }
 
-void SimNetwork::PointToPoint(size_t n, TrafficClass traffic) {
+void SimNetwork::PointToPoint(size_t n, TrafficClass traffic, int worker) {
   ++stats_.p2p_calls;
   const size_t payload = n * sizeof(float);
+  double factor = 1.0;
+  if (worker >= 0 && !worker_link_factors_.empty()) {
+    FEDRA_CHECK_LT(worker, num_workers_);
+    factor = worker_link_factors_[static_cast<size_t>(worker)];
+  }
   if (hierarchy_.enabled()) {
+    const int cluster =
+        worker >= 0 ? hierarchy_.ClusterOfWorker(worker, num_workers_) : -1;
     const HierarchicalNetworkModel::TierCost cost =
-        hierarchy_.PointToPointCost(payload);
+        hierarchy_.PointToPointCost(payload, cluster, factor);
     Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
            cost.uplink_seconds, traffic);
     return;
   }
   const double seconds =
       model_.latency_seconds +
-      static_cast<double>(payload) / model_.bandwidth_bytes_per_sec;
+      static_cast<double>(payload) / (model_.bandwidth_bytes_per_sec /
+                                      factor);
   Charge(0, payload, 0.0, seconds, traffic);
 }
 
@@ -257,10 +295,12 @@ double SimNetwork::ModelSyncSeconds(size_t payload_bytes) const {
   }
   if (hierarchy_.enabled()) {
     return hierarchy_
-        .GroupedAllReduceCost(payload_bytes, num_workers_, algorithm_)
+        .GroupedAllReduceCost(payload_bytes, num_workers_, algorithm_,
+                              LinkFactorsOrNull())
         .total_seconds();
   }
-  return model_.AllReduceSeconds(payload_bytes, num_workers_, algorithm_);
+  return EffectiveModel().AllReduceSeconds(payload_bytes, num_workers_,
+                                           algorithm_);
 }
 
 }  // namespace fedra

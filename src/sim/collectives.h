@@ -48,6 +48,19 @@ class SimNetwork {
   bool hierarchical() const { return hierarchy_.enabled(); }
   const HierarchicalNetworkModel& hierarchy() const { return hierarchy_; }
 
+  /// Straggler-aware collective cost: per-worker link-speed factors (>= 1,
+  /// e.g. the trainer's persistent straggler speed factors). When set,
+  /// grouped and flat collectives bill the *slowest participating link* —
+  /// single-tier collectives divide the channel bandwidth by the slowest
+  /// participant's factor; grouped collectives pace each intra phase by the
+  /// slowest member of that cluster and the uplink phase by the slowest
+  /// leader. Bytes are unaffected. All-ones (or never calling this) keeps
+  /// the homogeneous formulas bit-identical.
+  void SetWorkerLinkFactors(std::vector<double> factors);
+  const std::vector<double>& worker_link_factors() const {
+    return worker_link_factors_;
+  }
+
   /// In-place AllReduce-average: each buffers[k] (length n) is replaced by
   /// the elementwise mean over workers. Accounts bytes to `traffic`.
   void AllReduceAverage(const std::vector<float*>& buffers, size_t n,
@@ -82,7 +95,11 @@ class SimNetwork {
                  TrafficClass traffic);
 
   /// One worker uploads `n` floats to a coordinator (async FDA traffic).
-  void PointToPoint(size_t n, TrafficClass traffic);
+  /// Passing the uploading `worker` bills *that* worker's link: its
+  /// straggler factor (when SetWorkerLinkFactors is active) and, under a
+  /// heterogeneous hierarchy, its cluster's intra link. worker < 0 keeps
+  /// the homogeneous default links.
+  void PointToPoint(size_t n, TrafficClass traffic, int worker = -1);
 
   /// Simulated duration of one full-model collective of `payload_bytes` per
   /// worker under the configured topology/algorithm (no accounting) — the
@@ -102,6 +119,15 @@ class SimNetwork {
   // Splits a charge across the class and tier breakdowns.
   void Charge(size_t intra_bytes, size_t uplink_bytes, double intra_seconds,
               double uplink_seconds, TrafficClass traffic);
+  // Slowest participating link factor (1.0 when factors are unset).
+  double SlowestLinkFactor() const;
+  // The single-tier model with its bandwidth divided by the slowest
+  // participating link factor — the one place the slowest-link scaling is
+  // applied, so AllReduce, Broadcast, and ModelSyncSeconds stay in step.
+  NetworkModel EffectiveModel() const;
+  // The worker-factor vector to hand the hierarchical cost model, or null
+  // when unset (homogeneous links).
+  const std::vector<double>* LinkFactorsOrNull() const;
 
   int num_workers_;
   NetworkModel model_;
@@ -109,6 +135,7 @@ class SimNetwork {
   AllReduceAlgorithm algorithm_;
   CommStats stats_;
   std::vector<double> weight_scratch_;  // normalized weights per call
+  std::vector<double> worker_link_factors_;  // empty => homogeneous links
 };
 
 }  // namespace fedra

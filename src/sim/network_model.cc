@@ -144,10 +144,86 @@ int HierarchicalNetworkModel::MaxClusterSize(int num_workers) const {
   return (num_workers + clusters - 1) / clusters;
 }
 
+int HierarchicalNetworkModel::ClusterSize(int cluster,
+                                          int num_workers) const {
+  FEDRA_CHECK_GT(num_workers, 0);
+  FEDRA_CHECK(enabled());
+  const int clusters = std::min(num_clusters, num_workers);
+  FEDRA_CHECK(cluster >= 0 && cluster < clusters);
+  const int base = num_workers / clusters;
+  const int remainder = num_workers % clusters;
+  return base + (cluster < remainder ? 1 : 0);
+}
+
+const NetworkModel& HierarchicalNetworkModel::IntraModel(int cluster) const {
+  if (cluster_intra.empty()) {
+    return intra;
+  }
+  FEDRA_CHECK_EQ(cluster_intra.size(), static_cast<size_t>(num_clusters))
+      << "cluster_intra must have one NetworkModel per cluster";
+  FEDRA_CHECK(cluster >= 0 && cluster < num_clusters);
+  return cluster_intra[static_cast<size_t>(cluster)];
+}
+
+namespace {
+
+// Slowest member link of worker block [begin, begin + size); 1.0 without
+// factors (homogeneous links).
+double MaxLinkFactor(const std::vector<double>* factors, int begin,
+                     int size) {
+  if (factors == nullptr) {
+    return 1.0;
+  }
+  double max_factor = 1.0;
+  for (int i = begin; i < begin + size; ++i) {
+    FEDRA_CHECK_LT(static_cast<size_t>(i), factors->size());
+    max_factor = std::max(max_factor, (*factors)[static_cast<size_t>(i)]);
+  }
+  return max_factor;
+}
+
+// One intra phase of a grouped collective under the slowest-link formula:
+// clusters move `payload_bytes` over their own intra link concurrently, so
+// the phase paces on the slowest (size, link model, slowest-member factor)
+// combination; also reports the slowest *leader* factor for the uplink
+// phase. Shared by GroupedAllReduceCost and BroadcastCost so AllReduce and
+// Broadcast pacing can never diverge.
+struct IntraPhase {
+  double seconds = 0.0;          // 0 when every cluster has one member
+  double max_leader_factor = 1.0;
+};
+
+IntraPhase SlowestIntraPhase(const HierarchicalNetworkModel& h,
+                             double payload_bytes, int num_workers,
+                             const std::vector<double>* worker_link_factors) {
+  const int clusters = std::min(h.num_clusters, num_workers);
+  IntraPhase phase;
+  int begin = 0;
+  for (int c = 0; c < clusters; ++c) {
+    const int size = h.ClusterSize(c, num_workers);
+    phase.max_leader_factor =
+        std::max(phase.max_leader_factor,
+                 MaxLinkFactor(worker_link_factors, begin, 1));
+    if (size > 1) {
+      const NetworkModel& link = h.IntraModel(c);
+      const double factor = MaxLinkFactor(worker_link_factors, begin, size);
+      phase.seconds = std::max(
+          phase.seconds,
+          link.latency_seconds + static_cast<double>(size - 1) *
+                                     payload_bytes /
+                                     (link.bandwidth_bytes_per_sec / factor));
+    }
+    begin += size;
+  }
+  return phase;
+}
+
+}  // namespace
+
 HierarchicalNetworkModel::TierCost
 HierarchicalNetworkModel::GroupedAllReduceCost(
-    double payload_bytes, int num_workers,
-    AllReduceAlgorithm cross_algorithm) const {
+    double payload_bytes, int num_workers, AllReduceAlgorithm cross_algorithm,
+    const std::vector<double>* worker_link_factors) const {
   FEDRA_CHECK_GT(num_workers, 0);
   FEDRA_CHECK(enabled());
   TierCost cost;
@@ -155,40 +231,38 @@ HierarchicalNetworkModel::GroupedAllReduceCost(
     return cost;
   }
   const int clusters = std::min(num_clusters, num_workers);
-  const int max_cluster = MaxClusterSize(num_workers);
   const double members = static_cast<double>(num_workers - clusters);
-  // Phase 1 — reduce to leaders: each member pushes one payload over its
-  // cluster's shared intra link; clusters run concurrently, so time follows
-  // the largest cluster.
   const size_t member_bytes =
       static_cast<size_t>(std::llround(members * payload_bytes));
-  if (max_cluster > 1) {
-    cost.intra_seconds += intra.latency_seconds +
-                          static_cast<double>(max_cluster - 1) *
-                              payload_bytes / intra.bandwidth_bytes_per_sec;
-    cost.intra_bytes += member_bytes;
+  // Phase 1 — reduce to leaders: each member pushes one payload over its
+  // cluster's intra link; clusters run concurrently, so time follows the
+  // slowest cluster.
+  const IntraPhase phase =
+      SlowestIntraPhase(*this, payload_bytes, num_workers,
+                        worker_link_factors);
+  if (phase.seconds > 0.0) {
+    // Phases 1 and 3 are symmetric: members up, result down.
+    cost.intra_seconds += 2.0 * phase.seconds;
+    cost.intra_bytes += 2 * member_bytes;
   }
-  // Phase 2 — leaders AllReduce the cluster partials across the uplink.
+  // Phase 2 — leaders AllReduce the cluster partials across the uplink,
+  // paced by the slowest leader's link.
   if (clusters > 1) {
-    cost.uplink_seconds +=
-        uplink.AllReduceSeconds(payload_bytes, clusters, cross_algorithm);
+    NetworkModel effective_uplink = uplink;
+    effective_uplink.bandwidth_bytes_per_sec /= phase.max_leader_factor;
+    cost.uplink_seconds += effective_uplink.AllReduceSeconds(
+        payload_bytes, clusters, cross_algorithm);
     cost.uplink_bytes += static_cast<size_t>(
         std::llround(NetworkModel::AllReduceTotalBytesFromSum(
             static_cast<double>(clusters) * payload_bytes, clusters,
             cross_algorithm)));
   }
-  // Phase 3 — leaders broadcast the global result back down.
-  if (max_cluster > 1) {
-    cost.intra_seconds += intra.latency_seconds +
-                          static_cast<double>(max_cluster - 1) *
-                              payload_bytes / intra.bandwidth_bytes_per_sec;
-    cost.intra_bytes += member_bytes;
-  }
   return cost;
 }
 
 HierarchicalNetworkModel::TierCost HierarchicalNetworkModel::BroadcastCost(
-    size_t payload_bytes, int num_workers) const {
+    size_t payload_bytes, int num_workers,
+    const std::vector<double>* worker_link_factors) const {
   FEDRA_CHECK_GT(num_workers, 0);
   FEDRA_CHECK(enabled());
   TierCost cost;
@@ -196,36 +270,54 @@ HierarchicalNetworkModel::TierCost HierarchicalNetworkModel::BroadcastCost(
     return cost;
   }
   const int clusters = std::min(num_clusters, num_workers);
-  const int max_cluster = MaxClusterSize(num_workers);
+  const IntraPhase phase =
+      SlowestIntraPhase(*this, static_cast<double>(payload_bytes),
+                        num_workers, worker_link_factors);
   if (clusters > 1) {
     cost.uplink_seconds += uplink.latency_seconds +
                            static_cast<double>(clusters - 1) *
                                static_cast<double>(payload_bytes) /
-                               uplink.bandwidth_bytes_per_sec;
+                               (uplink.bandwidth_bytes_per_sec /
+                                phase.max_leader_factor);
     cost.uplink_bytes += static_cast<size_t>(clusters - 1) * payload_bytes;
   }
-  if (max_cluster > 1) {
-    cost.intra_seconds += intra.latency_seconds +
-                          static_cast<double>(max_cluster - 1) *
-                              static_cast<double>(payload_bytes) /
-                              intra.bandwidth_bytes_per_sec;
+  if (phase.seconds > 0.0) {
+    cost.intra_seconds += phase.seconds;
     cost.intra_bytes +=
         static_cast<size_t>(num_workers - clusters) * payload_bytes;
   }
   return cost;
 }
 
+int HierarchicalNetworkModel::ClusterOfWorker(int worker,
+                                              int num_workers) const {
+  FEDRA_CHECK(worker >= 0 && worker < num_workers);
+  int begin = 0;
+  const int clusters = std::min(num_clusters, num_workers);
+  for (int c = 0; c < clusters; ++c) {
+    begin += ClusterSize(c, num_workers);
+    if (worker < begin) {
+      return c;
+    }
+  }
+  FEDRA_CHECK(false) << "cluster blocks do not cover worker " << worker;
+  return 0;
+}
+
 HierarchicalNetworkModel::TierCost
-HierarchicalNetworkModel::PointToPointCost(size_t payload_bytes) const {
+HierarchicalNetworkModel::PointToPointCost(size_t payload_bytes, int cluster,
+                                           double link_factor) const {
   FEDRA_CHECK(enabled());
+  const NetworkModel& intra_link = cluster >= 0 ? IntraModel(cluster) : intra;
   TierCost cost;
-  cost.intra_seconds = intra.latency_seconds +
-                       static_cast<double>(payload_bytes) /
-                           intra.bandwidth_bytes_per_sec;
+  cost.intra_seconds =
+      intra_link.latency_seconds +
+      static_cast<double>(payload_bytes) /
+          (intra_link.bandwidth_bytes_per_sec / link_factor);
   cost.intra_bytes = payload_bytes;
   cost.uplink_seconds = uplink.latency_seconds +
                         static_cast<double>(payload_bytes) /
-                            uplink.bandwidth_bytes_per_sec;
+                            (uplink.bandwidth_bytes_per_sec / link_factor);
   cost.uplink_bytes = payload_bytes;
   return cost;
 }

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace fedra {
 
@@ -82,7 +83,22 @@ struct HierarchicalNetworkModel {
   NetworkModel uplink;  // tier 1: cross-cluster (edge -> cloud WAN)
   int num_clusters = 0;
 
+  /// Optional heterogeneous intra tier: one NetworkModel per cluster
+  /// (asymmetric edge clusters — a fast lab LAN next to a slow cellular
+  /// cluster). Empty (the default) means every cluster shares `intra`.
+  /// When non-empty the size must equal num_clusters.
+  std::vector<NetworkModel> cluster_intra;
+
   bool enabled() const { return num_clusters > 0; }
+
+  /// The intra link of one cluster: cluster_intra[cluster] when the
+  /// heterogeneous tier is configured, the shared `intra` otherwise.
+  const NetworkModel& IntraModel(int cluster) const;
+
+  /// Size of cluster `c` for `num_workers` workers (contiguous blocks, as
+  /// equal as possible: the first num_workers % clusters blocks get one
+  /// extra worker).
+  int ClusterSize(int cluster, int num_workers) const;
 
   /// Per-tier cost of one collective. Bytes follow the paper's "total data
   /// transmitted by all workers" convention; seconds take the slowest
@@ -103,16 +119,35 @@ struct HierarchicalNetworkModel {
   /// (3) leaders broadcast the result back down (flat, intra link).
   /// `payload_bytes` is a double (mean wire size for variable-size
   /// compressed payloads); per-tier byte totals round to the nearest byte.
-  TierCost GroupedAllReduceCost(double payload_bytes, int num_workers,
-                                AllReduceAlgorithm cross_algorithm) const;
+  ///
+  /// `worker_link_factors` (optional, one entry per worker in cluster
+  /// order) enables the slowest-link formula: each intra phase is billed
+  /// at the slowest member link of its cluster (bandwidth / max factor),
+  /// the uplink phase at the slowest leader link. Null or all-ones keeps
+  /// the homogeneous cost. Bytes never change — stragglers slow links
+  /// down, they do not change what transits them.
+  TierCost GroupedAllReduceCost(
+      double payload_bytes, int num_workers,
+      AllReduceAlgorithm cross_algorithm,
+      const std::vector<double>* worker_link_factors = nullptr) const;
 
   /// Broadcast from one worker to all others: down the uplink across
   /// cluster leaders, then down the intra links within each cluster.
-  TierCost BroadcastCost(size_t payload_bytes, int num_workers) const;
+  /// `worker_link_factors` applies the slowest-link formula as above.
+  TierCost BroadcastCost(
+      size_t payload_bytes, int num_workers,
+      const std::vector<double>* worker_link_factors = nullptr) const;
 
   /// One worker uploads to the (cloud-side) coordinator: an intra hop to
-  /// the cluster leader plus an uplink hop.
-  TierCost PointToPointCost(size_t payload_bytes) const;
+  /// the cluster leader plus an uplink hop. `cluster` selects the worker's
+  /// intra link when the heterogeneous tier is configured (< 0 falls back
+  /// to the shared `intra`); `link_factor` applies the worker's straggler
+  /// slowdown to both hops.
+  TierCost PointToPointCost(size_t payload_bytes, int cluster = -1,
+                            double link_factor = 1.0) const;
+
+  /// Which contiguous cluster block `worker` belongs to.
+  int ClusterOfWorker(int worker, int num_workers) const;
 
   /// Largest cluster size for `num_workers` workers (contiguous blocks).
   int MaxClusterSize(int num_workers) const;

@@ -10,6 +10,11 @@ namespace fedra {
 namespace {
 
 thread_local bool tls_on_pool_thread = false;
+// Which pool (and worker index) the current thread belongs to. A nested
+// ParallelFor on the *same* pool can then feed its own deque so idle peers
+// steal the chunks instead of the whole loop running inline.
+thread_local const void* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
 
 // Completion token for one ParallelForRange call. Heap-owned (shared_ptr)
 // because runner tasks can outlive the call: once every chunk is claimed the
@@ -80,8 +85,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::PushTask(std::function<void()> task) {
-  const size_t index =
-      push_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  PushTaskTo(push_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                 queues_.size(),
+             std::move(task));
+}
+
+void ThreadPool::PushTaskTo(size_t index, std::function<void()> task) {
   // Publish the count before the task so queued_ never underflows when a
   // worker pops between the two writes; a transiently high count only costs
   // a spurious wakeup.
@@ -122,6 +131,8 @@ std::function<void()> ThreadPool::TryPop(size_t preferred) {
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_on_pool_thread = true;
+  tls_pool = this;
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task = TryPop(worker_index);
     if (task) {
@@ -176,9 +187,13 @@ void ThreadPool::ParallelForRange(
     return;
   }
   grain = std::max<size_t>(1, grain);
-  // Inline when parallelism can't help — or would deadlock: a worker waiting
-  // on its token would block the very thread that has to drain its deque.
-  if (n <= grain || threads_.size() == 1 || OnPoolThread()) {
+  const bool nested = tls_pool == this;
+  // Inline when parallelism can't help: trivially small loops, a
+  // single-thread pool, or a caller that is a worker of a *different* pool
+  // (feeding this pool's deques from there and blocking would risk
+  // cross-pool cycles; this never happens with the single global pool).
+  if (n <= grain || threads_.size() == 1 ||
+      (OnPoolThread() && !nested)) {
     body(0, n);
     return;
   }
@@ -187,10 +202,24 @@ void ThreadPool::ParallelForRange(
   state->grain = grain;
   state->num_chunks = (n + grain - 1) / grain;
   state->body = body;
-  // The caller is one runner, so at most num_chunks - 1 helpers are useful.
-  const size_t helpers = std::min(state->num_chunks - 1, threads_.size());
+  // The caller is one runner, so at most num_chunks - 1 helpers are useful —
+  // and a nested caller occupies one worker itself, leaving only
+  // threads_ - 1 peers that could ever steal a runner.
+  const size_t max_helpers = nested ? threads_.size() - 1 : threads_.size();
+  const size_t helpers = std::min(state->num_chunks - 1, max_helpers);
   for (size_t t = 0; t < helpers; ++t) {
-    PushTask([state] { state->RunChunks(); });
+    if (nested) {
+      // Nested call from a pool worker: park the helper runners on this
+      // worker's own deque. Idle peers steal them (nested loops really
+      // parallelize); if nobody does, the caller drains every chunk itself
+      // below and the runners become no-ops. Deadlock-free: the caller only
+      // ever waits on chunks that are *running* on other workers, never on
+      // queued ones — RunChunks claims all remaining chunks before the
+      // wait starts.
+      PushTaskTo(tls_worker_index, [state] { state->RunChunks(); });
+    } else {
+      PushTask([state] { state->RunChunks(); });
+    }
   }
   state->RunChunks();
   // Wait for this call's chunks only. Chunks claimed by workers may still be

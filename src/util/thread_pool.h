@@ -57,7 +57,11 @@ class ThreadPool {
   /// Runs body(i) for i in [0, n), distributing across the pool and blocking
   /// until done. Indices are handed out `grain` at a time so fine-grained
   /// loops don't pay one queue round-trip per index. Runs inline when the
-  /// pool has one thread, n <= grain, or the caller is itself a pool worker.
+  /// pool has one thread or n <= grain. A nested call from one of this
+  /// pool's own workers pushes its helper runners onto that worker's deque —
+  /// idle peers steal them, so nested loops (a GEMM inside a parallel
+  /// worker step) still fan out; the caller drains all remaining chunks
+  /// itself, so an all-busy pool degrades to the old inline behavior.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body,
                    size_t grain = 1);
 
@@ -88,6 +92,9 @@ class ThreadPool {
   std::function<void()> TryPop(size_t preferred);
   // Round-robin push + wakeup; the backbone of Schedule and ParallelFor.
   void PushTask(std::function<void()> task);
+  // Push to one specific worker's deque (nested ParallelFor feeds the
+  // calling worker's own deque).
+  void PushTaskTo(size_t index, std::function<void()> task);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;

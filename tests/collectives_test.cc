@@ -407,6 +407,155 @@ TEST(HierarchicalTest, UnevenClustersUseLargestForTime) {
   EXPECT_EQ(cost.intra_bytes, 2u * 3u * p);
 }
 
+TEST(HierarchicalTest, PerClusterIntraLinksDefaultToSharedModel) {
+  // Populating cluster_intra with copies of the shared model must not
+  // change any cost — the heterogeneous path degenerates bit-exactly.
+  const size_t p = 1000;
+  auto shared = TestHierarchy(2);
+  auto hetero = TestHierarchy(2);
+  hetero.cluster_intra = {hetero.intra, hetero.intra};
+  for (int workers : {2, 4, 5, 9}) {
+    const auto a =
+        shared.GroupedAllReduceCost(p, workers, AllReduceAlgorithm::kFlat);
+    const auto b =
+        hetero.GroupedAllReduceCost(p, workers, AllReduceAlgorithm::kFlat);
+    EXPECT_DOUBLE_EQ(a.intra_seconds, b.intra_seconds) << workers;
+    EXPECT_DOUBLE_EQ(a.uplink_seconds, b.uplink_seconds) << workers;
+    EXPECT_EQ(a.intra_bytes, b.intra_bytes) << workers;
+    EXPECT_EQ(a.uplink_bytes, b.uplink_bytes) << workers;
+  }
+}
+
+TEST(HierarchicalTest, HeterogeneousClusterLinksPaceOnTheirOwnModel) {
+  // K = 4 in 2 clusters of 2; cluster 1's intra link is 10x slower than
+  // cluster 0's, so both intra phases pace on cluster 1 even though the
+  // cluster sizes match.
+  const size_t p = 1 << 20;
+  auto h = TestHierarchy(2);
+  h.cluster_intra = {h.intra, h.intra};
+  h.cluster_intra[1].bandwidth_bytes_per_sec = 2e8;  // 10x slower
+  EXPECT_EQ(h.ClusterSize(0, 4), 2);
+  EXPECT_EQ(h.ClusterSize(1, 4), 2);
+  const auto cost = h.GroupedAllReduceCost(p, 4, AllReduceAlgorithm::kFlat);
+  const double slow_phase = 1e-4 + static_cast<double>(p) / 2e8;
+  EXPECT_DOUBLE_EQ(cost.intra_seconds, 2.0 * slow_phase);
+  // Bytes do not depend on link speed: 2 members x 2 phases.
+  EXPECT_EQ(cost.intra_bytes, 2u * 2u * p);
+
+  // A fast model for cluster 1 instead hands pacing back to cluster 0.
+  h.cluster_intra[1].bandwidth_bytes_per_sec = 2e10;
+  const auto fast = h.GroupedAllReduceCost(p, 4, AllReduceAlgorithm::kFlat);
+  const double shared_phase = 1e-4 + static_cast<double>(p) / 2e9;
+  EXPECT_DOUBLE_EQ(fast.intra_seconds, 2.0 * shared_phase);
+}
+
+TEST(HierarchicalTest, ClusterSizesAreContiguousAndBalanced) {
+  auto h = TestHierarchy(3);
+  // 8 workers over 3 clusters: sizes {3, 3, 2}.
+  EXPECT_EQ(h.ClusterSize(0, 8), 3);
+  EXPECT_EQ(h.ClusterSize(1, 8), 3);
+  EXPECT_EQ(h.ClusterSize(2, 8), 2);
+  EXPECT_EQ(h.MaxClusterSize(8), 3);
+}
+
+TEST(AccountingTest, SlowestLinkPacesFlatCollectives) {
+  // Golden straggler accounting: with a 4x-slow worker on the shared
+  // channel, the flat AllReduce takes latency + K * p / (bw / 4) — the
+  // slowest participating link paces everyone. Bytes stay unchanged.
+  const size_t n = 1024;
+  const size_t p = n * sizeof(float);
+  const int workers = 4;
+  SimNetwork network(workers, TestModel(), AllReduceAlgorithm::kFlat);
+  network.SetWorkerLinkFactors({1.0, 4.0, 1.0, 1.0});
+  auto buffers = RandomBuffers(workers, n, 21);
+  auto pointers = Pointers(buffers);
+  network.AllReduceAverage(pointers, n, TrafficClass::kModelSync);
+  EXPECT_DOUBLE_EQ(network.stats().comm_seconds,
+                   1e-3 + 4.0 * static_cast<double>(workers) *
+                              static_cast<double>(p) / 1e9);
+  EXPECT_EQ(network.stats().bytes_total,
+            static_cast<size_t>(workers) * p);
+}
+
+TEST(AccountingTest, AllOnesLinkFactorsMatchHomogeneousExactly) {
+  const size_t n = 2048;
+  const int workers = 5;
+  auto run = [&](bool with_factors) {
+    SimNetwork network(workers, TestModel(), AllReduceAlgorithm::kRing);
+    if (with_factors) {
+      network.SetWorkerLinkFactors(std::vector<double>(workers, 1.0));
+    }
+    auto buffers = RandomBuffers(workers, n, 22);
+    auto pointers = Pointers(buffers);
+    network.AllReduceAverage(pointers, n, TrafficClass::kModelSync);
+    network.Broadcast(pointers, n, 0, TrafficClass::kModelSync);
+    return network.stats();
+  };
+  const CommStats plain = run(false);
+  const CommStats ones = run(true);
+  EXPECT_DOUBLE_EQ(plain.comm_seconds, ones.comm_seconds);
+  EXPECT_EQ(plain.bytes_total, ones.bytes_total);
+}
+
+TEST(AccountingTest, SlowestMemberPacesItsClusterOnly) {
+  // K = 4 in 2 clusters of 2; worker 3 (cluster 1) is 8x slow. Cluster 1's
+  // intra phases slow 8x, cluster 0's do not — pacing takes the max. The
+  // uplink is paced by leaders (workers 0 and 2), both factor 1.
+  const size_t p = 1 << 20;
+  auto h = TestHierarchy(2);
+  const std::vector<double> factors = {1.0, 1.0, 1.0, 8.0};
+  const auto cost =
+      h.GroupedAllReduceCost(p, 4, AllReduceAlgorithm::kFlat, &factors);
+  const double slow_phase = 1e-4 + static_cast<double>(p) / (2e9 / 8.0);
+  EXPECT_DOUBLE_EQ(cost.intra_seconds, 2.0 * slow_phase);
+  const double uplink_phase = 1e-2 + 2.0 * static_cast<double>(p) / 1e8;
+  EXPECT_DOUBLE_EQ(cost.uplink_seconds, uplink_phase);
+
+  // A slow *leader* (worker 2) instead slows the uplink phase.
+  const std::vector<double> slow_leader = {1.0, 1.0, 8.0, 1.0};
+  const auto leader_cost =
+      h.GroupedAllReduceCost(p, 4, AllReduceAlgorithm::kFlat, &slow_leader);
+  EXPECT_DOUBLE_EQ(leader_cost.uplink_seconds,
+                   1e-2 + 2.0 * static_cast<double>(p) / (1e8 / 8.0));
+}
+
+TEST(AccountingTest, PointToPointBillsTheUploadingWorkersLink) {
+  // A slow worker's state uploads transit *its* link: the same straggler
+  // factor that paces collectives also paces its point-to-point traffic,
+  // and under a heterogeneous hierarchy the upload uses its cluster's
+  // intra model. Workers without a factor stay at homogeneous cost.
+  const size_t n = 100;
+  const size_t p = n * sizeof(float);
+  auto h = TestHierarchy(2);
+  h.cluster_intra = {h.intra, h.intra};
+  h.cluster_intra[1].bandwidth_bytes_per_sec = 4e8;  // workers 2, 3
+  SimNetwork network(4, h, AllReduceAlgorithm::kFlat);
+  network.SetWorkerLinkFactors({1.0, 1.0, 1.0, 5.0});
+
+  network.PointToPoint(n, TrafficClass::kLocalState, 0);  // fast cluster
+  EXPECT_DOUBLE_EQ(network.stats().seconds_intra,
+                   1e-4 + static_cast<double>(p) / 2e9);
+  const double uplink_fast = 1e-2 + static_cast<double>(p) / 1e8;
+  EXPECT_DOUBLE_EQ(network.stats().seconds_uplink, uplink_fast);
+
+  network.ResetStats();
+  network.PointToPoint(n, TrafficClass::kLocalState, 3);  // slow worker
+  EXPECT_DOUBLE_EQ(network.stats().seconds_intra,
+                   1e-4 + static_cast<double>(p) / (4e8 / 5.0));
+  EXPECT_DOUBLE_EQ(network.stats().seconds_uplink,
+                   1e-2 + static_cast<double>(p) / (1e8 / 5.0));
+  // Bytes are link-speed independent.
+  EXPECT_EQ(network.stats().bytes_total, 2u * p);
+}
+
+TEST(AccountingTest, ModelSyncSecondsReflectsSlowestLink) {
+  SimNetwork network(4, TestModel(), AllReduceAlgorithm::kFlat);
+  const double before = network.ModelSyncSeconds(1 << 20);
+  network.SetWorkerLinkFactors({1.0, 1.0, 6.0, 1.0});
+  const double after = network.ModelSyncSeconds(1 << 20);
+  EXPECT_DOUBLE_EQ(after - 1e-3, 6.0 * (before - 1e-3));
+}
+
 TEST(AccountingTest, AlgorithmNames) {
   EXPECT_STREQ(AllReduceAlgorithmName(AllReduceAlgorithm::kFlat), "flat");
   EXPECT_STREQ(AllReduceAlgorithmName(AllReduceAlgorithm::kRing), "ring");

@@ -1,0 +1,255 @@
+// Golden-history parity tests for the shared-graph / arena refactor.
+//
+// The hard guarantee of the PR that introduced ModelGraph + WorkerArena is
+// that execution is *bit-identical* to the old one-Model-per-worker trainer:
+// for a fixed seed, DistributedTrainer::Run and AsyncFdaTrainer::Run must
+// produce the same EvalPoint history (step, accuracies, bytes, sync_count)
+// they produced before the refactor, with parallel_workers on or off.
+//
+// The GOLDEN arrays below were captured from the pre-refactor trainer
+// (commit c11813b) by running this test with FEDRA_GOLDEN_PRINT=1; the
+// refactored trainer must keep reproducing them. Integer fields compare
+// exactly; accuracies are exact sample-count ratios so they compare exactly
+// too; simulated seconds compare at 1e-9 relative tolerance (double sums
+// whose last bits may legitimately differ across FMA-contraction choices of
+// other toolchains).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/async_fda.h"
+#include "data/synth.h"
+#include "nn/zoo.h"
+
+namespace fedra {
+namespace {
+
+struct GoldenPoint {
+  size_t step;
+  double train_accuracy;
+  double test_accuracy;
+  uint64_t bytes;
+  uint64_t sync_count;
+  double sim_seconds;
+};
+
+void PrintHistory(const char* name, const std::vector<EvalPoint>& history) {
+  std::printf("const GoldenPoint k%s[] = {\n", name);
+  for (const EvalPoint& p : history) {
+    std::printf("    {%zu, %.17g, %.17g, %lluull, %lluull, %.17g},\n", p.step,
+                p.train_accuracy, p.test_accuracy,
+                static_cast<unsigned long long>(p.bytes),
+                static_cast<unsigned long long>(p.sync_count), p.sim_seconds);
+  }
+  std::printf("};\n");
+}
+
+bool GoldenPrintMode() {
+  const char* env = std::getenv("FEDRA_GOLDEN_PRINT");
+  return env != nullptr && env[0] == '1';
+}
+
+template <size_t N>
+void ExpectHistoryMatches(const char* name,
+                          const std::vector<EvalPoint>& history,
+                          const GoldenPoint (&golden)[N]) {
+  if (GoldenPrintMode()) {
+    PrintHistory(name, history);
+    return;
+  }
+  ASSERT_EQ(history.size(), N) << name;
+  for (size_t i = 0; i < N; ++i) {
+    SCOPED_TRACE(::testing::Message() << name << " point " << i);
+    EXPECT_EQ(history[i].step, golden[i].step);
+    EXPECT_DOUBLE_EQ(history[i].train_accuracy, golden[i].train_accuracy);
+    EXPECT_DOUBLE_EQ(history[i].test_accuracy, golden[i].test_accuracy);
+    EXPECT_EQ(history[i].bytes, golden[i].bytes);
+    EXPECT_EQ(history[i].sync_count, golden[i].sync_count);
+    EXPECT_NEAR(history[i].sim_seconds, golden[i].sim_seconds,
+                1e-9 * std::max(1.0, golden[i].sim_seconds));
+  }
+}
+
+/// Every history must be bit-identical between the two runs (the refactor's
+/// determinism claim: each worker writes only its own slab slice).
+void ExpectHistoriesBitIdentical(const std::vector<EvalPoint>& a,
+                                 const std::vector<EvalPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "point " << i);
+    EXPECT_EQ(a[i].step, b[i].step);
+    EXPECT_EQ(a[i].epoch, b[i].epoch);
+    EXPECT_EQ(a[i].train_accuracy, b[i].train_accuracy);
+    EXPECT_EQ(a[i].test_accuracy, b[i].test_accuracy);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].sync_count, b[i].sync_count);
+    EXPECT_EQ(a[i].sim_seconds, b[i].sim_seconds);
+  }
+}
+
+SynthImageData SmallMnistLike() {
+  SynthImageConfig config = MnistLikeConfig();
+  config.num_train = 512;
+  config.num_test = 256;
+  config.image_size = 16;
+  auto data = GenerateSynthImages(config);
+  FEDRA_CHECK(data.ok());
+  return std::move(data).value();
+}
+
+// Captured pre-refactor (see file comment).
+const GoldenPoint kMlpLinearFda[] = {
+    {20, 0.484375, 0.6796875, 103328ull, 1ull, 0.20011976114285718},
+    {40, 0.7734375, 0.8046875, 206656ull, 2ull, 0.40023952228571447},
+    {60, 0.9375, 0.90625, 309984ull, 3ull, 0.6003592834285717},
+};
+
+const GoldenPoint kLenetSync[] = {
+    {5, 0.328125, 0.25, 855440ull, 5ull, 0.050147205714285714},
+    {10, 0.625, 0.671875, 1710880ull, 10ull, 0.10029441142857141},
+};
+
+const GoldenPoint kMlpFedAvg[] = {
+    {8, 0.2734375, 0.296875, 0ull, 0ull, 0.080000000000000002},
+    {16, 0.4609375, 0.5390625, 51344ull, 1ull, 0.16001233485714286},
+};
+
+const GoldenPoint kMlpAsync[] = {
+    {10, 0.4609375, 0.484375, 77256ull, 1ull, 0.11001600228571427},
+    {20, 0.578125, 0.6328125, 77496ull, 1ull, 0.21001600228571435},
+    {30, 0.6953125, 0.75, 154752ull, 2ull, 0.31003200457142871},
+    {40, 0.7578125, 0.828125, 154992ull, 2ull, 0.4100320045714288},
+    {50, 0.9140625, 0.859375, 232248ull, 3ull, 0.51004800685714313},
+};
+
+TrainerConfig MlpConfig(int num_workers) {
+  TrainerConfig config;
+  config.num_workers = num_workers;
+  config.batch_size = 16;
+  config.local_optimizer = OptimizerConfig::Adam(0.002f);
+  config.seed = 11;
+  config.max_steps = 60;
+  config.eval_every_steps = 20;
+  config.eval_subset = 128;
+  return config;
+}
+
+TEST(GoldenHistoryTest, MlpLinearFdaSequentialAndParallel) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+  auto run_with = [&](bool parallel) {
+    TrainerConfig config = MlpConfig(4);
+    config.parallel_workers = parallel;
+    DistributedTrainer trainer(factory, data.train, data.test, config);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(0.5),
+                                 trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    return result->history;
+  };
+  std::vector<EvalPoint> sequential = run_with(false);
+  std::vector<EvalPoint> parallel = run_with(true);
+  ExpectHistoryMatches("MlpLinearFda", sequential, kMlpLinearFda);
+  ExpectHistoriesBitIdentical(sequential, parallel);
+}
+
+TEST(GoldenHistoryTest, LenetSynchronous) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::LeNet5(1, 16, 10); };
+  TrainerConfig config;
+  config.num_workers = 2;
+  config.batch_size = 8;
+  config.local_optimizer = OptimizerConfig::SgdMomentum(0.05f, 0.9f, true);
+  config.seed = 7;
+  config.max_steps = 10;
+  config.eval_every_steps = 5;
+  config.eval_subset = 64;
+  DistributedTrainer trainer(factory, data.train, data.test, config);
+  auto policy = MakeSyncPolicy(AlgorithmConfig::Synchronous(),
+                               trainer.model_dim());
+  ASSERT_TRUE(policy.ok());
+  auto result = trainer.Run(policy->get());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectHistoryMatches("LenetSync", result->history, kLenetSync);
+}
+
+TEST(GoldenHistoryTest, MlpFedAvg) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+  TrainerConfig config;
+  config.num_workers = 2;
+  config.batch_size = 16;
+  config.local_optimizer = OptimizerConfig::Sgd(0.05f);
+  config.seed = 13;
+  config.max_steps = 16;
+  config.eval_every_steps = 8;
+  config.eval_subset = 128;
+  DistributedTrainer trainer(factory, data.train, data.test, config);
+  auto policy = MakeSyncPolicy(AlgorithmConfig::FedAvg(1),
+                               trainer.model_dim());
+  ASSERT_TRUE(policy.ok());
+  auto result = trainer.Run(policy->get());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectHistoryMatches("MlpFedAvg", result->history, kMlpFedAvg);
+}
+
+TEST(GoldenHistoryTest, MlpAsyncFda) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+  TrainerConfig config = MlpConfig(3);
+  config.eval_every_steps = 10;
+  config.straggler = StragglerModel::None(0.01);
+  AsyncFdaConfig async_config;
+  async_config.theta = 0.5;
+  async_config.monitor.kind = MonitorKind::kLinear;
+  async_config.max_total_worker_steps = 150;
+  AsyncFdaTrainer trainer(factory, data.train, data.test, config,
+                          async_config);
+  auto result = trainer.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectHistoryMatches("MlpAsync", result->base.history, kMlpAsync);
+}
+
+/// Composite coverage (BatchNorm, Dropout, DenseBlock, transitions) under
+/// the shared graph: parallel and sequential worker execution must be
+/// bit-identical. Runtime-compared (no hard-coded floats) so it holds on
+/// any toolchain.
+TEST(GoldenHistoryTest, DenseNetParallelMatchesSequentialBitExact) {
+  SynthImageConfig synth = MnistLikeConfig();
+  synth.num_train = 64;
+  synth.num_test = 32;
+  synth.image_size = 16;
+  auto data = GenerateSynthImages(synth);
+  ASSERT_TRUE(data.ok());
+  auto factory = [] { return zoo::DenseNet121Lite(1, 16, 10); };
+  auto run_with = [&](bool parallel) {
+    TrainerConfig config;
+    config.num_workers = 2;
+    config.batch_size = 4;
+    config.local_optimizer = OptimizerConfig::SgdMomentum(0.01f, 0.9f, true);
+    config.seed = 5;
+    config.max_steps = 4;
+    config.eval_every_steps = 2;
+    config.eval_subset = 32;
+    config.parallel_workers = parallel;
+    DistributedTrainer trainer(factory, data->train, data->test, config);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(0.1),
+                                 trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    return result->history;
+  };
+  std::vector<EvalPoint> sequential = run_with(false);
+  std::vector<EvalPoint> parallel = run_with(true);
+  ASSERT_FALSE(sequential.empty());
+  ExpectHistoriesBitIdentical(sequential, parallel);
+}
+
+}  // namespace
+}  // namespace fedra

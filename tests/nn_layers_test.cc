@@ -1,6 +1,8 @@
 // Layer tests: shape contracts, exact small cases, and finite-difference
 // gradient checks for every layer type (the invariant that makes the whole
-// DL substrate trustworthy).
+// DL substrate trustworthy). Layers execute through a LayerHarness — the
+// standalone ParameterStore + LayerStateStore environment mirroring what a
+// shared ModelGraph provides per execution slot.
 
 #include <memory>
 
@@ -18,26 +20,16 @@ namespace {
 
 using testing::CheckInputGradient;
 using testing::FillUniform;
-
-/// Registers + binds + initializes a layer against a fresh store.
-std::unique_ptr<ParameterStore> Bind(Layer* layer, uint64_t seed = 1) {
-  auto store = std::make_unique<ParameterStore>();
-  layer->RegisterParams(store.get());
-  store->Finalize();
-  layer->BindParams(store.get());
-  Rng rng(seed);
-  layer->InitParams(&rng);
-  return store;
-}
+using testing::LayerHarness;
 
 // ------------------------------------------------------------------ Dense
 
 TEST(DenseLayerTest, ForwardShapeAndBias) {
   DenseLayer layer(3, 2);
-  auto store = Bind(&layer);
+  LayerHarness harness(&layer);
   // Set known weights: W = [[1,0,0],[0,1,0]], b = [10, 20].
-  float* w = store->BlockParams(0);
-  float* b = store->BlockParams(1);
+  float* w = harness.store().BlockParams(0);
+  float* b = harness.store().BlockParams(1);
   for (int i = 0; i < 6; ++i) {
     w[i] = 0.0f;
   }
@@ -49,7 +41,7 @@ TEST(DenseLayerTest, ForwardShapeAndBias) {
   x[0] = 1.0f;
   x[1] = 2.0f;
   x[2] = 3.0f;
-  Tensor y = layer.Forward(x, {});
+  Tensor y = harness.Forward(x);
   ASSERT_EQ(y.rank(), 2);
   EXPECT_EQ(y.dim(1), 2);
   EXPECT_FLOAT_EQ(y[0], 11.0f);
@@ -58,37 +50,37 @@ TEST(DenseLayerTest, ForwardShapeAndBias) {
 
 TEST(DenseLayerTest, InputGradientMatchesFiniteDifferences) {
   DenseLayer layer(5, 4);
-  auto store = Bind(&layer);
+  LayerHarness harness(&layer);
   Rng rng(2);
   Tensor x({3, 5});
   FillUniform(&x, &rng);
-  store->ZeroGrads();
-  auto result = CheckInputGradient(&layer, x, 77);
+  harness.store().ZeroGrads();
+  auto result = CheckInputGradient(&harness, x, 77);
   EXPECT_LT(result.max_rel_error, 2e-2) << "abs " << result.max_abs_error;
 }
 
 TEST(DenseLayerTest, ParamGradientAccumulates) {
   DenseLayer layer(2, 2);
-  auto store = Bind(&layer);
+  LayerHarness harness(&layer);
   Tensor x({1, 2});
   x[0] = 1.0f;
   x[1] = 1.0f;
   Tensor go({1, 2});
   go[0] = 1.0f;
   go[1] = 0.0f;
-  store->ZeroGrads();
-  layer.Forward(x, {});
-  layer.Backward(go);
-  layer.Forward(x, {});
-  layer.Backward(go);  // second pass must add, not overwrite
-  EXPECT_FLOAT_EQ(store->BlockGrads(0)[0], 2.0f);
+  harness.store().ZeroGrads();
+  harness.Forward(x);
+  harness.Backward(go);
+  harness.Forward(x);
+  harness.Backward(go);  // second pass must add, not overwrite
+  EXPECT_FLOAT_EQ(harness.store().BlockGrads(0)[0], 2.0f);
 }
 
 TEST(DenseLayerTest, GlorotInitWithinLimit) {
   DenseLayer layer(100, 50);
-  auto store = Bind(&layer, 3);
+  LayerHarness harness(&layer, 3);
   const float limit = std::sqrt(6.0f / 150.0f);
-  const float* w = store->BlockParams(0);
+  const float* w = harness.store().BlockParams(0);
   float max_abs = 0.0f;
   for (size_t i = 0; i < 5000; ++i) {
     max_abs = std::max(max_abs, std::fabs(w[i]));
@@ -101,12 +93,13 @@ TEST(DenseLayerTest, GlorotInitWithinLimit) {
 
 TEST(ActivationTest, ReluClampsNegatives) {
   ActivationLayer relu(Activation::kRelu);
+  LayerHarness harness(&relu);
   Tensor x({1, 4});
   x[0] = -1.0f;
   x[1] = 0.0f;
   x[2] = 2.0f;
   x[3] = -3.0f;
-  Tensor y = relu.Forward(x, {});
+  Tensor y = harness.Forward(x);
   EXPECT_FLOAT_EQ(y[0], 0.0f);
   EXPECT_FLOAT_EQ(y[2], 2.0f);
   EXPECT_FLOAT_EQ(y[3], 0.0f);
@@ -116,6 +109,7 @@ class ActivationGradTest : public ::testing::TestWithParam<Activation> {};
 
 TEST_P(ActivationGradTest, GradientMatchesFiniteDifferences) {
   ActivationLayer layer(GetParam());
+  LayerHarness harness(&layer);
   Rng rng(4);
   Tensor x({2, 8});
   FillUniform(&x, &rng, -2.0f, 2.0f);
@@ -125,7 +119,7 @@ TEST_P(ActivationGradTest, GradientMatchesFiniteDifferences) {
       x[i] = 0.1f;
     }
   }
-  auto result = CheckInputGradient(&layer, x, 88);
+  auto result = CheckInputGradient(&harness, x, 88);
   EXPECT_LT(result.max_rel_error, 2e-2);
 }
 
@@ -136,11 +130,12 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, ActivationGradTest,
 
 TEST(ActivationTest, GeluMatchesKnownValues) {
   ActivationLayer gelu(Activation::kGelu);
+  LayerHarness harness(&gelu);
   Tensor x({1, 3});
   x[0] = 0.0f;
   x[1] = 1.0f;
   x[2] = -1.0f;
-  Tensor y = gelu.Forward(x, {});
+  Tensor y = harness.Forward(x);
   EXPECT_NEAR(y[0], 0.0f, 1e-6);
   EXPECT_NEAR(y[1], 0.8412f, 1e-3);
   EXPECT_NEAR(y[2], -0.1588f, 1e-3);
@@ -150,12 +145,12 @@ TEST(ActivationTest, GeluMatchesKnownValues) {
 
 TEST(DropoutTest, EvalModeIsIdentity) {
   DropoutLayer dropout(0.5f);
+  LayerHarness harness(&dropout);
   Rng rng(5);
   Tensor x({4, 8});
   FillUniform(&x, &rng);
-  ForwardContext ctx;
-  ctx.training = false;
-  Tensor y = dropout.Forward(x, ctx);
+  harness.ctx().training = false;
+  Tensor y = harness.Forward(x);
   for (size_t i = 0; i < x.numel(); ++i) {
     EXPECT_EQ(y[i], x[i]);
   }
@@ -163,12 +158,12 @@ TEST(DropoutTest, EvalModeIsIdentity) {
 
 TEST(DropoutTest, TrainingZeroesAndRescales) {
   DropoutLayer dropout(0.5f);
+  LayerHarness harness(&dropout);
   Rng rng(6);
   Tensor x = Tensor::Full({1, 1000}, 1.0f);
-  ForwardContext ctx;
-  ctx.training = true;
-  ctx.rng = &rng;
-  Tensor y = dropout.Forward(x, ctx);
+  harness.ctx().training = true;
+  harness.ctx().rng = &rng;
+  Tensor y = harness.Forward(x);
   int zeros = 0;
   for (size_t i = 0; i < y.numel(); ++i) {
     if (y[i] == 0.0f) {
@@ -183,14 +178,14 @@ TEST(DropoutTest, TrainingZeroesAndRescales) {
 
 TEST(DropoutTest, BackwardUsesSameMask) {
   DropoutLayer dropout(0.3f);
+  LayerHarness harness(&dropout);
   Rng rng(7);
   Tensor x = Tensor::Full({1, 100}, 1.0f);
-  ForwardContext ctx;
-  ctx.training = true;
-  ctx.rng = &rng;
-  Tensor y = dropout.Forward(x, ctx);
+  harness.ctx().training = true;
+  harness.ctx().rng = &rng;
+  Tensor y = harness.Forward(x);
   Tensor go = Tensor::Full({1, 100}, 1.0f);
-  Tensor gi = dropout.Backward(go);
+  Tensor gi = harness.Backward(go);
   for (size_t i = 0; i < y.numel(); ++i) {
     EXPECT_FLOAT_EQ(gi[i], y[i]);  // same scaling pattern
   }
@@ -198,13 +193,13 @@ TEST(DropoutTest, BackwardUsesSameMask) {
 
 TEST(DropoutTest, ZeroRateIsAlwaysIdentity) {
   DropoutLayer dropout(0.0f);
+  LayerHarness harness(&dropout);
   Rng rng(8);
   Tensor x({2, 4});
   FillUniform(&x, &rng);
-  ForwardContext ctx;
-  ctx.training = true;
-  ctx.rng = &rng;
-  Tensor y = dropout.Forward(x, ctx);
+  harness.ctx().training = true;
+  harness.ctx().rng = &rng;
+  Tensor y = harness.Forward(x);
   for (size_t i = 0; i < x.numel(); ++i) {
     EXPECT_EQ(y[i], x[i]);
   }
@@ -214,14 +209,15 @@ TEST(DropoutTest, ZeroRateIsAlwaysIdentity) {
 
 TEST(FlattenTest, RoundTrip) {
   FlattenLayer flatten;
+  LayerHarness harness(&flatten);
   Rng rng(9);
   Tensor x({2, 3, 4, 5});
   FillUniform(&x, &rng);
-  Tensor y = flatten.Forward(x, {});
+  Tensor y = harness.Forward(x);
   EXPECT_EQ(y.rank(), 2);
   EXPECT_EQ(y.dim(0), 2);
   EXPECT_EQ(y.dim(1), 60);
-  Tensor back = flatten.Backward(y);
+  Tensor back = harness.Backward(y);
   EXPECT_TRUE(back.SameShape(x));
   for (size_t i = 0; i < x.numel(); ++i) {
     EXPECT_EQ(back[i], x[i]);
@@ -232,9 +228,9 @@ TEST(FlattenTest, RoundTrip) {
 
 TEST(Conv2dLayerTest, OutputShape) {
   Conv2dLayer conv(3, 8, 3, 1, 1);
-  auto store = Bind(&conv);
+  LayerHarness harness(&conv);
   Tensor x({2, 3, 6, 6});
-  Tensor y = conv.Forward(x, {});
+  Tensor y = harness.Forward(x);
   EXPECT_EQ(y.dim(0), 2);
   EXPECT_EQ(y.dim(1), 8);
   EXPECT_EQ(y.dim(2), 6);
@@ -243,23 +239,23 @@ TEST(Conv2dLayerTest, OutputShape) {
 
 TEST(Conv2dLayerTest, InputGradient) {
   Conv2dLayer conv(2, 3, 3, 1, 1);
-  auto store = Bind(&conv);
+  LayerHarness harness(&conv);
   Rng rng(10);
   Tensor x({1, 2, 5, 5});
   FillUniform(&x, &rng);
-  store->ZeroGrads();
-  auto result = CheckInputGradient(&conv, x, 99);
+  harness.store().ZeroGrads();
+  auto result = CheckInputGradient(&harness, x, 99);
   EXPECT_LT(result.max_rel_error, 3e-2);
 }
 
 TEST(DepthwiseLayerTest, InputGradient) {
   DepthwiseConv2dLayer conv(3, 3, 1, 1);
-  auto store = Bind(&conv);
+  LayerHarness harness(&conv);
   Rng rng(11);
   Tensor x({1, 3, 5, 5});
   FillUniform(&x, &rng);
-  store->ZeroGrads();
-  auto result = CheckInputGradient(&conv, x, 100);
+  harness.store().ZeroGrads();
+  auto result = CheckInputGradient(&harness, x, 100);
   EXPECT_LT(result.max_rel_error, 3e-2);
 }
 
@@ -269,27 +265,30 @@ TEST(PoolLayerTest, MaxAndAvgGradients) {
   FillUniform(&x, &rng);
   {
     Pool2dLayer pool(PoolKind::kAvg, 2, 2);
-    auto result = CheckInputGradient(&pool, x, 101);
+    LayerHarness harness(&pool);
+    auto result = CheckInputGradient(&harness, x, 101);
     EXPECT_LT(result.max_rel_error, 2e-2);
   }
   {
     // MaxPool FD checks need distinct values; random uniform floats are
     // almost surely distinct.
     Pool2dLayer pool(PoolKind::kMax, 2, 2);
-    auto result = CheckInputGradient(&pool, x, 102);
+    LayerHarness harness(&pool);
+    auto result = CheckInputGradient(&harness, x, 102);
     EXPECT_LT(result.max_rel_error, 2e-2);
   }
 }
 
 TEST(GlobalAvgPoolLayerTest, ShapeAndGradient) {
   GlobalAvgPoolLayer gap;
+  LayerHarness harness(&gap);
   Rng rng(13);
   Tensor x({2, 3, 4, 4});
   FillUniform(&x, &rng);
-  Tensor y = gap.Forward(x, {});
+  Tensor y = harness.Forward(x);
   EXPECT_EQ(y.rank(), 2);
   EXPECT_EQ(y.dim(1), 3);
-  auto result = CheckInputGradient(&gap, x, 103);
+  auto result = CheckInputGradient(&harness, x, 103);
   EXPECT_LT(result.max_rel_error, 1e-2);
 }
 
@@ -297,11 +296,11 @@ TEST(GlobalAvgPoolLayerTest, ShapeAndGradient) {
 
 TEST(BatchNormTest, NormalizesPerChannel) {
   BatchNorm2dLayer bn(2);
-  auto store = Bind(&bn);
+  LayerHarness harness(&bn);
   Rng rng(14);
   Tensor x({4, 2, 3, 3});
   FillUniform(&x, &rng, -3.0f, 5.0f);
-  Tensor y = bn.Forward(x, {});
+  Tensor y = harness.Forward(x);
   // With gamma=1, beta=0 the per-channel mean ~ 0 and variance ~ 1.
   for (int c = 0; c < 2; ++c) {
     double sum = 0.0;
@@ -324,22 +323,22 @@ TEST(BatchNormTest, NormalizesPerChannel) {
 
 TEST(BatchNormTest, InputGradient) {
   BatchNorm2dLayer bn(2);
-  auto store = Bind(&bn);
+  LayerHarness harness(&bn);
   Rng rng(15);
   Tensor x({3, 2, 4, 4});
   FillUniform(&x, &rng, -2.0f, 2.0f);
-  store->ZeroGrads();
-  auto result = CheckInputGradient(&bn, x, 104);
+  harness.store().ZeroGrads();
+  auto result = CheckInputGradient(&harness, x, 104);
   EXPECT_LT(result.max_rel_error, 5e-2);
 }
 
 TEST(LayerNormTest, NormalizesAcrossChannels) {
   LayerNormChannelsLayer ln(8);
-  auto store = Bind(&ln);
+  LayerHarness harness(&ln);
   Rng rng(16);
   Tensor x({2, 8, 2, 2});
   FillUniform(&x, &rng, -4.0f, 4.0f);
-  Tensor y = ln.Forward(x, {});
+  Tensor y = harness.Forward(x);
   // Each (n, h, w) position: mean over channels ~ 0, var ~ 1.
   for (int n = 0; n < 2; ++n) {
     for (int h = 0; h < 2; ++h) {
@@ -359,22 +358,22 @@ TEST(LayerNormTest, NormalizesAcrossChannels) {
 
 TEST(LayerNormTest, AcceptsRank2Input) {
   LayerNormChannelsLayer ln(6);
-  auto store = Bind(&ln);
+  LayerHarness harness(&ln);
   Rng rng(17);
   Tensor x({3, 6});
   FillUniform(&x, &rng);
-  Tensor y = ln.Forward(x, {});
+  Tensor y = harness.Forward(x);
   EXPECT_TRUE(y.SameShape(x));
 }
 
 TEST(LayerNormTest, InputGradient) {
   LayerNormChannelsLayer ln(4);
-  auto store = Bind(&ln);
+  LayerHarness harness(&ln);
   Rng rng(18);
   Tensor x({2, 4, 3, 3});
   FillUniform(&x, &rng, -2.0f, 2.0f);
-  store->ZeroGrads();
-  auto result = CheckInputGradient(&ln, x, 105);
+  harness.store().ZeroGrads();
+  auto result = CheckInputGradient(&harness, x, 105);
   EXPECT_LT(result.max_rel_error, 5e-2);
 }
 
@@ -385,11 +384,11 @@ TEST(SequentialTest, ChainsLayersInOrder) {
   seq->Add(std::make_unique<DenseLayer>(4, 8));
   seq->Add(std::make_unique<ActivationLayer>(Activation::kRelu));
   seq->Add(std::make_unique<DenseLayer>(8, 2));
-  auto store = Bind(seq.get());
+  LayerHarness harness(seq.get());
   Rng rng(19);
   Tensor x({2, 4});
   FillUniform(&x, &rng);
-  Tensor y = seq->Forward(x, {});
+  Tensor y = harness.Forward(x);
   EXPECT_EQ(y.dim(1), 2);
   EXPECT_EQ(seq->size(), 3u);
 }
@@ -399,12 +398,12 @@ TEST(SequentialTest, GradientFlowsThroughChain) {
   seq->Add(std::make_unique<DenseLayer>(4, 6));
   seq->Add(std::make_unique<ActivationLayer>(Activation::kTanh));
   seq->Add(std::make_unique<DenseLayer>(6, 3));
-  auto store = Bind(seq.get());
+  LayerHarness harness(seq.get());
   Rng rng(20);
   Tensor x({2, 4});
   FillUniform(&x, &rng);
-  store->ZeroGrads();
-  auto result = CheckInputGradient(seq.get(), x, 106);
+  harness.store().ZeroGrads();
+  auto result = CheckInputGradient(&harness, x, 106);
   EXPECT_LT(result.max_rel_error, 2e-2);
 }
 
@@ -412,11 +411,11 @@ TEST(ResidualTest, AddsIdentity) {
   // Residual around a zero-initialized dense layer = identity + bias(0).
   auto inner = std::make_unique<DenseLayer>(4, 4, init::Scheme::kZeros);
   ResidualLayer residual(std::move(inner));
-  auto store = Bind(&residual);
+  LayerHarness harness(&residual);
   Rng rng(21);
   Tensor x({2, 4});
   FillUniform(&x, &rng);
-  Tensor y = residual.Forward(x, {});
+  Tensor y = harness.Forward(x);
   for (size_t i = 0; i < x.numel(); ++i) {
     EXPECT_FLOAT_EQ(y[i], x[i]);
   }
@@ -425,12 +424,12 @@ TEST(ResidualTest, AddsIdentity) {
 TEST(ResidualTest, Gradient) {
   auto inner = std::make_unique<DenseLayer>(5, 5);
   ResidualLayer residual(std::move(inner));
-  auto store = Bind(&residual);
+  LayerHarness harness(&residual);
   Rng rng(22);
   Tensor x({2, 5});
   FillUniform(&x, &rng);
-  store->ZeroGrads();
-  auto result = CheckInputGradient(&residual, x, 107);
+  harness.store().ZeroGrads();
+  auto result = CheckInputGradient(&harness, x, 107);
   EXPECT_LT(result.max_rel_error, 2e-2);
 }
 
@@ -455,23 +454,23 @@ TEST(ConcatSliceTest, RoundTrip) {
 TEST(DenseBlockTest, OutputChannels) {
   DenseBlockLayer block(8, 4, 3);
   EXPECT_EQ(block.out_channels(), 8 + 12);
-  auto store = Bind(&block);
+  LayerHarness harness(&block);
   Tensor x({1, 8, 4, 4});
   Rng rng(24);
   FillUniform(&x, &rng);
-  Tensor y = block.Forward(x, {});
+  Tensor y = harness.Forward(x);
   EXPECT_EQ(y.dim(1), 20);
   EXPECT_EQ(y.dim(2), 4);
 }
 
 TEST(DenseBlockTest, Gradient) {
   DenseBlockLayer block(4, 3, 2);
-  auto store = Bind(&block);
+  LayerHarness harness(&block);
   Rng rng(25);
   Tensor x({1, 4, 4, 4});
   FillUniform(&x, &rng);
-  store->ZeroGrads();
-  auto result = CheckInputGradient(&block, x, 108);
+  harness.store().ZeroGrads();
+  auto result = CheckInputGradient(&harness, x, 108);
   EXPECT_LT(result.max_rel_error, 8e-2);
 }
 
@@ -563,6 +562,18 @@ TEST(ParameterStoreTest, ZeroGradsClears) {
   EXPECT_EQ(store.grads()[2], 0.0f);
 }
 
+TEST(ParameterStoreTest, LayoutOnlyModeCountsStateSlots) {
+  ParameterStore store;
+  store.Register("a", {2, 2});
+  EXPECT_EQ(store.RegisterStateSlot(), 0u);
+  EXPECT_EQ(store.RegisterStateSlot(), 1u);
+  store.FinalizeLayout();
+  EXPECT_TRUE(store.finalized());
+  EXPECT_FALSE(store.has_buffers());
+  EXPECT_EQ(store.num_params(), 4u);
+  EXPECT_EQ(store.num_state_slots(), 2u);
+}
+
 TEST(ParameterStoreDeathTest, RegisterAfterFinalizeDies) {
   ParameterStore store;
   store.Register("a", {1});
@@ -574,6 +585,13 @@ TEST(ParameterStoreDeathTest, AccessBeforeFinalizeDies) {
   ParameterStore store;
   store.Register("a", {1});
   EXPECT_DEATH(store.params(), "finalized");
+}
+
+TEST(ParameterStoreDeathTest, LayoutOnlyBufferAccessDies) {
+  ParameterStore store;
+  store.Register("a", {1});
+  store.FinalizeLayout();
+  EXPECT_DEATH(store.params(), "buffers");
 }
 
 }  // namespace

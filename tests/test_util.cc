@@ -34,13 +34,12 @@ void UpdateErrors(double analytic, double numeric, GradCheckResult* result) {
 
 }  // namespace
 
-GradCheckResult CheckInputGradient(Layer* layer, const Tensor& input,
+GradCheckResult CheckInputGradient(LayerHarness* harness, const Tensor& input,
                                    uint64_t seed, double epsilon) {
   Rng rng(seed);
-  ForwardContext ctx;
-  ctx.training = false;  // deterministic path (no dropout masks)
+  harness->ctx().training = false;  // deterministic path (no dropout masks)
 
-  Tensor base_output = layer->Forward(input, ctx);
+  Tensor base_output = harness->Forward(input);
   std::vector<float> weights(base_output.numel());
   FillUniform(weights.data(), weights.size(), &rng, -1.0f, 1.0f);
 
@@ -50,19 +49,17 @@ GradCheckResult CheckInputGradient(Layer* layer, const Tensor& input,
     grad_output[i] = weights[i];
   }
   // Re-run forward so the layer's caches match this input.
-  layer->Forward(input, ctx);
-  Tensor analytic = layer->Backward(grad_output);
+  harness->Forward(input);
+  Tensor analytic = harness->Backward(grad_output);
 
   GradCheckResult result;
   Tensor perturbed = input;
   for (size_t i = 0; i < input.numel(); ++i) {
     const float saved = perturbed[i];
     perturbed[i] = saved + static_cast<float>(epsilon);
-    const double loss_hi = WeightedLoss(layer->Forward(perturbed, ctx),
-                                        weights);
+    const double loss_hi = WeightedLoss(harness->Forward(perturbed), weights);
     perturbed[i] = saved - static_cast<float>(epsilon);
-    const double loss_lo = WeightedLoss(layer->Forward(perturbed, ctx),
-                                        weights);
+    const double loss_lo = WeightedLoss(harness->Forward(perturbed), weights);
     perturbed[i] = saved;
     const double numeric = (loss_hi - loss_lo) / (2.0 * epsilon);
     UpdateErrors(static_cast<double>(analytic[i]), numeric, &result);

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "nn/layer.h"
@@ -30,6 +31,39 @@ inline void FillUniform(float* data, size_t n, Rng* rng, float lo = -1.0f,
   }
 }
 
+/// Standalone execution environment for a single layer: a finalized
+/// ParameterStore with owned buffers, a LayerStateStore, and the
+/// ExecContext tying them together. Registers + binds + (optionally)
+/// initializes the layer on construction.
+class LayerHarness {
+ public:
+  explicit LayerHarness(Layer* layer, uint64_t init_seed = 1) : layer_(layer) {
+    layer_->RegisterParams(&store_);
+    store_.Finalize();
+    layer_->BindOffsets(store_);
+    states_ = std::make_unique<LayerStateStore>(store_.num_state_slots());
+    ctx_.view = ParameterView{store_.params(), store_.grads(),
+                              store_.num_params()};
+    ctx_.states = states_.get();
+    Rng rng(init_seed);
+    layer_->InitParams(&rng, ctx_.view);
+  }
+
+  ParameterStore& store() { return store_; }
+  ExecContext& ctx() { return ctx_; }
+
+  Tensor Forward(const Tensor& input) { return layer_->Forward(input, ctx_); }
+  Tensor Backward(const Tensor& grad_output) {
+    return layer_->Backward(grad_output, ctx_);
+  }
+
+ private:
+  Layer* layer_;
+  ParameterStore store_;
+  std::unique_ptr<LayerStateStore> states_;
+  ExecContext ctx_;
+};
+
 /// Scalar loss used for gradient checks: weighted sum of the output.
 /// Fixed random weights make the check sensitive to every output element.
 struct GradCheckResult {
@@ -37,9 +71,9 @@ struct GradCheckResult {
   double max_rel_error = 0.0;
 };
 
-/// Checks d(loss)/d(input) of a layer against central finite differences.
-/// The layer must be bound to `store` if it has parameters.
-GradCheckResult CheckInputGradient(Layer* layer, const Tensor& input,
+/// Checks d(loss)/d(input) of a harnessed layer against central finite
+/// differences.
+GradCheckResult CheckInputGradient(LayerHarness* harness, const Tensor& input,
                                    uint64_t seed, double epsilon = 1e-3);
 
 /// Checks d(loss)/d(params) of a model (all parameters at once, sampled

@@ -140,26 +140,54 @@ TEST(ThreadPoolStressTest, ConcurrentRangeCallsAreDisjointAndComplete) {
   }
 }
 
-TEST(ThreadPoolStressTest, NestedCallFromWorkerRunsInline) {
+TEST(ThreadPoolStressTest, NestedCallFromWorkerCoversAllIndices) {
+  // Nested ParallelFor from a pool worker used to run fully inline; it now
+  // parks helper runners on the worker's own deque. Either way every index
+  // must execute exactly once per call, with no deadlock under deep
+  // nesting.
   ThreadPool pool(4);
   std::atomic<int> inner_total{0};
-  std::atomic<int> inline_bodies{0};
   pool.ParallelFor(8, [&](size_t) {
-    const bool on_worker = ThreadPool::OnPoolThread();
-    pool.ParallelFor(16, [&](size_t) {
-      if (on_worker) {
-        // Inline execution stays on the same (pool) thread.
-        EXPECT_TRUE(ThreadPool::OnPoolThread());
-        ++inline_bodies;
-      }
-      ++inner_total;
-    });
+    pool.ParallelFor(16, [&](size_t) { ++inner_total; });
   });
   EXPECT_EQ(inner_total.load(), 8 * 16);
-  // The helping caller handles at most all 8 outer chunks, so at least some
-  // outer bodies ran on workers unless the caller claimed every chunk; in
-  // either case the nested calls above completed without deadlock.
-  EXPECT_GE(inline_bodies.load(), 0);
+
+  std::atomic<int> deep_total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) {
+      pool.ParallelFor(8, [&](size_t) { ++deep_total; });
+    });
+  });
+  EXPECT_EQ(deep_total.load(), 4 * 4 * 8);
+}
+
+TEST(ThreadPoolStressTest, NestedChunksCanBeStolenByIdlePeers) {
+  // Regression for the ROADMAP scheduler gap: a nested ParallelFor called
+  // from a pool worker pushes its chunk runners onto that worker's own
+  // deque, so idle peers can steal them. Two nested chunks rendezvous —
+  // each blocks until both have started, which is only possible when a
+  // second thread picks up the stolen runner. The fully-inline behavior
+  // this replaces would time the rendezvous out.
+  ThreadPool pool(4);
+  std::mutex m;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::atomic<bool> rendezvous_ok{true};
+  pool.Schedule([&] {
+    // Runs on a pool worker, so the inner call takes the nested path.
+    pool.ParallelFor(2, [&](size_t) {
+      std::unique_lock<std::mutex> lock(m);
+      ++arrived;
+      cv.notify_all();
+      if (!cv.wait_for(lock, 5000ms, [&] { return arrived == 2; })) {
+        rendezvous_ok.store(false);
+      }
+    });
+  });
+  pool.Wait();
+  EXPECT_TRUE(rendezvous_ok.load())
+      << "nested chunks were not stealable by idle workers";
+  EXPECT_EQ(arrived, 2);
 }
 
 TEST(ThreadPoolStressTest, ParallelFor2dCoversTheGrid) {

@@ -350,6 +350,72 @@ TEST(TrainerTest, HierarchicalTopologyRunsAndSplitsTiers) {
               1e-9 * std::max(1.0, result->comm.comm_seconds));
 }
 
+TEST(TrainerTest, PerClusterIntraLinksSlowTheIntraTier) {
+  // Heterogeneous intra tier: replacing one cluster's EdgeLan link with a
+  // 100x slower one must strictly increase intra-tier seconds while moving
+  // exactly the same bytes.
+  SynthImageData data = SmallMnistLike();
+  auto run_with = [&](bool slow_cluster) {
+    TrainerConfig config = BaseConfig(4);
+    config.max_steps = 20;
+    config.hierarchy = HierarchicalNetworkModel::EdgeCloud(2);
+    if (slow_cluster) {
+      config.hierarchy.cluster_intra = {config.hierarchy.intra,
+                                        config.hierarchy.intra};
+      config.hierarchy.cluster_intra[1].bandwidth_bytes_per_sec /= 100.0;
+    }
+    DistributedTrainer trainer(SmallMlpFactory(), data.train, data.test,
+                               config);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(0.2),
+                                 trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    return *result;
+  };
+  TrainResult uniform = run_with(false);
+  TrainResult hetero = run_with(true);
+  ASSERT_GT(uniform.total_syncs, 0u);
+  EXPECT_EQ(hetero.comm.bytes_total, uniform.comm.bytes_total);
+  EXPECT_GT(hetero.comm.seconds_intra, uniform.comm.seconds_intra);
+  EXPECT_DOUBLE_EQ(hetero.comm.seconds_uplink, uniform.comm.seconds_uplink);
+}
+
+TEST(TrainerTest, ValidationRejectsMismatchedClusterIntraSize) {
+  SynthImageData data = SmallMnistLike();
+  TrainerConfig config = BaseConfig(4);
+  config.hierarchy = HierarchicalNetworkModel::EdgeCloud(2);
+  config.hierarchy.cluster_intra = {config.hierarchy.intra};  // need 2
+  DistributedTrainer trainer(SmallMlpFactory(), data.train, data.test,
+                             config);
+  SynchronousPolicy policy;
+  EXPECT_FALSE(trainer.Run(&policy).ok());
+}
+
+TEST(TrainerTest, StragglerSlowsCollectivesViaSlowestLink) {
+  // With every worker persistently 8x slow (slow_worker_prob = 1), the
+  // slowest-link formula must bill strictly more comm seconds than the
+  // homogeneous cluster at identical bytes.
+  SynthImageData data = SmallMnistLike();
+  auto run_with = [&](double slow_prob) {
+    TrainerConfig config = BaseConfig(3);
+    config.max_steps = 20;
+    config.straggler = StragglerModel::None(0.01);
+    config.straggler.slow_worker_prob = slow_prob;
+    config.straggler.slow_factor = 8.0;
+    DistributedTrainer trainer(SmallMlpFactory(), data.train, data.test,
+                               config);
+    SynchronousPolicy policy;
+    auto result = trainer.Run(&policy);
+    FEDRA_CHECK(result.ok());
+    return *result;
+  };
+  TrainResult uniform = run_with(0.0);
+  TrainResult straggling = run_with(1.0);
+  EXPECT_EQ(straggling.comm.bytes_total, uniform.comm.bytes_total);
+  EXPECT_GT(straggling.comm.comm_seconds, uniform.comm.comm_seconds);
+}
+
 TEST(TrainerTest, HierarchyValidationRejectsTooManyClusters) {
   SynthImageData data = SmallMnistLike();
   TrainerConfig config = BaseConfig(2);
