@@ -173,6 +173,81 @@ void BM_HierarchicalAllReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_HierarchicalAllReduce)->Args({1 << 20, 8});
 
+void BM_TreeAllReduce(benchmark::State& state) {
+  // Arbitrary-depth tree collective (3-tier device -> site -> cloud):
+  // identical arithmetic again, recursive per-depth cost accounting —
+  // measures the TopologyTree layer's overhead over BM_AllReduce and
+  // BM_HierarchicalAllReduce.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  std::vector<std::vector<float>> buffers(static_cast<size_t>(workers));
+  std::vector<float*> pointers;
+  for (int k = 0; k < workers; ++k) {
+    buffers[static_cast<size_t>(k)] =
+        RandomVec(dim, 10 + static_cast<uint64_t>(k));
+    pointers.push_back(buffers[static_cast<size_t>(k)].data());
+  }
+  SimNetwork network(workers, TopologyTree::DeviceSiteCloud(2, 2),
+                     AllReduceAlgorithm::kFlat);
+  for (auto _ : state) {
+    network.AllReduceAverage(pointers, dim, TrafficClass::kModelSync);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dim * workers *
+                                               sizeof(float)));
+}
+BENCHMARK(BM_TreeAllReduce)->Args({1 << 20, 8})->Args({1 << 20, 64});
+
+void BM_TreeSubtreeAllReduce(benchmark::State& state) {
+  // Cluster-scoped collective of the hierarchical FDA scheduler: average
+  // one site's subtree (half the cohort) on its own tiers only.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  std::vector<std::vector<float>> buffers(static_cast<size_t>(workers));
+  std::vector<float*> pointers;
+  for (int k = 0; k < workers; ++k) {
+    buffers[static_cast<size_t>(k)] =
+        RandomVec(dim, 10 + static_cast<uint64_t>(k));
+    pointers.push_back(buffers[static_cast<size_t>(k)].data());
+  }
+  SimNetwork network(workers, TopologyTree::DeviceSiteCloud(2, 2),
+                     AllReduceAlgorithm::kFlat);
+  int begin = 0;
+  int end = 0;
+  network.tree().SubtreeSpan(/*site 0 node=*/1, workers, &begin, &end);
+  std::vector<float*> members(pointers.begin() + begin,
+                              pointers.begin() + end);
+  for (auto _ : state) {
+    network.SubtreeAllReduceAverage(1, members, dim,
+                                    TrafficClass::kModelSync);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dim * members.size() *
+                                               sizeof(float)));
+}
+BENCHMARK(BM_TreeSubtreeAllReduce)->Args({1 << 20, 8});
+
+void BM_TreeCollectiveCost(benchmark::State& state) {
+  // Pure cost-model evaluation (no arithmetic): one recursive
+  // GroupedAllReduceCost sweep over a `range(0)`-site tree with straggler
+  // link factors — the per-collective accounting overhead the simulator
+  // pays on top of the reduction itself.
+  const int sites = static_cast<int>(state.range(0));
+  const int workers = sites * 8;
+  const TopologyTree tree = TopologyTree::DeviceSiteCloud(sites, 2);
+  std::vector<double> factors(static_cast<size_t>(workers));
+  Rng rng(5);
+  for (auto& f : factors) {
+    f = 1.0 + 3.0 * rng.NextDouble();
+  }
+  for (auto _ : state) {
+    TreeCost cost = tree.GroupedAllReduceCost(
+        1 << 22, workers, AllReduceAlgorithm::kRing, &factors);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_TreeCollectiveCost)->Arg(2)->Arg(16)->Arg(128);
+
 void BM_ReduceMeanInto(benchmark::State& state) {
   // The trainers' eval-model averaging (one output span, no install pass).
   const size_t dim = static_cast<size_t>(state.range(0));

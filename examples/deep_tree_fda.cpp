@@ -1,0 +1,140 @@
+// Deep-tree FDA: the same training run on a 3-tier device -> site -> cloud
+// topology under (a) plain FDA — every synchronization is a full grouped
+// collective that crosses the WAN root tier — and (b) the hierarchical FDA
+// scheduler, which averages inside the cheapest tier whose drift condition
+// trips and escalates upward only when a subtree's aggregated variance
+// crosses the tier above. Both runs use the same tree, seed, model, and
+// data, so the per-depth CommStats split shows exactly what the
+// topology-aware schedule saves: uplink (root-tier) seconds drop because
+// cluster-local averaging keeps the drift controlled without paying the
+// WAN, at no accuracy cost.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/deep_tree_fda
+
+#include <cstdio>
+
+#include "core/algorithms.h"
+#include "core/fda_policy.h"
+#include "core/trainer.h"
+#include "data/synth.h"
+#include "nn/zoo.h"
+#include "sim/topology_tree.h"
+#include "util/string_util.h"
+
+using namespace fedra;
+
+namespace {
+
+void PrintRun(const char* label, const TrainResult& result,
+              const TopologyTree& tree) {
+  const CommStats& comm = result.comm;
+  std::printf(
+      "\n%s [%s]\n"
+      "  final test accuracy: %.1f%%  (global syncs: %llu, subtree syncs: "
+      "%llu, escalations: %llu)\n"
+      "  communication: %s total (state %s, model %s)\n"
+      "  comm seconds: %.3fs total\n",
+      label, result.algorithm.c_str(), 100.0 * result.final_test_accuracy,
+      static_cast<unsigned long long>(result.total_syncs),
+      static_cast<unsigned long long>(comm.subtree_sync_count),
+      static_cast<unsigned long long>(comm.child_exchange_calls),
+      HumanBytes(static_cast<double>(comm.bytes_total)).c_str(),
+      HumanBytes(static_cast<double>(comm.bytes_local_state)).c_str(),
+      HumanBytes(static_cast<double>(comm.bytes_model_sync)).c_str(),
+      comm.comm_seconds);
+  static const char* kTierNames[] = {"cloud WAN (root)", "site backbone",
+                                     "device LAN"};
+  for (int d = 0; d < tree.depth(); ++d) {
+    std::printf("    depth %d %-17s %9.3fs  %10s\n", d,
+                d < 3 ? kTierNames[d] : "tier",
+                comm.SecondsAtDepth(static_cast<size_t>(d)),
+                HumanBytes(static_cast<double>(
+                               comm.BytesAtDepth(static_cast<size_t>(d))))
+                    .c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SynthImageConfig data_config = MnistLikeConfig();
+  data_config.num_train = 2048;
+  data_config.num_test = 512;
+  data_config.image_size = 16;
+  auto data = GenerateSynthImages(data_config);
+  FEDRA_CHECK_OK(data.status());
+
+  ModelFactory factory = [] { return zoo::Mlp(16 * 16, {32}, 10); };
+  const TopologyTree tree = TopologyTree::DeviceSiteCloud(/*sites=*/2,
+                                                          /*groups=*/2);
+  std::printf("model: MLP with d = %zu parameters\n",
+              factory()->num_params());
+  std::printf("topology: %s — 8 workers in 4 device groups, 2 sites\n",
+              tree.ToString().c_str());
+
+  TrainerConfig config;
+  config.num_workers = 8;
+  config.batch_size = 16;
+  config.local_optimizer = OptimizerConfig::Adam(0.002f);
+  config.seed = 17;
+  config.max_steps = 400;
+  config.eval_every_steps = 50;
+  config.eval_subset = 256;
+  config.topology = tree;
+
+  // (a) plain FDA over the tree: the variance condition is global-only, so
+  // every state AllReduce and every synchronization crosses the WAN root.
+  double flat_uplink_seconds = 0.0;
+  double flat_accuracy = 0.0;
+  {
+    DistributedTrainer trainer(factory, data->train, data->test, config);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(/*theta=*/1.0),
+                                 trainer.model_dim());
+    FEDRA_CHECK_OK(policy.status());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK_OK(result.status());
+    PrintRun("flat FDA (global condition only)", *result, tree);
+    flat_uplink_seconds = result->comm.SecondsAtDepth(0);
+    flat_accuracy = result->final_test_accuracy;
+  }
+
+  // (b) hierarchical FDA: device groups trip at theta 0.2, sites at 0.5,
+  // and only a root-tier estimate above 1.0 (the same global threshold as
+  // the flat run) pays for a WAN synchronization.
+  double hier_uplink_seconds = 0.0;
+  double hier_accuracy = 0.0;
+  {
+    DistributedTrainer trainer(factory, data->train, data->test, config);
+    HierarchicalFdaConfig policy_config;
+    policy_config.monitor.kind = MonitorKind::kLinear;
+    policy_config.theta_by_depth = {1.0, 0.5, 0.2};
+    auto policy =
+        MakeHierarchicalFdaPolicy(policy_config, trainer.model_dim());
+    FEDRA_CHECK_OK(policy.status());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK_OK(result.status());
+    PrintRun("hierarchical FDA (tiered conditions)", *result, tree);
+    hier_uplink_seconds = result->comm.SecondsAtDepth(0);
+    hier_accuracy = result->final_test_accuracy;
+  }
+
+  std::printf(
+      "\nuplink (root-tier) seconds: flat %.3fs vs hierarchical %.3fs "
+      "(%.1fx less)\n"
+      "final accuracy: flat %.1f%% vs hierarchical %.1f%%\n",
+      flat_uplink_seconds, hier_uplink_seconds,
+      hier_uplink_seconds > 0.0 ? flat_uplink_seconds / hier_uplink_seconds
+                                : 0.0,
+      100.0 * flat_accuracy, 100.0 * hier_accuracy);
+  FEDRA_CHECK(hier_uplink_seconds < flat_uplink_seconds)
+      << "the hierarchical scheduler must spend strictly fewer uplink "
+         "seconds than flat FDA";
+  std::printf(
+      "\nPlain FDA pays the WAN for every per-step state AllReduce and\n"
+      "every synchronization; the hierarchical scheduler keeps both on\n"
+      "the device/site tiers until a subtree's aggregated variance proves\n"
+      "local averaging can no longer control the drift.\n");
+  return 0;
+}

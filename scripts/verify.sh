@@ -10,9 +10,11 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-# Trainer-level smoke runs: drive two examples end-to-end after the unit
+# Trainer-level smoke runs: drive three examples end-to-end after the unit
 # suite so whole-trainer regressions surface even when every unit test
-# passes. Both finish in seconds.
+# passes. All finish in seconds. deep_tree_fda additionally CHECKs the
+# hierarchical scheduler's uplink savings against flat FDA.
 "$BUILD_DIR/quickstart" > /dev/null
 "$BUILD_DIR/hierarchical_fda" > /dev/null
-echo "smoke: quickstart + hierarchical_fda OK"
+"$BUILD_DIR/deep_tree_fda" > /dev/null
+echo "smoke: quickstart + hierarchical_fda + deep_tree_fda OK"

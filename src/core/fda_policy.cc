@@ -1,5 +1,7 @@
 #include "core/fda_policy.h"
 
+#include <algorithm>
+
 #include "tensor/vec_ops.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -56,5 +58,232 @@ bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
 }
 
 std::string FdaSyncPolicy::name() const { return monitor_->name(); }
+
+// ----------------------------------------------------- hierarchical FDA --
+
+HierarchicalFdaPolicy::HierarchicalFdaPolicy(
+    std::unique_ptr<VarianceMonitor> monitor,
+    std::vector<double> theta_by_depth)
+    : monitor_(std::move(monitor)), theta_(std::move(theta_by_depth)) {
+  FEDRA_CHECK(monitor_ != nullptr);
+  FEDRA_CHECK(!theta_.empty()) << "need one theta per tier depth";
+  for (double theta : theta_) {
+    FEDRA_CHECK_GE(theta, 0.0);
+  }
+}
+
+void HierarchicalFdaPolicy::Initialize(ClusterContext& ctx) {
+  const TopologyTree& tree = ctx.network->tree();
+  FEDRA_CHECK(tree.enabled())
+      << "HierarchicalFdaPolicy needs a tree topology "
+         "(TrainerConfig::topology or ::hierarchy)";
+  FEDRA_CHECK_EQ(theta_.size(), static_cast<size_t>(tree.depth()))
+      << "theta_by_depth must have one threshold per tier depth";
+  // Subtree averages move raw models; composing them with a lossy sync
+  // compressor would mix compressed (global) and uncompressed (local)
+  // payloads in the same accounting. Gate it until subtree syncs learn to
+  // compress too.
+  FEDRA_CHECK(ctx.compressor == nullptr ||
+              ctx.compressor->config().kind == CompressionKind::kNone)
+      << "HierarchicalFdaPolicy does not support sync_compression yet";
+  ctx.AllocateWorkerStates(monitor_->StateSize());
+}
+
+void HierarchicalFdaPolicy::MaterializeNodeState(ClusterContext& ctx,
+                                                 int id) {
+  if (node_has_[static_cast<size_t>(id)]) {
+    return;
+  }
+  const TopologyTree& tree = ctx.network->tree();
+  const TopologyTree::Node& node = tree.node(id);
+  // Leaf-group states were aggregated in step 2; an inactive leaf (no
+  // workers) never reaches here because parents only weigh active children.
+  FEDRA_CHECK(!node.children.empty());
+  // Locals, not members: materialization recurses through silent subtrees.
+  std::vector<const float*> child_states;
+  std::vector<double> child_weights;
+  for (int child : node.children) {
+    int begin = 0;
+    int end = 0;
+    tree.SubtreeSpan(child, ctx.num_workers(), &begin, &end);
+    if (end - begin == 0) {
+      continue;
+    }
+    MaterializeNodeState(ctx, child);
+    child_states.push_back(node_state_[static_cast<size_t>(child)].data());
+    child_weights.push_back(static_cast<double>(end - begin));
+  }
+  FEDRA_CHECK(!child_states.empty());
+  const size_t state_size = monitor_->StateSize();
+  if (child_states.size() > 1) {
+    // One escalation round: child representatives push their aggregated
+    // states to this node's representative and receive the combined state
+    // back, over this node's link only. A single-child tier aggregates
+    // for free (the child representative is the node's own) and does not
+    // count as an escalation.
+    ctx.network->AccountChildExchange(id, state_size,
+                                      TrafficClass::kLocalState);
+    ++escalations_;
+  }
+  node_state_[static_cast<size_t>(id)].resize(state_size);
+  AggregateWeightedStates(child_states.data(), child_weights.data(),
+                          child_states.size(), state_size,
+                          node_state_[static_cast<size_t>(id)].data());
+  node_estimate_[static_cast<size_t>(id)] = monitor_->EstimateVariance(
+      node_state_[static_cast<size_t>(id)].data());
+  node_has_[static_cast<size_t>(id)] = 1;
+}
+
+void HierarchicalFdaPolicy::CollectSyncScopes(
+    const TopologyTree& tree, int id, std::vector<int>* scopes) const {
+  if (node_trip_[static_cast<size_t>(id)]) {
+    scopes->push_back(id);  // maximal: a tripped node subsumes descendants
+    return;
+  }
+  for (int child : tree.node(id).children) {
+    CollectSyncScopes(tree, child, scopes);
+  }
+}
+
+bool HierarchicalFdaPolicy::MaybeSync(ClusterContext& ctx) {
+  FEDRA_CHECK_EQ(monitor_->dim(), ctx.dim);
+  const TopologyTree& tree = ctx.network->tree();
+  const int num_nodes = tree.num_nodes();
+  const int num_workers = ctx.num_workers();
+  const size_t state_size = monitor_->StateSize();
+  node_state_.resize(static_cast<size_t>(num_nodes));
+  node_estimate_.assign(static_cast<size_t>(num_nodes), 0.0);
+  node_has_.assign(static_cast<size_t>(num_nodes), 0);
+  node_trip_.assign(static_cast<size_t>(num_nodes), 0);
+
+  // (1) local states from drifts — identical to flat FDA; the anchor is
+  // the last *global* synchronization.
+  for (auto& worker : *ctx.workers) {
+    monitor_->ComputeDriftAndState(worker.view.params,
+                                   ctx.sync_params->data(), worker.drift,
+                                   worker.state);
+  }
+
+  // (2) leaf tier: states AllReduce within each worker group, on that
+  // group's own link. Every group evaluates its subtree estimate.
+  std::vector<float*> states = ctx.StatePointers();
+  for (int g = 0; g < tree.num_leaf_groups(); ++g) {
+    const int size = tree.GroupSize(g, num_workers);
+    if (size == 0) {
+      continue;
+    }
+    const int begin = tree.GroupBegin(g, num_workers);
+    const int id = tree.NodeOfLeafGroup(g);
+    span_ptrs_.assign(states.begin() + begin,
+                      states.begin() + begin + size);
+    ctx.network->SubtreeAllReduceAverage(id, span_ptrs_, state_size,
+                                         TrafficClass::kLocalState);
+    auto& node_state = node_state_[static_cast<size_t>(id)];
+    node_state.assign(states[static_cast<size_t>(begin)],
+                      states[static_cast<size_t>(begin)] + state_size);
+    node_estimate_[static_cast<size_t>(id)] =
+        monitor_->EstimateVariance(node_state.data());
+    node_has_[static_cast<size_t>(id)] = 1;
+    node_trip_[static_cast<size_t>(id)] =
+        node_estimate_[static_cast<size_t>(id)] >
+                theta_[static_cast<size_t>(tree.node(id).depth)]
+            ? 1
+            : 0;
+  }
+
+  // (3) escalation sweep, deepest tier first (reverse preorder visits
+  // children before parents): a node aggregates — paying one state-sized
+  // exchange on its own link — only when some child's estimate already
+  // crosses this node's threshold.
+  for (int id = num_nodes - 1; id >= 0; --id) {
+    const TopologyTree::Node& node = tree.node(id);
+    if (node.children.empty()) {
+      continue;
+    }
+    bool activate = false;
+    for (int child : node.children) {
+      if (node_has_[static_cast<size_t>(child)] &&
+          node_estimate_[static_cast<size_t>(child)] >
+              theta_[static_cast<size_t>(node.depth)]) {
+        activate = true;
+        break;
+      }
+    }
+    if (!activate) {
+      continue;
+    }
+    MaterializeNodeState(ctx, id);
+    node_trip_[static_cast<size_t>(id)] =
+        node_estimate_[static_cast<size_t>(id)] >
+                theta_[static_cast<size_t>(node.depth)]
+            ? 1
+            : 0;
+  }
+  if (node_has_[0]) {
+    last_root_estimate_ = node_estimate_[0];
+  }
+
+  // (4a) root tripped: the Round Invariant cannot be restored below the
+  // root — full synchronization (anchor rotates, estimator direction
+  // updates).
+  if (node_trip_[0]) {
+    ctx.SynchronizeModels();
+    monitor_->OnSynchronized(ctx.sync_params->data(),
+                             ctx.prev_sync_params->data());
+    ++global_syncs_;
+    return true;
+  }
+
+  // (4b) otherwise every maximal tripped subtree averages its members on
+  // its own tiers: within-subtree variance drops to zero while the global
+  // anchor — and the uplink — stay untouched.
+  sync_scopes_.clear();
+  CollectSyncScopes(tree, 0, &sync_scopes_);
+  if (!sync_scopes_.empty()) {
+    std::vector<float*> params = ctx.ParamPointers();
+    for (int id : sync_scopes_) {
+      int begin = 0;
+      int end = 0;
+      tree.SubtreeSpan(id, num_workers, &begin, &end);
+      if (end - begin <= 1) {
+        continue;  // a single member is already its own average
+      }
+      span_ptrs_.assign(params.begin() + begin, params.begin() + end);
+      ctx.network->SubtreeAllReduceAverage(id, span_ptrs_, ctx.dim,
+                                           TrafficClass::kModelSync);
+      ++local_syncs_;
+    }
+  }
+  return false;
+}
+
+std::string HierarchicalFdaPolicy::name() const {
+  return "Hier" + monitor_->name();
+}
+
+Status HierarchicalFdaConfig::Validate() const {
+  FEDRA_RETURN_IF_ERROR(monitor.Validate());
+  if (theta_by_depth.empty()) {
+    return Status::InvalidArgument(
+        "theta_by_depth needs one threshold per tier depth");
+  }
+  for (double theta : theta_by_depth) {
+    if (theta < 0.0) {
+      return Status::InvalidArgument("thresholds must be >= 0");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<HierarchicalFdaPolicy>> MakeHierarchicalFdaPolicy(
+    const HierarchicalFdaConfig& config, size_t dim) {
+  FEDRA_RETURN_IF_ERROR(config.Validate());
+  auto monitor = MakeVarianceMonitor(config.monitor, dim);
+  if (!monitor.ok()) {
+    return monitor.status();
+  }
+  return std::make_unique<HierarchicalFdaPolicy>(std::move(monitor).value(),
+                                                 config.theta_by_depth);
+}
 
 }  // namespace fedra

@@ -73,6 +73,10 @@ void SetLinkFactorsFromWorkers(const std::vector<WorkerState>& workers,
 }
 
 SimNetwork MakeSimNetwork(const TrainerConfig& config) {
+  if (config.topology.enabled()) {
+    return SimNetwork(config.num_workers, config.topology,
+                      config.allreduce);
+  }
   if (config.hierarchy.enabled()) {
     return SimNetwork(config.num_workers, config.hierarchy,
                       config.allreduce);
@@ -102,6 +106,14 @@ Status TrainerConfig::Validate() const {
           static_cast<size_t>(hierarchy.num_clusters)) {
     return Status::InvalidArgument(
         "hierarchy.cluster_intra must have one NetworkModel per cluster");
+  }
+  if (topology.enabled()) {
+    if (hierarchy.enabled()) {
+      return Status::InvalidArgument(
+          "set only one of topology and hierarchy (the two-tier hierarchy "
+          "is a depth-2 topology)");
+    }
+    FEDRA_RETURN_IF_ERROR(topology.Validate());
   }
   FEDRA_RETURN_IF_ERROR(local_optimizer.Validate());
   FEDRA_RETURN_IF_ERROR(partition.Validate());

@@ -115,6 +115,12 @@ struct TrainerConfig {
   /// two-tier topology and `network` is ignored; `allreduce` becomes the
   /// cross-cluster algorithm the leaders use over the uplink.
   HierarchicalNetworkModel hierarchy = HierarchicalNetworkModel::None();
+  /// Arbitrary-depth topology (device -> site -> cloud and deeper). When
+  /// enabled, collectives run the tree's recursive grouped schedule,
+  /// `network` is ignored, and `allreduce` becomes the root-tier
+  /// algorithm. Mutually exclusive with `hierarchy` (which is the depth-2
+  /// special case).
+  TopologyTree topology;
   StragglerModel straggler = StragglerModel::None();
 
   /// Lossy compression of the synchronization payload (paper §2: FDA only
@@ -133,10 +139,10 @@ struct TrainerConfig {
   Status Validate() const;
 };
 
-/// Builds the SimNetwork a TrainerConfig describes: grouped two-tier
-/// collectives when `hierarchy` is enabled, single-tier otherwise. Shared
-/// by the synchronous and async trainers so topology selection cannot
-/// diverge between them.
+/// Builds the SimNetwork a TrainerConfig describes: the arbitrary-depth
+/// tree when `topology` is enabled, grouped two-tier collectives when
+/// `hierarchy` is, single-tier otherwise. Shared by the synchronous and
+/// async trainers so topology selection cannot diverge between them.
 SimNetwork MakeSimNetwork(const TrainerConfig& config);
 
 /// Feeds the workers' persistent straggler speed factors into the

@@ -105,6 +105,25 @@ void LinearVarianceMonitor::OnSynchronized(const float* new_global,
   xi_valid_ = true;
 }
 
+void AggregateWeightedStates(const float* const* states,
+                             const double* weights, size_t count,
+                             size_t state_size, float* dst) {
+  FEDRA_CHECK_GT(count, 0u);
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    FEDRA_CHECK_GE(weights[i], 0.0);
+    weight_sum += weights[i];
+  }
+  FEDRA_CHECK_GT(weight_sum, 0.0);
+  for (size_t j = 0; j < state_size; ++j) {
+    double acc = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      acc += weights[i] * static_cast<double>(states[i][j]);
+    }
+    dst[j] = static_cast<float>(acc / weight_sum);
+  }
+}
+
 // -------------------------------------------------------------- factory --
 
 Status MonitorConfig::Validate() const {

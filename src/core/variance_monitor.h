@@ -137,6 +137,16 @@ class LinearVarianceMonitor : public VarianceMonitor {
   bool xi_valid_ = false;
 };
 
+/// Weighted mean of aggregated monitor states (double accumulation):
+/// dst[j] = sum_i weights[i] * states[i][j] / sum_i weights[i]. The
+/// hierarchical scheduler combines per-subtree mean states with the
+/// subtree worker counts as weights, so the result equals the mean state
+/// over all covered workers (up to double-rounding). Weights must sum to a
+/// positive value; dst may alias states[0].
+void AggregateWeightedStates(const float* const* states,
+                             const double* weights, size_t count,
+                             size_t state_size, float* dst);
+
 /// The three monitor variants, for configs and benches.
 enum class MonitorKind { kExact, kSketch, kLinear };
 

@@ -43,6 +43,24 @@ void ReduceInstallChunk(const std::vector<float*>& buffers, size_t begin,
   }
 }
 
+// Mean over the given buffers installed into every one of them (the shared
+// arithmetic of the global and subtree collectives).
+void ReduceMeanBuffers(const std::vector<float*>& buffers, size_t n) {
+  const size_t k = buffers.size();
+  if (k <= 1) {
+    return;  // the mean of one buffer is itself
+  }
+  const double inv_k = 1.0 / static_cast<double>(k);
+  GlobalThreadPool().ParallelForRange(
+      n, kReduceChunk, [&](size_t begin, size_t end) {
+        ReduceInstallChunk(buffers, begin, end,
+                           [inv_k](const float* const* srcs, size_t kk,
+                                   size_t len, float* tile) {
+                             vec::ReduceScale(srcs, kk, len, inv_k, tile);
+                           });
+      });
+}
+
 }  // namespace
 
 void ReduceMeanInto(const float* const* srcs, size_t num_srcs, size_t n,
@@ -75,6 +93,16 @@ SimNetwork::SimNetwork(int num_workers, HierarchicalNetworkModel hierarchy,
       algorithm_(cross_algorithm) {
   FEDRA_CHECK_GT(num_workers, 0);
   FEDRA_CHECK(hierarchy_.enabled());
+  tree_ = TopologyTree::FromHierarchy(hierarchy_);
+}
+
+SimNetwork::SimNetwork(int num_workers, TopologyTree tree,
+                       AllReduceAlgorithm root_algorithm)
+    : num_workers_(num_workers),
+      tree_(std::move(tree)),
+      algorithm_(root_algorithm) {
+  FEDRA_CHECK_GT(num_workers, 0);
+  FEDRA_CHECK(tree_.enabled());
 }
 
 void SimNetwork::SetWorkerLinkFactors(std::vector<double> factors) {
@@ -103,15 +131,43 @@ NetworkModel SimNetwork::EffectiveModel() const {
   return effective;
 }
 
-void SimNetwork::Charge(size_t intra_bytes, size_t uplink_bytes,
-                        double intra_seconds, double uplink_seconds,
-                        TrafficClass traffic) {
-  const size_t bytes = intra_bytes + uplink_bytes;
+void SimNetwork::ChargeFlat(size_t bytes, double seconds,
+                            TrafficClass traffic) {
+  stats_.bytes_total += bytes;
+  stats_.comm_seconds += seconds;
+  stats_.seconds_uplink += seconds;
+  stats_.ChargeDepth(0, bytes, seconds);
+  if (traffic == TrafficClass::kLocalState) {
+    stats_.bytes_local_state += bytes;
+    stats_.seconds_local_state += seconds;
+  } else {
+    stats_.bytes_model_sync += bytes;
+    stats_.seconds_model_sync += seconds;
+  }
+}
+
+void SimNetwork::ChargeTree(const TreeCost& cost, TrafficClass traffic) {
+  // Accumulate intra (deeper tiers) before the uplink (root tier) in the
+  // exact summation order the legacy two-tier Charge used, so depth-2
+  // charges stay bit-identical.
+  double intra_seconds = 0.0;
+  uint64_t intra_bytes = 0;
+  for (size_t d = 1; d < cost.seconds_by_depth.size(); ++d) {
+    intra_seconds += cost.seconds_by_depth[d];
+    intra_bytes += cost.bytes_by_depth[d];
+  }
+  const double uplink_seconds = cost.SecondsAt(0);
+  const uint64_t uplink_bytes = cost.BytesAt(0);
+  const uint64_t bytes = intra_bytes + uplink_bytes;
   const double seconds = intra_seconds + uplink_seconds;
   stats_.bytes_total += bytes;
   stats_.comm_seconds += seconds;
   stats_.seconds_intra += intra_seconds;
   stats_.seconds_uplink += uplink_seconds;
+  for (size_t d = 0; d < cost.seconds_by_depth.size(); ++d) {
+    stats_.ChargeDepth(d, cost.bytes_by_depth[d],
+                       cost.seconds_by_depth[d]);
+  }
   if (traffic == TrafficClass::kLocalState) {
     stats_.bytes_local_state += bytes;
     stats_.seconds_local_state += seconds;
@@ -134,12 +190,10 @@ void SimNetwork::AccountAllReduce(size_t payload_bytes_sum,
   // from their exact sum, never a truncated per-worker quotient.
   const double per_worker = static_cast<double>(payload_bytes_sum) /
                             static_cast<double>(num_workers_);
-  if (hierarchy_.enabled()) {
-    const HierarchicalNetworkModel::TierCost cost =
-        hierarchy_.GroupedAllReduceCost(per_worker, num_workers_, algorithm_,
-                                        LinkFactorsOrNull());
-    Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
-           cost.uplink_seconds, traffic);
+  if (tree_.enabled()) {
+    ChargeTree(tree_.GroupedAllReduceCost(per_worker, num_workers_,
+                                          algorithm_, LinkFactorsOrNull()),
+               traffic);
     return;
   }
   const size_t total_bytes = static_cast<size_t>(
@@ -150,25 +204,13 @@ void SimNetwork::AccountAllReduce(size_t payload_bytes_sum,
   // paced by the slowest participant's channel.
   const double seconds =
       EffectiveModel().AllReduceSeconds(per_worker, num_workers_, algorithm_);
-  Charge(0, total_bytes, 0.0, seconds, traffic);
+  ChargeFlat(total_bytes, seconds, traffic);
 }
 
 void SimNetwork::ReduceMeanIntoAll(const std::vector<float*>& buffers,
                                    size_t n) {
   FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
-  const size_t k = buffers.size();
-  if (k == 1) {
-    return;  // the mean of one buffer is itself
-  }
-  const double inv_k = 1.0 / static_cast<double>(k);
-  GlobalThreadPool().ParallelForRange(
-      n, kReduceChunk, [&](size_t begin, size_t end) {
-        ReduceInstallChunk(buffers, begin, end,
-                           [inv_k](const float* const* srcs, size_t kk,
-                                   size_t len, float* tile) {
-                             vec::ReduceScale(srcs, kk, len, inv_k, tile);
-                           });
-      });
+  ReduceMeanBuffers(buffers, n);
 }
 
 void SimNetwork::AllReduceAverage(const std::vector<float*>& buffers,
@@ -248,11 +290,10 @@ void SimNetwork::Broadcast(const std::vector<float*>& buffers, size_t n,
     return;
   }
   const size_t payload = n * sizeof(float);
-  if (hierarchy_.enabled()) {
-    const HierarchicalNetworkModel::TierCost cost =
-        hierarchy_.BroadcastCost(payload, num_workers_, LinkFactorsOrNull());
-    Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
-           cost.uplink_seconds, traffic);
+  if (tree_.enabled()) {
+    ChargeTree(tree_.BroadcastCost(payload, num_workers_,
+                                   LinkFactorsOrNull()),
+               traffic);
     return;
   }
   // K-1 transfers through the root's shared channel, paced by the slowest
@@ -262,7 +303,7 @@ void SimNetwork::Broadcast(const std::vector<float*>& buffers, size_t n,
   const double seconds =
       effective.latency_seconds +
       static_cast<double>(total) / effective.bandwidth_bytes_per_sec;
-  Charge(0, total, 0.0, seconds, traffic);
+  ChargeFlat(total, seconds, traffic);
 }
 
 void SimNetwork::PointToPoint(size_t n, TrafficClass traffic, int worker) {
@@ -273,28 +314,60 @@ void SimNetwork::PointToPoint(size_t n, TrafficClass traffic, int worker) {
     FEDRA_CHECK_LT(worker, num_workers_);
     factor = worker_link_factors_[static_cast<size_t>(worker)];
   }
-  if (hierarchy_.enabled()) {
-    const int cluster =
-        worker >= 0 ? hierarchy_.ClusterOfWorker(worker, num_workers_) : -1;
-    const HierarchicalNetworkModel::TierCost cost =
-        hierarchy_.PointToPointCost(payload, cluster, factor);
-    Charge(cost.intra_bytes, cost.uplink_bytes, cost.intra_seconds,
-           cost.uplink_seconds, traffic);
+  if (tree_.enabled()) {
+    const int leaf_group =
+        worker >= 0 ? tree_.LeafGroupOfWorker(worker, num_workers_) : 0;
+    ChargeTree(tree_.PointToPointCost(payload, num_workers_, leaf_group,
+                                      std::max(1.0, factor)),
+               traffic);
     return;
   }
   const double seconds =
       model_.latency_seconds +
       static_cast<double>(payload) / (model_.bandwidth_bytes_per_sec /
                                       factor);
-  Charge(0, payload, 0.0, seconds, traffic);
+  ChargeFlat(payload, seconds, traffic);
+}
+
+void SimNetwork::SubtreeAllReduceAverage(int node_id,
+                                         const std::vector<float*>& buffers,
+                                         size_t n, TrafficClass traffic) {
+  FEDRA_CHECK(tree_.enabled())
+      << "subtree collectives need a tree topology";
+  int begin = 0;
+  int end = 0;
+  tree_.SubtreeSpan(node_id, num_workers_, &begin, &end);
+  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(end - begin))
+      << "buffers must cover the subtree's workers";
+  ReduceMeanBuffers(buffers, n);
+  ++stats_.subtree_allreduce_calls;
+  if (traffic == TrafficClass::kModelSync) {
+    ++stats_.subtree_sync_count;
+  }
+  if (buffers.size() <= 1) {
+    return;  // single member: nothing transits any link
+  }
+  ChargeTree(tree_.SubtreeSyncCost(node_id, n * sizeof(float), num_workers_,
+                                   LinkFactorsOrNull()),
+             traffic);
+}
+
+void SimNetwork::AccountChildExchange(int node_id, size_t n,
+                                      TrafficClass traffic) {
+  FEDRA_CHECK(tree_.enabled())
+      << "child exchanges need a tree topology";
+  ++stats_.child_exchange_calls;
+  ChargeTree(tree_.ChildExchangeCost(node_id, n * sizeof(float),
+                                     num_workers_, LinkFactorsOrNull()),
+             traffic);
 }
 
 double SimNetwork::ModelSyncSeconds(size_t payload_bytes) const {
   if (num_workers_ == 1) {
     return 0.0;
   }
-  if (hierarchy_.enabled()) {
-    return hierarchy_
+  if (tree_.enabled()) {
+    return tree_
         .GroupedAllReduceCost(payload_bytes, num_workers_, algorithm_,
                               LinkFactorsOrNull())
         .total_seconds();

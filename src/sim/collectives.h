@@ -1,15 +1,22 @@
 // SimNetwork: the collectives of the simulated cluster, with exact byte and
 // simulated-time accounting. The arithmetic result of AllReduceAverage is
 // the exact elementwise mean regardless of the chosen transport algorithm
-// or topology (flat vs ring vs recursive-halving vs hierarchical only
-// changes cost accounting) — collectives are supposed to be numerically
-// transparent, and tests assert this.
+// or topology (flat vs ring vs recursive-halving vs tree only changes cost
+// accounting) — collectives are supposed to be numerically transparent, and
+// tests assert this.
 //
 // The arithmetic runs on a parallel reduction engine: model-sized spans are
 // split into fixed GlobalThreadPool chunks and each chunk runs the fused
 // vec::ReduceScale tree-reduce (double accumulators, fixed combine order).
 // Chunk boundaries depend only on the span length, so results are
 // bit-deterministic for any thread count.
+//
+// Topologies: single-tier (one shared NetworkModel), the legacy two-tier
+// HierarchicalNetworkModel (internally a depth-2 TopologyTree), or an
+// arbitrary-depth TopologyTree (device -> site -> cloud and deeper). Tree
+// networks additionally expose cluster-scoped collectives — AllReduces
+// confined to one subtree, billed only on that subtree's tiers — which the
+// hierarchical FDA scheduler uses to keep drift control on the cheap tiers.
 
 #ifndef FEDRA_SIM_COLLECTIVES_H_
 #define FEDRA_SIM_COLLECTIVES_H_
@@ -19,6 +26,7 @@
 
 #include "sim/comm_stats.h"
 #include "sim/network_model.h"
+#include "sim/topology_tree.h"
 
 namespace fedra {
 
@@ -36,26 +44,37 @@ class SimNetwork {
   SimNetwork(int num_workers, NetworkModel model,
              AllReduceAlgorithm algorithm);
 
-  /// Two-tier topology: collectives run grouped (reduce within cluster ->
-  /// exchange across clusters -> broadcast down); `cross_algorithm` is the
-  /// algorithm the cluster leaders use over the uplink.
+  /// Two-tier topology (legacy config surface): collectives run grouped
+  /// over the depth-2 tree the hierarchy describes; `cross_algorithm` is
+  /// the algorithm the cluster leaders use over the uplink.
   SimNetwork(int num_workers, HierarchicalNetworkModel hierarchy,
              AllReduceAlgorithm cross_algorithm);
+
+  /// Arbitrary-depth topology: collectives run the tree's recursive
+  /// grouped schedule (level-synchronized reduce-up, root-tier AllReduce
+  /// under `root_algorithm`, broadcast-down) and CommStats carries a
+  /// per-depth breakdown.
+  SimNetwork(int num_workers, TopologyTree tree,
+             AllReduceAlgorithm root_algorithm);
 
   int num_workers() const { return num_workers_; }
   const NetworkModel& network_model() const { return model_; }
   AllReduceAlgorithm algorithm() const { return algorithm_; }
-  bool hierarchical() const { return hierarchy_.enabled(); }
+  /// True for any tree-shaped topology (two-tier hierarchy included).
+  bool hierarchical() const { return tree_.enabled(); }
   const HierarchicalNetworkModel& hierarchy() const { return hierarchy_; }
+  /// The topology tree (disabled for single-tier networks). Two-tier
+  /// configs appear here as their depth-2 tree.
+  const TopologyTree& tree() const { return tree_; }
 
   /// Straggler-aware collective cost: per-worker link-speed factors (>= 1,
   /// e.g. the trainer's persistent straggler speed factors). When set,
   /// grouped and flat collectives bill the *slowest participating link* —
   /// single-tier collectives divide the channel bandwidth by the slowest
-  /// participant's factor; grouped collectives pace each intra phase by the
-  /// slowest member of that cluster and the uplink phase by the slowest
-  /// leader. Bytes are unaffected. All-ones (or never calling this) keeps
-  /// the homogeneous formulas bit-identical.
+  /// participant's factor; grouped collectives pace each gather phase by
+  /// the slowest member of that subtree and each cross tier by the slowest
+  /// participating representative. Bytes are unaffected. All-ones (or
+  /// never calling this) keeps the homogeneous formulas bit-identical.
   void SetWorkerLinkFactors(std::vector<double> factors);
   const std::vector<double>& worker_link_factors() const {
     return worker_link_factors_;
@@ -97,9 +116,29 @@ class SimNetwork {
   /// One worker uploads `n` floats to a coordinator (async FDA traffic).
   /// Passing the uploading `worker` bills *that* worker's link: its
   /// straggler factor (when SetWorkerLinkFactors is active) and, under a
-  /// heterogeneous hierarchy, its cluster's intra link. worker < 0 keeps
-  /// the homogeneous default links.
+  /// tree topology, one hop per tier on the path from its leaf group to
+  /// the root. worker < 0 takes leaf group 0's path (the homogeneous
+  /// default links).
   void PointToPoint(size_t n, TrafficClass traffic, int worker = -1);
+
+  /// Cluster-scoped AllReduce-average confined to node `node_id`'s subtree
+  /// of the topology tree: `buffers` are the subtree members' spans in
+  /// worker order (size must equal the subtree's worker count). The mean
+  /// installs into every member; cost is billed as gather + broadcast
+  /// along the subtree's own tiers only — tiers above `node_id` carry
+  /// nothing (the hierarchical scheduler's cheap local averaging). Counts
+  /// as a subtree_allreduce_calls entry, and as subtree_sync_count (never
+  /// model_sync_count) when `traffic` is kModelSync. Tree topologies only.
+  void SubtreeAllReduceAverage(int node_id,
+                               const std::vector<float*>& buffers, size_t n,
+                               TrafficClass traffic);
+
+  /// Bills an escalation state exchange at internal node `node_id`: its
+  /// child representatives gather `n` floats to the node's representative
+  /// and receive the aggregate back, over that node's link only. No
+  /// arithmetic — the scheduler aggregates the states itself. Counts as a
+  /// child_exchange_calls entry. Tree topologies only.
+  void AccountChildExchange(int node_id, size_t n, TrafficClass traffic);
 
   /// Simulated duration of one full-model collective of `payload_bytes` per
   /// worker under the configured topology/algorithm (no accounting) — the
@@ -116,22 +155,27 @@ class SimNetwork {
   // `payload_bytes_sum` bytes in total (== K * per-worker payload when
   // uniform).
   void AccountAllReduce(size_t payload_bytes_sum, TrafficClass traffic);
-  // Splits a charge across the class and tier breakdowns.
-  void Charge(size_t intra_bytes, size_t uplink_bytes, double intra_seconds,
-              double uplink_seconds, TrafficClass traffic);
+  // Splits a single-tier charge across the class/tier/depth breakdowns
+  // (the one shared channel is the uplink tier at depth 0).
+  void ChargeFlat(size_t bytes, double seconds, TrafficClass traffic);
+  // Splits a per-depth tree charge across the class/tier/depth breakdowns
+  // (depth 0 -> uplink, deeper tiers -> intra).
+  void ChargeTree(const TreeCost& cost, TrafficClass traffic);
   // Slowest participating link factor (1.0 when factors are unset).
   double SlowestLinkFactor() const;
   // The single-tier model with its bandwidth divided by the slowest
   // participating link factor — the one place the slowest-link scaling is
   // applied, so AllReduce, Broadcast, and ModelSyncSeconds stay in step.
   NetworkModel EffectiveModel() const;
-  // The worker-factor vector to hand the hierarchical cost model, or null
-  // when unset (homogeneous links).
+  // The worker-factor vector to hand the tree cost model, or null when
+  // unset (homogeneous links).
   const std::vector<double>* LinkFactorsOrNull() const;
 
   int num_workers_;
   NetworkModel model_;
-  HierarchicalNetworkModel hierarchy_;  // disabled for single-tier networks
+  HierarchicalNetworkModel hierarchy_;  // legacy config echo (may be
+                                        // disabled for direct tree configs)
+  TopologyTree tree_;  // disabled for single-tier networks
   AllReduceAlgorithm algorithm_;
   CommStats stats_;
   std::vector<double> weight_scratch_;  // normalized weights per call

@@ -5,10 +5,10 @@
 namespace fedra {
 
 std::string CommStats::ToString() const {
-  return StrFormat(
+  std::string s = StrFormat(
       "CommStats{allreduce=%llu, bcast=%llu, p2p=%llu, syncs=%llu, "
       "total=%s (state=%s, model=%s), comm_time=%.3fs "
-      "(intra=%.3fs, uplink=%.3fs)}",
+      "(intra=%.3fs, uplink=%.3fs)",
       static_cast<unsigned long long>(allreduce_calls),
       static_cast<unsigned long long>(broadcast_calls),
       static_cast<unsigned long long>(p2p_calls),
@@ -17,6 +17,21 @@ std::string CommStats::ToString() const {
       HumanBytes(static_cast<double>(bytes_local_state)).c_str(),
       HumanBytes(static_cast<double>(bytes_model_sync)).c_str(),
       comm_seconds, seconds_intra, seconds_uplink);
+  if (subtree_allreduce_calls > 0 || child_exchange_calls > 0) {
+    s += StrFormat(", subtree=%llu (model=%llu), escalations=%llu",
+                   static_cast<unsigned long long>(subtree_allreduce_calls),
+                   static_cast<unsigned long long>(subtree_sync_count),
+                   static_cast<unsigned long long>(child_exchange_calls));
+  }
+  if (seconds_by_depth.size() > 2) {
+    s += ", by_depth=[";
+    for (size_t d = 0; d < seconds_by_depth.size(); ++d) {
+      s += StrFormat("%s%.3fs", d == 0 ? "" : ", ", seconds_by_depth[d]);
+    }
+    s += "]";
+  }
+  s += "}";
+  return s;
 }
 
 }  // namespace fedra

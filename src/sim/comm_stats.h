@@ -5,15 +5,19 @@
 // transmitted byte to one of two traffic classes so benches can report the
 // split the paper discusses: small per-step local-state traffic vs. the
 // expensive model synchronization traffic. Simulated time is broken down
-// twice: by traffic class, and by topology tier (intra-cluster links vs.
-// the cross-cluster uplink; single-tier topologies charge their one shared
-// channel as the uplink tier).
+// three ways: by traffic class, by legacy topology tier (intra-cluster
+// links vs. the cross-cluster uplink; single-tier topologies charge their
+// one shared channel as the uplink tier), and — for arbitrary-depth
+// TopologyTree networks — per tree depth (index 0 is the root tier, deeper
+// tiers follow; the legacy split maps depth 0 to uplink and depths >= 1 to
+// intra, so the two breakdowns always agree).
 
 #ifndef FEDRA_SIM_COMM_STATS_H_
 #define FEDRA_SIM_COMM_STATS_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fedra {
 
@@ -27,6 +31,11 @@ struct CommStats {
   uint64_t broadcast_calls = 0;
   uint64_t p2p_calls = 0;
   uint64_t model_sync_count = 0;     // #full-model synchronizations
+  // Cluster-scoped traffic of the hierarchical FDA scheduler: collectives
+  // confined to one subtree of the topology tree.
+  uint64_t subtree_allreduce_calls = 0;  // all subtree collectives
+  uint64_t subtree_sync_count = 0;       // model-payload subtree averages
+  uint64_t child_exchange_calls = 0;     // escalation state exchanges
   uint64_t bytes_total = 0;          // all bytes transmitted by all workers
   uint64_t bytes_local_state = 0;
   uint64_t bytes_model_sync = 0;
@@ -38,6 +47,30 @@ struct CommStats {
   // charge everything to the uplink (the shared channel).
   double seconds_intra = 0.0;
   double seconds_uplink = 0.0;
+  // Per-depth split for tree topologies; [0] is the root tier. Sized on
+  // first charge (single-tier networks charge depth 0), sums to
+  // comm_seconds / bytes_total.
+  std::vector<double> seconds_by_depth;
+  std::vector<uint64_t> bytes_by_depth;
+
+  /// Accumulates one tier charge into the per-depth arrays (grows them on
+  /// demand). The caller is responsible for also updating the aggregate
+  /// fields; SimNetwork is the only writer.
+  void ChargeDepth(size_t depth, uint64_t bytes, double seconds) {
+    if (seconds_by_depth.size() <= depth) {
+      seconds_by_depth.resize(depth + 1, 0.0);
+      bytes_by_depth.resize(depth + 1, 0);
+    }
+    seconds_by_depth[depth] += seconds;
+    bytes_by_depth[depth] += bytes;
+  }
+
+  double SecondsAtDepth(size_t depth) const {
+    return depth < seconds_by_depth.size() ? seconds_by_depth[depth] : 0.0;
+  }
+  uint64_t BytesAtDepth(size_t depth) const {
+    return depth < bytes_by_depth.size() ? bytes_by_depth[depth] : 0;
+  }
 
   /// Resets all counters to zero.
   void Clear() { *this = CommStats(); }
@@ -48,6 +81,9 @@ struct CommStats {
     broadcast_calls += other.broadcast_calls;
     p2p_calls += other.p2p_calls;
     model_sync_count += other.model_sync_count;
+    subtree_allreduce_calls += other.subtree_allreduce_calls;
+    subtree_sync_count += other.subtree_sync_count;
+    child_exchange_calls += other.child_exchange_calls;
     bytes_total += other.bytes_total;
     bytes_local_state += other.bytes_local_state;
     bytes_model_sync += other.bytes_model_sync;
@@ -56,6 +92,9 @@ struct CommStats {
     seconds_model_sync += other.seconds_model_sync;
     seconds_intra += other.seconds_intra;
     seconds_uplink += other.seconds_uplink;
+    for (size_t d = 0; d < other.seconds_by_depth.size(); ++d) {
+      ChargeDepth(d, other.bytes_by_depth[d], other.seconds_by_depth[d]);
+    }
   }
 
   double gigabytes_total() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/topology_tree.h"
 #include "util/check.h"
 
 namespace fedra {
@@ -167,55 +168,17 @@ const NetworkModel& HierarchicalNetworkModel::IntraModel(int cluster) const {
 
 namespace {
 
-// Slowest member link of worker block [begin, begin + size); 1.0 without
-// factors (homogeneous links).
-double MaxLinkFactor(const std::vector<double>* factors, int begin,
-                     int size) {
-  if (factors == nullptr) {
-    return 1.0;
+// Collapses a per-depth tree cost into the legacy two-tier split: the root
+// tier (depth 0) is the uplink, everything deeper is intra.
+HierarchicalNetworkModel::TierCost TierCostFromTree(const TreeCost& cost) {
+  HierarchicalNetworkModel::TierCost tier;
+  tier.uplink_seconds = cost.SecondsAt(0);
+  tier.uplink_bytes = cost.BytesAt(0);
+  for (size_t d = 1; d < cost.seconds_by_depth.size(); ++d) {
+    tier.intra_seconds += cost.seconds_by_depth[d];
+    tier.intra_bytes += cost.bytes_by_depth[d];
   }
-  double max_factor = 1.0;
-  for (int i = begin; i < begin + size; ++i) {
-    FEDRA_CHECK_LT(static_cast<size_t>(i), factors->size());
-    max_factor = std::max(max_factor, (*factors)[static_cast<size_t>(i)]);
-  }
-  return max_factor;
-}
-
-// One intra phase of a grouped collective under the slowest-link formula:
-// clusters move `payload_bytes` over their own intra link concurrently, so
-// the phase paces on the slowest (size, link model, slowest-member factor)
-// combination; also reports the slowest *leader* factor for the uplink
-// phase. Shared by GroupedAllReduceCost and BroadcastCost so AllReduce and
-// Broadcast pacing can never diverge.
-struct IntraPhase {
-  double seconds = 0.0;          // 0 when every cluster has one member
-  double max_leader_factor = 1.0;
-};
-
-IntraPhase SlowestIntraPhase(const HierarchicalNetworkModel& h,
-                             double payload_bytes, int num_workers,
-                             const std::vector<double>* worker_link_factors) {
-  const int clusters = std::min(h.num_clusters, num_workers);
-  IntraPhase phase;
-  int begin = 0;
-  for (int c = 0; c < clusters; ++c) {
-    const int size = h.ClusterSize(c, num_workers);
-    phase.max_leader_factor =
-        std::max(phase.max_leader_factor,
-                 MaxLinkFactor(worker_link_factors, begin, 1));
-    if (size > 1) {
-      const NetworkModel& link = h.IntraModel(c);
-      const double factor = MaxLinkFactor(worker_link_factors, begin, size);
-      phase.seconds = std::max(
-          phase.seconds,
-          link.latency_seconds + static_cast<double>(size - 1) *
-                                     payload_bytes /
-                                     (link.bandwidth_bytes_per_sec / factor));
-    }
-    begin += size;
-  }
-  return phase;
+  return tier;
 }
 
 }  // namespace
@@ -226,38 +189,15 @@ HierarchicalNetworkModel::GroupedAllReduceCost(
     const std::vector<double>* worker_link_factors) const {
   FEDRA_CHECK_GT(num_workers, 0);
   FEDRA_CHECK(enabled());
-  TierCost cost;
-  if (num_workers == 1) {
-    return cost;
-  }
-  const int clusters = std::min(num_clusters, num_workers);
-  const double members = static_cast<double>(num_workers - clusters);
-  const size_t member_bytes =
-      static_cast<size_t>(std::llround(members * payload_bytes));
-  // Phase 1 — reduce to leaders: each member pushes one payload over its
-  // cluster's intra link; clusters run concurrently, so time follows the
-  // slowest cluster.
-  const IntraPhase phase =
-      SlowestIntraPhase(*this, payload_bytes, num_workers,
-                        worker_link_factors);
-  if (phase.seconds > 0.0) {
-    // Phases 1 and 3 are symmetric: members up, result down.
-    cost.intra_seconds += 2.0 * phase.seconds;
-    cost.intra_bytes += 2 * member_bytes;
-  }
-  // Phase 2 — leaders AllReduce the cluster partials across the uplink,
-  // paced by the slowest leader's link.
-  if (clusters > 1) {
-    NetworkModel effective_uplink = uplink;
-    effective_uplink.bandwidth_bytes_per_sec /= phase.max_leader_factor;
-    cost.uplink_seconds += effective_uplink.AllReduceSeconds(
-        payload_bytes, clusters, cross_algorithm);
-    cost.uplink_bytes += static_cast<size_t>(
-        std::llround(NetworkModel::AllReduceTotalBytesFromSum(
-            static_cast<double>(clusters) * payload_bytes, clusters,
-            cross_algorithm)));
-  }
-  return cost;
+  // The two-tier model is a depth-2 TopologyTree instance; the tree's
+  // recursive grouped collective reproduces the original closed-form costs
+  // bit-identically (locked by the accounting goldens in collectives_test
+  // and the parity suite in topology_tree_test).
+  return TierCostFromTree(TopologyTree::FromHierarchy(*this)
+                              .GroupedAllReduceCost(payload_bytes,
+                                                    num_workers,
+                                                    cross_algorithm,
+                                                    worker_link_factors));
 }
 
 HierarchicalNetworkModel::TierCost HierarchicalNetworkModel::BroadcastCost(
@@ -265,28 +205,8 @@ HierarchicalNetworkModel::TierCost HierarchicalNetworkModel::BroadcastCost(
     const std::vector<double>* worker_link_factors) const {
   FEDRA_CHECK_GT(num_workers, 0);
   FEDRA_CHECK(enabled());
-  TierCost cost;
-  if (num_workers == 1) {
-    return cost;
-  }
-  const int clusters = std::min(num_clusters, num_workers);
-  const IntraPhase phase =
-      SlowestIntraPhase(*this, static_cast<double>(payload_bytes),
-                        num_workers, worker_link_factors);
-  if (clusters > 1) {
-    cost.uplink_seconds += uplink.latency_seconds +
-                           static_cast<double>(clusters - 1) *
-                               static_cast<double>(payload_bytes) /
-                               (uplink.bandwidth_bytes_per_sec /
-                                phase.max_leader_factor);
-    cost.uplink_bytes += static_cast<size_t>(clusters - 1) * payload_bytes;
-  }
-  if (phase.seconds > 0.0) {
-    cost.intra_seconds += phase.seconds;
-    cost.intra_bytes +=
-        static_cast<size_t>(num_workers - clusters) * payload_bytes;
-  }
-  return cost;
+  return TierCostFromTree(TopologyTree::FromHierarchy(*this).BroadcastCost(
+      payload_bytes, num_workers, worker_link_factors));
 }
 
 int HierarchicalNetworkModel::ClusterOfWorker(int worker,

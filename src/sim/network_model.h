@@ -12,6 +12,11 @@
 // joined by a slow cross-cluster uplink. A grouped AllReduce then runs
 // reduce-within-cluster -> exchange-across-clusters -> broadcast-down, and
 // the cost of each tier is accounted separately.
+//
+// Arbitrary-depth topologies (device -> site -> cloud and deeper) live in
+// sim/topology_tree.h; the two-tier model is a depth-2 TopologyTree
+// instance and its grouped collective costs delegate there, bit-identically
+// to the original closed forms.
 
 #ifndef FEDRA_SIM_NETWORK_MODEL_H_
 #define FEDRA_SIM_NETWORK_MODEL_H_

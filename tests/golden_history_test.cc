@@ -22,8 +22,10 @@
 
 #include "core/algorithms.h"
 #include "core/async_fda.h"
+#include "core/fda_policy.h"
 #include "data/synth.h"
 #include "nn/zoo.h"
+#include "sim/topology_tree.h"
 
 namespace fedra {
 namespace {
@@ -213,6 +215,42 @@ TEST(GoldenHistoryTest, MlpAsyncFda) {
   auto result = trainer.Run();
   ASSERT_TRUE(result.ok()) << result.status();
   ExpectHistoryMatches("MlpAsync", result->base.history, kMlpAsync);
+}
+
+// Captured at the parity-verified introduction of the hierarchical FDA
+// scheduler (TopologyTree PR) with FEDRA_GOLDEN_PRINT=1: a 3-tier
+// device->site->cloud run whose escalation decisions — which steps average
+// at which tier and which pay the uplink — are encoded in the bytes and
+// sync_count columns. A refactor that silently changes the scheduler's
+// tier decisions changes these numbers.
+const GoldenPoint kMlpHier3Tier[] = {
+    {20, 0.5, 0.6953125, 3030816ull, 1ull, 0.42608227840000024},
+    {40, 0.78125, 0.8203125, 7088512ull, 1ull, 0.81832862720000166},
+    {60, 0.9453125, 0.8984375, 9297792ull, 2ull, 1.2237536511999991},
+};
+
+TEST(GoldenHistoryTest, ThreeTierHierarchicalFdaSequentialAndParallel) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+  auto run_with = [&](bool parallel) {
+    TrainerConfig config = MlpConfig(8);
+    config.parallel_workers = parallel;
+    config.topology = TopologyTree::DeviceSiteCloud(2, 2);
+    DistributedTrainer trainer(factory, data.train, data.test, config);
+    HierarchicalFdaConfig policy_config;
+    policy_config.monitor.kind = MonitorKind::kLinear;
+    policy_config.theta_by_depth = {1.2, 0.5, 0.2};
+    auto policy =
+        MakeHierarchicalFdaPolicy(policy_config, trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    return result->history;
+  };
+  std::vector<EvalPoint> sequential = run_with(false);
+  std::vector<EvalPoint> parallel = run_with(true);
+  ExpectHistoryMatches("MlpHier3Tier", sequential, kMlpHier3Tier);
+  ExpectHistoriesBitIdentical(sequential, parallel);
 }
 
 /// Composite coverage (BatchNorm, Dropout, DenseBlock, transitions) under
