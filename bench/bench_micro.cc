@@ -24,6 +24,7 @@
 #include "nn/zoo.h"
 #include "opt/optimizer.h"
 #include "sim/collectives.h"
+#include "sim/fault_model.h"
 #include "sketch/ams_sketch.h"
 #include "tensor/ops.h"
 #include "tensor/ref_ops.h"
@@ -112,6 +113,24 @@ void BM_AllReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_AllReduce)->Args({1 << 14, 4})->Args({1 << 14, 16})
     ->Args({1 << 18, 4})->Args({1 << 20, 8})->Args({1 << 22, 8});
+
+void BM_FaultInjectorRound(benchmark::State& state) {
+  // One BeginRound advances every worker churn chain and link chain in
+  // fixed order — the fault layer's entire per-round overhead. It must
+  // stay negligible next to the collectives it gates.
+  const int workers = static_cast<int>(state.range(0));
+  FaultConfig config = FaultConfig::Churn(10.0, 2.5);
+  config.link_mttf_rounds = 20.0;
+  config.link_mttr_rounds = 3.0;
+  config.message_loss_prob = 0.01;
+  FaultInjector injector(config, workers, /*seed=*/7);
+  for (auto _ : state) {
+    injector.BeginRound();
+    benchmark::DoNotOptimize(injector.NumUp());
+  }
+  state.SetItemsProcessed(state.iterations() * workers);
+}
+BENCHMARK(BM_FaultInjectorRound)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_AllReduceSerial(benchmark::State& state) {
   // The seed's serial scalar AllReduceAverage, kept verbatim as the fixed

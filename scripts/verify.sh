@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, and run the test suite.
 # Usage: scripts/verify.sh [build-dir]
+# Extra cmake options (e.g. -DFEDRA_SANITIZE=ON) pass through via
+# FEDRA_CMAKE_ARGS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+# shellcheck disable=SC2086  # word-splitting of the extra args is the point
+cmake -B "$BUILD_DIR" -S . ${FEDRA_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-# Trainer-level smoke runs: drive three examples end-to-end after the unit
+# Trainer-level smoke runs: drive the examples end-to-end after the unit
 # suite so whole-trainer regressions surface even when every unit test
 # passes. All finish in seconds. deep_tree_fda additionally CHECKs the
-# hierarchical scheduler's uplink savings against flat FDA.
+# hierarchical scheduler's uplink savings against flat FDA; churn_fda
+# CHECKs FDA's accuracy and bounded uplink overhead under worker churn and
+# message loss against a fault-oblivious FedAvg strawman.
 "$BUILD_DIR/quickstart" > /dev/null
 "$BUILD_DIR/hierarchical_fda" > /dev/null
 "$BUILD_DIR/deep_tree_fda" > /dev/null
-echo "smoke: quickstart + hierarchical_fda + deep_tree_fda OK"
+"$BUILD_DIR/churn_fda" > /dev/null
+echo "smoke: quickstart + hierarchical_fda + deep_tree_fda + churn_fda OK"

@@ -15,6 +15,7 @@ namespace {
 struct StepEvent {
   double time = 0.0;
   int worker = 0;
+  bool rejoin = false;  // repair completion rather than a step
   bool operator>(const StepEvent& other) const { return time > other.time; }
 };
 
@@ -61,6 +62,20 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
   // Slowest-link collective cost, matching the synchronous trainer.
   SetLinkFactorsFromWorkers(workers, &network);
 
+  // Event-level fault injection: the async trainer has no rounds, so it
+  // consumes the injector's per-event hooks — a worker crashes at step
+  // completion with probability 1/mttf and repairs after a geometric
+  // number of its own step times; every upload runs the loss/retry
+  // gauntlet. Round-scoped faults (link outages, deadlines) have no
+  // event-driven analogue and are ignored here.
+  std::unique_ptr<FaultInjector> injector;
+  if (config_.faults.enabled()) {
+    injector = std::make_unique<FaultInjector>(
+        config_.faults, config_.num_workers, config_.seed,
+        network.tree().enabled() ? &network.tree() : nullptr);
+  }
+  std::vector<char> worker_up(static_cast<size_t>(config_.num_workers), 1);
+
   std::vector<float> sync_params(dim_);
   std::vector<float> prev_sync_params(dim_);
   vec::Copy(workers[0].view.params, sync_params.data(), dim_);
@@ -74,11 +89,19 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
   Model* eval_model = shared_model_.get();
   std::vector<const float*> eval_srcs(workers.size());
   auto refresh_eval_model = [&] {
+    // Crashed workers' stale params stay out of the evaluated average.
+    size_t live = 0;
     for (size_t k = 0; k < workers.size(); ++k) {
-      eval_srcs[k] = workers[k].view.params;
+      if (worker_up[k] == 0) {
+        continue;
+      }
+      eval_srcs[live++] = workers[k].view.params;
     }
-    ReduceMeanInto(eval_srcs.data(), eval_srcs.size(), dim_,
-                   eval_model->params());
+    if (live == 0) {
+      vec::Copy(sync_params.data(), eval_model->params(), dim_);
+      return;
+    }
+    ReduceMeanInto(eval_srcs.data(), live, dim_, eval_model->params());
   };
 
   // Event queue: next step-completion time per worker.
@@ -104,11 +127,28 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
       static_cast<size_t>(config_.num_workers);
   size_t next_eval = eval_every;
 
-  while (total_steps < async_.max_total_worker_steps) {
+  while (total_steps < async_.max_total_worker_steps && !events.empty()) {
     StepEvent event = events.top();
     events.pop();
-    clock = event.time;
+    // max(): a pending repair can predate the clock after a sync stall.
+    clock = std::max(clock, event.time);
     WorkerState& worker = workers[static_cast<size_t>(event.worker)];
+
+    if (event.rejoin) {
+      // Repair completes: the worker downloads the current global model
+      // (billed as a catch-up sync), re-anchors its optimizer and monitor
+      // state, and resumes stepping at its own pace.
+      worker_up[static_cast<size_t>(event.worker)] = 1;
+      network.AccountCatchUpSync(dim_, event.worker);
+      ReanchorRejoinedWorker(&arena, &worker, sync_params.data(), dim_);
+      auto& state = latest_states[static_cast<size_t>(event.worker)];
+      std::fill(state.begin(), state.end(), 0.0f);
+      ++result.base.rejoin_count;
+      events.push({clock + config_.straggler.SampleStepSeconds(
+                               worker.speed_factor, &straggler_rng),
+                   event.worker});
+      continue;
+    }
 
     // The worker finishes one local step at `clock`.
     const std::vector<size_t>& batch = worker.sampler->NextBatch();
@@ -126,42 +166,144 @@ StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
     worker.optimizer->Step(worker.view.params, worker.view.grads, dim_);
     ++total_steps;
 
+    if (injector != nullptr && injector->SampleCrash()) {
+      // The worker dies at step completion: nothing is uploaded, its
+      // params go stale, and the repair timer starts now — a geometric
+      // number (mean worker_mttr_rounds) of its own typical step times.
+      worker_up[static_cast<size_t>(event.worker)] = 0;
+      const double repair = injector->SampleRepairRounds() *
+                            config_.straggler.base_step_seconds *
+                            worker.speed_factor;
+      events.push({clock + repair, event.worker, /*rejoin=*/true});
+      continue;
+    }
+
     // Upload the local state to the coordinator (point-to-point); the fused
-    // kernel computes the drift and its squared norm in one pass.
+    // kernel computes the drift and its squared norm in one pass. Under
+    // message loss the upload runs the retry gauntlet; a dropped upload
+    // leaves the coordinator's view of this worker stale (no decision).
     monitor->ComputeDriftAndState(worker.view.params, sync_params.data(),
                                   worker.drift, worker.state);
-    latest_states[static_cast<size_t>(event.worker)]
-        .assign(worker.state, worker.state + monitor->StateSize());
-    network.PointToPoint(monitor->StateSize(), TrafficClass::kLocalState,
-                         event.worker);
-
-    // Coordinator decision on the freshest state of every worker.
-    vec::Fill(mean_state.data(), mean_state.size(), 0.0f);
-    const float inv_k = 1.0f / static_cast<float>(workers.size());
-    for (const auto& state : latest_states) {
-      vec::Axpy(inv_k, state.data(), mean_state.data(), mean_state.size());
-    }
-    const double estimate = monitor->EstimateVariance(mean_state.data());
-    if (estimate > async_.theta) {
-      // Coordinator-mediated synchronization (accounted as a full-model
-      // collective). All in-flight compute is abandoned and re-queued.
-      std::vector<float*> params = arena.ParamPointers();
-      network.AllReduceAverage(params, dim_, TrafficClass::kModelSync);
-      prev_sync_params = sync_params;
-      vec::Copy(params[0], sync_params.data(), dim_);
-      monitor->OnSynchronized(sync_params.data(), prev_sync_params.data());
-      for (auto& state : latest_states) {
-        std::fill(state.begin(), state.end(), 0.0f);
+    bool uploaded = true;
+    if (injector != nullptr) {
+      const FaultInjector::Delivery outcome = injector->SampleDelivery();
+      if (outcome.retries > 0) {
+        network.AccountSyncRetries(event.worker, monitor->StateSize(),
+                                   outcome.retries,
+                                   config_.faults.retry_backoff_seconds,
+                                   TrafficClass::kLocalState);
       }
-      ++result.sync_count;
+      if (!outcome.delivered) {
+        network.AccountDroppedMessage();
+        uploaded = false;
+      }
+    }
+    bool trip = false;
+    if (uploaded) {
+      latest_states[static_cast<size_t>(event.worker)]
+          .assign(worker.state, worker.state + monitor->StateSize());
+      network.PointToPoint(monitor->StateSize(), TrafficClass::kLocalState,
+                           event.worker);
+
+      // Coordinator decision on the freshest state of every live worker
+      // (crashed workers' last states are excluded from the mean).
+      vec::Fill(mean_state.data(), mean_state.size(), 0.0f);
+      int live = 0;
+      for (size_t k = 0; k < workers.size(); ++k) {
+        live += worker_up[k] != 0;
+      }
+      const float inv_k = 1.0f / static_cast<float>(live);
+      for (size_t k = 0; k < workers.size(); ++k) {
+        if (worker_up[k] == 0) {
+          continue;
+        }
+        vec::Axpy(inv_k, latest_states[k].data(), mean_state.data(),
+                  mean_state.size());
+      }
+      const double estimate = monitor->EstimateVariance(mean_state.data());
+      trip = estimate > async_.theta;
+    }
+    if (trip) {
+      // Coordinator-mediated synchronization (accounted as a full-model
+      // collective) over the live workers. All in-flight compute is
+      // abandoned and re-queued; pending repairs survive the rebuild.
+      std::vector<float*> params = arena.ParamPointers();
+      bool synced = true;
+      if (injector == nullptr) {
+        network.AllReduceAverage(params, dim_, TrafficClass::kModelSync);
+        prev_sync_params = sync_params;
+        vec::Copy(params[0], sync_params.data(), dim_);
+      } else {
+        // Each live worker's model contribution runs the same loss/retry
+        // gauntlet as the state uploads; the coordinator averages what
+        // arrives and pushes the result back to every live worker.
+        std::vector<int> delivered;
+        std::vector<float*> delivered_params;
+        for (int k = 0; k < config_.num_workers; ++k) {
+          if (worker_up[static_cast<size_t>(k)] == 0) {
+            continue;
+          }
+          const FaultInjector::Delivery outcome =
+              injector->SampleDelivery();
+          if (outcome.retries > 0) {
+            network.AccountSyncRetries(k, dim_, outcome.retries,
+                                       config_.faults.retry_backoff_seconds,
+                                       TrafficClass::kModelSync);
+          }
+          if (!outcome.delivered) {
+            network.AccountDroppedMessage();
+            continue;
+          }
+          delivered.push_back(k);
+          delivered_params.push_back(params[static_cast<size_t>(k)]);
+        }
+        if (delivered.empty()) {
+          // Every contribution lost: the attempt still stalled the fleet,
+          // but the anchor stays put and the monitor keeps estimating.
+          ++result.base.skipped_syncs;
+          synced = false;
+        } else {
+          network.AllReduceAverageSubset(delivered_params, delivered, dim_,
+                                         TrafficClass::kModelSync);
+          prev_sync_params = sync_params;
+          vec::Copy(delivered_params[0], sync_params.data(), dim_);
+          // Live workers whose upload was dropped still receive the new
+          // global model from the coordinator's broadcast.
+          for (int k = 0; k < config_.num_workers; ++k) {
+            if (worker_up[static_cast<size_t>(k)] == 0) {
+              continue;
+            }
+            vec::Copy(sync_params.data(),
+                      params[static_cast<size_t>(k)], dim_);
+          }
+        }
+      }
+      if (synced) {
+        monitor->OnSynchronized(sync_params.data(),
+                                prev_sync_params.data());
+        for (auto& state : latest_states) {
+          std::fill(state.begin(), state.end(), 0.0f);
+        }
+        ++result.sync_count;
+      }
       // Sync latency stalls everyone: rebuild the event queue from now.
       // The stall matches the configured topology (hierarchical grouped
       // collectives included), mirroring what the accounting charged.
       clock += network.ModelSyncSeconds(dim_ * sizeof(float));
+      std::vector<StepEvent> rejoins;
       while (!events.empty()) {
+        if (events.top().rejoin) {
+          rejoins.push_back(events.top());
+        }
         events.pop();
       }
+      for (const StepEvent& pending : rejoins) {
+        events.push(pending);
+      }
       for (int k = 0; k < config_.num_workers; ++k) {
+        if (worker_up[static_cast<size_t>(k)] == 0) {
+          continue;
+        }
         events.push({clock + config_.straggler.SampleStepSeconds(
                                  workers[static_cast<size_t>(k)].speed_factor,
                                  &straggler_rng),

@@ -9,8 +9,7 @@
 namespace fedra {
 
 bool SynchronousPolicy::MaybeSync(ClusterContext& ctx) {
-  ctx.SynchronizeModels();
-  return true;
+  return ctx.SynchronizeModels();
 }
 
 TauSchedule TauSchedule::Fixed(size_t tau) {
@@ -90,9 +89,14 @@ bool LocalSgdPolicy::MaybeSync(ClusterContext& ctx) {
   if (ctx.steps_since_sync < schedule_.TauForRound(round_)) {
     return false;
   }
-  ctx.SynchronizeModels();
+  // A sync skipped to total message loss still closes the round — the tau
+  // counter restarts either way (the round was attempted, not deferred).
+  const bool synced = ctx.SynchronizeModels();
+  if (!synced) {
+    ctx.steps_since_sync = 0;
+  }
   ++round_;
-  return true;
+  return synced;
 }
 
 std::string LocalSgdPolicy::name() const {

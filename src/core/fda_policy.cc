@@ -7,6 +7,21 @@
 #include "util/string_util.h"
 
 namespace fedra {
+namespace {
+
+// Active workers within [begin, end); the span size when no mask is given.
+int ActiveInSpan(const std::vector<char>* mask, int begin, int end) {
+  if (mask == nullptr) {
+    return end - begin;
+  }
+  int count = 0;
+  for (int w = begin; w < end; ++w) {
+    count += (*mask)[static_cast<size_t>(w)] != 0;
+  }
+  return count;
+}
+
+}  // namespace
 
 FdaSyncPolicy::FdaSyncPolicy(std::unique_ptr<VarianceMonitor> monitor,
                              double theta)
@@ -27,19 +42,45 @@ void FdaSyncPolicy::Initialize(ClusterContext& ctx) {
 
 bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
   FEDRA_CHECK_EQ(monitor_->dim(), ctx.dim);
-  // (Alg. 1 line 6) every worker updates its local state from its drift;
-  // the fused kernel writes u_k = w_k - w_sync and ||u_k||^2 in one pass.
-  for (auto& worker : *ctx.workers) {
-    monitor_->ComputeDriftAndState(worker.view.params,
-                                   ctx.sync_params->data(), worker.drift,
-                                   worker.state);
-  }
-  // (line 7) AllReduce the small states.
   std::vector<float*> states = ctx.StatePointers();
-  ctx.network->AllReduceAverage(states, monitor_->StateSize(),
-                                TrafficClass::kLocalState);
+  const float* mean_state = nullptr;
+  if (ctx.participation == nullptr) {
+    // (Alg. 1 line 6) every worker updates its local state from its drift;
+    // the fused kernel writes u_k = w_k - w_sync and ||u_k||^2 in one pass.
+    for (auto& worker : *ctx.workers) {
+      monitor_->ComputeDriftAndState(worker.view.params,
+                                     ctx.sync_params->data(), worker.drift,
+                                     worker.state);
+    }
+    // (line 7) AllReduce the small states.
+    ctx.network->AllReduceAverage(states, monitor_->StateSize(),
+                                  TrafficClass::kLocalState);
+    mean_state = states[0];
+  } else {
+    // Fault-aware round: only the participants compute and share states.
+    // Absent workers are excluded from the mean entirely — averaging their
+    // stale sketches in would corrupt the AMS aggregation (the estimate
+    // must reflect the fleet that can actually synchronize).
+    const std::vector<int> active = ctx.ActiveWorkers();
+    if (active.empty()) {
+      return false;  // trainer normally skips such rounds already
+    }
+    std::vector<float*> active_states;
+    active_states.reserve(active.size());
+    for (int k : active) {
+      WorkerState& worker = (*ctx.workers)[static_cast<size_t>(k)];
+      monitor_->ComputeDriftAndState(worker.view.params,
+                                     ctx.sync_params->data(), worker.drift,
+                                     worker.state);
+      active_states.push_back(states[static_cast<size_t>(k)]);
+    }
+    ctx.network->AllReduceAverageSubset(active_states, active,
+                                        monitor_->StateSize(),
+                                        TrafficClass::kLocalState);
+    mean_state = active_states[0];
+  }
   // (line 8) everyone evaluates H on the averaged state.
-  last_estimate_ = monitor_->EstimateVariance(states[0]);
+  last_estimate_ = monitor_->EstimateVariance(mean_state);
   if (record_estimates_) {
     estimate_history_.push_back(last_estimate_);
   }
@@ -50,8 +91,12 @@ bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
   if (last_estimate_ <= theta_) {
     return false;  // Round Invariant still guaranteed; keep training.
   }
-  // (line 9) conditional synchronization.
-  ctx.SynchronizeModels();
+  // (line 9) conditional synchronization. Under message loss the sync can
+  // lose every contribution — the anchor then stays put and the monitor
+  // keeps estimating against the old synchronization.
+  if (!ctx.SynchronizeModels()) {
+    return false;
+  }
   monitor_->OnSynchronized(ctx.sync_params->data(),
                            ctx.prev_sync_params->data());
   return true;
@@ -97,8 +142,10 @@ void HierarchicalFdaPolicy::MaterializeNodeState(ClusterContext& ctx,
   const TopologyTree& tree = ctx.network->tree();
   const TopologyTree::Node& node = tree.node(id);
   // Leaf-group states were aggregated in step 2; an inactive leaf (no
-  // workers) never reaches here because parents only weigh active children.
+  // workers, or none participating this round) never reaches here because
+  // parents only weigh active children.
   FEDRA_CHECK(!node.children.empty());
+  const std::vector<char>* mask = ctx.participation;
   // Locals, not members: materialization recurses through silent subtrees.
   std::vector<const float*> child_states;
   std::vector<double> child_weights;
@@ -106,12 +153,13 @@ void HierarchicalFdaPolicy::MaterializeNodeState(ClusterContext& ctx,
     int begin = 0;
     int end = 0;
     tree.SubtreeSpan(child, ctx.num_workers(), &begin, &end);
-    if (end - begin == 0) {
+    const int active_workers = ActiveInSpan(mask, begin, end);
+    if (active_workers == 0) {
       continue;
     }
     MaterializeNodeState(ctx, child);
     child_states.push_back(node_state_[static_cast<size_t>(child)].data());
-    child_weights.push_back(static_cast<double>(end - begin));
+    child_weights.push_back(static_cast<double>(active_workers));
   }
   FEDRA_CHECK(!child_states.empty());
   const size_t state_size = monitor_->StateSize();
@@ -122,7 +170,7 @@ void HierarchicalFdaPolicy::MaterializeNodeState(ClusterContext& ctx,
     // for free (the child representative is the node's own) and does not
     // count as an escalation.
     ctx.network->AccountChildExchange(id, state_size,
-                                      TrafficClass::kLocalState);
+                                      TrafficClass::kLocalState, mask);
     ++escalations_;
   }
   node_state_[static_cast<size_t>(id)].resize(state_size);
@@ -156,16 +204,27 @@ bool HierarchicalFdaPolicy::MaybeSync(ClusterContext& ctx) {
   node_has_.assign(static_cast<size_t>(num_nodes), 0);
   node_trip_.assign(static_cast<size_t>(num_nodes), 0);
 
+  // Fault-aware rounds mask absent workers out of every tier: their stale
+  // drifts contribute to no estimate, silent groups stay node_has_ == 0,
+  // and weights count participants only. A null mask is the exact
+  // pre-fault arithmetic.
+  const std::vector<char>* mask = ctx.participation;
+
   // (1) local states from drifts — identical to flat FDA; the anchor is
   // the last *global* synchronization.
-  for (auto& worker : *ctx.workers) {
+  for (size_t k = 0; k < ctx.workers->size(); ++k) {
+    if (mask != nullptr && (*mask)[k] == 0) {
+      continue;
+    }
+    WorkerState& worker = (*ctx.workers)[k];
     monitor_->ComputeDriftAndState(worker.view.params,
                                    ctx.sync_params->data(), worker.drift,
                                    worker.state);
   }
 
   // (2) leaf tier: states AllReduce within each worker group, on that
-  // group's own link. Every group evaluates its subtree estimate.
+  // group's own link. Every participating group evaluates its subtree
+  // estimate; fully-absent groups stay silent this round.
   std::vector<float*> states = ctx.StatePointers();
   for (int g = 0; g < tree.num_leaf_groups(); ++g) {
     const int size = tree.GroupSize(g, num_workers);
@@ -174,13 +233,31 @@ bool HierarchicalFdaPolicy::MaybeSync(ClusterContext& ctx) {
     }
     const int begin = tree.GroupBegin(g, num_workers);
     const int id = tree.NodeOfLeafGroup(g);
-    span_ptrs_.assign(states.begin() + begin,
-                      states.begin() + begin + size);
-    ctx.network->SubtreeAllReduceAverage(id, span_ptrs_, state_size,
-                                         TrafficClass::kLocalState);
+    span_ptrs_.clear();
+    int first_active = -1;
+    for (int w = begin; w < begin + size; ++w) {
+      if (mask != nullptr && (*mask)[static_cast<size_t>(w)] == 0) {
+        continue;
+      }
+      if (first_active < 0) {
+        first_active = w;
+      }
+      span_ptrs_.push_back(states[static_cast<size_t>(w)]);
+    }
+    if (span_ptrs_.empty()) {
+      continue;
+    }
+    if (mask == nullptr) {
+      ctx.network->SubtreeAllReduceAverage(id, span_ptrs_, state_size,
+                                           TrafficClass::kLocalState);
+    } else {
+      ctx.network->SubtreeAllReduceAverageSubset(id, span_ptrs_, *mask,
+                                                 state_size,
+                                                 TrafficClass::kLocalState);
+    }
     auto& node_state = node_state_[static_cast<size_t>(id)];
-    node_state.assign(states[static_cast<size_t>(begin)],
-                      states[static_cast<size_t>(begin)] + state_size);
+    node_state.assign(states[static_cast<size_t>(first_active)],
+                      states[static_cast<size_t>(first_active)] + state_size);
     node_estimate_[static_cast<size_t>(id)] =
         monitor_->EstimateVariance(node_state.data());
     node_has_[static_cast<size_t>(id)] = 1;
@@ -227,7 +304,9 @@ bool HierarchicalFdaPolicy::MaybeSync(ClusterContext& ctx) {
   // root — full synchronization (anchor rotates, estimator direction
   // updates).
   if (node_trip_[0]) {
-    ctx.SynchronizeModels();
+    if (!ctx.SynchronizeModels()) {
+      return false;  // every contribution lost; the anchor stays put
+    }
     monitor_->OnSynchronized(ctx.sync_params->data(),
                              ctx.prev_sync_params->data());
     ++global_syncs_;
@@ -245,12 +324,23 @@ bool HierarchicalFdaPolicy::MaybeSync(ClusterContext& ctx) {
       int begin = 0;
       int end = 0;
       tree.SubtreeSpan(id, num_workers, &begin, &end);
-      if (end - begin <= 1) {
+      span_ptrs_.clear();
+      for (int w = begin; w < end; ++w) {
+        if (mask != nullptr && (*mask)[static_cast<size_t>(w)] == 0) {
+          continue;
+        }
+        span_ptrs_.push_back(params[static_cast<size_t>(w)]);
+      }
+      if (span_ptrs_.size() <= 1) {
         continue;  // a single member is already its own average
       }
-      span_ptrs_.assign(params.begin() + begin, params.begin() + end);
-      ctx.network->SubtreeAllReduceAverage(id, span_ptrs_, ctx.dim,
-                                           TrafficClass::kModelSync);
+      if (mask == nullptr) {
+        ctx.network->SubtreeAllReduceAverage(id, span_ptrs_, ctx.dim,
+                                             TrafficClass::kModelSync);
+      } else {
+        ctx.network->SubtreeAllReduceAverageSubset(
+            id, span_ptrs_, *mask, ctx.dim, TrafficClass::kModelSync);
+      }
       ++local_syncs_;
     }
   }

@@ -55,28 +55,86 @@ bool FedOptPolicy::MaybeSync(ClusterContext& ctx) {
   if (ctx.steps_since_sync < steps_per_round_) {
     return false;
   }
-  // Client deltas relative to the round-start global model w_global
-  // (held in ctx.sync_params).
-  for (auto& worker : *ctx.workers) {
+  if (ctx.participation == nullptr || config_.fault_oblivious) {
+    // Fault-free round (or the deliberately oblivious strawman: stale
+    // params from absent workers are averaged in as if nothing happened).
+    // Client deltas relative to the round-start global model w_global
+    // (held in ctx.sync_params).
+    for (auto& worker : *ctx.workers) {
+      vec::Sub(worker.view.params, ctx.sync_params->data(), worker.drift,
+               ctx.dim);
+    }
+    std::vector<float*> deltas;
+    deltas.reserve(ctx.workers->size());
+    for (auto& worker : *ctx.workers) {
+      deltas.push_back(worker.drift);
+    }
+    ctx.network->AllReduceAverage(deltas, ctx.dim,
+                                  TrafficClass::kModelSync);
+    // Pseudo-gradient is the negated average delta (Reddi et al.).
+    const float* avg_delta = deltas[0];
+    for (size_t i = 0; i < ctx.dim; ++i) {
+      pseudo_grad_[i] = -avg_delta[i];
+    }
+    // Every worker replicates the deterministic server update.
+    *ctx.prev_sync_params = *ctx.sync_params;
+    server_optimizer_->Step(ctx.sync_params->data(), pseudo_grad_.data(),
+                            ctx.dim);
+    for (auto& worker : *ctx.workers) {
+      vec::Copy(ctx.sync_params->data(), worker.view.params, ctx.dim);
+      if (config_.reset_local_optimizer) {
+        worker.optimizer->Reset();
+      }
+    }
+    ctx.steps_since_sync = 0;
+    ++ctx.sync_count;
+    ++rounds_;
+    return true;
+  }
+  // Fault-aware round: survivors compute deltas, each contribution runs
+  // the loss/retry gauntlet, and the server averages whatever arrived.
+  // Workers whose upload was dropped keep training on their local model
+  // — they re-join the global trajectory at the next delivered round.
+  std::vector<int> delivered;
+  std::vector<float*> deltas;
+  for (int k : ctx.ActiveWorkers()) {
+    WorkerState& worker = (*ctx.workers)[static_cast<size_t>(k)];
     vec::Sub(worker.view.params, ctx.sync_params->data(), worker.drift,
              ctx.dim);
-  }
-  std::vector<float*> deltas;
-  deltas.reserve(ctx.workers->size());
-  for (auto& worker : *ctx.workers) {
+    if (ctx.faults != nullptr) {
+      const FaultInjector::Delivery outcome = ctx.faults->SampleDelivery();
+      if (outcome.retries > 0) {
+        ctx.network->AccountSyncRetries(
+            k, ctx.dim, outcome.retries,
+            ctx.faults->config().retry_backoff_seconds,
+            TrafficClass::kModelSync);
+      }
+      if (!outcome.delivered) {
+        ctx.network->AccountDroppedMessage();
+        continue;
+      }
+    }
+    delivered.push_back(k);
     deltas.push_back(worker.drift);
   }
-  ctx.network->AllReduceAverage(deltas, ctx.dim, TrafficClass::kModelSync);
-  // Pseudo-gradient is the negated average delta (Reddi et al.).
+  if (delivered.empty()) {
+    // Every contribution was lost: the round still closes (the cadence is
+    // wall-clock, not delivery-gated) but the global model stays put.
+    ++ctx.skipped_syncs;
+    ctx.steps_since_sync = 0;
+    return false;
+  }
+  ctx.network->AllReduceAverageSubset(deltas, delivered, ctx.dim,
+                                      TrafficClass::kModelSync);
   const float* avg_delta = deltas[0];
   for (size_t i = 0; i < ctx.dim; ++i) {
     pseudo_grad_[i] = -avg_delta[i];
   }
-  // Every worker replicates the deterministic server update.
   *ctx.prev_sync_params = *ctx.sync_params;
   server_optimizer_->Step(ctx.sync_params->data(), pseudo_grad_.data(),
                           ctx.dim);
-  for (auto& worker : *ctx.workers) {
+  for (int k : delivered) {
+    WorkerState& worker = (*ctx.workers)[static_cast<size_t>(k)];
     vec::Copy(ctx.sync_params->data(), worker.view.params, ctx.dim);
     if (config_.reset_local_optimizer) {
       worker.optimizer->Reset();

@@ -11,6 +11,17 @@
 
 namespace fedra {
 
+std::vector<int> ClusterContext::ActiveWorkers() const {
+  std::vector<int> active;
+  active.reserve(workers->size());
+  for (size_t k = 0; k < workers->size(); ++k) {
+    if (participation == nullptr || (*participation)[k] != 0) {
+      active.push_back(static_cast<int>(k));
+    }
+  }
+  return active;
+}
+
 std::vector<float*> ClusterContext::ParamPointers() {
   return arena->ParamPointers();
 }
@@ -26,7 +37,7 @@ void ClusterContext::AllocateWorkerStates(size_t state_size) {
   }
 }
 
-void ClusterContext::SynchronizeModels() {
+bool ClusterContext::SynchronizeModels() {
   if (compressor != nullptr &&
       compressor->config().kind != CompressionKind::kNone) {
     // Compressed path: workers exchange lossy deltas from w_t0 instead of
@@ -52,15 +63,74 @@ void ClusterContext::SynchronizeModels() {
     }
     steps_since_sync = 0;
     ++sync_count;
-    return;
+    return true;
   }
-  std::vector<float*> params = ParamPointers();
-  network->AllReduceAverage(params, dim, TrafficClass::kModelSync);
-  // Rotate the sync snapshots: w_t-1 <- w_t0, w_t0 <- new average.
+  if (participation == nullptr) {
+    std::vector<float*> params = ParamPointers();
+    network->AllReduceAverage(params, dim, TrafficClass::kModelSync);
+    // Rotate the sync snapshots: w_t-1 <- w_t0, w_t0 <- new average.
+    *prev_sync_params = *sync_params;
+    vec::Copy(params[0], sync_params->data(), dim);
+    steps_since_sync = 0;
+    ++sync_count;
+    return true;
+  }
+  // Fault-aware path: only the round's participants contribute, and every
+  // contribution must additionally survive message loss. Absent and
+  // dropped workers keep their local models and re-converge via later
+  // rounds (or a rejoin catch-up).
+  std::vector<int> delivered;
+  std::vector<float*> buffers;
+  delivered.reserve(workers->size());
+  buffers.reserve(workers->size());
+  for (size_t k = 0; k < workers->size(); ++k) {
+    if ((*participation)[k] == 0) {
+      continue;
+    }
+    if (faults != nullptr) {
+      const FaultInjector::Delivery delivery = faults->SampleDelivery();
+      if (delivery.retries > 0) {
+        network->AccountSyncRetries(static_cast<int>(k), dim,
+                                    delivery.retries,
+                                    faults->config().retry_backoff_seconds,
+                                    TrafficClass::kModelSync);
+      }
+      if (!delivery.delivered) {
+        network->AccountDroppedMessage();
+        continue;
+      }
+    }
+    delivered.push_back(static_cast<int>(k));
+    buffers.push_back((*workers)[k].view.params);
+  }
+  if (delivered.empty()) {
+    // Zero-survivor guard: skip the sync entirely; the snapshots stay put
+    // and every worker carries its state forward.
+    ++skipped_syncs;
+    FEDRA_LOG(WARNING) << "model sync skipped at step " << step
+                       << ": no contribution survived";
+    return false;
+  }
+  network->AllReduceAverageSubset(buffers, delivered, dim,
+                                  TrafficClass::kModelSync);
   *prev_sync_params = *sync_params;
-  vec::Copy(params[0], sync_params->data(), dim);
+  vec::Copy(buffers[0], sync_params->data(), dim);
   steps_since_sync = 0;
   ++sync_count;
+  return true;
+}
+
+void ReanchorRejoinedWorker(WorkerArena* arena, WorkerState* worker,
+                            const float* sync_params, size_t dim) {
+  vec::Copy(sync_params, worker->view.params, dim);
+  vec::Fill(worker->view.grads, dim, 0.0f);
+  vec::Fill(worker->drift, dim, 0.0f);
+  // Stale momentum/Adam moments would drag the fresh model toward the
+  // crashed trajectory; Reset re-zeroes the arena-backed slots.
+  worker->optimizer->Reset();
+  if (worker->state != nullptr && arena->has_state_scratch()) {
+    vec::Fill(worker->state, arena->state_size(), 0.0f);
+  }
 }
 
 void SetLinkFactorsFromWorkers(const std::vector<WorkerState>& workers,
@@ -118,6 +188,12 @@ Status TrainerConfig::Validate() const {
   FEDRA_RETURN_IF_ERROR(local_optimizer.Validate());
   FEDRA_RETURN_IF_ERROR(partition.Validate());
   FEDRA_RETURN_IF_ERROR(sync_compression.Validate());
+  FEDRA_RETURN_IF_ERROR(faults.Validate());
+  if (faults.enabled() && sync_compression.kind != CompressionKind::kNone) {
+    return Status::InvalidArgument(
+        "fault injection does not compose with sync compression yet "
+        "(partial participation needs per-worker wire sizes)");
+  }
   return Status::Ok();
 }
 
@@ -250,6 +326,20 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
         config_.sync_compression, dim_, config_.num_workers);
     ctx.compressor = compressor.get();
   }
+  // Fault layer: a disabled config leaves injector null and every code
+  // path below on its exact fault-free route (bit-identical goldens).
+  std::unique_ptr<FaultInjector> injector;
+  std::vector<char> participation;
+  std::vector<double> step_times;
+  if (config_.faults.enabled()) {
+    injector = std::make_unique<FaultInjector>(
+        config_.faults, config_.num_workers, config_.seed,
+        network.tree().enabled() ? &network.tree() : nullptr);
+    ctx.faults = injector.get();
+    participation.assign(workers.size(), 1);
+    ctx.participation = &participation;
+    step_times.resize(workers.size());
+  }
   fedprox_anchor_ = sync_params.data();
   policy->Initialize(ctx);
 
@@ -262,11 +352,20 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
   Model* eval_model = shared_model_.get();
   std::vector<const float*> eval_srcs(workers.size());
   auto refresh_eval_model = [&] {
+    // Down workers hold stale parameters; w_bar averages the live fleet
+    // (everyone, for fault-free runs). With the whole fleet down, the last
+    // synchronized model is the only meaningful global state.
+    size_t live = 0;
     for (size_t k = 0; k < workers.size(); ++k) {
-      eval_srcs[k] = workers[k].view.params;
+      if (injector == nullptr || injector->IsUp(static_cast<int>(k))) {
+        eval_srcs[live++] = workers[k].view.params;
+      }
     }
-    ReduceMeanInto(eval_srcs.data(), eval_srcs.size(), dim_,
-                   eval_model->params());
+    if (live == 0) {
+      vec::Copy(sync_params.data(), eval_model->params(), dim_);
+      return;
+    }
+    ReduceMeanInto(eval_srcs.data(), live, dim_, eval_model->params());
   };
 
   const size_t steps_per_epoch = std::max<size_t>(
@@ -283,26 +382,72 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
     ctx.step = step;
     ++ctx.steps_since_sync;
 
-    if (config_.parallel_workers && workers.size() > 1) {
-      GlobalThreadPool().ParallelFor(workers.size(), [&](size_t k) {
+    if (injector != nullptr) {
+      // Advance the fault chains, then re-anchor this round's rejoiners:
+      // each downloads the last synchronized model (billed catch-up sync)
+      // and restarts from zeroed drift/optimizer/monitor state.
+      injector->BeginRound();
+      for (int k : injector->rejoined()) {
+        network.AccountCatchUpSync(dim_, k);
+        ReanchorRejoinedWorker(&arena, &workers[static_cast<size_t>(k)],
+                               sync_params.data(), dim_);
+        ++result.rejoin_count;
+      }
+    }
+
+    // Crashed workers compute nothing this round; everyone else steps.
+    auto run_worker = [&](size_t k) {
+      if (injector == nullptr || injector->IsUp(static_cast<int>(k))) {
         WorkerStep(&workers[k], train_);
-      });
+      }
+    };
+    if (config_.parallel_workers && workers.size() > 1) {
+      GlobalThreadPool().ParallelFor(workers.size(), run_worker);
     } else {
-      for (auto& worker : workers) {
-        WorkerStep(&worker, train_);
+      for (size_t k = 0; k < workers.size(); ++k) {
+        run_worker(k);
       }
     }
 
     // BSP barrier: the step costs the slowest worker's sampled time.
     double step_seconds = 0.0;
-    for (auto& worker : workers) {
-      step_seconds = std::max(
-          step_seconds, config_.straggler.SampleStepSeconds(
-                            worker.speed_factor, &straggler_rng));
+    if (injector == nullptr) {
+      for (auto& worker : workers) {
+        step_seconds = std::max(
+            step_seconds, config_.straggler.SampleStepSeconds(
+                              worker.speed_factor, &straggler_rng));
+      }
+    } else {
+      // Sample every worker's time (the straggler stream stays aligned
+      // with the fault-free run), then mask to the sync-eligible fleet —
+      // up workers behind a live link — and let the deadline cut the rest.
+      for (size_t k = 0; k < workers.size(); ++k) {
+        step_times[k] = config_.straggler.SampleStepSeconds(
+            workers[k].speed_factor, &straggler_rng);
+        const int worker = static_cast<int>(k);
+        participation[k] =
+            injector->IsUp(worker) && injector->LinkUp(worker) ? 1 : 0;
+      }
+      step_seconds = injector->ApplyDeadline(step_times, &participation);
     }
     result.compute_seconds += step_seconds;
 
-    policy->MaybeSync(ctx);
+    bool round_has_participants = true;
+    if (injector != nullptr) {
+      round_has_participants = false;
+      for (char participant : participation) {
+        round_has_participants |= participant != 0;
+      }
+    }
+    if (round_has_participants) {
+      policy->MaybeSync(ctx);
+    } else {
+      // Zero-survivor round: nobody can reach the network, so the policy
+      // never runs — all state carries forward to the next round.
+      ++result.zero_participant_rounds;
+      FEDRA_LOG(WARNING) << "round " << step
+                         << ": no sync-eligible worker, sync skipped";
+    }
 
     if (step % eval_every == 0 || step == config_.max_steps) {
       refresh_eval_model();
@@ -347,6 +492,7 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
                            ? config_.max_steps
                            : result.history.back().step;
   result.total_syncs = ctx.sync_count;
+  result.skipped_syncs = ctx.skipped_syncs;
   result.comm = network.stats();
   if (!result.reached_target) {
     result.steps_to_target = result.total_steps;

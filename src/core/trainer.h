@@ -25,6 +25,7 @@
 #include "nn/model.h"
 #include "opt/optimizer.h"
 #include "sim/collectives.h"
+#include "sim/fault_model.h"
 #include "sim/straggler.h"
 #include "util/status.h"
 
@@ -60,8 +61,20 @@ struct ClusterContext {
   size_t sync_count = 0;
   /// Optional sync compression (paper §2 compatibility); owned by trainer.
   SyncCompressor* compressor = nullptr;
+  /// Fault layer (null for fault-free runs; owned by the trainer). Policies
+  /// use it to bill message-loss retries on their own collectives.
+  FaultInjector* faults = nullptr;
+  /// The current round's participation mask (sync-eligible survivors), one
+  /// char per worker; null means everyone participates. Policies must
+  /// average and bill only over participants.
+  const std::vector<char>* participation = nullptr;
+  /// Syncs abandoned because no contribution survived message loss.
+  uint64_t skipped_syncs = 0;
 
   int num_workers() const { return static_cast<int>(workers->size()); }
+
+  /// Ids of the round's participants ({0..K-1} when participation is null).
+  std::vector<int> ActiveWorkers() const;
 
   /// Parameter pointers of all workers: dim-strided rows of the arena's
   /// params slab (for collectives).
@@ -74,9 +87,15 @@ struct ClusterContext {
   /// this from Initialize() once they know their monitor's StateSize().
   void AllocateWorkerStates(size_t state_size);
 
-  /// Plain synchronization: AllReduce-average all worker models, update the
-  /// sync snapshots. Increments sync_count, resets steps_since_sync.
-  void SynchronizeModels();
+  /// Plain synchronization: AllReduce-average the participating worker
+  /// models (all of them when `participation` is null), update the sync
+  /// snapshots. Under fault injection each participant's contribution must
+  /// additionally survive message loss — lost contributions are retried
+  /// and billed, then dropped. Returns true when the synchronization
+  /// happened (increments sync_count, resets steps_since_sync); false when
+  /// every contribution was lost (the sync is skipped, counted in
+  /// skipped_syncs, and all state carries forward).
+  bool SynchronizeModels();
 };
 
 /// Decides when to synchronize and what the synchronization step does.
@@ -122,6 +141,11 @@ struct TrainerConfig {
   /// special case).
   TopologyTree topology;
   StragglerModel straggler = StragglerModel::None();
+  /// Fault injection: worker churn, link outages, sync-message loss, and
+  /// the round deadline (see sim/fault_model.h). Disabled by default; the
+  /// disabled config keeps every trainer code path bit-identical to the
+  /// fault-free build.
+  FaultConfig faults;
 
   /// Lossy compression of the synchronization payload (paper §2: FDA only
   /// adjusts the *timing* of synchronization, so any payload compressor
@@ -172,6 +196,14 @@ Status BuildWorkerCohort(const TrainerConfig& config, const Dataset& train,
                          std::vector<WorkerState>* workers,
                          Rng* straggler_rng_out = nullptr);
 
+/// Re-anchors a worker that rejoined after a crash: its parameters become
+/// the last synchronized model, and its gradient, drift, optimizer-state
+/// (Optimizer::Reset), and monitor-state arena slices are zeroed. The
+/// caller bills the catch-up model download. Shared by the synchronous and
+/// async trainers.
+void ReanchorRejoinedWorker(WorkerArena* arena, WorkerState* worker,
+                            const float* sync_params, size_t dim);
+
 /// One point of the training history (recorded at every evaluation).
 struct EvalPoint {
   size_t step = 0;
@@ -199,6 +231,12 @@ struct TrainResult {
   double final_train_accuracy = 0.0;
   CommStats comm;
   double compute_seconds = 0.0;    // simulated compute time (BSP barrier)
+  // Fault-layer outcome (all zero for fault-free configs).
+  uint64_t rejoin_count = 0;             // catch-up syncs paid by rejoiners
+  uint64_t zero_participant_rounds = 0;  // rounds with no sync-eligible
+                                         // worker (sync skipped entirely)
+  uint64_t skipped_syncs = 0;            // syncs abandoned after total
+                                         // message loss
   std::vector<EvalPoint> history;
 
   double gigabytes_to_target() const {

@@ -238,11 +238,9 @@ void SimNetwork::AllReduceAverageWithPayloads(
   AccountAllReduce(sum, traffic);
 }
 
-void SimNetwork::AllReduceWeightedAverage(const std::vector<float*>& buffers,
-                                          const std::vector<double>& weights,
-                                          size_t n, TrafficClass traffic) {
-  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
-  FEDRA_CHECK_EQ(weights.size(), buffers.size());
+void SimNetwork::WeightedReduceInstall(const std::vector<float*>& buffers,
+                                       const std::vector<double>& weights,
+                                       size_t n) {
   double weight_sum = 0.0;
   for (double w : weights) {
     FEDRA_CHECK_GE(w, 0.0);
@@ -264,7 +262,94 @@ void SimNetwork::AllReduceWeightedAverage(const std::vector<float*>& buffers,
                                                  tile);
                            });
       });
-  AccountAllReduce(n * sizeof(float) * k, traffic);
+}
+
+void SimNetwork::AllReduceWeightedAverage(const std::vector<float*>& buffers,
+                                          const std::vector<double>& weights,
+                                          size_t n, TrafficClass traffic) {
+  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(num_workers_));
+  FEDRA_CHECK_EQ(weights.size(), buffers.size());
+  WeightedReduceInstall(buffers, weights, n);
+  AccountAllReduce(n * sizeof(float) * buffers.size(), traffic);
+}
+
+void SimNetwork::CheckParticipants(const std::vector<int>& participants,
+                                   size_t num_buffers) const {
+  FEDRA_CHECK_EQ(participants.size(), num_buffers)
+      << "one buffer per participant";
+  int prev = -1;
+  for (int worker : participants) {
+    FEDRA_CHECK(worker >= 0 && worker < num_workers_);
+    FEDRA_CHECK_GT(worker, prev) << "participants must be ascending/unique";
+    prev = worker;
+  }
+}
+
+void SimNetwork::AccountAllReduceSubset(size_t payload_bytes_sum,
+                                        const std::vector<int>& participants,
+                                        TrafficClass traffic) {
+  ++stats_.allreduce_calls;
+  if (traffic == TrafficClass::kModelSync) {
+    ++stats_.model_sync_count;
+  }
+  const size_t m = participants.size();
+  if (m <= 1) {
+    return;  // nothing transits any link
+  }
+  const double per_worker =
+      static_cast<double>(payload_bytes_sum) / static_cast<double>(m);
+  if (tree_.enabled()) {
+    active_scratch_.assign(static_cast<size_t>(num_workers_), 0);
+    for (int worker : participants) {
+      active_scratch_[static_cast<size_t>(worker)] = 1;
+    }
+    ChargeTree(tree_.GroupedAllReduceCost(per_worker, num_workers_,
+                                          algorithm_, LinkFactorsOrNull(),
+                                          &active_scratch_),
+               traffic);
+    return;
+  }
+  const size_t total_bytes = static_cast<size_t>(
+      std::llround(NetworkModel::AllReduceTotalBytesFromSum(
+          static_cast<double>(payload_bytes_sum), static_cast<int>(m),
+          algorithm_)));
+  // Paced by the slowest *participating* link only.
+  double slowest = 1.0;
+  if (!worker_link_factors_.empty()) {
+    for (int worker : participants) {
+      slowest = std::max(slowest,
+                         worker_link_factors_[static_cast<size_t>(worker)]);
+    }
+  }
+  NetworkModel effective = model_;
+  effective.bandwidth_bytes_per_sec /= slowest;
+  const double seconds = effective.AllReduceSeconds(
+      per_worker, static_cast<int>(m), algorithm_);
+  ChargeFlat(total_bytes, seconds, traffic);
+}
+
+void SimNetwork::AllReduceAverageSubset(const std::vector<float*>& buffers,
+                                        const std::vector<int>& participants,
+                                        size_t n, TrafficClass traffic) {
+  CheckParticipants(participants, buffers.size());
+  ReduceMeanBuffers(buffers, n);
+  AccountAllReduceSubset(n * sizeof(float) * participants.size(),
+                         participants, traffic);
+}
+
+void SimNetwork::AllReduceWeightedAverageSubset(
+    const std::vector<float*>& buffers, const std::vector<int>& participants,
+    const std::vector<double>& weights, size_t n, TrafficClass traffic) {
+  CheckParticipants(participants, buffers.size());
+  FEDRA_CHECK_EQ(weights.size(), buffers.size());
+  if (buffers.size() == 1) {
+    // Degenerate mean: the lone participant keeps its span.
+    AccountAllReduceSubset(n * sizeof(float), participants, traffic);
+    return;
+  }
+  WeightedReduceInstall(buffers, weights, n);
+  AccountAllReduceSubset(n * sizeof(float) * participants.size(),
+                         participants, traffic);
 }
 
 void SimNetwork::Broadcast(const std::vector<float*>& buffers, size_t n,
@@ -352,13 +437,89 @@ void SimNetwork::SubtreeAllReduceAverage(int node_id,
              traffic);
 }
 
+void SimNetwork::SubtreeAllReduceAverageSubset(
+    int node_id, const std::vector<float*>& buffers,
+    const std::vector<char>& active, size_t n, TrafficClass traffic) {
+  FEDRA_CHECK(tree_.enabled())
+      << "subtree collectives need a tree topology";
+  FEDRA_CHECK_EQ(active.size(), static_cast<size_t>(num_workers_));
+  int begin = 0;
+  int end = 0;
+  tree_.SubtreeSpan(node_id, num_workers_, &begin, &end);
+  size_t members = 0;
+  for (int w = begin; w < end; ++w) {
+    members += active[static_cast<size_t>(w)] != 0;
+  }
+  FEDRA_CHECK_EQ(buffers.size(), members)
+      << "buffers must cover the subtree's active workers";
+  ReduceMeanBuffers(buffers, n);
+  ++stats_.subtree_allreduce_calls;
+  if (traffic == TrafficClass::kModelSync) {
+    ++stats_.subtree_sync_count;
+  }
+  if (members <= 1) {
+    return;  // single active member: nothing transits any link
+  }
+  ChargeTree(tree_.SubtreeSyncCost(node_id, n * sizeof(float), num_workers_,
+                                   LinkFactorsOrNull(), &active),
+             traffic);
+}
+
+void SimNetwork::AccountSyncRetries(int worker, size_t n, int retries,
+                                    double backoff_base_seconds,
+                                    TrafficClass traffic) {
+  if (retries <= 0) {
+    return;
+  }
+  const size_t payload = n * sizeof(float);
+  double factor = 1.0;
+  if (worker >= 0 && !worker_link_factors_.empty()) {
+    FEDRA_CHECK_LT(worker, num_workers_);
+    factor = worker_link_factors_[static_cast<size_t>(worker)];
+  }
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    // Exponential backoff before retry i, then one retransmission over the
+    // worker's own path. Backoff stalls the worker's edge link, so it is
+    // attributed to the deepest tier of the path — every breakdown (class,
+    // tier, depth) keeps summing to comm_seconds.
+    const double backoff = std::ldexp(backoff_base_seconds, attempt);
+    ++stats_.retries;
+    if (tree_.enabled()) {
+      const int leaf_group =
+          worker >= 0 ? tree_.LeafGroupOfWorker(worker, num_workers_) : 0;
+      TreeCost cost = tree_.PointToPointCost(payload, num_workers_,
+                                             leaf_group,
+                                             std::max(1.0, factor));
+      const size_t edge = static_cast<size_t>(
+          tree_.node(tree_.NodeOfLeafGroup(leaf_group)).depth);
+      cost.seconds_by_depth[edge] += backoff;
+      stats_.seconds_retry += cost.total_seconds();
+      ChargeTree(cost, traffic);
+    } else {
+      const double seconds =
+          backoff + model_.latency_seconds +
+          static_cast<double>(payload) /
+              (model_.bandwidth_bytes_per_sec / factor);
+      stats_.seconds_retry += seconds;
+      ChargeFlat(payload, seconds, traffic);
+    }
+  }
+}
+
+void SimNetwork::AccountCatchUpSync(size_t n, int worker) {
+  PointToPoint(n, TrafficClass::kModelSync, worker);
+  ++stats_.catch_up_syncs;
+}
+
 void SimNetwork::AccountChildExchange(int node_id, size_t n,
-                                      TrafficClass traffic) {
+                                      TrafficClass traffic,
+                                      const std::vector<char>* active) {
   FEDRA_CHECK(tree_.enabled())
       << "child exchanges need a tree topology";
   ++stats_.child_exchange_calls;
   ChargeTree(tree_.ChildExchangeCost(node_id, n * sizeof(float),
-                                     num_workers_, LinkFactorsOrNull()),
+                                     num_workers_, LinkFactorsOrNull(),
+                                     active),
              traffic);
 }
 

@@ -106,6 +106,54 @@ class SimNetwork {
                                 const std::vector<double>& weights, size_t n,
                                 TrafficClass traffic);
 
+  // ------------------------------------------- partial participation --
+  // Fault-layer collectives: only the round's survivors exchange data.
+  // `participants` are ascending, unique worker ids; buffers[i] is
+  // participants[i]'s span. The mean over the participants installs into
+  // their buffers only — absent workers transmit and receive nothing and
+  // keep their state. Cost is billed for the participant count: flat
+  // topologies pace on the slowest *participating* link, trees drop empty
+  // groups from every phase. A full participant list is bit-identical to
+  // the unmasked collective.
+
+  /// Partial-participation AllReduceAverage.
+  void AllReduceAverageSubset(const std::vector<float*>& buffers,
+                              const std::vector<int>& participants, size_t n,
+                              TrafficClass traffic);
+
+  /// Partial-participation weighted mean; weights[i] belongs to
+  /// participants[i] and must sum to a positive value.
+  void AllReduceWeightedAverageSubset(const std::vector<float*>& buffers,
+                                      const std::vector<int>& participants,
+                                      const std::vector<double>& weights,
+                                      size_t n, TrafficClass traffic);
+
+  /// Partial-participation SubtreeAllReduceAverage: `active` is the
+  /// full-length per-worker mask and `buffers` are the spans of the
+  /// subtree's *active* members in worker order (size must equal the
+  /// active count within the subtree's span). Tree topologies only.
+  void SubtreeAllReduceAverageSubset(int node_id,
+                                     const std::vector<float*>& buffers,
+                                     const std::vector<char>& active,
+                                     size_t n, TrafficClass traffic);
+
+  /// Bills `retries` retransmissions of one lost n-float sync contribution
+  /// from `worker`: retry i waits backoff_base_seconds * 2^i and resends
+  /// the payload over the worker's own path (its link factor; one hop per
+  /// tier under a tree). Every second and byte lands in the normal
+  /// class/tier/depth breakdowns and is additionally accumulated in
+  /// CommStats::seconds_retry / retries.
+  void AccountSyncRetries(int worker, size_t n, int retries,
+                          double backoff_base_seconds, TrafficClass traffic);
+
+  /// Records a sync contribution abandoned after the retry budget.
+  void AccountDroppedMessage() { ++stats_.dropped_messages; }
+
+  /// Bills the catch-up model download a rejoining worker pays: n floats
+  /// of kModelSync point-to-point traffic over `worker`'s path, counted in
+  /// CommStats::catch_up_syncs.
+  void AccountCatchUpSync(size_t n, int worker);
+
   /// Broadcast worker `root`'s buffer to all others: K-1 payload transfers,
   /// billed in both bytes and time under the configured topology. Counts as
   /// a broadcast_calls entry (not allreduce_calls) and as a model
@@ -137,8 +185,11 @@ class SimNetwork {
   /// child representatives gather `n` floats to the node's representative
   /// and receive the aggregate back, over that node's link only. No
   /// arithmetic — the scheduler aggregates the states itself. Counts as a
-  /// child_exchange_calls entry. Tree topologies only.
-  void AccountChildExchange(int node_id, size_t n, TrafficClass traffic);
+  /// child_exchange_calls entry. Tree topologies only. `active` (optional
+  /// full-length per-worker mask) drops children whose subtrees hold no
+  /// active workers from the exchange; null is identical to all-ones.
+  void AccountChildExchange(int node_id, size_t n, TrafficClass traffic,
+                            const std::vector<char>* active = nullptr);
 
   /// Simulated duration of one full-model collective of `payload_bytes` per
   /// worker under the configured topology/algorithm (no accounting) — the
@@ -155,6 +206,17 @@ class SimNetwork {
   // `payload_bytes_sum` bytes in total (== K * per-worker payload when
   // uniform).
   void AccountAllReduce(size_t payload_bytes_sum, TrafficClass traffic);
+  // Subset counterpart: bills an AllReduce among `participants` only.
+  void AccountAllReduceSubset(size_t payload_bytes_sum,
+                              const std::vector<int>& participants,
+                              TrafficClass traffic);
+  // The weighted-mean arithmetic shared by the full and subset weighted
+  // collectives (normalizes into weight_scratch_, installs into buffers).
+  void WeightedReduceInstall(const std::vector<float*>& buffers,
+                             const std::vector<double>& weights, size_t n);
+  // Validates a subset participant list (ascending, unique, in range).
+  void CheckParticipants(const std::vector<int>& participants,
+                         size_t num_buffers) const;
   // Splits a single-tier charge across the class/tier/depth breakdowns
   // (the one shared channel is the uplink tier at depth 0).
   void ChargeFlat(size_t bytes, double seconds, TrafficClass traffic);
@@ -180,6 +242,7 @@ class SimNetwork {
   CommStats stats_;
   std::vector<double> weight_scratch_;  // normalized weights per call
   std::vector<double> worker_link_factors_;  // empty => homogeneous links
+  std::vector<char> active_scratch_;  // participant mask per subset call
 };
 
 }  // namespace fedra

@@ -23,6 +23,12 @@ std::string CommStats::ToString() const {
                    static_cast<unsigned long long>(subtree_sync_count),
                    static_cast<unsigned long long>(child_exchange_calls));
   }
+  if (retries > 0 || dropped_messages > 0 || catch_up_syncs > 0) {
+    s += StrFormat(", retries=%llu (%.3fs), dropped=%llu, catch_up=%llu",
+                   static_cast<unsigned long long>(retries), seconds_retry,
+                   static_cast<unsigned long long>(dropped_messages),
+                   static_cast<unsigned long long>(catch_up_syncs));
+  }
   if (seconds_by_depth.size() > 2) {
     s += ", by_depth=[";
     for (size_t d = 0; d < seconds_by_depth.size(); ++d) {

@@ -36,6 +36,12 @@ struct CommStats {
   uint64_t subtree_allreduce_calls = 0;  // all subtree collectives
   uint64_t subtree_sync_count = 0;       // model-payload subtree averages
   uint64_t child_exchange_calls = 0;     // escalation state exchanges
+  // Fault-layer accounting (FaultInjector runs): lost sync contributions
+  // retried with exponential backoff, contributions dropped after the
+  // retry budget, and catch-up model downloads paid by rejoining workers.
+  uint64_t retries = 0;           // retransmissions of lost contributions
+  uint64_t dropped_messages = 0;  // contributions lost after max_retries
+  uint64_t catch_up_syncs = 0;    // rejoin model downloads
   uint64_t bytes_total = 0;          // all bytes transmitted by all workers
   uint64_t bytes_local_state = 0;
   uint64_t bytes_model_sync = 0;
@@ -43,6 +49,10 @@ struct CommStats {
   // Per-traffic-class time split; sums to comm_seconds.
   double seconds_local_state = 0.0;
   double seconds_model_sync = 0.0;
+  // Time spent on retransmissions + backoff. Informational subset marker:
+  // retry charges are attributed to their traffic class / tier / depth like
+  // any other transfer, and additionally accumulated here.
+  double seconds_retry = 0.0;
   // Per-tier time split; sums to comm_seconds. Single-tier topologies
   // charge everything to the uplink (the shared channel).
   double seconds_intra = 0.0;
@@ -84,12 +94,16 @@ struct CommStats {
     subtree_allreduce_calls += other.subtree_allreduce_calls;
     subtree_sync_count += other.subtree_sync_count;
     child_exchange_calls += other.child_exchange_calls;
+    retries += other.retries;
+    dropped_messages += other.dropped_messages;
+    catch_up_syncs += other.catch_up_syncs;
     bytes_total += other.bytes_total;
     bytes_local_state += other.bytes_local_state;
     bytes_model_sync += other.bytes_model_sync;
     comm_seconds += other.comm_seconds;
     seconds_local_state += other.seconds_local_state;
     seconds_model_sync += other.seconds_model_sync;
+    seconds_retry += other.seconds_retry;
     seconds_intra += other.seconds_intra;
     seconds_uplink += other.seconds_uplink;
     for (size_t d = 0; d < other.seconds_by_depth.size(); ++d) {

@@ -138,8 +138,11 @@ int TopologyTree::Representative(int id, int num_workers) const {
 
 TopologyTree::UpSweep TopologyTree::SweepUp(
     int root_id, double payload_bytes, int num_workers,
-    const std::vector<double>* worker_link_factors,
-    bool include_root_phase) const {
+    const std::vector<double>* worker_link_factors, bool include_root_phase,
+    const std::vector<char>* active) const {
+  if (active != nullptr) {
+    FEDRA_CHECK_EQ(active->size(), static_cast<size_t>(num_workers));
+  }
   UpSweep up;
   up.phase_by_depth.assign(static_cast<size_t>(num_tiers_), 0.0);
   up.transfers_by_depth.assign(static_cast<size_t>(num_tiers_), 0);
@@ -155,18 +158,30 @@ TopologyTree::UpSweep TopologyTree::SweepUp(
     int transfers = 0;  // payload transmissions of this node's gather phase
     if (n.children.empty()) {
       const int size = GroupSize(n.leaf_group, num_workers);
-      up.subtree_workers[uid] = size;
-      if (size == 0) {
-        continue;
-      }
       const int begin = GroupBegin(n.leaf_group, num_workers);
-      up.rep_factor[uid] = WorkerFactor(worker_link_factors, begin);
+      // Active members only: the group's representative is its first
+      // active worker, the gather paces on its slowest active link. With a
+      // null mask this reduces to the full-group formula bit-for-bit.
+      int members = 0;
+      double rep = 1.0;
       double factor = 1.0;
       for (int w = begin; w < begin + size; ++w) {
+        if (active != nullptr && (*active)[static_cast<size_t>(w)] == 0) {
+          continue;
+        }
+        if (members == 0) {
+          rep = WorkerFactor(worker_link_factors, w);
+        }
         factor = std::max(factor, WorkerFactor(worker_link_factors, w));
+        ++members;
       }
+      up.subtree_workers[uid] = members;
+      if (members == 0) {
+        continue;
+      }
+      up.rep_factor[uid] = rep;
       up.gather_factor[uid] = factor;
-      transfers = size - 1;
+      transfers = members - 1;
     } else {
       int workers = 0;
       int active = 0;
@@ -215,7 +230,8 @@ TopologyTree::UpSweep TopologyTree::SweepUp(
 TreeCost TopologyTree::GroupedAllReduceCost(
     double payload_bytes, int num_workers,
     AllReduceAlgorithm root_algorithm,
-    const std::vector<double>* worker_link_factors) const {
+    const std::vector<double>* worker_link_factors,
+    const std::vector<char>* active) const {
   FEDRA_CHECK(enabled());
   FEDRA_CHECK_GT(num_workers, 0);
   TreeCost cost;
@@ -224,15 +240,24 @@ TreeCost TopologyTree::GroupedAllReduceCost(
   if (num_workers == 1) {
     return cost;
   }
+  if (active != nullptr) {
+    int total = 0;
+    for (int w = 0; w < num_workers; ++w) {
+      total += (*active)[static_cast<size_t>(w)] != 0;
+    }
+    if (total <= 1) {
+      return cost;  // nothing to exchange among <= 1 survivor
+    }
+  }
   const UpSweep up = SweepUp(/*root_id=*/0, payload_bytes, num_workers,
                              worker_link_factors,
-                             /*include_root_phase=*/false);
-  // Root tier: the root's children (or, for a single-node tree, all
+                             /*include_root_phase=*/false, active);
+  // Root tier: the root's children (or, for a single-node tree, all active
   // workers) AllReduce across the root link under `root_algorithm`, paced
   // by the slowest participating representative.
   const Node& root = nodes_[0];
   const int participants =
-      root.children.empty() ? num_workers : up.active_children[0];
+      root.children.empty() ? up.subtree_workers[0] : up.active_children[0];
   NetworkModel effective = root.link;
   effective.bandwidth_bytes_per_sec /= up.gather_factor[0];
   cost.seconds_by_depth[0] = effective.AllReduceSeconds(
@@ -329,7 +354,8 @@ TreeCost TopologyTree::PointToPointCost(size_t payload_bytes,
 
 TreeCost TopologyTree::SubtreeSyncCost(
     int id, double payload_bytes, int num_workers,
-    const std::vector<double>* worker_link_factors) const {
+    const std::vector<double>* worker_link_factors,
+    const std::vector<char>* active) const {
   FEDRA_CHECK(enabled());
   const Node& n = node(id);
   TreeCost cost;
@@ -338,12 +364,19 @@ TreeCost TopologyTree::SubtreeSyncCost(
   int begin = 0;
   int end = 0;
   SubtreeSpan(id, num_workers, &begin, &end);
-  if (end - begin <= 1) {
+  int members = end - begin;
+  if (active != nullptr) {
+    members = 0;
+    for (int w = begin; w < end; ++w) {
+      members += (*active)[static_cast<size_t>(w)] != 0;
+    }
+  }
+  if (members <= 1) {
     return cost;  // one member holds the mean already
   }
   const UpSweep up = SweepUp(id, payload_bytes, num_workers,
                              worker_link_factors,
-                             /*include_root_phase=*/true);
+                             /*include_root_phase=*/true, active);
   // Gather to the subtree representative and broadcast back: symmetric
   // phases on every tier of the subtree, nothing above it.
   for (int d = n.depth; d < num_tiers_; ++d) {
@@ -359,7 +392,8 @@ TreeCost TopologyTree::SubtreeSyncCost(
 
 TreeCost TopologyTree::ChildExchangeCost(
     int id, double payload_bytes, int num_workers,
-    const std::vector<double>* worker_link_factors) const {
+    const std::vector<double>* worker_link_factors,
+    const std::vector<char>* active) const {
   FEDRA_CHECK(enabled());
   const Node& n = node(id);
   FEDRA_CHECK(!n.children.empty())
@@ -369,7 +403,7 @@ TreeCost TopologyTree::ChildExchangeCost(
   cost.bytes_by_depth.assign(static_cast<size_t>(num_tiers_), 0);
   const UpSweep up = SweepUp(id, payload_bytes, num_workers,
                              worker_link_factors,
-                             /*include_root_phase=*/false);
+                             /*include_root_phase=*/false, active);
   const size_t uid = static_cast<size_t>(id);
   const int children = up.active_children[uid];
   if (children <= 1) {

@@ -126,14 +126,19 @@ class TopologyTree {
   // wire size for variable-rate compressed payloads) and an optional
   // worker_link_factors vector (one slowdown >= 1 per worker; null or
   // all-ones keeps the homogeneous cost bit-identical). Bytes never depend
-  // on link factors.
+  // on link factors. Collectives additionally take an optional `active`
+  // participation mask (one char per worker; the fault layer's survivors):
+  // absent workers transmit nothing, groups with no active member drop out
+  // of every phase, and phases pace on the slowest *active* participant. A
+  // null mask is bit-identical to all-ones.
 
   /// Full-tree grouped AllReduce: level-synchronized reduce-up, root-tier
   /// AllReduce under `root_algorithm`, broadcast back down.
   TreeCost GroupedAllReduceCost(
       double payload_bytes, int num_workers,
       AllReduceAlgorithm root_algorithm,
-      const std::vector<double>* worker_link_factors = nullptr) const;
+      const std::vector<double>* worker_link_factors = nullptr,
+      const std::vector<char>* active = nullptr) const;
 
   /// Broadcast from the global representative to every worker: down the
   /// root link across the root's children, then recursively down each tier.
@@ -155,14 +160,16 @@ class TopologyTree {
   /// above `id` is billed.
   TreeCost SubtreeSyncCost(
       int id, double payload_bytes, int num_workers,
-      const std::vector<double>* worker_link_factors = nullptr) const;
+      const std::vector<double>* worker_link_factors = nullptr,
+      const std::vector<char>* active = nullptr) const;
 
   /// Gather + broadcast of `payload_bytes` among node `id`'s child
   /// representatives over its link only — the scheduler's escalation state
   /// exchange. `id` must be an internal node.
   TreeCost ChildExchangeCost(
       int id, double payload_bytes, int num_workers,
-      const std::vector<double>* worker_link_factors = nullptr) const;
+      const std::vector<double>* worker_link_factors = nullptr,
+      const std::vector<char>* active = nullptr) const;
 
   Status Validate() const;
   std::string ToString() const;
@@ -197,7 +204,8 @@ class TopologyTree {
   };
   UpSweep SweepUp(int root_id, double payload_bytes, int num_workers,
                   const std::vector<double>* worker_link_factors,
-                  bool include_root_phase) const;
+                  bool include_root_phase,
+                  const std::vector<char>* active = nullptr) const;
 
   std::string name_ = "tree";
   std::vector<Node> nodes_;

@@ -1,0 +1,110 @@
+// StragglerModel unit tests: the None/Heavy presets, sampling statistics
+// of worker factors and log-normal step durations, and fixed-seed
+// determinism (the async-vs-sync comparisons depend on identical streams).
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/straggler.h"
+#include "util/rng.h"
+
+namespace fedra {
+namespace {
+
+TEST(StragglerTest, NonePresetIsDeterministicBaseTime) {
+  const StragglerModel model = StragglerModel::None(0.02);
+  EXPECT_DOUBLE_EQ(model.base_step_seconds, 0.02);
+  EXPECT_DOUBLE_EQ(model.lognormal_sigma, 0.0);
+  EXPECT_DOUBLE_EQ(model.slow_worker_prob, 0.0);
+  Rng rng(7);
+  // No jitter, no slow workers: every draw is exactly base * factor.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(model.SampleWorkerFactor(&rng), 1.0);
+    EXPECT_DOUBLE_EQ(model.SampleStepSeconds(1.0, &rng), 0.02);
+    EXPECT_DOUBLE_EQ(model.SampleStepSeconds(3.0, &rng), 0.06);
+  }
+}
+
+TEST(StragglerTest, HeavyPresetMatchesDocumentedKnobs) {
+  const StragglerModel model = StragglerModel::Heavy(0.01);
+  EXPECT_DOUBLE_EQ(model.base_step_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(model.lognormal_sigma, 0.3);
+  EXPECT_DOUBLE_EQ(model.slow_worker_prob, 0.2);
+  EXPECT_DOUBLE_EQ(model.slow_factor, 8.0);
+}
+
+TEST(StragglerTest, WorkerFactorIsBernoulliSlowOrOne) {
+  const StragglerModel model = StragglerModel::Heavy();
+  Rng rng(123);
+  const int draws = 20000;
+  int slow = 0;
+  for (int i = 0; i < draws; ++i) {
+    const double factor = model.SampleWorkerFactor(&rng);
+    ASSERT_TRUE(factor == 1.0 || factor == model.slow_factor);
+    slow += factor == model.slow_factor;
+  }
+  // ~20% +- 5 sigma of a Bernoulli(0.2) over 20k draws.
+  const double fraction = static_cast<double>(slow) / draws;
+  EXPECT_NEAR(fraction, model.slow_worker_prob, 0.015);
+}
+
+TEST(StragglerTest, StepSecondsAreLogNormalAroundBase) {
+  StragglerModel model = StragglerModel::None(0.01);
+  model.lognormal_sigma = 0.3;
+  Rng rng(99);
+  const int draws = 20000;
+  double sum_log = 0.0;
+  double sum_log_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double seconds = model.SampleStepSeconds(2.0, &rng);
+    ASSERT_GT(seconds, 0.0);
+    // log(t / (base * factor)) ~ Normal(0, sigma).
+    const double z = std::log(seconds / (0.01 * 2.0));
+    sum_log += z;
+    sum_log_sq += z * z;
+  }
+  const double mean = sum_log / draws;
+  const double stddev = std::sqrt(sum_log_sq / draws - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(stddev, model.lognormal_sigma, 0.01);
+}
+
+TEST(StragglerTest, MedianStepIsBaseTimesFactor) {
+  const StragglerModel model = StragglerModel::Heavy(0.01);
+  Rng rng(5);
+  const int draws = 10001;
+  std::vector<double> samples;
+  samples.reserve(draws);
+  for (int i = 0; i < draws; ++i) {
+    samples.push_back(model.SampleStepSeconds(1.0, &rng));
+  }
+  std::sort(samples.begin(), samples.end());
+  // Log-normal median is exp(mu) == base_step_seconds.
+  EXPECT_NEAR(samples[draws / 2], 0.01, 0.001);
+}
+
+TEST(StragglerTest, FixedSeedStreamsAreIdentical) {
+  const StragglerModel model = StragglerModel::Heavy(0.01);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(model.SampleWorkerFactor(&a), model.SampleWorkerFactor(&b));
+    EXPECT_EQ(model.SampleStepSeconds(1.5, &a),
+              model.SampleStepSeconds(1.5, &b));
+  }
+  // Different seeds must diverge somewhere in the stream.
+  Rng c(43);
+  bool diverged = false;
+  Rng a2(42);
+  for (int i = 0; i < 256 && !diverged; ++i) {
+    diverged = model.SampleStepSeconds(1.0, &a2) !=
+               model.SampleStepSeconds(1.0, &c);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace fedra
