@@ -8,6 +8,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+# Determinism lint first: no build needed, fails fast. The self-test proves
+# the lint's own rules still fire before the rules are trusted on src/.
+python3 scripts/lint_determinism.py --self-test
+python3 scripts/lint_determinism.py src
+echo "lint: determinism lint clean on src/"
+
 # shellcheck disable=SC2086  # word-splitting of the extra args is the point
 cmake -B "$BUILD_DIR" -S . ${FEDRA_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j"$(nproc)"

@@ -38,6 +38,13 @@ void ClusterContext::AllocateWorkerStates(size_t state_size) {
 }
 
 bool ClusterContext::SynchronizeModels() {
+  if (arena != nullptr) {
+    // Debug guard: sweep the slab canaries every sync so an out-of-row
+    // write earlier in the round aborts here, naming the damaged slab,
+    // instead of silently biasing the average. Free in Release builds
+    // (guards_enabled() is constexpr false and the sweep folds away).
+    arena->CheckCanaries();
+  }
   if (compressor != nullptr &&
       compressor->config().kind != CompressionKind::kNone) {
     // Compressed path: workers exchange lossy deltas from w_t0 instead of

@@ -1,35 +1,128 @@
 #include "core/worker_arena.h"
 
+#include <cstdint>
+#include <cstring>
+
 #include "util/check.h"
 
+// GCC defines __SANITIZE_ADDRESS__; clang exposes it via __has_feature.
+#if defined(__SANITIZE_ADDRESS__)
+#define FEDRA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FEDRA_ASAN 1
+#endif
+#endif
+
+#if defined(FEDRA_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace fedra {
+
+namespace {
+
+// Canary bit pattern painted into guard gaps. An exact, recognizable value:
+// any arithmetic on it (NaN-free training never produces it) or any stray
+// write destroys the pattern and CheckCanaries aborts.
+float CanaryWord() {
+  const uint32_t bits = 0xFED7A5E1u;
+  float word;
+  std::memcpy(&word, &bits, sizeof(word));
+  return word;
+}
+
+bool IsCanaryWord(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits == 0xFED7A5E1u;
+}
+
+// Poisons/unpoisons one guard gap under ASan so an out-of-row write aborts
+// at the write site instead of waiting for the next canary sweep.
+void PoisonGap(float* gap, size_t len) {
+#if defined(FEDRA_ASAN)
+  __asan_poison_memory_region(gap, len * sizeof(float));
+#else
+  (void)gap;
+  (void)len;
+#endif
+}
+
+void UnpoisonGap(float* gap, size_t len) {
+#if defined(FEDRA_ASAN)
+  __asan_unpoison_memory_region(gap, len * sizeof(float));
+#else
+  (void)gap;
+  (void)len;
+#endif
+}
+
+}  // namespace
+
+size_t WorkerArena::RowStride(size_t row_len) {
+  return guards_enabled() ? row_len + kGuardFloats : row_len;
+}
+
+void WorkerArena::InitSlab(std::vector<float>& slab, size_t row_len) {
+  const size_t k = static_cast<size_t>(num_workers_);
+  slab.assign(k * RowStride(row_len), 0.0f);
+  ++allocation_count_;
+  if (guards_enabled()) {
+    const float canary = CanaryWord();
+    for (size_t worker = 0; worker < k; ++worker) {
+      float* gap = slab.data() + worker * RowStride(row_len) + row_len;
+      for (size_t i = 0; i < kGuardFloats; ++i) {
+        gap[i] = canary;
+      }
+      PoisonGap(gap, kGuardFloats);
+    }
+  }
+}
+
+float* WorkerArena::RowPtr(std::vector<float>& slab, int k, size_t row_len) {
+  FEDRA_CHECK(k >= 0 && k < num_workers_);
+  return slab.data() + static_cast<size_t>(k) * RowStride(row_len);
+}
 
 WorkerArena::WorkerArena(int num_workers, size_t dim, size_t opt_state_slots)
     : num_workers_(num_workers), dim_(dim), opt_state_slots_(opt_state_slots) {
   FEDRA_CHECK_GT(num_workers, 0);
   FEDRA_CHECK_GT(dim, 0u);
-  const size_t k = static_cast<size_t>(num_workers);
-  params_.assign(k * dim, 0.0f);
-  grads_.assign(k * dim, 0.0f);
-  drift_.assign(k * dim, 0.0f);
-  allocation_count_ = 3;
+  InitSlab(params_, dim);
+  InitSlab(grads_, dim);
+  InitSlab(drift_, dim);
   if (opt_state_slots_ > 0) {
-    opt_state_.assign(k * opt_state_slots_ * dim, 0.0f);
-    ++allocation_count_;
+    InitSlab(opt_state_, opt_state_slots_ * dim_);
   }
 }
 
-size_t WorkerArena::Offset(int k) const {
-  FEDRA_CHECK(k >= 0 && k < num_workers_);
-  return static_cast<size_t>(k) * dim_;
+WorkerArena::~WorkerArena() {
+  CheckCanaries();
+  if (guards_enabled()) {
+    // The vectors' storage is about to be freed; hand it back unpoisoned so
+    // the allocator (and any later reuse of the pages) sees clean memory.
+    auto unpoison_slab = [this](std::vector<float>& slab, size_t row_len) {
+      if (slab.empty()) {
+        return;
+      }
+      for (int k = 0; k < num_workers_; ++k) {
+        UnpoisonGap(RowPtr(slab, k, row_len) + row_len, kGuardFloats);
+      }
+    };
+    unpoison_slab(params_, dim_);
+    unpoison_slab(grads_, dim_);
+    unpoison_slab(drift_, dim_);
+    unpoison_slab(opt_state_, opt_state_slots_ * dim_);
+    unpoison_slab(state_, state_size_);
+  }
 }
 
 float* WorkerArena::opt_state(int k) {
   if (opt_state_slots_ == 0) {
     return nullptr;
   }
-  FEDRA_CHECK(k >= 0 && k < num_workers_);
-  return opt_state_.data() + static_cast<size_t>(k) * opt_state_slots_ * dim_;
+  return RowPtr(opt_state_, k, opt_state_slots_ * dim_);
 }
 
 void WorkerArena::AllocateStateScratch(size_t state_size) {
@@ -40,14 +133,12 @@ void WorkerArena::AllocateStateScratch(size_t state_size) {
   FEDRA_CHECK_EQ(state_size_, 0u)
       << "monitor state slab already sized differently";
   state_size_ = state_size;
-  state_.assign(static_cast<size_t>(num_workers_) * state_size, 0.0f);
-  ++allocation_count_;
+  InitSlab(state_, state_size);
 }
 
 float* WorkerArena::state(int k) {
   FEDRA_CHECK_GT(state_size_, 0u) << "AllocateStateScratch() first";
-  FEDRA_CHECK(k >= 0 && k < num_workers_);
-  return state_.data() + static_cast<size_t>(k) * state_size_;
+  return RowPtr(state_, k, state_size_);
 }
 
 std::vector<float*> WorkerArena::ParamPointers() {
@@ -70,6 +161,40 @@ size_t WorkerArena::total_bytes() const {
   return (params_.size() + grads_.size() + opt_state_.size() +
           drift_.size() + state_.size()) *
          sizeof(float);
+}
+
+void WorkerArena::CheckSlabCanaries(const std::vector<float>& slab,
+                                    size_t row_len,
+                                    const char* slab_name) const {
+#if defined(FEDRA_ASAN)
+  // The gaps are poisoned: a stray write already aborted at its site, and
+  // reading them here would itself be a use-after-poison.
+  (void)slab;
+  (void)row_len;
+  (void)slab_name;
+#else
+  if (!guards_enabled() || slab.empty()) {
+    return;
+  }
+  for (int k = 0; k < num_workers_; ++k) {
+    const float* gap =
+        slab.data() + static_cast<size_t>(k) * RowStride(row_len) + row_len;
+    for (size_t i = 0; i < kGuardFloats; ++i) {
+      FEDRA_CHECK(IsCanaryWord(gap[i]))
+          << "slab canary smashed:" << slab_name << "row" << k
+          << "guard word" << i
+          << "- an out-of-row write overran worker" << k << "'s slice";
+    }
+  }
+#endif
+}
+
+void WorkerArena::CheckCanaries() const {
+  CheckSlabCanaries(params_, dim_, "params");
+  CheckSlabCanaries(grads_, dim_, "grads");
+  CheckSlabCanaries(drift_, dim_, "drift");
+  CheckSlabCanaries(opt_state_, opt_state_slots_ * dim_, "opt_state");
+  CheckSlabCanaries(state_, state_size_, "state");
 }
 
 }  // namespace fedra

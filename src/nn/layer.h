@@ -39,6 +39,29 @@ struct ParameterView {
   size_t dim = 0;
 };
 
+/// True when [a, a + a_len) and [b, b + b_len) share at least one element.
+/// Debug guard predicate for FEDRA_DCHECKs on view construction: a worker's
+/// params and grads spans — and any two workers' spans — must be disjoint,
+/// or concurrent worker execution silently corrupts a neighbor's row.
+inline bool SpansOverlap(const float* a, size_t a_len, const float* b,
+                         size_t b_len) {
+  if (a == nullptr || b == nullptr || a_len == 0 || b_len == 0) {
+    return false;
+  }
+  return a < b + b_len && b < a + a_len;
+}
+
+/// FEDRA_DCHECKs the view's invariants: non-null spans of the stated length
+/// that do not alias each other. Called by WorkerArena::view and model
+/// binding; cheap enough to run per construction, compiled out of Release.
+inline void DcheckViewInvariants(const ParameterView& view) {
+  FEDRA_DCHECK(view.params != nullptr);
+  FEDRA_DCHECK(view.grads != nullptr);
+  FEDRA_DCHECK_GT(view.dim, 0u);
+  FEDRA_DCHECK(!SpansOverlap(view.params, view.dim, view.grads, view.dim))
+      << "params/grads spans alias";
+}
+
 /// Base for per-execution mutable layer state (cached activations, dropout
 /// masks, conv workspaces). Each stateful layer defines a nested subclass.
 struct LayerState {

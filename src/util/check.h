@@ -3,6 +3,14 @@
 // These are active in all build types (unlike assert). A failed check prints
 // the location, the condition, any streamed context, and aborts. Use Status
 // (util/status.h) for errors the caller can reasonably handle instead.
+//
+// FEDRA_DCHECK* are the debug-mode flavor: active in Debug builds and in
+// every sanitizer build (CMake defines FEDRA_DEBUG_GUARDS for both), fully
+// compiled out of plain Release builds. Use them for guards too hot for the
+// steady state — per-element aliasing checks, slab canary sweeps — so
+// memory bugs abort at the write site in the analyzer legs without taxing
+// the Release hot path. Operands are still parsed when compiled out, so a
+// DCHECK can't bit-rot or leave unused-variable warnings behind.
 
 #ifndef FEDRA_UTIL_CHECK_H_
 #define FEDRA_UTIL_CHECK_H_
@@ -61,6 +69,31 @@ class CheckFailureStream {
 #define FEDRA_CHECK_LE(a, b) FEDRA_CHECK_OP(<=, a, b)
 #define FEDRA_CHECK_GT(a, b) FEDRA_CHECK_OP(>, a, b)
 #define FEDRA_CHECK_GE(a, b) FEDRA_CHECK_OP(>=, a, b)
+
+#if defined(FEDRA_DEBUG_GUARDS) || !defined(NDEBUG)
+#define FEDRA_DCHECK_IS_ON 1
+#else
+#define FEDRA_DCHECK_IS_ON 0
+#endif
+
+#if FEDRA_DCHECK_IS_ON
+#define FEDRA_DCHECK(condition) FEDRA_CHECK(condition)
+#define FEDRA_DCHECK_OP(op, a, b) FEDRA_CHECK_OP(op, a, b)
+#else
+// Dead but fully type-checked: the while(false) keeps operands parsed and
+// odr-used without ever evaluating them at runtime.
+#define FEDRA_DCHECK(condition) \
+  while (false) FEDRA_CHECK(condition)
+#define FEDRA_DCHECK_OP(op, a, b) \
+  while (false) FEDRA_CHECK_OP(op, a, b)
+#endif
+
+#define FEDRA_DCHECK_EQ(a, b) FEDRA_DCHECK_OP(==, a, b)
+#define FEDRA_DCHECK_NE(a, b) FEDRA_DCHECK_OP(!=, a, b)
+#define FEDRA_DCHECK_LT(a, b) FEDRA_DCHECK_OP(<, a, b)
+#define FEDRA_DCHECK_LE(a, b) FEDRA_DCHECK_OP(<=, a, b)
+#define FEDRA_DCHECK_GT(a, b) FEDRA_DCHECK_OP(>, a, b)
+#define FEDRA_DCHECK_GE(a, b) FEDRA_DCHECK_OP(>=, a, b)
 
 /// Checks the Status-returning expression is OK; aborts with the status
 /// message otherwise. For use in tests, examples, and benches.

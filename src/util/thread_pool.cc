@@ -91,6 +91,17 @@ void ThreadPool::PushTask(std::function<void()> task) {
 }
 
 void ThreadPool::PushTaskTo(size_t index, std::function<void()> task) {
+  // Sleep/wake audit (TSan leg + SleepWakeHandoff* regression tests): the
+  // pusher increments queued_, enqueues, then toggles sleep_mutex_ before
+  // notifying. A worker sleeps only after re-checking queued_ *under*
+  // sleep_mutex_ (WorkerLoop's wait predicate), so for any interleaving
+  // either (a) the worker takes sleep_mutex_ after the pusher's toggle and
+  // the predicate sees queued_ > 0 — no sleep — or (b) the worker is
+  // already parked inside wait() when the pusher toggles, and notify_one
+  // reaches it. The toggle is what closes the classic atomic-then-sleep
+  // lost-wakeup window between a failed TryPop and the wait() call; do not
+  // "optimize away" the empty lock_guard below.
+  //
   // Publish the count before the task so queued_ never underflows when a
   // worker pops between the two writes; a transiently high count only costs
   // a spurious wakeup.
@@ -252,6 +263,9 @@ ThreadPool& GlobalThreadPool() {
   static ThreadPool pool([] {
     size_t n = g_global_pool_threads.load(std::memory_order_acquire);
     if (n == 0) {
+      // Runs exactly once, inside the static-local initializer, before any
+      // pool thread exists — no concurrent setenv can race it.
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
       if (const char* env = std::getenv("FEDRA_NUM_THREADS")) {
         n = static_cast<size_t>(std::strtoul(env, nullptr, 10));
       }

@@ -1,0 +1,73 @@
+// Determinism-lint self-test fixture: every banned construct, one per
+// rule, in its simplest form. lint_determinism.py --self-test asserts the
+// exact rule counts below fire — update both together when rules change.
+// Never compiled; linter input only.
+//
+// Expected findings:
+//   std-rand            x2  (std::rand(), srand())
+//   wall-clock-seed     x2  (time(nullptr), system_clock)
+//   random-device       x1
+//   unordered-iteration x1
+//   raw-thread          x2  (std::thread, std::async)
+//   variable-chunk      x1
+//   empty-waiver        x1
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <future>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fedra_lint_fixture {
+
+struct Pool {
+  template <typename Body>
+  void ParallelForRange(unsigned long n, unsigned long grain,
+                        const Body& body);
+  unsigned long num_threads() const;
+};
+
+int CRand() { return std::rand(); }
+
+void CSeed(unsigned seed) { srand(seed); }
+
+unsigned WallClockSeed() { return static_cast<unsigned>(time(nullptr)); }
+
+long SystemClockEntropy() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+unsigned FreshEntropy() {
+  std::random_device device;
+  return device();
+}
+
+double HashOrderSum(const std::unordered_map<int, double>& values) {
+  double total = 0.0;
+  for (const auto& [key, value] : values) {
+    total += value;  // hash-order float accumulation: the canonical bug
+  }
+  return total;
+}
+
+void RawThread() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+void RawAsync() { auto f = std::async([] { return 1; }); }
+
+void VariableChunkReduce(Pool& pool, const std::vector<float>& xs) {
+  // Grain derived from the thread count: boundaries differ per machine.
+  pool.ParallelForRange(xs.size(), xs.size() / pool.num_threads(),
+                        [](unsigned long, unsigned long) {});
+}
+
+// A waiver that names no reason is rejected outright:
+// fedra-nondeterminism-ok:
+int kUnjustified = 0;
+
+}  // namespace fedra_lint_fixture

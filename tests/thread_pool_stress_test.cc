@@ -190,6 +190,52 @@ TEST(ThreadPoolStressTest, NestedChunksCanBeStolenByIdlePeers) {
   EXPECT_EQ(arrived, 2);
 }
 
+TEST(ThreadPoolStressTest, SleepWakeHandoffNeverLosesAWakeup) {
+  // Regression for the PushTask/WorkerLoop sleep handoff (the
+  // atomic-then-sleep window): a worker that found every deque empty
+  // re-checks `queued_` under sleep_mutex_ before sleeping, and every
+  // pusher increments `queued_` *before* toggling sleep_mutex_ and
+  // notifying. If either side of that protocol regressed, a push landing
+  // exactly between a worker's failed TryPop and its wait() would be lost
+  // and this ping-pong — one task at a time, workers asleep in between —
+  // would hang until the ctest timeout. 2000 cycles cross the window far
+  // more often than the one-task-per-burst pattern of real callers.
+  ThreadPool pool(2);
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    std::atomic<bool> ran{false};
+    pool.Schedule([&] { ran.store(true, std::memory_order_release); });
+    pool.Wait();
+    ASSERT_TRUE(ran.load(std::memory_order_acquire)) << "cycle " << cycle;
+  }
+}
+
+TEST(ThreadPoolStressTest, SleepWakeHandoffSurvivesConcurrentPushers) {
+  // Same window, multi-producer flavor: several threads each push one task
+  // and Wait() while workers oscillate between sleeping and draining.
+  // notify_one must always land on (or before) a sleeper that can make
+  // progress; a lost wakeup deadlocks some producer's Wait().
+  ThreadPool pool(2);
+  constexpr int kProducers = 3;
+  constexpr int kCycles = 300;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      for (int cycle = 0; cycle < kCycles; ++cycle) {
+        pool.Schedule(
+            [&] { executed.fetch_add(1, std::memory_order_relaxed); });
+        pool.Wait();
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kProducers * kCycles);
+}
+
 TEST(ThreadPoolStressTest, ParallelFor2dCoversTheGrid) {
   ThreadPool pool(4);
   constexpr size_t kRows = 13;

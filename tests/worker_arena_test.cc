@@ -18,12 +18,22 @@
 namespace fedra {
 namespace {
 
+// Guard-gap floats appended to each row of a slab whose rows are `row_len`
+// elements long: 0 in packed Release layouts, kGuardFloats in Debug /
+// sanitizer builds.
+constexpr size_t GuardGap() {
+  return WorkerArena::guards_enabled() ? WorkerArena::kGuardFloats : 0;
+}
+
 TEST(WorkerArenaTest, SlabLayoutIsContiguousAndStrided) {
   const size_t dim = 37;
   WorkerArena arena(5, dim, /*opt_state_slots=*/2);
+  // Row stride is the packed dim plus the canary gap (if this build has
+  // guards); either way the layout is one slab with constant stride.
+  EXPECT_EQ(arena.row_stride(), dim + GuardGap());
   for (int k = 0; k < 5; ++k) {
-    EXPECT_EQ(arena.params(k), arena.params_slab() + k * dim);
-    EXPECT_EQ(arena.grads(k), arena.grads_slab() + k * dim);
+    EXPECT_EQ(arena.params(k), arena.params_slab() + k * arena.row_stride());
+    EXPECT_EQ(arena.grads(k), arena.grads_slab() + k * arena.row_stride());
     ParameterView view = arena.view(k);
     EXPECT_EQ(view.params, arena.params(k));
     EXPECT_EQ(view.grads, arena.grads(k));
@@ -32,14 +42,14 @@ TEST(WorkerArenaTest, SlabLayoutIsContiguousAndStrided) {
   std::vector<float*> params = arena.ParamPointers();
   ASSERT_EQ(params.size(), 5u);
   for (int k = 1; k < 5; ++k) {
-    // Strided rows of one slab: constant distance dim between workers.
+    // Strided rows of one slab: constant distance between workers.
     EXPECT_EQ(params[static_cast<size_t>(k)] -
                   params[static_cast<size_t>(k - 1)],
-              static_cast<ptrdiff_t>(dim));
+              static_cast<ptrdiff_t>(arena.row_stride()));
   }
-  // Optimizer-state slices are disjoint and slots * dim apart.
+  // Optimizer-state slices are disjoint and slots * dim (+ gap) apart.
   EXPECT_EQ(arena.opt_state(1) - arena.opt_state(0),
-            static_cast<ptrdiff_t>(2 * dim));
+            static_cast<ptrdiff_t>(2 * dim + GuardGap()));
 }
 
 TEST(WorkerArenaTest, AllocationCountIsConstantInWorkerCount) {
@@ -60,8 +70,10 @@ TEST(WorkerArenaTest, AllocationCountIsConstantInWorkerCount) {
   EXPECT_EQ(with_state.allocation_count(), 4u);
   EXPECT_EQ(with_state.state_size(), 2u);
   // Memory scales as slabs, not as per-worker heap blocks: params + grads
-  // + drift + two Adam state slots = 5 dim-length rows per worker.
-  EXPECT_EQ(large.total_bytes(), 64u * dim * sizeof(float) * 5u);
+  // + drift + two Adam state slots = 5 dim-length rows per worker, plus one
+  // canary gap per row (4 slab rows per worker) in guarded builds.
+  EXPECT_EQ(large.total_bytes(),
+            64u * (dim * 5u + 4u * GuardGap()) * sizeof(float));
 }
 
 TEST(WorkerArenaTest, WorkerSlicesDoNotAlias) {
@@ -91,7 +103,7 @@ TEST(WorkerArenaTest, StateSlabBacksStatePointers) {
   for (int k = 1; k < 4; ++k) {
     EXPECT_EQ(states[static_cast<size_t>(k)] -
                   states[static_cast<size_t>(k - 1)],
-              3);
+              static_cast<ptrdiff_t>(3 + GuardGap()));
   }
   // Freshly allocated scratch is zeroed.
   for (int k = 0; k < 4; ++k) {
@@ -105,6 +117,62 @@ TEST(WorkerArenaDeathTest, MismatchedStateResizeDies) {
   WorkerArena arena(2, 4, 0);
   arena.AllocateStateScratch(5);
   EXPECT_DEATH(arena.AllocateStateScratch(7), "already sized");
+}
+
+// ------------------------------------------------ debug-mode slab guards ----
+
+// An out-of-row write must abort in guarded builds: under ASan the poisoned
+// canary gap kills the write itself (use-after-poison); otherwise the next
+// CheckCanaries sweep (every model sync + arena destruction) names the
+// damaged slab and row. Either failure mode matches the death regex.
+constexpr const char* kGuardDeathPattern = "canary smashed|AddressSanitizer";
+
+TEST(WorkerArenaDeathTest, OutOfRowParamsWriteAborts) {
+  if (!WorkerArena::guards_enabled()) {
+    GTEST_SKIP() << "slab guards compiled out of plain Release builds";
+  }
+  EXPECT_DEATH(
+      {
+        WorkerArena arena(2, 8, 0);
+        arena.params(0)[8] = 1.0f;  // one element past worker 0's row
+        arena.CheckCanaries();
+      },
+      kGuardDeathPattern);
+}
+
+TEST(WorkerArenaDeathTest, OutOfRowOptStateWriteAbortsAtDestruction) {
+  if (!WorkerArena::guards_enabled()) {
+    GTEST_SKIP() << "slab guards compiled out of plain Release builds";
+  }
+  EXPECT_DEATH(
+      {
+        // No explicit sweep: the destructor's CheckCanaries must catch it.
+        WorkerArena arena(3, 4, 2);
+        arena.opt_state(1)[2 * 4 + 3] = 0.25f;  // into worker 1's gap
+      },
+      kGuardDeathPattern);
+}
+
+TEST(WorkerArenaDeathTest, AliasedViewSpansDie) {
+  if (!WorkerArena::guards_enabled()) {
+    GTEST_SKIP() << "FEDRA_DCHECK compiled out of plain Release builds";
+  }
+  float buffer[16] = {};
+  ParameterView aliased{buffer, buffer + 4, 8};  // grads overlaps params
+  EXPECT_DEATH(DcheckViewInvariants(aliased), "alias");
+}
+
+TEST(WorkerArenaTest, CleanTrafficKeepsCanariesIntact) {
+  WorkerArena arena(4, 32, 1);
+  arena.AllocateStateScratch(6);
+  for (int k = 0; k < 4; ++k) {
+    vec::Fill(arena.params(k), 32, 1.0f);
+    vec::Fill(arena.grads(k), 32, 2.0f);
+    vec::Fill(arena.drift(k), 32, 3.0f);
+    vec::Fill(arena.opt_state(k), 32, 4.0f);
+    vec::Fill(arena.state(k), 6, 5.0f);
+  }
+  arena.CheckCanaries();  // in-row writes never touch a guard gap
 }
 
 // ------------------------------------------------- cohort-scale proof ----
