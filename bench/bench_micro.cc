@@ -13,12 +13,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/client_store.h"
+#include "core/variance_monitor.h"
 #include "core/worker_arena.h"
 #include "nn/loss.h"
 #include "nn/zoo.h"
@@ -616,6 +619,196 @@ BENCHMARK(BM_WorkerCohortSetup)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------------------ fleet sweep --
+
+/// Steady-state resident set size of this process, in bytes (VmRSS); 0 when
+/// the platform has no procfs.
+size_t CurrentRssBytes() {
+#ifdef __linux__
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  size_t rss_kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      rss_kb = std::strtoul(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return rss_kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+/// One simulated fleet harness: K resident rows over a population-N paged
+/// ClientStateStore, rotated through the CohortSampler. Each rotation
+/// checks departing occupants out (drift + LinearFDA state fold into the
+/// store) and arrivals in, exactly as DistributedTrainer does — minus the
+/// training step, so the numbers isolate the store's paging cost.
+struct FleetHarness {
+  ClientStoreConfig config;
+  ClientStateStore store;
+  CohortSampler sampler;
+  LinearVarianceMonitor monitor;
+  std::vector<float> anchor;
+  std::vector<std::vector<float>> params;  // K resident rows
+  std::vector<uint32_t> cohort;
+  uint64_t round = 0;
+  uint64_t swaps = 0;
+
+  static ClientStoreConfig MakeConfig(size_t population, int slots,
+                                      size_t dim) {
+    ClientStoreConfig c;
+    c.population = population;
+    c.cohort_slots = slots;
+    c.dim = dim;
+    c.opt_state_slots = 0;  // cross-device clients run plain SGD
+    c.seed = 42;
+    return c;
+  }
+
+  FleetHarness(size_t population, int slots, size_t dim)
+      : config(MakeConfig(population, slots, dim)),
+        store(config, nullptr),
+        sampler(&store, CohortScheduleKind::kUniform, config.seed),
+        monitor(dim),
+        anchor(dim, 0.5f),
+        params(static_cast<size_t>(slots)),
+        cohort(static_cast<size_t>(slots)) {
+    store.SetStateSize(monitor.StateSize());
+    Rng rng(7);
+    for (size_t k = 0; k < params.size(); ++k) {
+      params[k].resize(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        params[k][j] = anchor[j] + rng.NextGaussian(0.0f, 0.01f);
+      }
+      cohort[k] = static_cast<uint32_t>(k);
+      store.AdoptInitialResident(cohort[k]);
+    }
+  }
+
+  void Rotate() {
+    const std::vector<uint32_t> sampled = sampler.Sample(round++, nullptr);
+    for (size_t k = 0; k < cohort.size(); ++k) {
+      if (sampled[k] == cohort[k]) {
+        continue;
+      }
+      store.CheckOut(cohort[k], params[k].data(), anchor.data(), nullptr,
+                     Rng(1), Rng(2), /*optimizer_steps=*/round,
+                     /*steps_this_residency=*/1, &monitor);
+    }
+    for (size_t k = 0; k < cohort.size(); ++k) {
+      if (sampled[k] == cohort[k]) {
+        continue;
+      }
+      store.CheckIn(sampled[k], anchor.data(), params[k].data(), nullptr);
+      // The arrival "trains": perturb so its next check-out stores a
+      // nonzero drift page rather than hitting the lazy no-store path.
+      params[k][0] += 0.01f;
+      cohort[k] = sampled[k];
+      ++swaps;
+    }
+  }
+};
+
+/// Per-rotation cost of the paged store as the population grows with the
+/// cohort pinned at K=64: the swap set stays ~K, so rotation time and store
+/// memory must be population-independent (O(cohort + touched drift)).
+void BM_FleetRotation(benchmark::State& state) {
+  const size_t population = static_cast<size_t>(state.range(0));
+  const size_t dim = 4096;
+  FleetHarness harness(population, /*slots=*/64, dim);
+  for (auto _ : state) {
+    harness.Rotate();
+    benchmark::DoNotOptimize(harness.store.pages_in_use());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(harness.swaps));
+  state.counters["swaps_per_rotation"] =
+      static_cast<double>(harness.swaps) /
+      static_cast<double>(std::max<uint64_t>(1, harness.round));
+  state.counters["store_mb"] =
+      static_cast<double>(harness.store.resident_bytes()) / (1024.0 * 1024.0);
+  state.counters["touched_clients"] =
+      static_cast<double>(harness.store.touched_clients());
+  state.counters["pages_in_use"] =
+      static_cast<double>(harness.store.pages_in_use());
+}
+BENCHMARK(BM_FleetRotation)
+    ->Arg(64)
+    ->Arg(1 << 12)
+    ->Arg(1 << 16)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Writes the BENCH_population.json sweep: K=64 resident slots, population
+/// 64 -> 10^6, a fixed number of rotations each, reporting rotation cost,
+/// per-swap check-out/in cost, store bytes, and steady-state process RSS.
+int RunPopulationSweep(const std::string& path) {
+  const int slots = 64;
+  const size_t dim = 4096;
+  const uint64_t rotations = 32;
+  const size_t populations[] = {64, 4096, 65536, 1000000};
+  std::string json = "[\n";
+  bool first = true;
+  for (size_t population : populations) {
+    FleetHarness harness(population, slots, dim);
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t r = 0; r < rotations; ++r) {
+      harness.Rotate();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const ClientStateStore& store = harness.store;
+    const double per_swap_us =
+        harness.swaps == 0
+            ? 0.0
+            : seconds * 1e6 / static_cast<double>(harness.swaps);
+    // One swap moves a page each way: dim + state floats out, same back.
+    const size_t swap_bytes =
+        2 * (dim + store.state_size()) * sizeof(float);
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s  {\"population\": %zu, \"cohort_slots\": %d, \"dim\": %zu,\n"
+        "   \"rotations\": %llu, \"swaps\": %llu,\n"
+        "   \"rotation_seconds_total\": %.6f, \"per_swap_us\": %.3f,\n"
+        "   \"swap_bytes\": %zu, \"store_resident_bytes\": %zu,\n"
+        "   \"touched_clients\": %zu, \"pages_in_use\": %zu,\n"
+        "   \"pages_allocated\": %zu, \"process_rss_bytes\": %zu}",
+        first ? "" : ",\n", population, slots, dim,
+        static_cast<unsigned long long>(rotations),
+        static_cast<unsigned long long>(harness.swaps), seconds, per_swap_us,
+        swap_bytes, store.resident_bytes(), store.touched_clients(),
+        store.pages_in_use(), store.pages_allocated(), CurrentRssBytes());
+    json += buf;
+    first = false;
+    std::printf(
+        "population=%zu swaps=%llu per_swap_us=%.3f store_mb=%.1f "
+        "touched=%zu rss_mb=%.1f\n",
+        population, static_cast<unsigned long long>(harness.swaps),
+        per_swap_us,
+        static_cast<double>(store.resident_bytes()) / (1024.0 * 1024.0),
+        store.touched_clients(),
+        static_cast<double>(CurrentRssBytes()) / (1024.0 * 1024.0));
+  }
+  json += "\n]\n";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 void BM_AxpyNorm(benchmark::State& state) {
   // The fused SGD update kernel: w -= lr * g and ||w||^2 in one pass.
   const size_t dim = static_cast<size_t>(state.range(0));
@@ -653,6 +846,10 @@ int main(int argc, char** argv) {
                      value.c_str());
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--population_json=", 18) == 0) {
+      // Fleet population sweep: writes BENCH_population.json-style output
+      // and exits without running the registered benchmarks.
+      return fedra::RunPopulationSweep(argv[i] + 18);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       // Sizes the lazily created global pool; must land before any kernel
       // touches it, which main() guarantees.

@@ -310,9 +310,9 @@ def self_test():
     for finding in dirty_findings:
         fired[finding.rule] = fired.get(finding.rule, 0) + 1
     expected = {
-        "std-rand": 2,  # std::rand() and srand()
+        "std-rand": 3,  # std::rand(), srand(), and the rand() cohort pick
         "random-device": 1,
-        "wall-clock-seed": 2,  # time(nullptr) and system_clock
+        "wall-clock-seed": 3,  # time(nullptr), system_clock, round-rng time()
         "unordered-iteration": 1,
         "raw-thread": 2,  # std::thread and std::async
         "variable-chunk": 1,

@@ -24,9 +24,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 # passes. All finish in seconds. deep_tree_fda additionally CHECKs the
 # hierarchical scheduler's uplink savings against flat FDA; churn_fda
 # CHECKs FDA's accuracy and bounded uplink overhead under worker churn and
-# message loss against a fault-oblivious FedAvg strawman.
+# message loss against a fault-oblivious FedAvg strawman; fleet_fda
+# (shrunk via FEDRA_FLEET_SMOKE) CHECKs the paged-store fleet: a sampled
+# 10^4-client population learning under churn in O(cohort + touched drift)
+# memory with FDA out-communicating every-round FedAvg.
 "$BUILD_DIR/quickstart" > /dev/null
 "$BUILD_DIR/hierarchical_fda" > /dev/null
 "$BUILD_DIR/deep_tree_fda" > /dev/null
 "$BUILD_DIR/churn_fda" > /dev/null
-echo "smoke: quickstart + hierarchical_fda + deep_tree_fda + churn_fda OK"
+FEDRA_FLEET_SMOKE=1 "$BUILD_DIR/fleet_fda" > /dev/null
+echo "smoke: quickstart + hierarchical_fda + deep_tree_fda + churn_fda" \
+     "+ fleet_fda OK"

@@ -38,12 +38,16 @@ void FdaSyncPolicy::SetThetaController(
 void FdaSyncPolicy::Initialize(ClusterContext& ctx) {
   // One [K x state_size] arena slab backs every worker's monitor state.
   ctx.AllocateWorkerStates(monitor_->StateSize());
+  // The fleet layer folds departing clients' states into the store's
+  // off-cohort sum with this monitor.
+  ctx.monitor = monitor_.get();
 }
 
 bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
   FEDRA_CHECK_EQ(monitor_->dim(), ctx.dim);
   std::vector<float*> states = ctx.StatePointers();
   const float* mean_state = nullptr;
+  int active_count = ctx.num_workers();
   if (ctx.participation == nullptr) {
     // (Alg. 1 line 6) every worker updates its local state from its drift;
     // the fused kernel writes u_k = w_k - w_sync and ||u_k||^2 in one pass.
@@ -78,9 +82,16 @@ bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
                                         monitor_->StateSize(),
                                         TrafficClass::kLocalState);
     mean_state = active_states[0];
+    active_count = static_cast<int>(active.size());
   }
-  // (line 8) everyone evaluates H on the averaged state.
-  last_estimate_ = monitor_->EstimateVariance(mean_state);
+  // (line 8) everyone evaluates H on the averaged state. A fleet run folds
+  // the off-cohort population's stored states in (a bitwise no-op when
+  // population == cohort).
+  last_estimate_ =
+      ctx.store != nullptr
+          ? ctx.store->PopulationEstimate(*monitor_, mean_state,
+                                          active_count)
+          : monitor_->EstimateVariance(mean_state);
   if (record_estimates_) {
     estimate_history_.push_back(last_estimate_);
   }
@@ -132,6 +143,7 @@ void HierarchicalFdaPolicy::Initialize(ClusterContext& ctx) {
               ctx.compressor->config().kind == CompressionKind::kNone)
       << "HierarchicalFdaPolicy does not support sync_compression yet";
   ctx.AllocateWorkerStates(monitor_->StateSize());
+  ctx.monitor = monitor_.get();
 }
 
 void HierarchicalFdaPolicy::MaterializeNodeState(ClusterContext& ctx,
@@ -297,6 +309,20 @@ bool HierarchicalFdaPolicy::MaybeSync(ClusterContext& ctx) {
             : 0;
   }
   if (node_has_[0]) {
+    if (ctx.store != nullptr) {
+      // Population-scale correction at the decision tier only: the root
+      // estimate folds the off-cohort clients' stored states in before
+      // the comparison against the root threshold. Leaf and intermediate
+      // tiers stay cohort-local — their subtrees only ever see resident
+      // clients. Bitwise no-op when population == cohort.
+      int active_count = num_workers;
+      if (mask != nullptr) {
+        active_count = ActiveInSpan(mask, 0, num_workers);
+      }
+      node_estimate_[0] = ctx.store->PopulationEstimate(
+          *monitor_, node_state_[0].data(), active_count);
+      node_trip_[0] = node_estimate_[0] > theta_[0] ? 1 : 0;
+    }
     last_root_estimate_ = node_estimate_[0];
   }
 

@@ -7,6 +7,7 @@
 #include "tensor/vec_ops.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace fedra {
@@ -140,6 +141,85 @@ void ReanchorRejoinedWorker(WorkerArena* arena, WorkerState* worker,
   }
 }
 
+int FleetState::SlotOfClient(uint32_t client) const {
+  auto it = resident_slot.find(client);
+  return it == resident_slot.end() ? -1 : it->second;
+}
+
+int RotateFleetCohort(const TrainerConfig& config,
+                      const std::vector<uint32_t>& sampled,
+                      FleetState* fleet, std::vector<WorkerState>* workers,
+                      WorkerArena* arena, SimNetwork* network,
+                      const float* anchor, VarianceMonitor* monitor,
+                      bool initial) {
+  FEDRA_CHECK_EQ(sampled.size(), workers->size());
+  const size_t dim = arena->dim();
+  fleet->just_swapped.assign(workers->size(), 0);
+  // Phase 1: check out every occupant whose slot assignment changed —
+  // including clients merely moving to another slot of their leaf group;
+  // their state round-trips through the store so phase 2 can restore it
+  // into the new row. All check-outs complete before any check-in reads.
+  for (size_t k = 0; k < workers->size(); ++k) {
+    if (sampled[k] == fleet->cohort[k]) {
+      if (initial) {
+        // BuildWorkerCohort already seeded this slot with client k: adopt
+        // the warm entry without any float roundtrip or billing — the
+        // population == K bit-identity path.
+        fleet->store->AdoptInitialResident(sampled[k]);
+        fleet->resident_slot.emplace(sampled[k], static_cast<int>(k));
+      }
+      continue;  // sticky occupant
+    }
+    if (!initial) {
+      WorkerState& worker = (*workers)[k];
+      fleet->store->CheckOut(
+          fleet->cohort[k], worker.view.params, anchor,
+          arena->opt_state(static_cast<int>(k)), worker.sampler->rng(),
+          worker.rng, worker.optimizer->step_count(),
+          worker.sampler->steps(), monitor);
+      fleet->resident_slot.erase(fleet->cohort[k]);
+    }
+  }
+  // Phase 2: check the arrivals in.
+  int swapped = 0;
+  for (size_t k = 0; k < workers->size(); ++k) {
+    const uint32_t incoming = sampled[k];
+    if (incoming == fleet->cohort[k]) {
+      continue;
+    }
+    WorkerState& worker = (*workers)[k];
+    // Reset first: it zeroes the arena's moment rows and the scalar step
+    // count, which CheckIn then overwrites with the stored values.
+    worker.optimizer->Reset();
+    const ClientStateStore::CheckInResult in = fleet->store->CheckIn(
+        incoming, anchor, worker.view.params,
+        arena->opt_state(static_cast<int>(k)),
+        arena->has_state_scratch() ? arena->state(static_cast<int>(k))
+                                   : nullptr);
+    worker.optimizer->set_step_count(in.optimizer_steps);
+    worker.sampler = std::make_unique<BatchSampler>(
+        (*fleet->shards)[incoming % fleet->shards->size()],
+        config.batch_size, in.sampler_rng);
+    worker.rng = in.worker_rng;
+    worker.shard_size = worker.sampler->dataset_size();
+    vec::Fill(worker.view.grads, dim, 0.0f);
+    vec::Fill(worker.drift, dim, 0.0f);
+    if (!initial) {
+      // The fresh participant downloads the current global model to
+      // re-anchor; the initial distribution is not billed, matching the
+      // resident path's unbilled first broadcast.
+      network->AccountCheckInSync(dim, static_cast<int>(k));
+    }
+    fleet->cohort[k] = incoming;
+    fleet->resident_slot[incoming] = static_cast<int>(k);
+    fleet->just_swapped[k] = 1;
+    ++swapped;
+  }
+  ++fleet->rotations;
+  fleet->swaps += static_cast<uint64_t>(swapped);
+  return swapped;
+}
+
 void SetLinkFactorsFromWorkers(const std::vector<WorkerState>& workers,
                                SimNetwork* network) {
   std::vector<double> link_factors(workers.size());
@@ -200,6 +280,44 @@ Status TrainerConfig::Validate() const {
     return Status::InvalidArgument(
         "fault injection does not compose with sync compression yet "
         "(partial participation needs per-worker wire sizes)");
+  }
+  if (population == 0) {
+    if (cohort_size != 0) {
+      return Status::InvalidArgument(
+          "cohort_size requires population > 0 (fleet mode)");
+    }
+  } else {
+    if (cohort_steps < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "cohort_steps must be >= 1, got %d", cohort_steps));
+    }
+    const size_t cohort = cohort_size > 0
+                              ? static_cast<size_t>(cohort_size)
+                              : static_cast<size_t>(num_workers);
+    if (cohort > population) {
+      return Status::InvalidArgument(StrFormat(
+          "cohort_size (%zu) must not exceed population (%zu)", cohort,
+          population));
+    }
+    if (cohort > static_cast<size_t>(num_workers)) {
+      return Status::InvalidArgument(StrFormat(
+          "cohort_size (%zu) exceeds the topology's leaf capacity: the "
+          "tree lays out %d resident worker slots (num_workers) over its "
+          "leaf groups",
+          cohort, num_workers));
+    }
+    if (cohort < static_cast<size_t>(num_workers)) {
+      return Status::InvalidArgument(StrFormat(
+          "cohort_size (%zu) must equal num_workers (%d): the fleet maps "
+          "one sampled client onto each resident arena row",
+          cohort, num_workers));
+    }
+    if (sync_compression.kind != CompressionKind::kNone) {
+      return Status::InvalidArgument(
+          "fleet mode does not compose with sync compression yet "
+          "(per-slot error-feedback residuals do not survive cohort "
+          "rotation)");
+    }
   }
   return Status::Ok();
 }
@@ -333,15 +451,74 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
         config_.sync_compression, dim_, config_.num_workers);
     ctx.compressor = compressor.get();
   }
+  // Fleet mode: the paged client store, the cohort sampler, and the K
+  // data shards (client c trains on shard c % K). The resident-cohort
+  // path (population == 0) never constructs any of it.
+  std::unique_ptr<ClientStateStore> store;
+  std::unique_ptr<CohortSampler> cohort_sampler;
+  FleetState fleet;
+  std::vector<std::vector<size_t>> fleet_shards;
+  if (config_.fleet_enabled()) {
+    ClientStoreConfig store_config;
+    store_config.population = config_.population;
+    store_config.cohort_slots = config_.num_workers;
+    store_config.dim = dim_;
+    store_config.opt_state_slots = config_.local_optimizer.StateSlots();
+    store_config.seed = config_.seed;
+    store = std::make_unique<ClientStateStore>(
+        store_config, network.tree().enabled() ? &network.tree() : nullptr);
+    cohort_sampler = std::make_unique<CohortSampler>(
+        store.get(), config_.cohort_schedule, config_.seed);
+    auto shards = PartitionDataset(train_.labels(), config_.num_workers,
+                                   config_.partition);
+    if (!shards.ok()) {
+      return shards.status();
+    }
+    fleet_shards = std::move(shards).value();
+    fleet.store = store.get();
+    fleet.sampler = cohort_sampler.get();
+    fleet.shards = &fleet_shards;
+    fleet.cohort.resize(workers.size());
+    for (size_t k = 0; k < workers.size(); ++k) {
+      fleet.cohort[k] = static_cast<uint32_t>(k);
+    }
+    fleet.just_swapped.assign(workers.size(), 0);
+    ctx.store = store.get();
+  }
   // Fault layer: a disabled config leaves injector null and every code
   // path below on its exact fault-free route (bit-identical goldens).
   std::unique_ptr<FaultInjector> injector;
   std::vector<char> participation;
   std::vector<double> step_times;
   if (config_.faults.enabled()) {
-    injector = std::make_unique<FaultInjector>(
-        config_.faults, config_.num_workers, config_.seed,
-        network.tree().enabled() ? &network.tree() : nullptr);
+    if (config_.fleet_enabled()) {
+      // The chains run over the whole population: a client can crash and
+      // repair while off-cohort. Link outages group clients by their home
+      // leaf (flat topologies give every client its own link). With
+      // population == K this mapping equals the resident constructors'
+      // and the chains are bit-identical.
+      std::vector<int> client_links(config_.population);
+      int num_links;
+      if (network.tree().enabled()) {
+        num_links = network.tree().num_leaf_groups();
+        for (size_t c = 0; c < config_.population; ++c) {
+          client_links[c] =
+              store->LeafGroupOfClient(static_cast<uint32_t>(c));
+        }
+      } else {
+        num_links = static_cast<int>(config_.population);
+        for (size_t c = 0; c < config_.population; ++c) {
+          client_links[c] = static_cast<int>(c);
+        }
+      }
+      injector = std::make_unique<FaultInjector>(
+          config_.faults, static_cast<int>(config_.population),
+          config_.seed, std::move(client_links), num_links);
+    } else {
+      injector = std::make_unique<FaultInjector>(
+          config_.faults, config_.num_workers, config_.seed,
+          network.tree().enabled() ? &network.tree() : nullptr);
+    }
     ctx.faults = injector.get();
     participation.assign(workers.size(), 1);
     ctx.participation = &participation;
@@ -349,6 +526,11 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
   }
   fedprox_anchor_ = sync_params.data();
   policy->Initialize(ctx);
+  if (store != nullptr) {
+    // The policy's Initialize sized the arena's monitor-state scratch (FDA
+    // families) or left it absent; the store's pages mirror that layout.
+    store->SetStateSize(arena.has_state_scratch() ? arena.state_size() : 0);
+  }
 
   // The evaluation model holds the average of the worker models — the
   // global model w_bar the paper's methodology evaluates. Averaging for
@@ -364,7 +546,9 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
     // synchronized model is the only meaningful global state.
     size_t live = 0;
     for (size_t k = 0; k < workers.size(); ++k) {
-      if (injector == nullptr || injector->IsUp(static_cast<int>(k))) {
+      const int entity = fleet.enabled() ? static_cast<int>(fleet.cohort[k])
+                                         : static_cast<int>(k);
+      if (injector == nullptr || injector->IsUp(entity)) {
         eval_srcs[live++] = workers[k].view.params;
       }
     }
@@ -390,11 +574,38 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
     ++ctx.steps_since_sync;
 
     if (injector != nullptr) {
-      // Advance the fault chains, then re-anchor this round's rejoiners:
-      // each downloads the last synchronized model (billed catch-up sync)
-      // and restarts from zeroed drift/optimizer/monitor state.
+      // Advance the fault chains first: the availability-weighted sampler
+      // reads this round's up-state.
       injector->BeginRound();
-      for (int k : injector->rejoined()) {
+    }
+    if (fleet.enabled()) {
+      if ((step - 1) % static_cast<size_t>(config_.cohort_steps) == 0) {
+        const uint64_t round =
+            (step - 1) / static_cast<size_t>(config_.cohort_steps);
+        const std::vector<uint32_t> sampled =
+            fleet.sampler->Sample(round, injector.get());
+        RotateFleetCohort(config_, sampled, &fleet, &workers, &arena,
+                          &network, sync_params.data(), ctx.monitor,
+                          /*initial=*/step == 1);
+      } else {
+        std::fill(fleet.just_swapped.begin(), fleet.just_swapped.end(), 0);
+      }
+    }
+    if (injector != nullptr) {
+      // Re-anchor this round's rejoiners: each downloads the last
+      // synchronized model (billed catch-up sync) and restarts from
+      // zeroed drift/optimizer/monitor state. In fleet mode a rejoiner
+      // only pays while resident; a freshly checked-in slot already
+      // re-anchored (and billed) through the store, and an off-cohort
+      // rejoiner's stored state simply waits to be sampled.
+      for (int c : injector->rejoined()) {
+        int k = c;
+        if (fleet.enabled()) {
+          k = fleet.SlotOfClient(static_cast<uint32_t>(c));
+          if (k < 0 || fleet.just_swapped[static_cast<size_t>(k)] != 0) {
+            continue;
+          }
+        }
         network.AccountCatchUpSync(dim_, k);
         ReanchorRejoinedWorker(&arena, &workers[static_cast<size_t>(k)],
                                sync_params.data(), dim_);
@@ -402,9 +613,16 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
       }
     }
 
+    // The fault entity of slot k: the resident client in fleet mode, the
+    // worker itself otherwise.
+    auto entity_of = [&](size_t k) {
+      return fleet.enabled() ? static_cast<int>(fleet.cohort[k])
+                             : static_cast<int>(k);
+    };
+
     // Crashed workers compute nothing this round; everyone else steps.
     auto run_worker = [&](size_t k) {
-      if (injector == nullptr || injector->IsUp(static_cast<int>(k))) {
+      if (injector == nullptr || injector->IsUp(entity_of(k))) {
         WorkerStep(&workers[k], train_);
       }
     };
@@ -431,9 +649,9 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
       for (size_t k = 0; k < workers.size(); ++k) {
         step_times[k] = config_.straggler.SampleStepSeconds(
             workers[k].speed_factor, &straggler_rng);
-        const int worker = static_cast<int>(k);
+        const int entity = entity_of(k);
         participation[k] =
-            injector->IsUp(worker) && injector->LinkUp(worker) ? 1 : 0;
+            injector->IsUp(entity) && injector->LinkUp(entity) ? 1 : 0;
       }
       step_seconds = injector->ApplyDeadline(step_times, &participation);
     }

@@ -13,10 +13,12 @@
 #ifndef FEDRA_CORE_TRAINER_H_
 #define FEDRA_CORE_TRAINER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/client_store.h"
 #include "core/compression.h"
 #include "core/worker_arena.h"
 #include "data/batching.h"
@@ -70,6 +72,16 @@ struct ClusterContext {
   const std::vector<char>* participation = nullptr;
   /// Syncs abandoned because no contribution survived message loss.
   uint64_t skipped_syncs = 0;
+  /// Fleet mode (population > cohort): the paged client-state store the
+  /// trainer rotates sampled clients through. Null for resident-cohort
+  /// runs. FDA policies use it for the population-scale variance
+  /// correction (ClientStateStore::PopulationEstimate).
+  ClientStateStore* store = nullptr;
+  /// The active policy's variance monitor, exposed by FDA policies in
+  /// Initialize(); the trainer's check-out path uses it to fold departing
+  /// clients' states into the store's off-cohort sum. Null for non-FDA
+  /// policies (check-outs then store a zero state).
+  VarianceMonitor* monitor = nullptr;
 
   int num_workers() const { return static_cast<int>(workers->size()); }
 
@@ -160,6 +172,27 @@ struct TrainerConfig {
   /// Parallelize worker steps across threads (deterministic either way).
   bool parallel_workers = false;
 
+  // ------------------------------------------------------ cross-device --
+  /// Simulated client population N. 0 (default) keeps the resident-cohort
+  /// trainer: K workers own their arena rows for the whole run. When > 0
+  /// the trainer becomes a fleet simulator: each round's cohort is sampled
+  /// from the population and rotated through the K arena rows via the
+  /// paged ClientStateStore. population == num_workers is bit-identical
+  /// to the resident path (identity schedule, zero draws, no paging).
+  size_t population = 0;
+  /// Sampled cohort size C; 0 means num_workers. The current fleet maps
+  /// one sampled client onto each arena row, so C must equal num_workers
+  /// (and never exceed the topology's K resident leaf slots) — Validate
+  /// rejects anything else with a Status.
+  int cohort_size = 0;
+  /// Rounds between cohort rotations in the synchronous trainer (the
+  /// async trainer rotates at every global sync instead). >= 1.
+  int cohort_steps = 1;
+  /// How the CohortSampler picks each round's cohort.
+  CohortScheduleKind cohort_schedule = CohortScheduleKind::kUniform;
+
+  bool fleet_enabled() const { return population > 0; }
+
   Status Validate() const;
 };
 
@@ -203,6 +236,43 @@ Status BuildWorkerCohort(const TrainerConfig& config, const Dataset& train,
 /// async trainers.
 void ReanchorRejoinedWorker(WorkerArena* arena, WorkerState* worker,
                             const float* sync_params, size_t dim);
+
+/// Mutable fleet bookkeeping both trainers carry while population > 0:
+/// the store, the sampler, the current slot -> client assignment, and the
+/// per-rotation swap markers the rejoin path consults.
+struct FleetState {
+  ClientStateStore* store = nullptr;
+  CohortSampler* sampler = nullptr;
+  /// The K data shards; client c trains on shard c % K (identity at
+  /// population == K, so resident configs keep their exact partitions).
+  const std::vector<std::vector<size_t>>* shards = nullptr;
+  std::vector<uint32_t> cohort;        // slot -> client id
+  std::map<uint32_t, int> resident_slot;  // client id -> slot
+  std::vector<char> just_swapped;      // slot freshly checked in this round
+  uint64_t rotations = 0;
+  uint64_t swaps = 0;  // non-sticky check-ins across the run
+
+  bool enabled() const { return store != nullptr; }
+  /// Resident slot of `client`, or -1.
+  int SlotOfClient(uint32_t client) const;
+};
+
+/// Rotates the resident cohort to `sampled` (one client per slot): sticky
+/// occupants are untouched (no float roundtrip — the bit-identity
+/// contract), departing occupants are checked out into the store, and
+/// arrivals are checked in (params = anchor + stored drift, optimizer
+/// vectors + step count restored, sampler/worker rng streams resumed) with
+/// the model download billed via SimNetwork::AccountCheckInSync. `initial`
+/// marks the first rotation, where slots hold BuildWorkerCohort's seeded
+/// clients 0..K-1: sticky slots are adopted into the store and nothing is
+/// billed (the broadcast already paid). Returns the number of swapped
+/// slots. Shared by the synchronous and async trainers.
+int RotateFleetCohort(const TrainerConfig& config,
+                      const std::vector<uint32_t>& sampled,
+                      FleetState* fleet, std::vector<WorkerState>* workers,
+                      WorkerArena* arena, SimNetwork* network,
+                      const float* anchor, VarianceMonitor* monitor,
+                      bool initial);
 
 /// One point of the training history (recorded at every evaluation).
 struct EvalPoint {

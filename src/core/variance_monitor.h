@@ -57,6 +57,16 @@ class VarianceMonitor {
     (void)prev_global;
   }
 
+  /// Whether the state tail (elements 1..) keeps its meaning across
+  /// synchronizations of *other* workers. Exact and Sketch tails are
+  /// linear images of the drift with a fixed interpretation, so a state
+  /// computed at one time blends soundly with later states. LinearFDA's
+  /// tail <xi, u> is relative to the *current* xi, which rotates at every
+  /// sync — stored tails go stale, so the fleet layer's population
+  /// correction (ClientStateStore::PopulationEstimate) blends only
+  /// element 0 for it.
+  virtual bool StateTailSyncInvariant() const { return true; }
+
   virtual std::string name() const = 0;
 
   size_t dim() const { return dim_; }
@@ -124,6 +134,7 @@ class LinearVarianceMonitor : public VarianceMonitor {
   double EstimateVariance(const float* avg_state) const override;
   void OnSynchronized(const float* new_global,
                       const float* prev_global) override;
+  bool StateTailSyncInvariant() const override { return false; }
   std::string name() const override { return "LinearFDA"; }
 
   /// Current heuristic direction (unit norm or all-zero before 2 syncs).

@@ -30,6 +30,12 @@ class BatchSampler {
   /// Mini-batches drawn so far.
   size_t steps() const { return steps_; }
 
+  /// Current rng stream. The fleet layer persists it across residencies:
+  /// a sampler rebuilt from this rng continues the client's stream (the
+  /// epoch cursor restarts — a checked-out device begins a fresh local
+  /// pass when it returns).
+  const Rng& rng() const { return rng_; }
+
   /// Batches per epoch (ceil division).
   size_t steps_per_epoch() const {
     return (indices_.size() + static_cast<size_t>(batch_size_) - 1) /

@@ -225,6 +225,9 @@ class AdamOptimizer : public Optimizer {
     vec::Fill(v_, dim_, 0.0f);
   }
 
+  uint64_t step_count() const override { return step_; }
+  void set_step_count(uint64_t steps) override { step_ = steps; }
+
   std::string name() const override { return config_.ToString(); }
 
  private:

@@ -64,6 +64,13 @@ class Optimizer {
 
   virtual std::string name() const = 0;
 
+  /// Scalar step counter for optimizers whose update depends on it (Adam's
+  /// bias correction). The fleet layer persists it across check-in/out so a
+  /// returning client resumes its schedule; stateless optimizers report 0
+  /// and ignore the setter.
+  virtual uint64_t step_count() const { return 0; }
+  virtual void set_step_count(uint64_t steps) { (void)steps; }
+
   /// ||params||^2 after the most recent Step, when the active update path
   /// tracks it for free (plain SGD fuses the update and the reduction via
   /// vec::AxpyNorm); negative when the path doesn't track it. A steadily

@@ -511,6 +511,11 @@ void SimNetwork::AccountCatchUpSync(size_t n, int worker) {
   ++stats_.catch_up_syncs;
 }
 
+void SimNetwork::AccountCheckInSync(size_t n, int worker) {
+  PointToPoint(n, TrafficClass::kModelSync, worker);
+  ++stats_.check_in_syncs;
+}
+
 void SimNetwork::AccountChildExchange(int node_id, size_t n,
                                       TrafficClass traffic,
                                       const std::vector<char>* active) {

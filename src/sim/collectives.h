@@ -154,6 +154,13 @@ class SimNetwork {
   /// CommStats::catch_up_syncs.
   void AccountCatchUpSync(size_t n, int worker);
 
+  /// Bills the model download a freshly sampled fleet client pays on
+  /// check-in (re-anchoring to the current global model): n floats of
+  /// kModelSync point-to-point traffic over the slot's path, counted in
+  /// CommStats::check_in_syncs. Sticky occupants (re-sampled residents)
+  /// pay nothing.
+  void AccountCheckInSync(size_t n, int worker);
+
   /// Broadcast worker `root`'s buffer to all others: K-1 payload transfers,
   /// billed in both bytes and time under the configured topology. Counts as
   /// a broadcast_calls entry (not allreduce_calls) and as a model

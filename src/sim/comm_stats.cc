@@ -29,6 +29,10 @@ std::string CommStats::ToString() const {
                    static_cast<unsigned long long>(dropped_messages),
                    static_cast<unsigned long long>(catch_up_syncs));
   }
+  if (check_in_syncs > 0) {
+    s += StrFormat(", check_in=%llu",
+                   static_cast<unsigned long long>(check_in_syncs));
+  }
   if (seconds_by_depth.size() > 2) {
     s += ", by_depth=[";
     for (size_t d = 0; d < seconds_by_depth.size(); ++d) {

@@ -42,6 +42,9 @@ struct CommStats {
   uint64_t retries = 0;           // retransmissions of lost contributions
   uint64_t dropped_messages = 0;  // contributions lost after max_retries
   uint64_t catch_up_syncs = 0;    // rejoin model downloads
+  // Fleet accounting: model downloads paid by freshly sampled clients on
+  // cohort check-in (sticky re-sampled residents pay nothing).
+  uint64_t check_in_syncs = 0;
   uint64_t bytes_total = 0;          // all bytes transmitted by all workers
   uint64_t bytes_local_state = 0;
   uint64_t bytes_model_sync = 0;
@@ -97,6 +100,7 @@ struct CommStats {
     retries += other.retries;
     dropped_messages += other.dropped_messages;
     catch_up_syncs += other.catch_up_syncs;
+    check_in_syncs += other.check_in_syncs;
     bytes_total += other.bytes_total;
     bytes_local_state += other.bytes_local_state;
     bytes_model_sync += other.bytes_model_sync;

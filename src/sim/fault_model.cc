@@ -95,6 +95,29 @@ FaultInjector::FaultInjector(const FaultConfig& config, int num_workers,
   }
 }
 
+FaultInjector::FaultInjector(const FaultConfig& config, int num_entities,
+                             uint64_t seed, std::vector<int> entity_link,
+                             int num_links)
+    : config_(config),
+      num_workers_(num_entities),
+      tree_(nullptr),
+      rng_(Rng(seed).Fork(202)) {
+  FEDRA_CHECK(config_.Validate().ok())
+      << "invalid FaultConfig: " << config_.Validate().ToString();
+  FEDRA_CHECK_GT(num_workers_, 0);
+  FEDRA_CHECK_GT(num_links, 0);
+  FEDRA_CHECK_EQ(entity_link.size(), static_cast<size_t>(num_entities));
+  worker_up_.assign(static_cast<size_t>(num_workers_), 1);
+  worker_link_ = std::move(entity_link);
+  for (const int link : worker_link_) {
+    FEDRA_CHECK_GE(link, 0);
+    FEDRA_CHECK_LT(link, num_links);
+  }
+  if (config_.link_mttf_rounds > 0.0) {
+    link_state_.assign(static_cast<size_t>(num_links), 1);
+  }
+}
+
 bool FaultInjector::AdvanceChain(bool up, double mttf, double mttr) {
   if (up) {
     return !rng_.NextBernoulli(1.0 / mttf);

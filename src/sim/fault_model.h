@@ -96,6 +96,16 @@ class FaultInjector {
   FaultInjector(const FaultConfig& config, int num_workers, uint64_t seed,
                 const TopologyTree* tree = nullptr);
 
+  /// Fleet variant: the chains run over `num_entities` fault entities
+  /// (simulated clients, usually far more than the resident workers) and
+  /// `entity_link` maps each one to its link-outage entity in
+  /// [0, num_links) — the fleet layer passes every client's home leaf
+  /// group. With num_entities == num_workers and the resident link
+  /// mapping this reproduces the tree/flat constructor's chains
+  /// bit-for-bit (same seed fork, same advance order).
+  FaultInjector(const FaultConfig& config, int num_entities, uint64_t seed,
+                std::vector<int> entity_link, int num_links);
+
   const FaultConfig& config() const { return config_; }
   int num_workers() const { return num_workers_; }
   uint64_t rounds() const { return rounds_; }

@@ -289,5 +289,104 @@ TEST(GoldenHistoryTest, DenseNetParallelMatchesSequentialBitExact) {
   ExpectHistoriesBitIdentical(sequential, parallel);
 }
 
+// ---------------------------------------------------------------------------
+// Fleet parity: with population == cohort_size == K the fleet layer (paged
+// ClientStateStore + CohortSampler + per-round rotation) must be a bitwise
+// no-op — every rotation samples the identity cohort with zero rng draws,
+// resident slots stay sticky with zero float roundtrips, and the population
+// variance correction short-circuits. The fleet runs below must keep
+// reproducing the SAME golden arrays as the resident-cohort runs above.
+
+TEST(GoldenHistoryTest, FleetPopulationEqualsCohortMatchesGolden) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+  TrainerConfig config = MlpConfig(4);
+  config.population = 4;
+  config.cohort_size = 4;
+  config.cohort_steps = 1;
+  DistributedTrainer trainer(factory, data.train, data.test, config);
+  auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(0.5),
+                               trainer.model_dim());
+  ASSERT_TRUE(policy.ok());
+  auto result = trainer.Run(policy->get());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectHistoryMatches("MlpLinearFdaFleet", result->history, kMlpLinearFda);
+  EXPECT_EQ(result->comm.check_in_syncs, 0ull);
+}
+
+TEST(GoldenHistoryTest, FleetHierarchicalPopulationEqualsCohortMatchesGolden) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+  TrainerConfig config = MlpConfig(8);
+  config.topology = TopologyTree::DeviceSiteCloud(2, 2);
+  config.population = 8;
+  config.cohort_size = 8;
+  config.cohort_steps = 5;  // sparse rotations are no-ops too
+  DistributedTrainer trainer(factory, data.train, data.test, config);
+  HierarchicalFdaConfig policy_config;
+  policy_config.monitor.kind = MonitorKind::kLinear;
+  policy_config.theta_by_depth = {1.2, 0.5, 0.2};
+  auto policy = MakeHierarchicalFdaPolicy(policy_config, trainer.model_dim());
+  ASSERT_TRUE(policy.ok());
+  auto result = trainer.Run(policy->get());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectHistoryMatches("MlpHier3TierFleet", result->history, kMlpHier3Tier);
+}
+
+TEST(GoldenHistoryTest, FleetAsyncPopulationEqualsCohortMatchesGolden) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+  TrainerConfig config = MlpConfig(3);
+  config.eval_every_steps = 10;
+  config.straggler = StragglerModel::None(0.01);
+  config.population = 3;
+  config.cohort_size = 3;
+  AsyncFdaConfig async_config;
+  async_config.theta = 0.5;
+  async_config.monitor.kind = MonitorKind::kLinear;
+  async_config.max_total_worker_steps = 150;
+  AsyncFdaTrainer trainer(factory, data.train, data.test, config,
+                          async_config);
+  auto result = trainer.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectHistoryMatches("MlpAsyncFleet", result->base.history, kMlpAsync);
+}
+
+/// Fault chains must also agree at population == K: the fleet constructs a
+/// population-sized injector with an explicit client->link map, which has to
+/// reproduce the resident constructor's chains bit-for-bit (same crash and
+/// outage schedule, same availability the sampler reads). Runtime-compared
+/// resident-vs-fleet pair; availability-weighted sampling covers the
+/// sampler's fault-reading path.
+TEST(GoldenHistoryTest, FleetFaultedPopulationEqualsCohortBitIdentical) {
+  SynthImageData data = SmallMnistLike();
+  auto factory = [] { return zoo::Mlp(16 * 16, {24}, 10); };
+  auto run_with = [&](bool fleet) {
+    TrainerConfig config = MlpConfig(4);
+    config.faults.worker_mttf_rounds = 4.0;
+    config.faults.worker_mttr_rounds = 2.0;
+    config.faults.message_loss_prob = 0.15;
+    if (fleet) {
+      config.population = 4;
+      config.cohort_size = 4;
+      config.cohort_schedule = CohortScheduleKind::kAvailability;
+    }
+    DistributedTrainer trainer(factory, data.train, data.test, config);
+    auto policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(0.5),
+                                 trainer.model_dim());
+    FEDRA_CHECK(policy.ok());
+    auto result = trainer.Run(policy->get());
+    FEDRA_CHECK(result.ok());
+    return std::move(result).value();
+  };
+  TrainResult resident = run_with(false);
+  TrainResult fleet = run_with(true);
+  ASSERT_FALSE(resident.history.empty());
+  ExpectHistoriesBitIdentical(resident.history, fleet.history);
+  EXPECT_EQ(resident.rejoin_count, fleet.rejoin_count);
+  EXPECT_EQ(resident.comm.bytes_total, fleet.comm.bytes_total);
+  EXPECT_EQ(fleet.comm.check_in_syncs, 0ull);
+}
+
 }  // namespace
 }  // namespace fedra

@@ -70,4 +70,20 @@ void ReduceFixed(Pool& pool, const std::vector<float>& xs, double* out) {
 // only a ParallelFor grain derived from them is flagged.
 size_t ScratchRows(const Pool& pool) { return pool.num_threads(); }
 
+// The blessed cohort-sampling pattern (core/client_store.cc): the
+// per-round stream is a pure function of (seed, round) via a seeded fork,
+// so the fleet schedule replays bit-identically on any machine.
+struct ForkableRng {
+  unsigned long long state;
+  ForkableRng Fork(unsigned long long stream) const;
+  unsigned long long NextBounded(unsigned long long bound);
+};
+
+unsigned long long SampleCohortClient(const ForkableRng& master,
+                                      unsigned long long round,
+                                      unsigned long long population) {
+  ForkableRng round_rng = master.Fork(round);
+  return round_rng.NextBounded(population);
+}
+
 }  // namespace fedra_lint_fixture

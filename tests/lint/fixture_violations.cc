@@ -4,8 +4,8 @@
 // Never compiled; linter input only.
 //
 // Expected findings:
-//   std-rand            x2  (std::rand(), srand())
-//   wall-clock-seed     x2  (time(nullptr), system_clock)
+//   std-rand            x3  (std::rand(), srand(), cohort-pick rand())
+//   wall-clock-seed     x3  (time(nullptr), system_clock, round-rng time())
 //   random-device       x1
 //   unordered-iteration x1
 //   raw-thread          x2  (std::thread, std::async)
@@ -59,6 +59,19 @@ void RawThread() {
 }
 
 void RawAsync() { auto f = std::async([] { return 1; }); }
+
+// The cohort-sampling shape of the same bugs: picking a fleet's cohort
+// with the C PRNG makes the schedule irreproducible and thread-timing
+// dependent, and seeding the per-round stream from the wall clock makes
+// every run sample a different fleet. The blessed pattern (a per-round
+// Rng::Fork of the run seed) lives in the clean fixture.
+unsigned long SampleCohortClient(unsigned long population) {
+  return static_cast<unsigned long>(rand()) % population;
+}
+
+unsigned long long RoundRngSeed(unsigned long long round) {
+  return static_cast<unsigned long long>(time(nullptr)) + round;
+}
 
 void VariableChunkReduce(Pool& pool, const std::vector<float>& xs) {
   // Grain derived from the thread count: boundaries differ per machine.
