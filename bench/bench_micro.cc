@@ -13,10 +13,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "sketch/ams_sketch.h"
 #include "tensor/ops.h"
 #include "tensor/ref_ops.h"
+#include "tensor/simd_dispatch.h"
 #include "tensor/vec_ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -368,6 +371,9 @@ void BM_VarianceIdentity(benchmark::State& state) {
     benchmark::DoNotOptimize(vec::Dot(xi.data(), u.data(), dim));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+  // ||u||^2 reads u once; <xi, u> reads both: three dim-length streams.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(3 * dim * sizeof(float)));
 }
 BENCHMARK(BM_VarianceIdentity)->Arg(1 << 14)->Arg(1 << 18);
 
@@ -387,6 +393,9 @@ void BM_SubSquaredNorm(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+  // Reads w and w_sync, writes u: three dim-length streams per pass.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(3 * dim * sizeof(float)));
 }
 BENCHMARK(BM_SubSquaredNorm)->Arg(1 << 14)->Arg(1 << 18);
 
@@ -407,6 +416,10 @@ void BM_ParallelForOverhead(benchmark::State& state) {
         });
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  // One read stream; at small n the GB/s figure is dominated by scheduler
+  // round-trip cost, which is exactly what this benchmark isolates.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(n * sizeof(float)));
 }
 BENCHMARK(BM_ParallelForOverhead)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
@@ -809,6 +822,244 @@ int RunPopulationSweep(const std::string& path) {
   return 0;
 }
 
+// ------------------------------------------------- hardware-limit sweeps --
+
+/// Median-free steady-state timing: warm up once, then grow the repetition
+/// count until one measured batch runs >= 25 ms, and report seconds per
+/// call. steady_clock measures elapsed time only; nothing is seeded from it.
+double SecondsPerCall(const std::function<void()>& fn) {
+  fn();  // warm-up: faults pages, primes caches and the dispatch table
+  long reps = 1;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (long r = 0; r < reps; ++r) {
+      fn();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (seconds >= 0.025) {
+      return seconds / static_cast<double>(reps);
+    }
+    // Aim past the threshold with margin; cap growth for very fast calls.
+    const double target = 0.035;
+    reps = seconds <= 1e-6
+               ? reps * 64
+               : static_cast<long>(static_cast<double>(reps) * target /
+                                   seconds) +
+                     1;
+  }
+}
+
+/// Writes BENCH_kernels.json: every dispatched kernel timed at every SIMD
+/// level this host supports (simd::SupportedLevels x simd::SetLevel), with
+/// bytes-touched GB/s, GFLOP/s where FLOPs are well-defined, and speedup
+/// relative to the kGeneric portable-vector path. Buffers are L2-resident
+/// (n = 4096) so the numbers expose compute limits, not DRAM bandwidth.
+int RunKernelsSweep(const std::string& path) {
+  const size_t n = 4096;
+  const size_t reduce_bufs = 8;
+  const std::vector<simd::Level> levels = simd::SupportedLevels();
+  const simd::Level default_level = simd::ActiveLevel();
+
+  auto x = RandomVec(n, 80);
+  auto b2 = RandomVec(n, 81);
+  auto y = RandomVec(n, 82);
+  std::vector<float> out(n);
+  std::vector<std::vector<float>> reduce_storage;
+  std::vector<const float*> bufs;
+  for (size_t k = 0; k < reduce_bufs; ++k) {
+    reduce_storage.push_back(RandomVec(n, 83 + k));
+    bufs.push_back(reduce_storage.back().data());
+  }
+  std::vector<double> weights(reduce_bufs, 1.0 / reduce_bufs);
+  const int kc = 256;
+  auto apanel = RandomVec(static_cast<size_t>(kc) * simd::kGemmMr, 90);
+  auto bpanel = RandomVec(static_cast<size_t>(kc) * simd::kGemmNr, 91);
+  std::vector<float> acc(static_cast<size_t>(simd::kGemmMr) * simd::kGemmNr);
+
+  struct Kernel {
+    const char* name;
+    double bytes_per_call;  // streams touched, for GB/s
+    double flops_per_call;  // 0 when FLOPs are not the natural unit
+    std::function<void()> run;
+  };
+  const double fn = static_cast<double>(n);
+  const Kernel kernels[] = {
+      {"axpy", 3 * fn * sizeof(float), 2 * fn,
+       [&] { simd::Kernels().axpy(0.37f, x.data(), y.data(), n); }},
+      {"dot", 2 * fn * sizeof(float), 2 * fn,
+       [&] {
+         benchmark::DoNotOptimize(simd::Kernels().dot(x.data(), b2.data(),
+                                                      n));
+       }},
+      {"squared_norm", fn * sizeof(float), 2 * fn,
+       [&] {
+         benchmark::DoNotOptimize(simd::Kernels().squared_norm(x.data(), n));
+       }},
+      {"sub_squared_norm", 3 * fn * sizeof(float), 3 * fn,
+       [&] {
+         benchmark::DoNotOptimize(simd::Kernels().sub_squared_norm(
+             x.data(), b2.data(), out.data(), n));
+       }},
+      {"axpy_norm", 3 * fn * sizeof(float), 4 * fn,
+       [&] {
+         benchmark::DoNotOptimize(
+             simd::Kernels().axpy_norm(-0.01f, x.data(), y.data(), n));
+       }},
+      {"reduce_scale",
+       (static_cast<double>(reduce_bufs) + 1) * fn * sizeof(float),
+       (static_cast<double>(reduce_bufs) + 1) * fn,
+       [&] {
+         simd::Kernels().reduce_scale(bufs.data(), reduce_bufs, n,
+                                      1.0 / reduce_bufs, out.data());
+       }},
+      {"weighted_reduce",
+       (static_cast<double>(reduce_bufs) + 1) * fn * sizeof(float),
+       2 * static_cast<double>(reduce_bufs) * fn,
+       [&] {
+         simd::Kernels().weighted_reduce(bufs.data(), weights.data(),
+                                         reduce_bufs, n, out.data());
+       }},
+      {"gemm_micro_8x32",
+       static_cast<double>(kc) * (simd::kGemmMr + simd::kGemmNr) *
+           sizeof(float),
+       2.0 * kc * simd::kGemmMr * simd::kGemmNr,
+       [&] {
+         simd::Kernels().gemm_micro_8x32(kc, apanel.data(), bpanel.data(),
+                                         acc.data());
+         benchmark::DoNotOptimize(acc.data());
+       }},
+  };
+
+  std::string json = "{\n  \"n\": 4096,\n  \"levels\": [";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    json += std::string(i == 0 ? "" : ", ") + "\"" +
+            simd::LevelName(levels[i]) + "\"";
+  }
+  json += "],\n  \"default_level\": \"";
+  json += simd::LevelName(default_level);
+  json += "\",\n  \"kernels\": [\n";
+
+  bool first_kernel = true;
+  for (const Kernel& kernel : kernels) {
+    std::vector<double> seconds(levels.size());
+    double generic_seconds = 0.0;
+    for (size_t i = 0; i < levels.size(); ++i) {
+      simd::SetLevel(levels[i]);
+      seconds[i] = SecondsPerCall(kernel.run);
+      if (levels[i] == simd::Level::kGeneric) {
+        generic_seconds = seconds[i];
+      }
+    }
+    json += first_kernel ? "" : ",\n";
+    first_kernel = false;
+    char head[128];
+    std::snprintf(head, sizeof(head), "    {\"kernel\": \"%s\", \"runs\": [",
+                  kernel.name);
+    json += head;
+    for (size_t i = 0; i < levels.size(); ++i) {
+      const double gbs = kernel.bytes_per_call / seconds[i] / 1e9;
+      const double gflops = kernel.flops_per_call / seconds[i] / 1e9;
+      const double speedup =
+          generic_seconds > 0.0 ? generic_seconds / seconds[i] : 0.0;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n      {\"level\": \"%s\", \"ns_per_call\": %.1f, "
+                    "\"gb_per_s\": %.2f, \"gflop_per_s\": %.2f, "
+                    "\"speedup_vs_generic\": %.2f}",
+                    i == 0 ? "" : ",", simd::LevelName(levels[i]),
+                    seconds[i] * 1e9, gbs, gflops, speedup);
+      json += buf;
+      std::printf("%-18s %-8s %9.1f ns/call %8.2f GB/s %8.2f GFLOP/s "
+                  "%5.2fx vs generic\n",
+                  kernel.name, simd::LevelName(levels[i]), seconds[i] * 1e9,
+                  gbs, gflops, speedup);
+    }
+    json += "]}";
+  }
+  json += "\n  ]\n}\n";
+  simd::SetLevel(default_level);
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+/// Writes BENCH_scheduler.json: Chase-Lev pool throughput at 1, 4, and 16
+/// threads. Two workloads per size: a chunked ParallelForRange sweep over a
+/// 4M-float buffer (elements/s — fan-out, steal, and completion-token cost
+/// amortized over real reads) and a burst of 4096 trivial Schedule()d tasks
+/// plus Wait() (tasks/s — per-task push/pop/wake cost, nothing amortized).
+int RunSchedulerSweep(const std::string& path) {
+  const size_t thread_counts[] = {1, 4, 16};
+  const size_t n = 1 << 22;
+  const size_t grain = 32768;
+  const int burst = 4096;
+  std::vector<float> data(n, 1.0f);
+
+  std::string json = "{\n  \"hardware_threads\": ";
+  char head[64];
+  std::snprintf(head, sizeof(head), "%u,\n  \"pools\": [\n",
+                std::thread::hardware_concurrency());
+  json += head;
+
+  bool first = true;
+  for (size_t threads : thread_counts) {
+    ThreadPool pool(threads);
+    const double sweep_seconds = SecondsPerCall([&] {
+      pool.ParallelForRange(n, grain, [&](size_t begin, size_t end) {
+        float acc = 0.0f;
+        for (size_t i = begin; i < end; ++i) {
+          acc += data[i];
+        }
+        benchmark::DoNotOptimize(acc);
+      });
+    });
+    std::atomic<int> sink{0};
+    const double burst_seconds = SecondsPerCall([&] {
+      for (int i = 0; i < burst; ++i) {
+        pool.Schedule([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+      }
+      pool.Wait();
+    });
+    const double elems_per_s = static_cast<double>(n) / sweep_seconds;
+    const double tasks_per_s = static_cast<double>(burst) / burst_seconds;
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"threads\": %zu, \"parallel_for_elems_per_s\": %.3e, "
+        "\"parallel_for_gb_per_s\": %.2f, \"schedule_tasks_per_s\": %.3e, "
+        "\"schedule_task_ns\": %.1f}",
+        first ? "" : ",\n", threads, elems_per_s,
+        static_cast<double>(n) * sizeof(float) / sweep_seconds / 1e9,
+        tasks_per_s, burst_seconds / burst * 1e9);
+    json += buf;
+    first = false;
+    std::printf("threads=%zu parallel_for=%.3e elems/s schedule=%.3e "
+                "tasks/s\n",
+                threads, elems_per_s, tasks_per_s);
+  }
+  json += "\n  ]\n}\n";
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 void BM_AxpyNorm(benchmark::State& state) {
   // The fused SGD update kernel: w -= lr * g and ||w||^2 in one pass.
   const size_t dim = static_cast<size_t>(state.range(0));
@@ -824,6 +1075,9 @@ void BM_AxpyNorm(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+  // Reads g and w, writes w back: three dim-length streams per pass.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(3 * dim * sizeof(float)));
 }
 BENCHMARK(BM_AxpyNorm)->Arg(1 << 14)->Arg(1 << 18);
 
@@ -850,6 +1104,12 @@ int main(int argc, char** argv) {
       // Fleet population sweep: writes BENCH_population.json-style output
       // and exits without running the registered benchmarks.
       return fedra::RunPopulationSweep(argv[i] + 18);
+    } else if (std::strncmp(argv[i], "--kernels_json=", 15) == 0) {
+      // Per-SIMD-level kernel sweep: writes BENCH_kernels.json and exits.
+      return fedra::RunKernelsSweep(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--scheduler_json=", 17) == 0) {
+      // Pool throughput sweep: writes BENCH_scheduler.json and exits.
+      return fedra::RunSchedulerSweep(argv[i] + 17);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       // Sizes the lazily created global pool; must land before any kernel
       // touches it, which main() guarantees.

@@ -32,6 +32,15 @@ codebases:
                       fixed 32768-element helpers (sim/collectives.cc
                       kReduceChunk) or another thread-count-independent
                       constant.
+  raw-cpu-dispatch    __builtin_cpu_supports/cpuid probes or ISA-macro
+                      #ifdefs (__AVX2__/__AVX512F__/__ARM_NEON/...) outside
+                      src/tensor/simd_dispatch.*: scattered ISA branches
+                      make which accumulation pattern ran depend on the
+                      build flags and host CPU of each call site, which no
+                      parity suite covers. All ISA selection goes through
+                      the dispatch table (simd::Kernels()), where every
+                      compiled-in level is parity-tested and the active
+                      level is observable and pinnable (FEDRA_SIMD).
 
 Waiver syntax — same line or the line directly above, reason mandatory:
 
@@ -61,6 +70,10 @@ WAIVER_RE = re.compile(r"fedra-nondeterminism-ok\s*:?\s*(?P<reason>.*)")
 RULE_ALLOWED_FILES = {
     "random-device": ("util/rng.h", "util/rng.cc"),
     "raw-thread": ("util/thread_pool.h", "util/thread_pool.cc"),
+    "raw-cpu-dispatch": (
+        "tensor/simd_dispatch.h",
+        "tensor/simd_dispatch.cc",
+    ),
 }
 
 RULES = [
@@ -99,6 +112,19 @@ RULES = [
         "raw thread outside util/thread_pool: bypasses the pool's "
         "deterministic fixed-chunk scheduling; use "
         "GlobalThreadPool().ParallelFor*/Schedule",
+    ),
+    (
+        "raw-cpu-dispatch",
+        re.compile(
+            r"\b__builtin_cpu_(?:supports|init)\b|\b__get_cpuid\w*\b"
+            r"|\b_xgetbv\b"
+            r"|^\s*#\s*(?:el)?if(?:n?def)?\b.*\b__"
+            r"(?:AVX|SSE|FMA|ARM_NEON|ARM_FEATURE)\w*\b"
+        ),
+        "raw CPU dispatch outside src/tensor/simd_dispatch.*: cpuid probes "
+        "and ISA-macro #ifdefs pick an accumulation pattern per call site, "
+        "untestable by the dispatch parity suite; route the kernel through "
+        "simd::Kernels() instead",
     ),
 ]
 
@@ -316,6 +342,7 @@ def self_test():
         "unordered-iteration": 1,
         "raw-thread": 2,  # std::thread and std::async
         "variable-chunk": 1,
+        "raw-cpu-dispatch": 2,  # __builtin_cpu_supports and #ifdef __AVX2__
         "empty-waiver": 1,
     }
     if fired != expected:

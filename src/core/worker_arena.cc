@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 // GCC defines __SANITIZE_ADDRESS__; clang exposes it via __has_feature.
 #if defined(__SANITIZE_ADDRESS__)
@@ -58,20 +59,80 @@ void UnpoisonGap(float* gap, size_t len) {
 #endif
 }
 
+constexpr size_t kSlabAlignment = 64;
+
 }  // namespace
+
+ArenaPlacement DefaultArenaPlacement() {
+  // Read-only env probe; no setenv runs concurrently with arena creation.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* env = std::getenv("FEDRA_ARENA_PLACEMENT");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "default") == 0) {
+    return ArenaPlacement::kDefault;
+  }
+  FEDRA_CHECK(std::strcmp(env, "first_touch") == 0)
+      << "FEDRA_ARENA_PLACEMENT=" << env
+      << "is not a placement (want default|first_touch)";
+  return ArenaPlacement::kFirstTouch;
+}
+
+void WorkerArena::Slab::Allocate(size_t count) {
+  size_ = count;
+  if (count == 0) {
+    data_.reset();
+    return;
+  }
+  // aligned_alloc wants the size in whole alignment units. The allocation
+  // itself maps address space only; pages materialize on first write, which
+  // is the whole point (see the placement note in the header).
+  size_t bytes = count * sizeof(float);
+  bytes = (bytes + kSlabAlignment - 1) / kSlabAlignment * kSlabAlignment;
+  float* raw = static_cast<float*>(std::aligned_alloc(kSlabAlignment, bytes));
+  FEDRA_CHECK(raw != nullptr) << "slab allocation of" << bytes << "bytes failed";
+  data_.reset(raw);
+}
 
 size_t WorkerArena::RowStride(size_t row_len) {
   return guards_enabled() ? row_len + kGuardFloats : row_len;
 }
 
-void WorkerArena::InitSlab(std::vector<float>& slab, size_t row_len) {
+void WorkerArena::InitSlab(Slab& slab, size_t row_len) {
   const size_t k = static_cast<size_t>(num_workers_);
-  slab.assign(k * RowStride(row_len), 0.0f);
+  const size_t stride = RowStride(row_len);
+  slab.Allocate(k * stride);
   ++allocation_count_;
+  float* base = slab.data();
+  // Zero every row (plus its guard gap — same stride span, so each worker's
+  // pages are wholly first-touched by one thread). First-touch placement
+  // fans the zeroing out so worker w faults the rows it will compute on;
+  // it degrades to inline zeroing whenever blocking on the pool is unsafe
+  // (inside a pool worker) or pointless (single-thread pool).
+  bool first_touch = placement_ == ArenaPlacement::kFirstTouch &&
+                     !ThreadPool::OnPoolThread();
+  if (first_touch) {
+    // Only reached when asked for: kDefault arenas never instantiate the
+    // global pool from here.
+    ThreadPool& pool = GlobalThreadPool();
+    const size_t num_threads = pool.num_threads();
+    if (num_threads <= 1) {
+      first_touch = false;
+    } else {
+      for (size_t worker = 0; worker < k; ++worker) {
+        float* row = base + worker * stride;
+        pool.ScheduleOn(worker % num_threads, [row, stride] {
+          std::memset(row, 0, stride * sizeof(float));
+        });
+      }
+      pool.Wait();
+    }
+  }
+  if (!first_touch) {
+    std::memset(base, 0, k * stride * sizeof(float));
+  }
   if (guards_enabled()) {
     const float canary = CanaryWord();
     for (size_t worker = 0; worker < k; ++worker) {
-      float* gap = slab.data() + worker * RowStride(row_len) + row_len;
+      float* gap = base + worker * stride + row_len;
       for (size_t i = 0; i < kGuardFloats; ++i) {
         gap[i] = canary;
       }
@@ -80,13 +141,17 @@ void WorkerArena::InitSlab(std::vector<float>& slab, size_t row_len) {
   }
 }
 
-float* WorkerArena::RowPtr(std::vector<float>& slab, int k, size_t row_len) {
+float* WorkerArena::RowPtr(Slab& slab, int k, size_t row_len) {
   FEDRA_CHECK(k >= 0 && k < num_workers_);
   return slab.data() + static_cast<size_t>(k) * RowStride(row_len);
 }
 
-WorkerArena::WorkerArena(int num_workers, size_t dim, size_t opt_state_slots)
-    : num_workers_(num_workers), dim_(dim), opt_state_slots_(opt_state_slots) {
+WorkerArena::WorkerArena(int num_workers, size_t dim, size_t opt_state_slots,
+                         ArenaPlacement placement)
+    : num_workers_(num_workers),
+      dim_(dim),
+      opt_state_slots_(opt_state_slots),
+      placement_(placement) {
   FEDRA_CHECK_GT(num_workers, 0);
   FEDRA_CHECK_GT(dim, 0u);
   InitSlab(params_, dim);
@@ -100,9 +165,9 @@ WorkerArena::WorkerArena(int num_workers, size_t dim, size_t opt_state_slots)
 WorkerArena::~WorkerArena() {
   CheckCanaries();
   if (guards_enabled()) {
-    // The vectors' storage is about to be freed; hand it back unpoisoned so
+    // The slabs' storage is about to be freed; hand it back unpoisoned so
     // the allocator (and any later reuse of the pages) sees clean memory.
-    auto unpoison_slab = [this](std::vector<float>& slab, size_t row_len) {
+    auto unpoison_slab = [this](Slab& slab, size_t row_len) {
       if (slab.empty()) {
         return;
       }
@@ -163,8 +228,7 @@ size_t WorkerArena::total_bytes() const {
          sizeof(float);
 }
 
-void WorkerArena::CheckSlabCanaries(const std::vector<float>& slab,
-                                    size_t row_len,
+void WorkerArena::CheckSlabCanaries(const Slab& slab, size_t row_len,
                                     const char* slab_name) const {
 #if defined(FEDRA_ASAN)
   // The gaps are poisoned: a stray write already aborted at its site, and

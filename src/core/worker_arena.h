@@ -9,6 +9,18 @@
 // only its own slices, so parallel worker execution stays deterministic
 // while every worker shares one read-only ModelGraph.
 //
+// Placement: slabs are 64-byte-aligned raw allocations whose pages are not
+// faulted until first written. With ArenaPlacement::kFirstTouch (opt in via
+// FEDRA_ARENA_PLACEMENT=first_touch), row k is zeroed — and therefore
+// page-faulted — by pool worker k % num_threads instead of the constructing
+// thread. Combined with FEDRA_AFFINITY worker→core pinning, Linux's default
+// first-touch NUMA policy then places each worker's params/grads/opt rows
+// on the socket of the worker that computes on them; on single-socket
+// machines the same path still gives per-core page locality. kDefault keeps
+// the old behavior (construct-thread zeroing), and first-touch quietly
+// degrades to it for single-thread pools or construction from inside a pool
+// worker (where blocking on the pool would deadlock).
+//
 // Debug guards (FEDRA_DCHECK_IS_ON, i.e. Debug and sanitizer builds): every
 // slab row is fenced by kGuardFloats canary words, so rows sit at stride
 // row_stride() = row_len + kGuardFloats instead of packed row_len. A write
@@ -23,12 +35,25 @@
 #define FEDRA_CORE_WORKER_ARENA_H_
 
 #include <cstddef>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "nn/layer.h"
 #include "util/check.h"
 
 namespace fedra {
+
+/// Who faults a slab's pages into existence.
+enum class ArenaPlacement {
+  kDefault,     // constructing thread zeroes every row
+  kFirstTouch,  // pool worker k % threads zeroes row k (NUMA first-touch)
+};
+
+/// Placement resolved from FEDRA_ARENA_PLACEMENT ("default" or empty →
+/// kDefault, "first_touch" → kFirstTouch; anything else aborts). Read once
+/// per call; the arena constructor uses it when no placement is passed.
+ArenaPlacement DefaultArenaPlacement();
 
 class WorkerArena {
  public:
@@ -40,8 +65,13 @@ class WorkerArena {
 
   /// Slabs for `num_workers` workers of a `dim`-parameter model whose local
   /// optimizer keeps `opt_state_slots` dim-length state vectors per worker
-  /// (OptimizerConfig::StateSlots()). All slabs are zero-initialized.
-  WorkerArena(int num_workers, size_t dim, size_t opt_state_slots);
+  /// (OptimizerConfig::StateSlots()). All slabs are zero-initialized; who
+  /// zeroes (and so which NUMA node backs each row) is `placement`.
+  WorkerArena(int num_workers, size_t dim, size_t opt_state_slots,
+              ArenaPlacement placement);
+  WorkerArena(int num_workers, size_t dim, size_t opt_state_slots)
+      : WorkerArena(num_workers, dim, opt_state_slots,
+                    DefaultArenaPlacement()) {}
   ~WorkerArena();
 
   WorkerArena(const WorkerArena&) = delete;
@@ -50,6 +80,7 @@ class WorkerArena {
   int num_workers() const { return num_workers_; }
   size_t dim() const { return dim_; }
   size_t opt_state_slots() const { return opt_state_slots_; }
+  ArenaPlacement placement() const { return placement_; }
 
   /// Element distance between consecutive workers' rows in the params /
   /// grads / drift slabs: dim() packed, dim() + kGuardFloats guarded.
@@ -106,25 +137,47 @@ class WorkerArena {
   void CheckCanaries() const;
 
  private:
+  // One 64-byte-aligned raw slab. Allocation leaves the pages untouched —
+  // virtual address space only — so the thread that zeroes a row is the
+  // thread whose NUMA node backs it (Linux first-touch).
+  class Slab {
+   public:
+    // Uninitialized storage for `count` floats; count == 0 stays empty.
+    void Allocate(size_t count);
+    float* data() { return data_.get(); }
+    const float* data() const { return data_.get(); }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+   private:
+    struct FreeDeleter {
+      void operator()(float* p) const { std::free(p); }
+    };
+    std::unique_ptr<float[], FreeDeleter> data_;
+    size_t size_ = 0;
+  };
+
   // Row length -> stride including the trailing guard gap (guarded builds).
   static size_t RowStride(size_t row_len);
   // Sizes, zero-fills, and fences one slab of num_workers_ rows; bumps
   // allocation_count_ and (guarded builds) paints/poisons the canary gaps.
-  void InitSlab(std::vector<float>& slab, size_t row_len);
-  float* RowPtr(std::vector<float>& slab, int k, size_t row_len);
-  void CheckSlabCanaries(const std::vector<float>& slab, size_t row_len,
+  // Under kFirstTouch the per-row zeroing fans out over the global pool.
+  void InitSlab(Slab& slab, size_t row_len);
+  float* RowPtr(Slab& slab, int k, size_t row_len);
+  void CheckSlabCanaries(const Slab& slab, size_t row_len,
                          const char* slab_name) const;
 
   int num_workers_;
   size_t dim_;
   size_t opt_state_slots_;
+  ArenaPlacement placement_;
   size_t state_size_ = 0;
   size_t allocation_count_ = 0;
-  std::vector<float> params_;     // [K x dim], guard-fenced rows
-  std::vector<float> grads_;      // [K x dim], guard-fenced rows
-  std::vector<float> opt_state_;  // [K x slots x dim], guard-fenced rows
-  std::vector<float> drift_;      // [K x dim], guard-fenced rows
-  std::vector<float> state_;      // [K x state_size], on demand
+  Slab params_;     // [K x dim], guard-fenced rows
+  Slab grads_;      // [K x dim], guard-fenced rows
+  Slab opt_state_;  // [K x slots x dim], guard-fenced rows
+  Slab drift_;      // [K x dim], guard-fenced rows
+  Slab state_;      // [K x state_size], on demand
 };
 
 }  // namespace fedra

@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "tensor/simd_dispatch.h"
 #include "tensor/vec_ops.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -27,9 +28,11 @@ namespace ops {
 
 namespace {
 
-constexpr int kMR = 8;    // micro-tile rows
-constexpr int kNR = 32;   // micro-tile cols: two 16-float accumulator
-                          // vectors per row (16 chains hide FMA latency)
+// Micro-tile shape is owned by the dispatch layer: packing here must match
+// what every gemm_micro_8x32 variant consumes.
+constexpr int kMR = simd::kGemmMr;  // micro-tile rows
+constexpr int kNR = simd::kGemmNr;  // micro-tile cols: two 16-float
+                                    // accumulator vectors per row
 constexpr int kMC = 96;   // A block rows per panel (multiple of kMR)
 constexpr int kKC = 256;  // shared depth per panel
 constexpr int kNC = 1024; // B panel cols (multiple of kNR)
@@ -98,53 +101,12 @@ void PackB(bool trans_b, const float* b, int k, int n, int p0, int kc, int j0,
   }
 }
 
-// acc[MR][NR] = apanel * bpanel over kc depth steps.
-//
-// The accumulators are GCC/Clang vector-extension values held in registers
-// for the whole kc loop, so each depth step issues one B-panel vector load
-// plus kMR broadcast-FMAs. This formulation matters: GCC 12 compiles the
-// equivalent scalar `local[i][j] += a[i] * b[j]` loops to shuffle-heavy
-// 4-wide code (~25x slower) because the loop vectorizer rejects the
-// interleaved 2-D access pattern. Kept out-of-line so the optimizer treats
-// the __restrict__ panels as genuinely disjoint at every call site.
-#if defined(__GNUC__) || defined(__clang__)
-#define FEDRA_GEMM_VECEXT 1
-#define FEDRA_NOINLINE __attribute__((noinline))
-#define FEDRA_RESTRICT __restrict__
-typedef float Vf16 __attribute__((vector_size(64), aligned(4)));
-static_assert(kNR == 2 * 16, "micro-kernel assumes two 16-float vectors");
-#else
-#define FEDRA_NOINLINE
-#define FEDRA_RESTRICT
-#endif
-
-FEDRA_NOINLINE void MicroKernel(int kc, const float* FEDRA_RESTRICT apanel,
-                                const float* FEDRA_RESTRICT bpanel,
-                                float* FEDRA_RESTRICT acc) {
-#ifdef FEDRA_GEMM_VECEXT
-  Vf16 local[kMR][2] = {};
-  for (int p = 0; p < kc; ++p, apanel += kMR, bpanel += kNR) {
-    const Vf16 b0 = *reinterpret_cast<const Vf16*>(bpanel);
-    const Vf16 b1 = *reinterpret_cast<const Vf16*>(bpanel + 16);
-    for (int i = 0; i < kMR; ++i) {
-      local[i][0] += apanel[i] * b0;
-      local[i][1] += apanel[i] * b1;
-    }
-  }
-  std::memcpy(acc, local, sizeof(local));
-#else
-  float local[kMR][kNR] = {};
-  for (int p = 0; p < kc; ++p, apanel += kMR, bpanel += kNR) {
-    for (int i = 0; i < kMR; ++i) {
-      const float ai = apanel[i];
-      for (int j = 0; j < kNR; ++j) {
-        local[i][j] += ai * bpanel[j];
-      }
-    }
-  }
-  std::memcpy(acc, local, sizeof(local));
-#endif
-}
+// The register-tiled micro-kernel (acc[MR][NR] = apanel * bpanel over kc
+// depth steps) lives in tensor/simd_dispatch.cc: the generic-vector
+// formulation there is the exact kernel that used to be here, and the
+// dispatch table swaps in AVX2/AVX-512 tilings at runtime. The formulation
+// matters — GCC 12 compiles a scalar `local[i][j] += a[i] * b[j]` nest to
+// shuffle-heavy 4-wide code (~25x slower).
 
 }  // namespace
 
@@ -183,6 +145,10 @@ void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
       const int num_iblocks = (m + kMC - 1) / kMC;
       const int num_jpanels = (nc + kNR - 1) / kNR;
 
+      // Resolved once per panel: one indirect call per micro-tile is noise
+      // against the kc-deep FMA loop behind it.
+      const auto micro_kernel = simd::Kernels().gemm_micro_8x32;
+
       // Runs the micro-kernel over one row block x column-panel range of the
       // packed operands, writing the disjoint C sub-block it owns.
       auto compute_block = [&, kc, nc, jc](int bi, const float* apack_block,
@@ -197,7 +163,7 @@ void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
           for (int ir = 0; ir < mc; ir += kMR) {
             const float* apanel =
                 apack_block + static_cast<size_t>(ir / kMR) * kc * kMR;
-            MicroKernel(kc, apanel, bpanel, acc);
+            micro_kernel(kc, apanel, bpanel, acc);
             const int mr_eff = std::min(kMR, mc - ir);
             for (int ii = 0; ii < mr_eff; ++ii) {
               float* c_row =

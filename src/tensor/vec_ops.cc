@@ -4,13 +4,17 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/simd_dispatch.h"
+
 namespace fedra {
 namespace vec {
 
 // The element-wise kernels are written as plain contiguous loops: at -O3 the
-// compiler turns each into packed SIMD. The reductions need more care — a
-// single double accumulator serializes on the add latency — so they run four
-// independent accumulator lanes and combine at the end.
+// compiler turns each into packed SIMD. The hot kernels — Axpy, the
+// double-accumulated reductions, and the reduce family the collectives sit
+// on — forward through the runtime SIMD dispatch table instead; their
+// canonical portable bodies live in tensor/simd_dispatch.cc alongside the
+// per-ISA variants (see that file for the determinism contract).
 
 void Copy(const float* src, float* dst, size_t n) {
   std::memcpy(dst, src, n * sizeof(float));
@@ -25,9 +29,7 @@ void Scale(float* x, size_t n, float alpha) {
 }
 
 void Axpy(float alpha, const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    y[i] += alpha * x[i];
-  }
+  simd::Kernels().axpy(alpha, x, y, n);
 }
 
 void Add(const float* a, const float* b, float* out, size_t n) {
@@ -49,35 +51,11 @@ void Mul(const float* a, const float* b, float* out, size_t n) {
 }
 
 double Dot(const float* a, const float* b, size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    acc1 += static_cast<double>(a[i + 1]) * static_cast<double>(b[i + 1]);
-    acc2 += static_cast<double>(a[i + 2]) * static_cast<double>(b[i + 2]);
-    acc3 += static_cast<double>(a[i + 3]) * static_cast<double>(b[i + 3]);
-  }
-  for (; i < n; ++i) {
-    acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
+  return simd::Kernels().dot(a, b, n);
 }
 
 double SquaredNorm(const float* x, size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const double x0 = x[i], x1 = x[i + 1], x2 = x[i + 2], x3 = x[i + 3];
-    acc0 += x0 * x0;
-    acc1 += x1 * x1;
-    acc2 += x2 * x2;
-    acc3 += x3 * x3;
-  }
-  for (; i < n; ++i) {
-    const double xi = x[i];
-    acc0 += xi * xi;
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
+  return simd::Kernels().squared_norm(x, n);
 }
 
 double Sum(const float* x, size_t n) {
@@ -109,53 +87,11 @@ double MaxAbsDiff(const float* a, const float* b, size_t n) {
 }
 
 double SubSquaredNorm(const float* a, const float* b, float* out, size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    out[i] = d0;
-    out[i + 1] = d1;
-    out[i + 2] = d2;
-    out[i + 3] = d3;
-    acc0 += static_cast<double>(d0) * static_cast<double>(d0);
-    acc1 += static_cast<double>(d1) * static_cast<double>(d1);
-    acc2 += static_cast<double>(d2) * static_cast<double>(d2);
-    acc3 += static_cast<double>(d3) * static_cast<double>(d3);
-  }
-  for (; i < n; ++i) {
-    const float d = a[i] - b[i];
-    out[i] = d;
-    acc0 += static_cast<double>(d) * static_cast<double>(d);
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
+  return simd::Kernels().sub_squared_norm(a, b, out, n);
 }
 
 double AxpyNorm(float alpha, const float* x, float* y, size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const float y0 = y[i] + alpha * x[i];
-    const float y1 = y[i + 1] + alpha * x[i + 1];
-    const float y2 = y[i + 2] + alpha * x[i + 2];
-    const float y3 = y[i + 3] + alpha * x[i + 3];
-    y[i] = y0;
-    y[i + 1] = y1;
-    y[i + 2] = y2;
-    y[i + 3] = y3;
-    acc0 += static_cast<double>(y0) * static_cast<double>(y0);
-    acc1 += static_cast<double>(y1) * static_cast<double>(y1);
-    acc2 += static_cast<double>(y2) * static_cast<double>(y2);
-    acc3 += static_cast<double>(y3) * static_cast<double>(y3);
-  }
-  for (; i < n; ++i) {
-    const float yi = y[i] + alpha * x[i];
-    y[i] = yi;
-    acc0 += static_cast<double>(yi) * static_cast<double>(yi);
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
+  return simd::Kernels().axpy_norm(alpha, x, y, n);
 }
 
 void SumAndSquaredNorm(const float* x, size_t n, double* sum,
@@ -206,88 +142,14 @@ void AddScaledDiff(float alpha, const float* a, const float* b, float* y,
   }
 }
 
-namespace {
-
-// Block size for the reduction kernels: the double accumulator tile stays in
-// L1 (2 KB) while every input buffer streams through exactly once.
-constexpr size_t kReduceBlock = 256;
-
-}  // namespace
-
 void ReduceScale(const float* const* bufs, size_t num_bufs, size_t n,
                  double scale, float* out) {
-  if (num_bufs == 0) {
-    for (size_t i = 0; i < n; ++i) {
-      out[i] = 0.0f;
-    }
-    return;
-  }
-  double acc[kReduceBlock];
-  for (size_t base = 0; base < n; base += kReduceBlock) {
-    const size_t len = std::min(kReduceBlock, n - base);
-    // Seed from the first pair, then fold the remaining buffers in pairs —
-    // a fixed-order tree that halves the passes over the accumulator tile.
-    if (num_bufs == 1) {
-      const float* b0 = bufs[0] + base;
-      for (size_t j = 0; j < len; ++j) {
-        acc[j] = static_cast<double>(b0[j]);
-      }
-    } else {
-      const float* b0 = bufs[0] + base;
-      const float* b1 = bufs[1] + base;
-      for (size_t j = 0; j < len; ++j) {
-        acc[j] = static_cast<double>(b0[j]) + static_cast<double>(b1[j]);
-      }
-    }
-    size_t k = 2;
-    for (; k + 1 < num_bufs; k += 2) {
-      const float* ba = bufs[k] + base;
-      const float* bb = bufs[k + 1] + base;
-      for (size_t j = 0; j < len; ++j) {
-        acc[j] += static_cast<double>(ba[j]) + static_cast<double>(bb[j]);
-      }
-    }
-    if (k < num_bufs) {
-      const float* ba = bufs[k] + base;
-      for (size_t j = 0; j < len; ++j) {
-        acc[j] += static_cast<double>(ba[j]);
-      }
-    }
-    float* o = out + base;
-    for (size_t j = 0; j < len; ++j) {
-      o[j] = static_cast<float>(acc[j] * scale);
-    }
-  }
+  simd::Kernels().reduce_scale(bufs, num_bufs, n, scale, out);
 }
 
 void WeightedReduce(const float* const* bufs, const double* weights,
                     size_t num_bufs, size_t n, float* out) {
-  if (num_bufs == 0) {
-    for (size_t i = 0; i < n; ++i) {
-      out[i] = 0.0f;
-    }
-    return;
-  }
-  double acc[kReduceBlock];
-  for (size_t base = 0; base < n; base += kReduceBlock) {
-    const size_t len = std::min(kReduceBlock, n - base);
-    const float* b0 = bufs[0] + base;
-    const double w0 = weights[0];
-    for (size_t j = 0; j < len; ++j) {
-      acc[j] = w0 * static_cast<double>(b0[j]);
-    }
-    for (size_t k = 1; k < num_bufs; ++k) {
-      const float* bk = bufs[k] + base;
-      const double wk = weights[k];
-      for (size_t j = 0; j < len; ++j) {
-        acc[j] += wk * static_cast<double>(bk[j]);
-      }
-    }
-    float* o = out + base;
-    for (size_t j = 0; j < len; ++j) {
-      o[j] = static_cast<float>(acc[j]);
-    }
-  }
+  simd::Kernels().weighted_reduce(bufs, weights, num_bufs, n, out);
 }
 
 }  // namespace vec

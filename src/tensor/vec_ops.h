@@ -4,13 +4,17 @@
 // payloads are all contiguous float spans; these kernels are the numeric
 // backbone shared by the optimizers, the FDA monitors, and the simulator.
 //
-// Reductions accumulate in double across four independent lanes so the
-// compiler can keep them in SIMD registers; results therefore differ from a
-// single-accumulator loop only by floating-point reassociation. The fused
-// kernels (SubSquaredNorm, AxpyNorm) exist for the FDA hot path: every local
-// step computes a drift and its squared norm, and fusing the two halves the
-// memory traffic over the model-sized spans. Scalar oracles live in
-// tensor/ref_ops.h.
+// The hot kernels (Axpy, Dot, SquaredNorm, the fused SubSquaredNorm /
+// AxpyNorm, and the collective reductions) route through the runtime SIMD
+// dispatch table in tensor/simd_dispatch.h — resolved once per process to
+// the best ISA tier the CPU supports (or FEDRA_SIMD), bit-deterministic per
+// tier. Reductions accumulate in double across independent lanes (four at
+// the portable tiers, more under AVX2/AVX-512/NEON) so results differ from
+// a single-accumulator loop — and across tiers — only by floating-point
+// reassociation. The fused kernels (SubSquaredNorm, AxpyNorm) exist for the
+// FDA hot path: every local step computes a drift and its squared norm, and
+// fusing the two halves the memory traffic over the model-sized spans.
+// Scalar oracles live in tensor/ref_ops.h.
 
 #ifndef FEDRA_TENSOR_VEC_OPS_H_
 #define FEDRA_TENSOR_VEC_OPS_H_

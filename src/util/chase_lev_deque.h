@@ -1,0 +1,175 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05), in the C++11 memory
+// model following Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13), with one
+// deliberate deviation: the fence-based formulation's standalone
+// atomic_thread_fence(seq_cst) is replaced by seq_cst orderings on the
+// top/bottom accesses themselves. ThreadSanitizer models happens-before
+// through atomic *accesses* but historically ignores standalone fences, so
+// the access-based formulation is what keeps the TSan leg meaningful — it
+// costs one extra full barrier on the owner's pop, off the push hot path.
+//
+// Protocol:
+//   * One owner thread calls PushBottom/PopBottom (LIFO end). Any number of
+//     thief threads call Steal (FIFO end, oldest item first).
+//   * top_ only ever increases (a successful steal CASes it forward); the
+//     owner moves bottom_ both ways. The single racy case — owner popping
+//     the last element while thieves steal it — is arbitrated by a CAS on
+//     top_ from both sides; exactly one wins.
+//   * A thief reads the cell *before* its CAS and discards the value on CAS
+//     failure. The cell it read cannot have been recycled while the CAS
+//     still succeeds: overwriting slot (t & mask) requires the owner to push
+//     index t + capacity, which the size check only allows after top_ has
+//     advanced past t — and then the CAS fails.
+//   * The ring grows by doubling (owner-only). Thieves may still hold a
+//     pointer to a retired ring; since both rings carry the same items for
+//     live indices and consumption is arbitrated by top_ alone, a stale
+//     ring is harmless. Retired rings are kept until destruction.
+//
+// Stores raw T* items; the deque never owns them. Callers delete what they
+// pop/steal; the destructor deletes whatever is left (owner context only).
+
+#ifndef FEDRA_UTIL_CHASE_LEV_DEQUE_H_
+#define FEDRA_UTIL_CHASE_LEV_DEQUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fedra {
+
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(int64_t initial_capacity = 64) {
+    FEDRA_CHECK(initial_capacity > 0 &&
+                (initial_capacity & (initial_capacity - 1)) == 0)
+        << "capacity must be a power of two, got" << initial_capacity;
+    rings_.push_back(std::make_unique<Ring>(initial_capacity));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  ~ChaseLevDeque() {
+    // Owner context, after every thief has quiesced.
+    while (T* item = PopBottom()) {
+      delete item;
+    }
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Takes no ownership semantics beyond storing the pointer.
+  void PushBottom(T* item) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t >= ring->capacity) {
+      ring = Grow(ring, t, b);
+    }
+    ring->Put(b, item);
+    // Release: a thief that observes bottom_ > t via its seq_cst load also
+    // sees the cell write.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. Returns the most recently pushed item, or nullptr when the
+  /// deque is empty (including when a thief won the race for the last one).
+  T* PopBottom() {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    // seq_cst store/load pair: the reservation of slot b must be globally
+    // ordered before reading top_, or a concurrent thief and the owner could
+    // both take the last element without ever reaching the CAS arbitration.
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty; undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = ring->Get(b);
+    if (t == b) {
+      // Last element: race any thief for index t. Either way the deque ends
+      // up empty with bottom_ == top_ == b + 1.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief took it
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. Returns the oldest item, or nullptr when the deque looks
+  /// empty *or* another thief (or the owner, on the last element) won the
+  /// CAS — callers treat both as "try elsewhere".
+  T* Steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) {
+      return nullptr;
+    }
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    T* item = ring->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race; the value read above is discarded
+    }
+    return item;
+  }
+
+  /// Approximate (racy) size; exact when no concurrent operations run.
+  int64_t SizeApprox() const {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  /// Ring capacity right now (test hook for the grow path).
+  int64_t CapacityApprox() const {
+    return ring_.load(std::memory_order_acquire)->capacity;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(int64_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          cells(std::make_unique<std::atomic<T*>[]>(cap)) {}
+    T* Get(int64_t i) const {
+      return cells[i & mask].load(std::memory_order_relaxed);
+    }
+    void Put(int64_t i, T* item) {
+      cells[i & mask].store(item, std::memory_order_relaxed);
+    }
+    const int64_t capacity;
+    const int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> cells;
+  };
+
+  // Owner only (called from PushBottom). Copies the live range into a ring
+  // twice the size and publishes it; the old ring stays allocated for any
+  // thief still reading through its stale pointer.
+  Ring* Grow(Ring* old_ring, int64_t t, int64_t b) {
+    auto bigger = std::make_unique<Ring>(old_ring->capacity * 2);
+    for (int64_t i = t; i < b; ++i) {
+      bigger->Put(i, old_ring->Get(i));
+    }
+    Ring* raw = bigger.get();
+    rings_.push_back(std::move(bigger));
+    ring_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  // All rings ever allocated, newest last. Owner/destructor access only.
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace fedra
+
+#endif  // FEDRA_UTIL_CHASE_LEV_DEQUE_H_

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/check.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace fedra {
 
@@ -12,7 +18,8 @@ namespace {
 thread_local bool tls_on_pool_thread = false;
 // Which pool (and worker index) the current thread belongs to. A nested
 // ParallelFor on the *same* pool can then feed its own deque so idle peers
-// steal the chunks instead of the whole loop running inline.
+// steal the chunks instead of the whole loop running inline; PushTask from a
+// worker likewise goes to the worker's own deque instead of the injector.
 thread_local const void* tls_pool = nullptr;
 thread_local size_t tls_worker_index = 0;
 
@@ -50,6 +57,35 @@ struct ParallelCallState {
   }
 };
 
+bool AffinityRequested() {
+  // Runs once per pool construction, before any worker exists; no setenv
+  // races it.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* env = std::getenv("FEDRA_AFFINITY");
+  if (env == nullptr || *env == '\0') {
+    return false;
+  }
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+         std::strcmp(env, "OFF") != 0;
+}
+
+// Pins the calling thread to one core so the worker→core slot is stable for
+// the life of the pool (first-touch locality depends on it). Modulo keeps
+// oversubscribed pools valid instead of failing the syscall.
+void PinCurrentThreadToCore(size_t worker_index) {
+#if defined(__linux__)
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(worker_index % cores), &set);
+  // Best-effort: a restricted cpuset (container, taskset) can reject the
+  // core; the worker then just runs unpinned.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker_index;
+#endif
+}
+
 }  // namespace
 
 bool ThreadPool::OnPoolThread() { return tls_on_pool_thread; }
@@ -61,9 +97,12 @@ ThreadPool::ThreadPool(size_t num_threads) {
       num_threads = 1;
     }
   }
-  queues_.reserve(num_threads);
+  pin_affinity_ = AffinityRequested();
+  deques_.reserve(num_threads);
+  inboxes_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    queues_.push_back(std::make_unique<WorkerQueue>());
+    deques_.push_back(std::make_unique<ChaseLevDeque<Task>>());
+    inboxes_.push_back(std::make_unique<Inbox>());
   }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -82,33 +121,43 @@ ThreadPool::~ThreadPool() {
   for (auto& thread : threads_) {
     thread.join();
   }
+  // Workers drain everything before exiting; anything still here was pushed
+  // during shutdown. Deques delete their own leftovers; inboxes and the
+  // injector are plain containers of owned pointers.
+  for (auto& inbox : inboxes_) {
+    for (Task* task : inbox->tasks) {
+      delete task;
+    }
+  }
+  for (Task* task : injector_) {
+    delete task;
+  }
 }
 
 void ThreadPool::PushTask(std::function<void()> task) {
-  PushTaskTo(push_cursor_.fetch_add(1, std::memory_order_relaxed) %
-                 queues_.size(),
-             std::move(task));
-}
-
-void ThreadPool::PushTaskTo(size_t index, std::function<void()> task) {
   // Sleep/wake audit (TSan leg + SleepWakeHandoff* regression tests): the
-  // pusher increments queued_, enqueues, then toggles sleep_mutex_ before
-  // notifying. A worker sleeps only after re-checking queued_ *under*
-  // sleep_mutex_ (WorkerLoop's wait predicate), so for any interleaving
-  // either (a) the worker takes sleep_mutex_ after the pusher's toggle and
-  // the predicate sees queued_ > 0 — no sleep — or (b) the worker is
-  // already parked inside wait() when the pusher toggles, and notify_one
-  // reaches it. The toggle is what closes the classic atomic-then-sleep
-  // lost-wakeup window between a failed TryPop and the wait() call; do not
-  // "optimize away" the empty lock_guard below.
+  // pusher increments the occupancy counter, enqueues, then toggles
+  // sleep_mutex_ before notifying. A worker sleeps only after re-checking
+  // the counters *under* sleep_mutex_ (WorkerLoop's wait predicate), so for
+  // any interleaving either (a) the worker takes sleep_mutex_ after the
+  // pusher's toggle and the predicate sees occupancy > 0 — no sleep — or
+  // (b) the worker is already parked inside wait() when the pusher toggles,
+  // and the notify reaches it. The toggle is what closes the classic
+  // atomic-then-sleep lost-wakeup window between a failed TryPop and the
+  // wait() call; do not "optimize away" the empty lock_guard below.
   //
   // Publish the count before the task so queued_ never underflows when a
   // worker pops between the two writes; a transiently high count only costs
   // a spurious wakeup.
+  Task* owned = new Task(std::move(task));
   queued_.fetch_add(1, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(queues_[index]->mutex);
-    queues_[index]->tasks.push_back(std::move(task));
+  if (tls_pool == this) {
+    // Worker push: lock-free onto the caller's own deque (it is the only
+    // thread that ever pushes there — the Chase-Lev ownership contract).
+    deques_[tls_worker_index]->PushBottom(owned);
+  } else {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    injector_.push_back(owned);
   }
   {
     std::lock_guard<std::mutex> lock(sleep_mutex_);
@@ -116,26 +165,74 @@ void ThreadPool::PushTaskTo(size_t index, std::function<void()> task) {
   work_available_.notify_one();
 }
 
-std::function<void()> ThreadPool::TryPop(size_t preferred) {
-  const size_t num_queues = queues_.size();
-  for (size_t offset = 0; offset < num_queues; ++offset) {
-    WorkerQueue& queue = *queues_[(preferred + offset) % num_queues];
-    std::lock_guard<std::mutex> lock(queue.mutex);
-    if (queue.tasks.empty()) {
-      continue;
+void ThreadPool::PushTaskTo(size_t index, std::function<void()> task) {
+  Task* owned = new Task(std::move(task));
+  if (tls_pool == this && tls_worker_index == index) {
+    // Same audit discipline as PushTask.
+    queued_.fetch_add(1, std::memory_order_release);
+    deques_[index]->PushBottom(owned);
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
     }
-    std::function<void()> task;
-    if (offset == 0) {
-      // Own deque: pop the oldest for FIFO fairness across callers.
-      task = std::move(queue.tasks.front());
-      queue.tasks.pop_front();
-    } else {
-      // Steal from the other end to reduce contention with the owner.
-      task = std::move(queue.tasks.back());
-      queue.tasks.pop_back();
-    }
+    work_available_.notify_one();
+    return;
+  }
+  // Cross-thread targeted push: the inbox mutex makes it safe from any
+  // thread, and inbox occupancy is tracked per worker (not in queued_) so
+  // peers that can never take this task don't wake and spin on it.
+  Inbox& inbox = *inboxes_[index];
+  inbox.size.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.tasks.push_back(owned);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  // notify_one could wake a worker whose predicate is false (only worker
+  // `index` observes this inbox), and it would swallow the signal. Targeted
+  // pushes are rare placement work, so wake everyone and let the predicate
+  // sort it out.
+  work_available_.notify_all();
+}
+
+ThreadPool::Task* ThreadPool::TryPop(size_t preferred) {
+  // 1. Own deque, LIFO — newest first keeps nested ParallelFor chunks hot
+  // in the cache that just produced them.
+  if (Task* task = deques_[preferred]->PopBottom()) {
     queued_.fetch_sub(1, std::memory_order_acq_rel);
     return task;
+  }
+  // 2. Own inbox: targeted placement work.
+  Inbox& inbox = *inboxes_[preferred];
+  if (inbox.size.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    if (!inbox.tasks.empty()) {
+      Task* task = inbox.tasks.front();
+      inbox.tasks.pop_front();
+      inbox.size.fetch_sub(1, std::memory_order_acq_rel);
+      return task;
+    }
+  }
+  // 3. Injector: external submissions, FIFO across callers.
+  {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    if (!injector_.empty()) {
+      Task* task = injector_.front();
+      injector_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return task;
+    }
+  }
+  // 4. Steal FIFO from each peer's deque. A lost CAS race reads as empty —
+  // the winner decremented queued_, so the caller's re-check either finds
+  // more work or sleeps on an accurate counter.
+  const size_t num_queues = deques_.size();
+  for (size_t offset = 1; offset < num_queues; ++offset) {
+    if (Task* task = deques_[(preferred + offset) % num_queues]->Steal()) {
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return task;
+    }
   }
   return nullptr;
 }
@@ -144,19 +241,26 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_on_pool_thread = true;
   tls_pool = this;
   tls_worker_index = worker_index;
+  if (pin_affinity_) {
+    PinCurrentThreadToCore(worker_index);
+  }
+  Inbox& inbox = *inboxes_[worker_index];
   for (;;) {
-    std::function<void()> task = TryPop(worker_index);
-    if (task) {
-      task();
+    Task* task = TryPop(worker_index);
+    if (task != nullptr) {
+      (*task)();
+      delete task;
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);
-    work_available_.wait(lock, [this] {
+    work_available_.wait(lock, [this, &inbox] {
       return shutting_down_.load(std::memory_order_acquire) ||
-             queued_.load(std::memory_order_acquire) > 0;
+             queued_.load(std::memory_order_acquire) > 0 ||
+             inbox.size.load(std::memory_order_acquire) > 0;
     });
     if (shutting_down_.load(std::memory_order_acquire) &&
-        queued_.load(std::memory_order_acquire) == 0) {
+        queued_.load(std::memory_order_acquire) == 0 &&
+        inbox.size.load(std::memory_order_acquire) == 0) {
       return;  // shutting down and drained
     }
   }
@@ -167,6 +271,22 @@ void ThreadPool::Schedule(std::function<void()> task) {
       << "Schedule() after shutdown";
   scheduled_in_flight_.fetch_add(1, std::memory_order_acq_rel);
   PushTask([this, task = std::move(task)] {
+    task();
+    if (scheduled_in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      scheduled_done_.notify_all();
+    }
+  });
+}
+
+void ThreadPool::ScheduleOn(size_t index, std::function<void()> task) {
+  FEDRA_CHECK(!shutting_down_.load(std::memory_order_acquire))
+      << "ScheduleOn() after shutdown";
+  FEDRA_CHECK(index < threads_.size())
+      << "worker index" << index << "out of range for pool of"
+      << threads_.size();
+  scheduled_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  PushTaskTo(index, [this, task = std::move(task)] {
     task();
     if (scheduled_in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(wait_mutex_);
@@ -221,12 +341,12 @@ void ThreadPool::ParallelForRange(
   for (size_t t = 0; t < helpers; ++t) {
     if (nested) {
       // Nested call from a pool worker: park the helper runners on this
-      // worker's own deque. Idle peers steal them (nested loops really
-      // parallelize); if nobody does, the caller drains every chunk itself
-      // below and the runners become no-ops. Deadlock-free: the caller only
-      // ever waits on chunks that are *running* on other workers, never on
-      // queued ones — RunChunks claims all remaining chunks before the
-      // wait starts.
+      // worker's own deque (lock-free owner push). Idle peers steal them
+      // (nested loops really parallelize); if nobody does, the caller
+      // drains every chunk itself below and the runners become no-ops.
+      // Deadlock-free: the caller only ever waits on chunks that are
+      // *running* on other workers, never on queued ones — RunChunks
+      // claims all remaining chunks before the wait starts.
       PushTaskTo(tls_worker_index, [state] { state->RunChunks(); });
     } else {
       PushTask([state] { state->RunChunks(); });

@@ -7,14 +7,23 @@
 // safe: a call made from inside a pool worker runs inline instead of
 // deadlocking on its completion token.
 //
-// Scheduling model: each worker owns a deque; tasks are pushed round-robin
-// and a worker whose own deque is empty steals from the other end of its
-// peers' deques. Every ParallelFor/ParallelForRange call carries its own
-// heap-owned completion token, so two independent callers on different
-// threads only ever wait for their *own* chunks — never each other's (the
-// old single pool-wide in-flight counter serialized exactly that case). The
+// Scheduling model: each worker owns a lock-free Chase-Lev deque
+// (util/chase_lev_deque.h) — the owner pushes and pops LIFO at the bottom,
+// idle peers steal FIFO from the top. Pushes from threads outside the pool
+// land in a mutex-guarded injector queue that any worker drains; targeted
+// tasks (ScheduleOn) land in the target worker's private inbox, which is
+// never stolen — that is what makes first-touch page placement addressable
+// (core/worker_arena.h). Every ParallelFor/ParallelForRange call carries its
+// own heap-owned completion token, so two independent callers on different
+// threads only ever wait for their *own* chunks — never each other's. The
 // calling thread participates in draining its own chunks, so a ParallelFor
 // makes progress even when every worker is busy with someone else's work.
+//
+// Affinity: with FEDRA_AFFINITY set (anything but "0"/"off"), worker i pins
+// itself to core i modulo the online core count at startup (Linux only;
+// elsewhere the knob is accepted and ignored). Stable worker→core slots are
+// what turn first-touch placement into actual locality: the worker that
+// faulted a slab's pages is the worker that keeps computing on them.
 
 #ifndef FEDRA_UTIL_THREAD_POOL_H_
 #define FEDRA_UTIL_THREAD_POOL_H_
@@ -28,6 +37,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/chase_lev_deque.h"
 
 namespace fedra {
 
@@ -50,18 +61,25 @@ class ThreadPool {
   /// Enqueues a task; it runs on some pool thread.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until all tasks passed to Schedule() have completed. ParallelFor
-  /// chunks are tracked by their own per-call token and never count here.
+  /// Enqueues a task that runs on worker `index` specifically — it goes to
+  /// that worker's inbox and is never stolen. For placement-sensitive work
+  /// (first-touch page zeroing, per-worker cache warmup). Tracked by Wait()
+  /// exactly like Schedule().
+  void ScheduleOn(size_t index, std::function<void()> task);
+
+  /// Blocks until all tasks passed to Schedule()/ScheduleOn() have
+  /// completed. ParallelFor chunks are tracked by their own per-call token
+  /// and never count here.
   void Wait();
 
   /// Runs body(i) for i in [0, n), distributing across the pool and blocking
   /// until done. Indices are handed out `grain` at a time so fine-grained
   /// loops don't pay one queue round-trip per index. Runs inline when the
   /// pool has one thread or n <= grain. A nested call from one of this
-  /// pool's own workers pushes its helper runners onto that worker's deque —
-  /// idle peers steal them, so nested loops (a GEMM inside a parallel
-  /// worker step) still fan out; the caller drains all remaining chunks
-  /// itself, so an all-busy pool degrades to the old inline behavior.
+  /// pool's own workers pushes its helper runners onto that worker's own
+  /// deque — idle peers steal them, so nested loops (a GEMM inside a
+  /// parallel worker step) still fan out; the caller drains all remaining
+  /// chunks itself, so an all-busy pool degrades to the old inline behavior.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body,
                    size_t grain = 1);
 
@@ -78,28 +96,43 @@ class ThreadPool {
                      const std::function<void(size_t, size_t)>& body);
 
  private:
-  // One deque per worker. A plain mutex-guarded deque is enough here: tasks
-  // are coarse (a ParallelFor chunk runner or a Schedule()d closure), so the
-  // lock is held for nanoseconds between milliseconds of work.
-  struct WorkerQueue {
+  // Tasks are heap-allocated so the Chase-Lev cells hold fixed-size atomic
+  // pointers; whoever dequeues a task runs and deletes it.
+  using Task = std::function<void()>;
+
+  // Targeted tasks for one worker. A plain mutex is fine here: the inbox
+  // carries rare, coarse placement work, not the steady-state task stream.
+  // `size` is the lock-free occupancy hint the sleep predicate and the pop
+  // fast path read.
+  struct Inbox {
     std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task*> tasks;
+    std::atomic<size_t> size{0};
   };
 
   void WorkerLoop(size_t worker_index);
-  // Pops from the front of the worker's own deque, else steals from the back
-  // of a peer's. Returns an empty function when every deque is empty.
-  std::function<void()> TryPop(size_t preferred);
-  // Round-robin push + wakeup; the backbone of Schedule and ParallelFor.
+  // Pops from the bottom of the worker's own deque, then its inbox, then
+  // the injector, then steals from the top of each peer's deque. Returns
+  // nullptr when everything came up empty (a lost steal race also ends the
+  // sweep empty-handed; the caller re-checks the occupancy counters).
+  Task* TryPop(size_t preferred);
+  // Stealable push: the calling worker's own deque when called from a pool
+  // thread, else the injector. The backbone of Schedule and ParallelFor.
   void PushTask(std::function<void()> task);
-  // Push to one specific worker's deque (nested ParallelFor feeds the
-  // calling worker's own deque).
+  // Push to one specific worker: its own deque when the caller *is* that
+  // worker (nested ParallelFor), else its inbox.
   void PushTaskTo(size_t index, std::function<void()> task);
 
-  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::unique_ptr<ChaseLevDeque<Task>>> deques_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::vector<std::thread> threads_;
-  std::atomic<size_t> queued_{0};       // tasks sitting in some deque
-  std::atomic<size_t> push_cursor_{0};  // round-robin target for PushTask
+  bool pin_affinity_ = false;
+  std::mutex injector_mutex_;
+  std::deque<Task*> injector_;
+  // Stealable tasks in flight: deques + injector. Inbox occupancy is
+  // per-worker (Inbox::size) so idle peers don't spin on work only one
+  // worker may take.
+  std::atomic<size_t> queued_{0};
   std::mutex sleep_mutex_;
   std::condition_variable work_available_;
   std::atomic<size_t> scheduled_in_flight_{0};  // Schedule()d tasks only

@@ -26,9 +26,20 @@
 #include "data/synth.h"
 #include "nn/zoo.h"
 #include "sim/topology_tree.h"
+#include "tensor/simd_dispatch.h"
 
 namespace fedra {
 namespace {
+
+// The GOLDEN arrays are bit-exact for one accumulation pattern. Pin the
+// generic SIMD level so they hold on every machine regardless of which
+// intrinsics tier cpuid would pick (or what FEDRA_SIMD says): kGeneric is
+// always compiled in, and kScalar/kGeneric share the canonical portable
+// kernels bit-for-bit (docs/determinism.md, "ISA levels").
+[[maybe_unused]] const bool kSimdLevelPinned = [] {
+  simd::SetLevel(simd::Level::kGeneric);
+  return true;
+}();
 
 struct GoldenPoint {
   size_t step;

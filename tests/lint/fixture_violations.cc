@@ -10,6 +10,7 @@
 //   unordered-iteration x1
 //   raw-thread          x2  (std::thread, std::async)
 //   variable-chunk      x1
+//   raw-cpu-dispatch    x2  (__builtin_cpu_supports, #ifdef __AVX2__)
 //   empty-waiver        x1
 
 #include <chrono>
@@ -78,6 +79,17 @@ void VariableChunkReduce(Pool& pool, const std::vector<float>& xs) {
   pool.ParallelForRange(xs.size(), xs.size() / pool.num_threads(),
                         [](unsigned long, unsigned long) {});
 }
+
+// Ad-hoc ISA branching: which accumulation pattern runs now depends on the
+// host CPU of this call site, invisible to the dispatch parity suite. The
+// blessed path is the simd::Kernels() table in src/tensor/simd_dispatch.*.
+bool HostPicksTheKernel() { return __builtin_cpu_supports("avx2"); }
+
+#ifdef __AVX2__
+inline constexpr int kIsaTunedBlock = 16;
+#else
+inline constexpr int kIsaTunedBlock = 4;
+#endif
 
 // A waiver that names no reason is rejected outright:
 // fedra-nondeterminism-ok:
