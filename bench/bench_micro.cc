@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/client_store.h"
+#include "core/compression.h"
 #include "core/variance_monitor.h"
 #include "core/worker_arena.h"
 #include "nn/loss.h"
@@ -993,6 +994,116 @@ int RunKernelsSweep(const std::string& path) {
   return 0;
 }
 
+/// Writes BENCH_compression.json: the WireCodec zoo over a 64K-float sync
+/// payload. Per codec: wire bytes and the uplink reduction factor vs the
+/// raw float32 payload, the in-place encode cost, the dense vs
+/// mask-restricted (sparse) SketchFDA state cost — the monitoring side of
+/// the "AMS sketch accumulates the compressed drift" contract — and the
+/// error-feedback residual energy after 32 rounds of re-sending the same
+/// delta (bounded backlog, not linear growth).
+int RunCompressionSweep(const std::string& path) {
+  const size_t dim = 1 << 16;
+  struct Codec {
+    const char* label;
+    CompressionConfig config;
+    bool layered;
+  };
+  const Codec codecs[] = {
+      {"none", CompressionConfig::None(), false},
+      {"q8", CompressionConfig::Quantize8(), false},
+      {"q4", CompressionConfig::Quantize4(), false},
+      {"top5%", CompressionConfig::TopK(0.05), false},
+      {"top5%+q8", CompressionConfig::TopKQuantize(0.05, 8), false},
+      {"top5%+q4", CompressionConfig::TopKQuantize(0.05, 4), false},
+      {"ltop5%+q8",
+       CompressionConfig::Stages({CodecStageConfig::LayerTopK(0.05),
+                                  CodecStageConfig::Quantize(8)}),
+       true},
+  };
+  // Synthetic 16-layer model: 4096-float blocks, the layer-wise mask's unit.
+  std::vector<size_t> layer_offsets;
+  for (size_t offset = 0; offset < dim; offset += 4096) {
+    layer_offsets.push_back(offset);
+  }
+  const auto drift = RandomVec(dim, 95);
+  SketchVarianceMonitor sketch_monitor(dim, 5, 250, 0xa5a5a5a5ULL);
+  std::vector<float> state(sketch_monitor.StateSize());
+  std::string json = "[\n";
+  bool first = true;
+  for (const Codec& codec : codecs) {
+    SyncCompressor compressor(codec.config, dim, 1);
+    if (codec.layered) {
+      compressor.SetLayerOffsets(layer_offsets, dim);
+    }
+    const size_t raw_bytes = dim * sizeof(float);
+    const size_t wire_bytes = compressor.WireBytes(dim);
+    std::vector<float> payload(dim);
+    const double encode_us =
+        codec.config.enabled()
+            ? SecondsPerCall([&] {
+                std::memcpy(payload.data(), drift.data(),
+                            dim * sizeof(float));
+                compressor.CompressInPlace(0, payload.data(), dim);
+              }) * 1e6
+            : 0.0;
+    const double dense_state_us = SecondsPerCall([&] {
+      sketch_monitor.ComputeLocalState(drift.data(), state.data());
+    }) * 1e6;
+    // Masked monitoring splits into selection (MaskPreview, O(dim)
+    // nth_element — shared with the codec's own mask) and the sketch
+    // accumulation proper, which shrinks to O(kept x rows).
+    double mask_preview_us = 0.0;
+    double sparse_state_us = dense_state_us;
+    if (compressor.has_mask()) {
+      mask_preview_us = SecondsPerCall([&] {
+        benchmark::DoNotOptimize(compressor.MaskPreview(drift.data(), dim));
+      }) * 1e6;
+      const size_t kept = compressor.MaskPreview(drift.data(), dim);
+      sparse_state_us = SecondsPerCall([&] {
+        sketch_monitor.ComputeLocalStateSparse(
+            drift.data(), compressor.kept_indices().data(), kept,
+            state.data());
+      }) * 1e6;
+    }
+    compressor.Reset();
+    for (int round = 0; round < 32; ++round) {
+      std::memcpy(payload.data(), drift.data(), dim * sizeof(float));
+      compressor.CompressInPlace(0, payload.data(), dim);
+    }
+    const double ef_energy =
+        compressor.has_residuals() ? compressor.ResidualEnergy(0) : 0.0;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s  {\"codec\": \"%s\", \"dim\": %zu, \"raw_bytes\": %zu,\n"
+        "   \"wire_bytes\": %zu, \"reduction_x\": %.2f,\n"
+        "   \"encode_us\": %.3f, \"dense_state_us\": %.3f,\n"
+        "   \"sparse_state_us\": %.3f, \"ef_energy_after_32\": %.6f}",
+        first ? "" : ",\n", codec.config.ToString().c_str(), dim, raw_bytes,
+        wire_bytes,
+        static_cast<double>(raw_bytes) / static_cast<double>(wire_bytes),
+        encode_us, dense_state_us, sparse_state_us, ef_energy);
+    json += buf;
+    first = false;
+    std::printf(
+        "codec=%-10s wire=%zu reduction=%.2fx encode_us=%.1f "
+        "state_us dense=%.1f sparse=%.1f\n",
+        codec.label, wire_bytes,
+        static_cast<double>(raw_bytes) / static_cast<double>(wire_bytes),
+        encode_us, dense_state_us, sparse_state_us);
+  }
+  json += "\n]\n";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 /// Writes BENCH_scheduler.json: Chase-Lev pool throughput at 1, 4, and 16
 /// threads. Two workloads per size: a chunked ParallelForRange sweep over a
 /// 4M-float buffer (elements/s — fan-out, steal, and completion-token cost
@@ -1110,6 +1221,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--scheduler_json=", 17) == 0) {
       // Pool throughput sweep: writes BENCH_scheduler.json and exits.
       return fedra::RunSchedulerSweep(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--compression_json=", 19) == 0) {
+      // WireCodec zoo sweep: writes BENCH_compression.json and exits.
+      return fedra::RunCompressionSweep(argv[i] + 19);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       // Sizes the lazily created global pool; must land before any kernel
       // touches it, which main() guarantees.

@@ -1,0 +1,149 @@
+// Compressed fleet FDA: the WireCodec stage pipeline at population scale.
+// The same churned 100,000-client fleet as fleet_fda — 64 resident cohort
+// slots, availability-weighted rotation, Markov churn — but every model
+// synchronization ships through a top-k -> 8-bit-quantize codec with
+// per-client error feedback. Departing clients page their EF residual into
+// the ClientStateStore next to their drift; arrivals page theirs back in,
+// so compression memory survives rotation. The headline, CHECKed below:
+// the codec cuts uplink model-sync bytes by >= 4x per synchronization while
+// the fleet still reaches the same accuracy target as the uncompressed run.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/compressed_fleet_fda
+//
+// FEDRA_FLEET_SMOKE=1 shrinks the run for CI.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/algorithms.h"
+#include "core/compression.h"
+#include "core/trainer.h"
+#include "data/synth.h"
+#include "nn/zoo.h"
+#include "util/string_util.h"
+
+using namespace fedra;
+
+namespace {
+
+/// Uplink model-sync bytes: the sync collectives plus retries, minus the
+/// downlink model downloads (rotation check-ins, crash catch-ups) that a
+/// sync compressor does not touch.
+double UplinkSyncBytes(const TrainResult& result) {
+  return static_cast<double>(result.comm.bytes_model_sync -
+                             result.comm.bytes_model_downlink);
+}
+
+TrainResult RunOne(const char* tag, ModelFactory factory,
+                   const SynthImageData& data, const TrainerConfig& config,
+                   SyncPolicy* policy) {
+  DistributedTrainer trainer(factory, data.train, data.test, config);
+  auto result = trainer.Run(policy);
+  FEDRA_CHECK_OK(result.status());
+  const double per_sync =
+      result->total_syncs > 0
+          ? UplinkSyncBytes(*result) /
+                static_cast<double>(result->total_syncs)
+          : 0.0;
+  std::printf(
+      "%-22s acc %5.1f%%  syncs %4llu  uplink-bytes/sync %s  comm %s\n",
+      tag, 100.0 * result->final_test_accuracy,
+      static_cast<unsigned long long>(result->total_syncs),
+      HumanBytes(per_sync).c_str(),
+      HumanBytes(static_cast<double>(result->comm.bytes_total)).c_str());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("FEDRA_FLEET_SMOKE") != nullptr;
+
+  SynthImageConfig data_config = MnistLikeConfig();
+  data_config.num_train = smoke ? 512 : 2048;
+  data_config.num_test = smoke ? 256 : 512;
+  data_config.image_size = 16;
+  auto data = GenerateSynthImages(data_config);
+  FEDRA_CHECK_OK(data.status());
+
+  ModelFactory factory = [] { return zoo::Mlp(16 * 16, {16}, 10); };
+
+  TrainerConfig config;
+  config.num_workers = 64;                     // C resident slots
+  config.population = smoke ? 10000 : 100000;  // N clients
+  config.cohort_size = 64;
+  config.cohort_steps = 20;
+  config.cohort_schedule = CohortScheduleKind::kAvailability;
+  config.batch_size = 8;
+  config.local_optimizer = OptimizerConfig::Sgd(0.05f);
+  config.partition = PartitionConfig::SortedFraction(0.5);
+  config.network = NetworkModel::Federated();
+  config.max_steps = smoke ? 60 : 300;
+  config.eval_every_steps = smoke ? 30 : 50;
+  config.eval_subset = 256;
+  config.seed = 23;
+  // 20% of the population down at any moment; dropped uploads leave the
+  // client's error-feedback residual untouched.
+  config.faults = FaultConfig::Churn(10.0, 2.5);
+
+  const double theta = 0.15;
+  const size_t dim = factory()->num_params();
+  std::printf(
+      "population N = %zu, cohort C = %d, d = %zu: raw sync payload %s,\n"
+      "top-5%% + q8 wire payload %s per client.\n\n",
+      config.population, config.num_workers, dim,
+      HumanBytes(static_cast<double>(dim * sizeof(float))).c_str(),
+      HumanBytes(static_cast<double>(
+                     SyncCompressor(CompressionConfig::TopKQuantize(0.05, 8),
+                                    dim, 1)
+                         .WireBytes(dim)))
+          .c_str());
+
+  // 1. The uncompressed baseline fleet.
+  FEDRA_CHECK_OK(config.Validate());
+  auto plain_policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(theta), dim);
+  FEDRA_CHECK_OK(plain_policy.status());
+  const TrainResult plain =
+      RunOne("Fleet FDA (raw)", factory, *data, config, plain_policy->get());
+
+  // 2. The same fleet with the flagship codec stack: top-5% mask, 8-bit
+  //    quantization, per-client error feedback paged through the store.
+  config.sync_compression = CompressionConfig::TopKQuantize(0.05, 8);
+  FEDRA_CHECK_OK(config.Validate());
+  auto coded_policy = MakeSyncPolicy(AlgorithmConfig::LinearFda(theta), dim);
+  FEDRA_CHECK_OK(coded_policy.status());
+  const TrainResult coded = RunOne("Fleet FDA (top5%+q8)", factory, *data,
+                                   config, coded_policy->get());
+
+  // The headline, enforced:
+  // ...the compressed fleet reaches the same accuracy target as the raw
+  // one (the CI smoke run stops at a fifth of the steps, lower bar)...
+  const double target = smoke ? 0.35 : 0.55;
+  FEDRA_CHECK_GT(plain.final_test_accuracy, target);
+  FEDRA_CHECK_GT(coded.final_test_accuracy, target)
+      << "compressed fleet FDA missed the accuracy target";
+  // ...both schedules actually synchronized and rotated clients through
+  // the paged store...
+  FEDRA_CHECK_GT(plain.total_syncs, 0u);
+  FEDRA_CHECK_GT(coded.total_syncs, 0u);
+  FEDRA_CHECK_GT(coded.comm.check_in_syncs, 0u);
+  // ...and each compressed synchronization moves >= 4x fewer uplink bytes.
+  const double plain_per_sync =
+      UplinkSyncBytes(plain) / static_cast<double>(plain.total_syncs);
+  const double coded_per_sync =
+      UplinkSyncBytes(coded) / static_cast<double>(coded.total_syncs);
+  FEDRA_CHECK_GT(plain_per_sync, 4.0 * coded_per_sync)
+      << "codec pipeline delivered less than a 4x uplink reduction";
+
+  std::printf(
+      "\nThe codec cut uplink model-sync traffic %.1fx per synchronization\n"
+      "(%s -> %s) at matched accuracy (%.1f%% vs %.1f%%), with EF residuals\n"
+      "riding the client pages through %llu cohort check-ins.\n",
+      plain_per_sync / coded_per_sync, HumanBytes(plain_per_sync).c_str(),
+      HumanBytes(coded_per_sync).c_str(), 100.0 * plain.final_test_accuracy,
+      100.0 * coded.final_test_accuracy,
+      static_cast<unsigned long long>(coded.comm.check_in_syncs));
+  return 0;
+}

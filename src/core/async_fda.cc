@@ -36,6 +36,13 @@ AsyncFdaTrainer::AsyncFdaTrainer(ModelFactory factory, Dataset train,
 
 StatusOr<AsyncTrainResult> AsyncFdaTrainer::Run() {
   FEDRA_RETURN_IF_ERROR(config_.Validate());
+  if (config_.sync_compression.enabled()) {
+    // The async gossip exchange has no round structure for error-feedback
+    // residuals to anchor to; the one combination the codec pipeline does
+    // not cover yet is rejected as a Status, never a runtime abort.
+    return Status::InvalidArgument(
+        "AsyncFdaTrainer does not support sync_compression yet");
+  }
   auto monitor_or = MakeVarianceMonitor(async_.monitor, dim_);
   if (!monitor_or.ok()) {
     return monitor_or.status();

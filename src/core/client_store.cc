@@ -80,6 +80,19 @@ void ClientStateStore::SetStateSize(size_t state_size) {
   blend_scratch_.assign(state_size_, 0.0f);
 }
 
+void ClientStateStore::SetResidualSize(size_t residual_size) {
+  if (residual_size_set_) {
+    FEDRA_CHECK_EQ(residual_size, residual_size_)
+        << "client store residual size cannot change after it is set";
+    return;
+  }
+  FEDRA_CHECK(slabs_.empty())
+      << "client store residual size must be set before any page is "
+         "allocated";
+  residual_size_ = residual_size;
+  residual_size_set_ = true;
+}
+
 float* ClientStateStore::PagePtr(uint32_t page) {
   const size_t slab = page / config_.pages_per_slab;
   const size_t row = page % config_.pages_per_slab;
@@ -138,11 +151,9 @@ void ClientStateStore::AdoptInitialResident(uint32_t client) {
   (void)WarmEntryFor(client, &first_touch);
 }
 
-ClientStateStore::CheckInResult ClientStateStore::CheckIn(uint32_t client,
-                                                          const float* anchor,
-                                                          float* params,
-                                                          float* opt_state,
-                                                          float* state_out) {
+ClientStateStore::CheckInResult ClientStateStore::CheckIn(
+    uint32_t client, const float* anchor, float* params, float* opt_state,
+    float* state_out, float* residual_out) {
   bool first_touch = false;
   Warm& warm = WarmEntryFor(client, &first_touch);
   CheckInResult result;
@@ -173,6 +184,10 @@ ClientStateStore::CheckInResult ClientStateStore::CheckIn(uint32_t client,
     if (state_out != nullptr && state_size_ > 0) {
       vec::Copy(page + dim + opt_floats, state_out, state_size_);
     }
+    if (residual_out != nullptr && residual_size_ > 0) {
+      vec::Copy(page + dim + opt_floats + state_size_, residual_out,
+                residual_size_);
+    }
     FreePage(warm.page);
     warm.page = kNoPage;
     result.restored = true;
@@ -186,6 +201,9 @@ ClientStateStore::CheckInResult ClientStateStore::CheckIn(uint32_t client,
     if (state_out != nullptr && state_size_ > 0) {
       vec::Fill(state_out, state_size_, 0.0f);
     }
+    if (residual_out != nullptr && residual_size_ > 0) {
+      vec::Fill(residual_out, residual_size_, 0.0f);
+    }
   }
   return result;
 }
@@ -195,7 +213,8 @@ void ClientStateStore::CheckOut(uint32_t client, const float* params,
                                 const Rng& sampler_rng, const Rng& worker_rng,
                                 uint64_t optimizer_steps,
                                 uint64_t steps_this_residency,
-                                VarianceMonitor* monitor) {
+                                VarianceMonitor* monitor,
+                                const float* residual) {
   auto it = warm_.find(client);
   FEDRA_CHECK(it != warm_.end())
       << "check-out of a client that was never checked in: " << client;
@@ -236,6 +255,14 @@ void ClientStateStore::CheckOut(uint32_t client, const float* params,
       warm.state_in_sum = true;
     } else {
       vec::Fill(state, state_size_, 0.0f);
+    }
+  }
+  if (residual_size_ > 0) {
+    float* stored = page + dim + opt_floats + state_size_;
+    if (residual != nullptr) {
+      vec::Copy(residual, stored, residual_size_);
+    } else {
+      vec::Fill(stored, residual_size_, 0.0f);
     }
   }
 }

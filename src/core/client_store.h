@@ -97,6 +97,13 @@ class ClientStateStore {
   void SetStateSize(size_t state_size);
   size_t state_size() const { return state_size_; }
 
+  /// Sizes the error-feedback residual segment of every page (dim floats
+  /// when compressed sync with error feedback is on, else 0). Same rules as
+  /// SetStateSize: set before the first page is allocated, idempotent for
+  /// the same value.
+  void SetResidualSize(size_t residual_size);
+  size_t residual_size() const { return residual_size_; }
+
   /// Registers a client that BuildWorkerCohort seeded directly into an
   /// arena row (the initial cohort) without the check-in float roundtrip:
   /// creates the warm entry so a later CheckOut finds it. No page, no
@@ -110,8 +117,12 @@ class ClientStateStore {
   /// state into `state_out` (optional; zeroed when none), releases the
   /// client's page back to the free list, and removes its contribution
   /// from the off-cohort state sum. Returns the warm scalars.
+  /// `residual_out` (optional, residual_size() floats) receives the stored
+  /// error-feedback residual — zeroed when none is stored, so a fresh
+  /// client starts with empty compression memory.
   CheckInResult CheckIn(uint32_t client, const float* anchor, float* params,
-                        float* opt_state, float* state_out = nullptr);
+                        float* opt_state, float* state_out = nullptr,
+                        float* residual_out = nullptr);
 
   /// Checks a departing occupant out of its row. `steps_this_residency` is
   /// the number of local steps the client ran since check-in; when it is 0
@@ -121,10 +132,13 @@ class ClientStateStore {
   /// a monitor is given and the state segment is sized — the client's
   /// local state is computed from the stored drift and folded into the
   /// off-cohort state sum (the population-scale variance correction).
+  /// `residual` (optional, residual_size() floats) is the departing
+  /// client's error-feedback residual; null stores zeros.
   void CheckOut(uint32_t client, const float* params, const float* anchor,
                 const float* opt_state, const Rng& sampler_rng,
                 const Rng& worker_rng, uint64_t optimizer_steps,
-                uint64_t steps_this_residency, VarianceMonitor* monitor);
+                uint64_t steps_this_residency, VarianceMonitor* monitor,
+                const float* residual = nullptr);
 
   /// Population-corrected FDA variance estimate. `cohort_mean_state` is
   /// the cohort's AllReduce-averaged state over `active_count`
@@ -195,8 +209,10 @@ class ClientStateStore {
     bool state_in_sum = false;
   };
 
+  // Page layout: [drift | optimizer vectors | monitor state | EF residual].
   size_t row_floats() const {
-    return config_.dim * (1 + config_.opt_state_slots) + state_size_;
+    return config_.dim * (1 + config_.opt_state_slots) + state_size_ +
+           residual_size_;
   }
   float* PagePtr(uint32_t page);
   const float* PagePtr(uint32_t page) const;
@@ -208,6 +224,8 @@ class ClientStateStore {
   const TopologyTree* tree_ = nullptr;
   size_t state_size_ = 0;
   bool state_size_set_ = false;
+  size_t residual_size_ = 0;
+  bool residual_size_set_ = false;
 
   // Touched clients only — ordered so every iteration is deterministic.
   std::map<uint32_t, Warm> warm_;

@@ -8,6 +8,58 @@
 
 namespace fedra {
 
+CodecStageConfig CodecStageConfig::TopK(double fraction) {
+  CodecStageConfig stage;
+  stage.kind = CodecStageKind::kTopK;
+  stage.fraction = fraction;
+  return stage;
+}
+
+CodecStageConfig CodecStageConfig::LayerTopK(double fraction) {
+  CodecStageConfig stage;
+  stage.kind = CodecStageKind::kLayerTopK;
+  stage.fraction = fraction;
+  return stage;
+}
+
+CodecStageConfig CodecStageConfig::Quantize(int bits) {
+  CodecStageConfig stage;
+  stage.kind = CodecStageKind::kQuantize;
+  stage.bits = bits;
+  return stage;
+}
+
+Status CodecStageConfig::Validate() const {
+  switch (kind) {
+    case CodecStageKind::kTopK:
+    case CodecStageKind::kLayerTopK:
+      if (fraction <= 0.0 || fraction > 1.0) {
+        return Status::InvalidArgument(
+            "codec mask stage fraction must be in (0, 1]");
+      }
+      return Status::Ok();
+    case CodecStageKind::kQuantize:
+      if (bits < 2 || bits > 16) {
+        return Status::InvalidArgument(
+            "codec quantize stage bits must be in [2, 16]");
+      }
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown codec stage kind");
+}
+
+std::string CodecStageConfig::ToString() const {
+  switch (kind) {
+    case CodecStageKind::kTopK:
+      return StrFormat("top%.3g%%", 100.0 * fraction);
+    case CodecStageKind::kLayerTopK:
+      return StrFormat("ltop%.3g%%", 100.0 * fraction);
+    case CodecStageKind::kQuantize:
+      return StrFormat("q%d", bits);
+  }
+  return "?";
+}
+
 CompressionConfig CompressionConfig::None() { return CompressionConfig(); }
 
 CompressionConfig CompressionConfig::Quantize8(bool error_feedback) {
@@ -33,15 +85,70 @@ CompressionConfig CompressionConfig::TopK(double fraction,
   return config;
 }
 
+CompressionConfig CompressionConfig::Stages(
+    std::vector<CodecStageConfig> stages, bool error_feedback) {
+  CompressionConfig config;
+  config.stages = std::move(stages);
+  config.error_feedback = error_feedback;
+  return config;
+}
+
+CompressionConfig CompressionConfig::TopKQuantize(double fraction, int bits,
+                                                  bool error_feedback) {
+  return Stages({CodecStageConfig::TopK(fraction),
+                 CodecStageConfig::Quantize(bits)},
+                error_feedback);
+}
+
 Status CompressionConfig::Validate() const {
+  if (kind != CompressionKind::kNone && !stages.empty()) {
+    return Status::InvalidArgument(
+        "set either the legacy compression kind or a stage pipeline, "
+        "not both");
+  }
   if (kind == CompressionKind::kTopK &&
       (top_k_fraction <= 0.0 || top_k_fraction > 1.0)) {
     return Status::InvalidArgument("top_k_fraction must be in (0, 1]");
+  }
+  int first_mask = -1;
+  int first_quantize = -1;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    Status stage_status = stages[i].Validate();
+    if (!stage_status.ok()) {
+      return stage_status;
+    }
+    if (stages[i].kind == CodecStageKind::kQuantize) {
+      if (first_quantize >= 0) {
+        return Status::InvalidArgument(
+            "codec pipeline supports at most one quantize stage");
+      }
+      first_quantize = static_cast<int>(i);
+    } else {
+      if (first_mask >= 0) {
+        return Status::InvalidArgument(
+            "codec pipeline supports at most one mask stage");
+      }
+      first_mask = static_cast<int>(i);
+    }
+  }
+  if (first_mask >= 0 && first_quantize >= 0 && first_quantize < first_mask) {
+    return Status::InvalidArgument(
+        "codec mask stage must precede the quantize stage");
   }
   return Status::Ok();
 }
 
 std::string CompressionConfig::ToString() const {
+  if (!stages.empty()) {
+    std::string out;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (i > 0) {
+        out += "+";
+      }
+      out += stages[i].ToString();
+    }
+    return out;
+  }
   switch (kind) {
     case CompressionKind::kNone:
       return "none";
@@ -58,6 +165,8 @@ std::string CompressionConfig::ToString() const {
 namespace {
 
 /// Symmetric uniform quantization to `levels` positive steps; in-place.
+/// Coordinates a mask stage zeroed stay exactly zero, so quantize composes
+/// with sparsification without densifying the payload.
 void QuantizeInPlace(float* data, size_t n, int bits) {
   const float levels = static_cast<float>((1 << (bits - 1)) - 1);
   float max_abs = 0.0f;
@@ -73,6 +182,11 @@ void QuantizeInPlace(float* data, size_t n, int bits) {
   }
 }
 
+size_t KeptOfRange(double fraction, size_t len) {
+  return std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(len)));
+}
+
 }  // namespace
 
 SyncCompressor::SyncCompressor(const CompressionConfig& config, size_t dim,
@@ -80,36 +194,186 @@ SyncCompressor::SyncCompressor(const CompressionConfig& config, size_t dim,
     : config_(config), dim_(dim) {
   FEDRA_CHECK_OK(config.Validate());
   FEDRA_CHECK_GT(num_workers, 0);
-  if (config_.kind != CompressionKind::kNone && config_.error_feedback) {
+  // Normalize the legacy single-codec kinds into one-stage pipelines; the
+  // wire-size model below reproduces their historical byte counts exactly.
+  stages_ = config_.stages;
+  switch (config_.kind) {
+    case CompressionKind::kNone:
+      break;
+    case CompressionKind::kQuantize8:
+      stages_ = {CodecStageConfig::Quantize(8)};
+      break;
+    case CompressionKind::kQuantize4:
+      stages_ = {CodecStageConfig::Quantize(4)};
+      break;
+    case CompressionKind::kTopK:
+      stages_ = {CodecStageConfig::TopK(config_.top_k_fraction)};
+      break;
+  }
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].kind == CodecStageKind::kQuantize) {
+      quantize_stage_ = static_cast<int>(i);
+    } else {
+      mask_stage_ = static_cast<int>(i);
+    }
+  }
+  if (!stages_.empty() && config_.error_feedback) {
     residuals_.assign(static_cast<size_t>(num_workers),
                       std::vector<float>(dim, 0.0f));
+    original_.resize(dim);
+  }
+  if (mask_stage_ >= 0) {
+    scratch_indices_.resize(dim);
+    keep_.resize(dim);
+    kept_indices_.reserve(dim);
   }
 }
 
+void SyncCompressor::SetLayerOffsets(const std::vector<size_t>& offsets,
+                                     size_t total) {
+  layer_offsets_.clear();
+  if (offsets.empty()) {
+    return;
+  }
+  FEDRA_CHECK_EQ(offsets[0], 0u);
+  FEDRA_CHECK_EQ(total, dim_);
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    FEDRA_CHECK_LT(offsets[i - 1], offsets[i]);
+  }
+  FEDRA_CHECK_LE(offsets.back(), total);
+  layer_offsets_ = offsets;
+  layer_offsets_.push_back(total);
+}
+
+size_t SyncCompressor::KeptCount(size_t n) const {
+  if (mask_stage_ < 0) {
+    return n;
+  }
+  const CodecStageConfig& mask = stages_[static_cast<size_t>(mask_stage_)];
+  if (mask.kind == CodecStageKind::kLayerTopK &&
+      layer_offsets_.size() >= 2 && n == dim_) {
+    size_t kept = 0;
+    for (size_t b = 0; b + 1 < layer_offsets_.size(); ++b) {
+      const size_t len = layer_offsets_[b + 1] - layer_offsets_[b];
+      if (len == 0) {
+        continue;
+      }
+      kept += std::min(len, KeptOfRange(mask.fraction, len));
+    }
+    return kept;
+  }
+  return std::min(n, KeptOfRange(mask.fraction, n));
+}
+
 size_t SyncCompressor::WireBytes(size_t n) const {
-  switch (config_.kind) {
-    case CompressionKind::kNone:
-      return n * sizeof(float);
-    case CompressionKind::kQuantize8:
-      return n + sizeof(float);  // 1 byte/coord + the scale
-    case CompressionKind::kQuantize4:
-      return (n + 1) / 2 + sizeof(float);
-    case CompressionKind::kTopK: {
-      const size_t kept = std::max<size_t>(
-          1, static_cast<size_t>(config_.top_k_fraction *
-                                 static_cast<double>(n)));
-      return kept * (sizeof(float) + sizeof(uint32_t));
+  if (stages_.empty()) {
+    return n * sizeof(float);
+  }
+  const size_t kept = KeptCount(n);
+  const size_t bits =
+      quantize_stage_ >= 0
+          ? static_cast<size_t>(
+                stages_[static_cast<size_t>(quantize_stage_)].bits)
+          : 8 * sizeof(float);
+  size_t bytes = (kept * bits + 7) / 8;
+  if (mask_stage_ >= 0) {
+    bytes += kept * sizeof(uint32_t);  // coordinate indices
+  }
+  if (quantize_stage_ >= 0) {
+    bytes += sizeof(float);  // the scale
+  }
+  return bytes;
+}
+
+void SyncCompressor::EnsureScratch(size_t n) {
+  bool grew = false;
+  if (!residuals_.empty() && original_.size() < n) {
+    original_.resize(n);
+    grew = true;
+  }
+  if (mask_stage_ >= 0 && keep_.size() < n) {
+    keep_.resize(n);
+    scratch_indices_.resize(n);
+    kept_indices_.reserve(n);
+    grew = true;
+  }
+  if (grew) {
+    ++scratch_reallocs_;
+  }
+}
+
+void SyncCompressor::SelectRangeTopK(const float* data, size_t begin,
+                                     size_t len, size_t kept) {
+  if (kept >= len) {
+    std::fill(keep_.begin() + static_cast<long>(begin),
+              keep_.begin() + static_cast<long>(begin + len), uint8_t{1});
+    return;
+  }
+  for (size_t i = 0; i < len; ++i) {
+    scratch_indices_[i] = i;
+  }
+  // Magnitude descending with an ascending-index tie-break: without it,
+  // equal-magnitude coordinates land on either side of the cut in
+  // std::nth_element's implementation-defined order, and compressed runs
+  // stop being bit-reproducible across stdlibs.
+  std::nth_element(scratch_indices_.begin(),
+                   scratch_indices_.begin() + static_cast<long>(kept - 1),
+                   scratch_indices_.begin() + static_cast<long>(len),
+                   [data, begin](size_t a, size_t b) {
+                     const float fa = std::fabs(data[begin + a]);
+                     const float fb = std::fabs(data[begin + b]);
+                     if (fa != fb) {
+                       return fa > fb;
+                     }
+                     return a < b;
+                   });
+  for (size_t i = 0; i < kept; ++i) {
+    keep_[begin + scratch_indices_[i]] = 1;
+  }
+}
+
+size_t SyncCompressor::SelectMask(const CodecStageConfig& stage,
+                                  const float* data, size_t n) {
+  std::fill(keep_.begin(), keep_.begin() + static_cast<long>(n), uint8_t{0});
+  if (stage.kind == CodecStageKind::kLayerTopK &&
+      layer_offsets_.size() >= 2 && n == dim_) {
+    for (size_t b = 0; b + 1 < layer_offsets_.size(); ++b) {
+      const size_t begin = layer_offsets_[b];
+      const size_t len = layer_offsets_[b + 1] - begin;
+      if (len == 0) {
+        continue;
+      }
+      SelectRangeTopK(data, begin, len,
+                      std::min(len, KeptOfRange(stage.fraction, len)));
+    }
+  } else {
+    SelectRangeTopK(data, 0, n, std::min(n, KeptOfRange(stage.fraction, n)));
+  }
+  kept_indices_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (keep_[i] != 0) {
+      kept_indices_.push_back(static_cast<uint32_t>(i));
     }
   }
-  FEDRA_CHECK(false) << "unknown compression kind";
-  return 0;
+  return kept_indices_.size();
+}
+
+size_t SyncCompressor::MaskPreview(const float* data, size_t n) {
+  FEDRA_CHECK_EQ(n, dim_);
+  kept_indices_.clear();
+  if (mask_stage_ < 0) {
+    return n;
+  }
+  EnsureScratch(n);
+  return SelectMask(stages_[static_cast<size_t>(mask_stage_)], data, n);
 }
 
 size_t SyncCompressor::CompressInPlace(int worker, float* data, size_t n) {
   FEDRA_CHECK_EQ(n, dim_);
-  if (config_.kind == CompressionKind::kNone) {
+  if (stages_.empty()) {
     return WireBytes(n);
   }
+  EnsureScratch(n);
   float* residual = nullptr;
   if (config_.error_feedback) {
     FEDRA_CHECK_LT(static_cast<size_t>(worker), residuals_.size());
@@ -118,51 +382,30 @@ size_t SyncCompressor::CompressInPlace(int worker, float* data, size_t n) {
     for (size_t i = 0; i < n; ++i) {
       data[i] += residual[i];
     }
+    // Keep the pre-compression payload to compute the new residual.
+    std::copy(data, data + n, original_.begin());
   }
-  // Keep the pre-compression payload to compute the new residual.
-  std::vector<float> original;
-  if (residual != nullptr) {
-    original.assign(data, data + n);
-  }
-  switch (config_.kind) {
-    case CompressionKind::kQuantize8:
-      QuantizeInPlace(data, n, 8);
-      break;
-    case CompressionKind::kQuantize4:
-      QuantizeInPlace(data, n, 4);
-      break;
-    case CompressionKind::kTopK: {
-      const size_t kept = std::max<size_t>(
-          1, static_cast<size_t>(config_.top_k_fraction *
-                                 static_cast<double>(n)));
-      scratch_indices_.resize(n);
-      for (size_t i = 0; i < n; ++i) {
-        scratch_indices_[i] = i;
-      }
-      std::nth_element(scratch_indices_.begin(),
-                       scratch_indices_.begin() + static_cast<long>(kept - 1),
-                       scratch_indices_.end(),
-                       [data](size_t a, size_t b) {
-                         return std::fabs(data[a]) > std::fabs(data[b]);
-                       });
-      // Zero everything below the cut.
-      std::vector<bool> keep(n, false);
-      for (size_t i = 0; i < kept; ++i) {
-        keep[scratch_indices_[i]] = true;
-      }
-      for (size_t i = 0; i < n; ++i) {
-        if (!keep[i]) {
-          data[i] = 0.0f;
+  kept_indices_.clear();
+  for (const CodecStageConfig& stage : stages_) {
+    switch (stage.kind) {
+      case CodecStageKind::kTopK:
+      case CodecStageKind::kLayerTopK: {
+        SelectMask(stage, data, n);
+        for (size_t i = 0; i < n; ++i) {
+          if (keep_[i] == 0) {
+            data[i] = 0.0f;
+          }
         }
+        break;
       }
-      break;
+      case CodecStageKind::kQuantize:
+        QuantizeInPlace(data, n, stage.bits);
+        break;
     }
-    case CompressionKind::kNone:
-      break;
   }
   if (residual != nullptr) {
     for (size_t i = 0; i < n; ++i) {
-      residual[i] = original[i] - data[i];
+      residual[i] = original_[i] - data[i];
     }
   }
   return WireBytes(n);
@@ -178,6 +421,31 @@ double SyncCompressor::ResidualEnergy(int worker) const {
     energy += static_cast<double>(r) * r;
   }
   return energy;
+}
+
+float* SyncCompressor::ResidualData(int worker) {
+  if (residuals_.empty()) {
+    return nullptr;
+  }
+  FEDRA_CHECK_LT(static_cast<size_t>(worker), residuals_.size());
+  return residuals_[static_cast<size_t>(worker)].data();
+}
+
+const float* SyncCompressor::ResidualData(int worker) const {
+  if (residuals_.empty()) {
+    return nullptr;
+  }
+  FEDRA_CHECK_LT(static_cast<size_t>(worker), residuals_.size());
+  return residuals_[static_cast<size_t>(worker)].data();
+}
+
+void SyncCompressor::ResetWorker(int worker) {
+  if (residuals_.empty()) {
+    return;
+  }
+  FEDRA_CHECK_LT(static_cast<size_t>(worker), residuals_.size());
+  std::fill(residuals_[static_cast<size_t>(worker)].begin(),
+            residuals_[static_cast<size_t>(worker)].end(), 0.0f);
 }
 
 void SyncCompressor::Reset() {

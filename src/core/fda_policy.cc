@@ -21,6 +21,27 @@ int ActiveInSpan(const std::vector<char>* mask, int begin, int end) {
   return count;
 }
 
+// (Alg. 1 line 6) one worker's drift + local state. With a masking sync
+// compressor the monitor sees the drift that would actually ship: the mask
+// preview selects the kept coordinates (no mutation, no error-feedback side
+// effects) and the state folds only those in — the AMS sketch accumulates
+// the *compressed* drift, O(kept * rows) instead of O(dim * rows). Without
+// a mask the fused dense kernel runs unchanged.
+void ComputeWorkerState(ClusterContext& ctx, VarianceMonitor* monitor,
+                        WorkerState& worker) {
+  if (ctx.compressor != nullptr && ctx.compressor->has_mask()) {
+    vec::Sub(worker.view.params, ctx.sync_params->data(), worker.drift,
+             ctx.dim);
+    const size_t kept = ctx.compressor->MaskPreview(worker.drift, ctx.dim);
+    monitor->ComputeLocalStateSparse(worker.drift,
+                                     ctx.compressor->kept_indices().data(),
+                                     kept, worker.state);
+    return;
+  }
+  monitor->ComputeDriftAndState(worker.view.params, ctx.sync_params->data(),
+                                worker.drift, worker.state);
+}
+
 }  // namespace
 
 FdaSyncPolicy::FdaSyncPolicy(std::unique_ptr<VarianceMonitor> monitor,
@@ -50,11 +71,9 @@ bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
   int active_count = ctx.num_workers();
   if (ctx.participation == nullptr) {
     // (Alg. 1 line 6) every worker updates its local state from its drift;
-    // the fused kernel writes u_k = w_k - w_sync and ||u_k||^2 in one pass.
+    // with a masking codec the state covers the compressed drift only.
     for (auto& worker : *ctx.workers) {
-      monitor_->ComputeDriftAndState(worker.view.params,
-                                     ctx.sync_params->data(), worker.drift,
-                                     worker.state);
+      ComputeWorkerState(ctx, monitor_.get(), worker);
     }
     // (line 7) AllReduce the small states.
     ctx.network->AllReduceAverage(states, monitor_->StateSize(),
@@ -73,9 +92,7 @@ bool FdaSyncPolicy::MaybeSync(ClusterContext& ctx) {
     active_states.reserve(active.size());
     for (int k : active) {
       WorkerState& worker = (*ctx.workers)[static_cast<size_t>(k)];
-      monitor_->ComputeDriftAndState(worker.view.params,
-                                     ctx.sync_params->data(), worker.drift,
-                                     worker.state);
+      ComputeWorkerState(ctx, monitor_.get(), worker);
       active_states.push_back(states[static_cast<size_t>(k)]);
     }
     ctx.network->AllReduceAverageSubset(active_states, active,
@@ -135,13 +152,6 @@ void HierarchicalFdaPolicy::Initialize(ClusterContext& ctx) {
          "(TrainerConfig::topology or ::hierarchy)";
   FEDRA_CHECK_EQ(theta_.size(), static_cast<size_t>(tree.depth()))
       << "theta_by_depth must have one threshold per tier depth";
-  // Subtree averages move raw models; composing them with a lossy sync
-  // compressor would mix compressed (global) and uncompressed (local)
-  // payloads in the same accounting. Gate it until subtree syncs learn to
-  // compress too.
-  FEDRA_CHECK(ctx.compressor == nullptr ||
-              ctx.compressor->config().kind == CompressionKind::kNone)
-      << "HierarchicalFdaPolicy does not support sync_compression yet";
   ctx.AllocateWorkerStates(monitor_->StateSize());
   ctx.monitor = monitor_.get();
 }
@@ -223,15 +233,13 @@ bool HierarchicalFdaPolicy::MaybeSync(ClusterContext& ctx) {
   const std::vector<char>* mask = ctx.participation;
 
   // (1) local states from drifts — identical to flat FDA; the anchor is
-  // the last *global* synchronization.
+  // the last *global* synchronization. A masking codec monitors the
+  // compressed drift (see ComputeWorkerState).
   for (size_t k = 0; k < ctx.workers->size(); ++k) {
     if (mask != nullptr && (*mask)[k] == 0) {
       continue;
     }
-    WorkerState& worker = (*ctx.workers)[k];
-    monitor_->ComputeDriftAndState(worker.view.params,
-                                   ctx.sync_params->data(), worker.drift,
-                                   worker.state);
+    ComputeWorkerState(ctx, monitor_.get(), (*ctx.workers)[k]);
   }
 
   // (2) leaf tier: states AllReduce within each worker group, on that
@@ -346,26 +354,67 @@ bool HierarchicalFdaPolicy::MaybeSync(ClusterContext& ctx) {
   CollectSyncScopes(tree, 0, &sync_scopes_);
   if (!sync_scopes_.empty()) {
     std::vector<float*> params = ctx.ParamPointers();
+    const bool compressed =
+        ctx.compressor != nullptr && ctx.compressor->config().enabled();
     for (int id : sync_scopes_) {
       int begin = 0;
       int end = 0;
       tree.SubtreeSpan(id, num_workers, &begin, &end);
-      span_ptrs_.clear();
+      scope_members_.clear();
       for (int w = begin; w < end; ++w) {
         if (mask != nullptr && (*mask)[static_cast<size_t>(w)] == 0) {
           continue;
         }
-        span_ptrs_.push_back(params[static_cast<size_t>(w)]);
+        scope_members_.push_back(w);
       }
-      if (span_ptrs_.size() <= 1) {
+      if (scope_members_.size() <= 1) {
         continue;  // a single member is already its own average
       }
-      if (mask == nullptr) {
-        ctx.network->SubtreeAllReduceAverage(id, span_ptrs_, ctx.dim,
-                                             TrafficClass::kModelSync);
+      if (compressed) {
+        // Compressed subtree resolution: members exchange coded deltas
+        // from the shared global anchor instead of raw models. Each
+        // member's delta runs through the codec pipeline (error feedback
+        // accumulates per worker exactly as on the global path), the coded
+        // deltas average over this subtree's own tiers at their compressed
+        // wire size, and every member re-bases on anchor + mean delta —
+        // members equalize (within-subtree variance -> 0) while the anchor
+        // and the uplink stay untouched.
+        span_ptrs_.clear();
+        payload_bytes_.clear();
+        for (int w : scope_members_) {
+          WorkerState& worker = (*ctx.workers)[static_cast<size_t>(w)];
+          vec::Sub(worker.view.params, ctx.sync_params->data(), worker.drift,
+                   ctx.dim);
+          payload_bytes_.push_back(
+              ctx.compressor->CompressInPlace(w, worker.drift, ctx.dim));
+          span_ptrs_.push_back(worker.drift);
+        }
+        if (mask == nullptr) {
+          ctx.network->SubtreeAllReduceAverageWithPayloads(
+              id, span_ptrs_, ctx.dim, payload_bytes_,
+              TrafficClass::kModelSync);
+        } else {
+          ctx.network->SubtreeAllReduceAverageSubsetWithPayloads(
+              id, span_ptrs_, *mask, ctx.dim, payload_bytes_,
+              TrafficClass::kModelSync);
+        }
+        for (int w : scope_members_) {
+          float* member_params = params[static_cast<size_t>(w)];
+          vec::Copy(ctx.sync_params->data(), member_params, ctx.dim);
+          vec::Axpy(1.0f, span_ptrs_[0], member_params, ctx.dim);
+        }
       } else {
-        ctx.network->SubtreeAllReduceAverageSubset(
-            id, span_ptrs_, *mask, ctx.dim, TrafficClass::kModelSync);
+        span_ptrs_.clear();
+        for (int w : scope_members_) {
+          span_ptrs_.push_back(params[static_cast<size_t>(w)]);
+        }
+        if (mask == nullptr) {
+          ctx.network->SubtreeAllReduceAverage(id, span_ptrs_, ctx.dim,
+                                               TrafficClass::kModelSync);
+        } else {
+          ctx.network->SubtreeAllReduceAverageSubset(
+              id, span_ptrs_, *mask, ctx.dim, TrafficClass::kModelSync);
+        }
       }
       ++local_syncs_;
     }

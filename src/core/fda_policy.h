@@ -84,9 +84,12 @@ class FdaSyncPolicy : public SyncPolicy {
 /// ordering is legal: theta_by_depth[leaf] = +inf with a finite root
 /// threshold degenerates to escalate-always, i.e. plain FDA over the tree.
 ///
-/// Not yet composable with TrainerConfig::sync_compression: subtree
-/// averages move raw models, so mixing them with compressed global syncs
-/// would corrupt the byte accounting (Initialize rejects the combination).
+/// Composes with TrainerConfig::sync_compression: subtree resolutions move
+/// coded deltas from the global anchor through the payload-carrying subtree
+/// collectives (billed at the compressed wire size on the tier that
+/// tripped), and a masking codec makes step 1 monitor the *compressed*
+/// drift via SyncCompressor::MaskPreview — the AMS sketch accumulates only
+/// the kept coordinates, so monitoring cost shrinks with the payload.
 class HierarchicalFdaPolicy : public SyncPolicy {
  public:
   HierarchicalFdaPolicy(std::unique_ptr<VarianceMonitor> monitor,
@@ -129,6 +132,8 @@ class HierarchicalFdaPolicy : public SyncPolicy {
   std::vector<char> node_has_;
   std::vector<char> node_trip_;
   std::vector<float*> span_ptrs_;  // member pointers of one subtree
+  std::vector<int> scope_members_;     // worker ids of one sync scope
+  std::vector<size_t> payload_bytes_;  // compressed bytes per member
   std::vector<int> sync_scopes_;
   uint64_t local_syncs_ = 0;
   uint64_t global_syncs_ = 0;

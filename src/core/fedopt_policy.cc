@@ -69,8 +69,24 @@ bool FedOptPolicy::MaybeSync(ClusterContext& ctx) {
     for (auto& worker : *ctx.workers) {
       deltas.push_back(worker.drift);
     }
-    ctx.network->AllReduceAverage(deltas, ctx.dim,
-                                  TrafficClass::kModelSync);
+    if (ctx.compressor != nullptr && ctx.compressor->config().enabled()) {
+      // FedOpt already moves deltas, so the codec pipeline drops straight
+      // in: each client's delta is coded (error feedback accumulates per
+      // worker) and the round bills the compressed wire size.
+      std::vector<int> everyone(ctx.workers->size());
+      std::vector<size_t> payload_bytes(ctx.workers->size());
+      for (size_t k = 0; k < ctx.workers->size(); ++k) {
+        everyone[k] = static_cast<int>(k);
+        payload_bytes[k] = ctx.compressor->CompressInPlace(
+            static_cast<int>(k), deltas[k], ctx.dim);
+      }
+      ctx.network->AllReduceAverageSubsetWithPayloads(
+          deltas, everyone, ctx.dim, payload_bytes,
+          TrafficClass::kModelSync);
+    } else {
+      ctx.network->AllReduceAverage(deltas, ctx.dim,
+                                    TrafficClass::kModelSync);
+    }
     // Pseudo-gradient is the negated average delta (Reddi et al.).
     const float* avg_delta = deltas[0];
     for (size_t i = 0; i < ctx.dim; ++i) {
@@ -95,8 +111,11 @@ bool FedOptPolicy::MaybeSync(ClusterContext& ctx) {
   // the loss/retry gauntlet, and the server averages whatever arrived.
   // Workers whose upload was dropped keep training on their local model
   // — they re-join the global trajectory at the next delivered round.
+  const bool compressed =
+      ctx.compressor != nullptr && ctx.compressor->config().enabled();
   std::vector<int> delivered;
   std::vector<float*> deltas;
+  std::vector<size_t> payload_bytes;
   for (int k : ctx.ActiveWorkers()) {
     WorkerState& worker = (*ctx.workers)[static_cast<size_t>(k)];
     vec::Sub(worker.view.params, ctx.sync_params->data(), worker.drift,
@@ -104,15 +123,30 @@ bool FedOptPolicy::MaybeSync(ClusterContext& ctx) {
     if (ctx.faults != nullptr) {
       const FaultInjector::Delivery outcome = ctx.faults->SampleDelivery();
       if (outcome.retries > 0) {
-        ctx.network->AccountSyncRetries(
-            k, ctx.dim, outcome.retries,
-            ctx.faults->config().retry_backoff_seconds,
-            TrafficClass::kModelSync);
+        // Retries re-send what the wire would carry: the compressed
+        // payload when a codec is on, the raw model otherwise.
+        if (compressed) {
+          ctx.network->AccountSyncRetriesBytes(
+              k, ctx.compressor->WireBytes(ctx.dim), outcome.retries,
+              ctx.faults->config().retry_backoff_seconds,
+              TrafficClass::kModelSync);
+        } else {
+          ctx.network->AccountSyncRetries(
+              k, ctx.dim, outcome.retries,
+              ctx.faults->config().retry_backoff_seconds,
+              TrafficClass::kModelSync);
+        }
       }
       if (!outcome.delivered) {
+        // Dropped uploads never run the codec: the client's error-feedback
+        // residual is untouched, as if it never attempted the round.
         ctx.network->AccountDroppedMessage();
         continue;
       }
+    }
+    if (compressed) {
+      payload_bytes.push_back(
+          ctx.compressor->CompressInPlace(k, worker.drift, ctx.dim));
     }
     delivered.push_back(k);
     deltas.push_back(worker.drift);
@@ -124,8 +158,13 @@ bool FedOptPolicy::MaybeSync(ClusterContext& ctx) {
     ctx.steps_since_sync = 0;
     return false;
   }
-  ctx.network->AllReduceAverageSubset(deltas, delivered, ctx.dim,
-                                      TrafficClass::kModelSync);
+  if (compressed) {
+    ctx.network->AllReduceAverageSubsetWithPayloads(
+        deltas, delivered, ctx.dim, payload_bytes, TrafficClass::kModelSync);
+  } else {
+    ctx.network->AllReduceAverageSubset(deltas, delivered, ctx.dim,
+                                        TrafficClass::kModelSync);
+  }
   const float* avg_delta = deltas[0];
   for (size_t i = 0; i < ctx.dim; ++i) {
     pseudo_grad_[i] = -avg_delta[i];

@@ -46,28 +46,88 @@ bool ClusterContext::SynchronizeModels() {
     // (guards_enabled() is constexpr false and the sweep folds away).
     arena->CheckCanaries();
   }
-  if (compressor != nullptr &&
-      compressor->config().kind != CompressionKind::kNone) {
-    // Compressed path: workers exchange lossy deltas from w_t0 instead of
-    // full models; the collective is billed at each worker's actual wire
-    // size (variable-rate codecs produce different sizes per worker).
-    std::vector<size_t> payload_bytes(workers->size());
-    std::vector<float*> deltas;
-    deltas.reserve(workers->size());
+  if (compressor != nullptr && compressor->config().enabled()) {
+    if (participation == nullptr && faults == nullptr) {
+      // Compressed path: workers exchange lossy deltas from w_t0 instead
+      // of full models; the collective is billed at each worker's actual
+      // wire size (variable-rate codecs produce different sizes per
+      // worker).
+      std::vector<size_t> payload_bytes(workers->size());
+      std::vector<float*> deltas;
+      deltas.reserve(workers->size());
+      for (size_t k = 0; k < workers->size(); ++k) {
+        WorkerState& worker = (*workers)[k];
+        vec::Sub(worker.view.params, sync_params->data(), worker.drift,
+                 dim);
+        payload_bytes[k] = compressor->CompressInPlace(
+            static_cast<int>(k), worker.drift, dim);
+        deltas.push_back(worker.drift);
+      }
+      network->AllReduceAverageWithPayloads(deltas, dim, payload_bytes,
+                                            TrafficClass::kModelSync);
+      // New global = w_t0 + mean decompressed delta; install everywhere.
+      *prev_sync_params = *sync_params;
+      vec::Axpy(1.0f, deltas[0], sync_params->data(), dim);
+      for (auto& worker : *workers) {
+        vec::Copy(sync_params->data(), worker.view.params, dim);
+      }
+      steps_since_sync = 0;
+      ++sync_count;
+      return true;
+    }
+    // Fault-aware compressed path: only the round's participants whose
+    // contribution survives message loss compress and exchange deltas —
+    // retries and the collective are billed at the compressed wire size.
+    // Dropped workers never compress, so their error-feedback residual is
+    // untouched and their local model carries forward, exactly like the
+    // uncompressed subset path.
+    const size_t wire = compressor->WireBytes(dim);
+    std::vector<int> delivered;
+    delivered.reserve(workers->size());
     for (size_t k = 0; k < workers->size(); ++k) {
-      WorkerState& worker = (*workers)[k];
+      if (participation != nullptr && (*participation)[k] == 0) {
+        continue;
+      }
+      if (faults != nullptr) {
+        const FaultInjector::Delivery delivery = faults->SampleDelivery();
+        if (delivery.retries > 0) {
+          network->AccountSyncRetriesBytes(
+              static_cast<int>(k), wire, delivery.retries,
+              faults->config().retry_backoff_seconds,
+              TrafficClass::kModelSync);
+        }
+        if (!delivery.delivered) {
+          network->AccountDroppedMessage();
+          continue;
+        }
+      }
+      delivered.push_back(static_cast<int>(k));
+    }
+    if (delivered.empty()) {
+      ++skipped_syncs;
+      FEDRA_LOG(WARNING) << "model sync skipped at step " << step
+                         << ": no contribution survived";
+      return false;
+    }
+    std::vector<size_t> payload_bytes(delivered.size());
+    std::vector<float*> deltas;
+    deltas.reserve(delivered.size());
+    for (size_t i = 0; i < delivered.size(); ++i) {
+      WorkerState& worker = (*workers)[static_cast<size_t>(delivered[i])];
       vec::Sub(worker.view.params, sync_params->data(), worker.drift, dim);
-      payload_bytes[k] = compressor->CompressInPlace(
-          static_cast<int>(k), worker.drift, dim);
+      payload_bytes[i] =
+          compressor->CompressInPlace(delivered[i], worker.drift, dim);
       deltas.push_back(worker.drift);
     }
-    network->AllReduceAverageWithPayloads(deltas, dim, payload_bytes,
-                                          TrafficClass::kModelSync);
-    // New global = w_t0 + mean decompressed delta; install everywhere.
+    network->AllReduceAverageSubsetWithPayloads(
+        deltas, delivered, dim, payload_bytes, TrafficClass::kModelSync);
+    // New global = w_t0 + mean decompressed survivor delta, installed into
+    // the survivors; absent and dropped workers keep their local models.
     *prev_sync_params = *sync_params;
     vec::Axpy(1.0f, deltas[0], sync_params->data(), dim);
-    for (auto& worker : *workers) {
-      vec::Copy(sync_params->data(), worker.view.params, dim);
+    for (int k : delivered) {
+      vec::Copy(sync_params->data(),
+                (*workers)[static_cast<size_t>(k)].view.params, dim);
     }
     steps_since_sync = 0;
     ++sync_count;
@@ -176,7 +236,10 @@ int RotateFleetCohort(const TrainerConfig& config,
           fleet->cohort[k], worker.view.params, anchor,
           arena->opt_state(static_cast<int>(k)), worker.sampler->rng(),
           worker.rng, worker.optimizer->step_count(),
-          worker.sampler->steps(), monitor);
+          worker.sampler->steps(), monitor,
+          fleet->compressor != nullptr
+              ? fleet->compressor->ResidualData(static_cast<int>(k))
+              : nullptr);
       fleet->resident_slot.erase(fleet->cohort[k]);
     }
   }
@@ -195,7 +258,10 @@ int RotateFleetCohort(const TrainerConfig& config,
         incoming, anchor, worker.view.params,
         arena->opt_state(static_cast<int>(k)),
         arena->has_state_scratch() ? arena->state(static_cast<int>(k))
-                                   : nullptr);
+                                   : nullptr,
+        fleet->compressor != nullptr
+            ? fleet->compressor->ResidualData(static_cast<int>(k))
+            : nullptr);
     worker.optimizer->set_step_count(in.optimizer_steps);
     worker.sampler = std::make_unique<BatchSampler>(
         (*fleet->shards)[incoming % fleet->shards->size()],
@@ -276,11 +342,6 @@ Status TrainerConfig::Validate() const {
   FEDRA_RETURN_IF_ERROR(partition.Validate());
   FEDRA_RETURN_IF_ERROR(sync_compression.Validate());
   FEDRA_RETURN_IF_ERROR(faults.Validate());
-  if (faults.enabled() && sync_compression.kind != CompressionKind::kNone) {
-    return Status::InvalidArgument(
-        "fault injection does not compose with sync compression yet "
-        "(partial participation needs per-worker wire sizes)");
-  }
   if (population == 0) {
     if (cohort_size != 0) {
       return Status::InvalidArgument(
@@ -311,12 +372,6 @@ Status TrainerConfig::Validate() const {
           "cohort_size (%zu) must equal num_workers (%d): the fleet maps "
           "one sampled client onto each resident arena row",
           cohort, num_workers));
-    }
-    if (sync_compression.kind != CompressionKind::kNone) {
-      return Status::InvalidArgument(
-          "fleet mode does not compose with sync compression yet "
-          "(per-slot error-feedback residuals do not survive cohort "
-          "rotation)");
     }
   }
   return Status::Ok();
@@ -446,9 +501,19 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
   ctx.sync_params = &sync_params;
   ctx.prev_sync_params = &prev_sync_params;
   std::unique_ptr<SyncCompressor> compressor;
-  if (config_.sync_compression.kind != CompressionKind::kNone) {
+  if (config_.sync_compression.enabled()) {
     compressor = std::make_unique<SyncCompressor>(
         config_.sync_compression, dim_, config_.num_workers);
+    // Layer-wise selective sync (kLayerTopK) masks within each ModelGraph
+    // parameter block; feed the block offsets so every layer keeps its own
+    // top coordinates.
+    const ParameterStore& param_store = shared_model_->store();
+    std::vector<size_t> layer_offsets;
+    layer_offsets.reserve(param_store.num_blocks());
+    for (size_t b = 0; b < param_store.num_blocks(); ++b) {
+      layer_offsets.push_back(param_store.block(b).offset);
+    }
+    compressor->SetLayerOffsets(layer_offsets, dim_);
     ctx.compressor = compressor.get();
   }
   // Fleet mode: the paged client store, the cohort sampler, and the K
@@ -478,6 +543,10 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
     fleet.store = store.get();
     fleet.sampler = cohort_sampler.get();
     fleet.shards = &fleet_shards;
+    // Compressed fleet: the per-slot error-feedback residuals become
+    // per-client pages, checked out/in alongside drift and optimizer
+    // state (the rotation path below).
+    fleet.compressor = compressor.get();
     fleet.cohort.resize(workers.size());
     for (size_t k = 0; k < workers.size(); ++k) {
       fleet.cohort[k] = static_cast<uint32_t>(k);
@@ -530,6 +599,10 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
     // The policy's Initialize sized the arena's monitor-state scratch (FDA
     // families) or left it absent; the store's pages mirror that layout.
     store->SetStateSize(arena.has_state_scratch() ? arena.state_size() : 0);
+    // Error-feedback residuals are per-*client* state under rotation: size
+    // the pages' residual segment when compressed sync carries memory.
+    store->SetResidualSize(
+        compressor != nullptr && compressor->has_residuals() ? dim_ : 0);
   }
 
   // The evaluation model holds the average of the worker models — the
@@ -609,6 +682,11 @@ StatusOr<TrainResult> DistributedTrainer::Run(SyncPolicy* policy) {
         network.AccountCatchUpSync(dim_, k);
         ReanchorRejoinedWorker(&arena, &workers[static_cast<size_t>(k)],
                                sync_params.data(), dim_);
+        if (compressor != nullptr) {
+          // A rejoiner restarts exactly on the global model; stale
+          // compression memory would re-inject its crashed trajectory.
+          compressor->ResetWorker(k);
+        }
         ++result.rejoin_count;
       }
     }

@@ -246,6 +246,10 @@ struct FleetState {
   /// The K data shards; client c trains on shard c % K (identity at
   /// population == K, so resident configs keep their exact partitions).
   const std::vector<std::vector<size_t>>* shards = nullptr;
+  /// Compressed-sync state (null without compression): rotation pages each
+  /// slot's error-feedback residual out to the departing client and in
+  /// from the arriving one, so compression memory follows the client.
+  SyncCompressor* compressor = nullptr;
   std::vector<uint32_t> cohort;        // slot -> client id
   std::map<uint32_t, int> resident_slot;  // client id -> slot
   std::vector<char> just_swapped;      // slot freshly checked in this round

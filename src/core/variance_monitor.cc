@@ -23,6 +23,19 @@ void VarianceMonitor::ComputeDriftAndState(const float* params,
   FillStateTail(drift, state);
 }
 
+void VarianceMonitor::ComputeLocalStateSparse(const float* drift,
+                                              const uint32_t* kept,
+                                              size_t kept_count,
+                                              float* state) {
+  double sq = 0.0;
+  for (size_t i = 0; i < kept_count; ++i) {
+    const double v = static_cast<double>(drift[kept[i]]);
+    sq += v * v;
+  }
+  state[0] = static_cast<float>(sq);
+  FillStateTailSparse(drift, kept, kept_count, state);
+}
+
 // ------------------------------------------------------------ ExactFDA --
 
 ExactVarianceMonitor::ExactVarianceMonitor(size_t dim)
@@ -32,6 +45,16 @@ ExactVarianceMonitor::ExactVarianceMonitor(size_t dim)
 
 void ExactVarianceMonitor::FillStateTail(const float* drift, float* state) {
   vec::Copy(drift, state + 1, dim());
+}
+
+void ExactVarianceMonitor::FillStateTailSparse(const float* drift,
+                                               const uint32_t* kept,
+                                               size_t kept_count,
+                                               float* state) {
+  std::memset(state + 1, 0, dim() * sizeof(float));
+  for (size_t i = 0; i < kept_count; ++i) {
+    state[1 + kept[i]] = drift[kept[i]];
+  }
 }
 
 double ExactVarianceMonitor::EstimateVariance(const float* avg_state) const {
@@ -58,6 +81,15 @@ void SketchVarianceMonitor::FillStateTail(const float* drift, float* state) {
   vec::Copy(scratch_.data(), state + 1, scratch_.numel());
 }
 
+void SketchVarianceMonitor::FillStateTailSparse(const float* drift,
+                                                const uint32_t* kept,
+                                                size_t kept_count,
+                                                float* state) {
+  scratch_.Clear();
+  scratch_.AccumulateSparse(drift, kept, kept_count);
+  vec::Copy(scratch_.data(), state + 1, scratch_.numel());
+}
+
 double SketchVarianceMonitor::EstimateVariance(const float* avg_state) const {
   const double mean_drift_sq = static_cast<double>(avg_state[0]);
   // The averaged cells are sk(u_bar) by sketch linearity; M2 of them
@@ -81,6 +113,22 @@ void LinearVarianceMonitor::FillStateTail(const float* drift, float* state) {
   state[1] = xi_valid_
                  ? static_cast<float>(vec::Dot(xi_.data(), drift, dim()))
                  : 0.0f;
+}
+
+void LinearVarianceMonitor::FillStateTailSparse(const float* drift,
+                                                const uint32_t* kept,
+                                                size_t kept_count,
+                                                float* state) {
+  if (!xi_valid_) {
+    state[1] = 0.0f;
+    return;
+  }
+  double dot = 0.0;
+  for (size_t i = 0; i < kept_count; ++i) {
+    dot += static_cast<double>(xi_[kept[i]]) *
+           static_cast<double>(drift[kept[i]]);
+  }
+  state[1] = static_cast<float>(dot);
 }
 
 double LinearVarianceMonitor::EstimateVariance(const float* avg_state) const {

@@ -44,6 +44,16 @@ class VarianceMonitor {
   void ComputeDriftAndState(const float* params, const float* sync_params,
                             float* drift, float* state);
 
+  /// Local state of the *masked* drift: the state ComputeLocalState would
+  /// produce for the vector equal to `drift` on the `kept_count` listed
+  /// coordinates and zero elsewhere. When a sync compressor masks payloads,
+  /// FDA monitors the drift that would actually ship, and the state
+  /// computation shrinks with it — O(kept) instead of O(dim) for the
+  /// sketch/linear tails. `kept` must be ascending in-range indices (the
+  /// SyncCompressor::MaskPreview contract).
+  void ComputeLocalStateSparse(const float* drift, const uint32_t* kept,
+                               size_t kept_count, float* state);
+
   /// H(S_bar): the variance over-estimate from the averaged state.
   virtual double EstimateVariance(const float* avg_state) const = 0;
 
@@ -78,6 +88,11 @@ class VarianceMonitor {
   /// set by the public entry points.
   virtual void FillStateTail(const float* drift, float* state) = 0;
 
+  /// Sparse counterpart: fills state[1..] from the drift restricted to the
+  /// `kept_count` listed coordinates (zero elsewhere).
+  virtual void FillStateTailSparse(const float* drift, const uint32_t* kept,
+                                   size_t kept_count, float* state) = 0;
+
  private:
   size_t dim_;
 };
@@ -96,6 +111,8 @@ class ExactVarianceMonitor : public VarianceMonitor {
 
  protected:
   void FillStateTail(const float* drift, float* state) override;
+  void FillStateTailSparse(const float* drift, const uint32_t* kept,
+                           size_t kept_count, float* state) override;
 };
 
 /// SketchFDA (Thm 3.1): state = (||u||^2, sk(u)). The averaged sketch equals
@@ -115,6 +132,8 @@ class SketchVarianceMonitor : public VarianceMonitor {
 
  protected:
   void FillStateTail(const float* drift, float* state) override;
+  void FillStateTailSparse(const float* drift, const uint32_t* kept,
+                           size_t kept_count, float* state) override;
 
  private:
   std::shared_ptr<const AmsHashFamily> family_;
@@ -142,6 +161,8 @@ class LinearVarianceMonitor : public VarianceMonitor {
 
  protected:
   void FillStateTail(const float* drift, float* state) override;
+  void FillStateTailSparse(const float* drift, const uint32_t* kept,
+                           size_t kept_count, float* state) override;
 
  private:
   std::vector<float> xi_;

@@ -337,6 +337,20 @@ void SimNetwork::AllReduceAverageSubset(const std::vector<float*>& buffers,
                          participants, traffic);
 }
 
+void SimNetwork::AllReduceAverageSubsetWithPayloads(
+    const std::vector<float*>& buffers, const std::vector<int>& participants,
+    size_t n, const std::vector<size_t>& payload_bytes,
+    TrafficClass traffic) {
+  CheckParticipants(participants, buffers.size());
+  FEDRA_CHECK_EQ(payload_bytes.size(), buffers.size());
+  size_t sum = 0;
+  for (size_t bytes : payload_bytes) {
+    sum += bytes;
+  }
+  ReduceMeanBuffers(buffers, n);
+  AccountAllReduceSubset(sum, participants, traffic);
+}
+
 void SimNetwork::AllReduceWeightedAverageSubset(
     const std::vector<float*>& buffers, const std::vector<int>& participants,
     const std::vector<double>& weights, size_t n, TrafficClass traffic) {
@@ -465,13 +479,88 @@ void SimNetwork::SubtreeAllReduceAverageSubset(
              traffic);
 }
 
+void SimNetwork::SubtreeAllReduceAverageWithPayloads(
+    int node_id, const std::vector<float*>& buffers, size_t n,
+    const std::vector<size_t>& payload_bytes, TrafficClass traffic) {
+  FEDRA_CHECK(tree_.enabled())
+      << "subtree collectives need a tree topology";
+  FEDRA_CHECK_EQ(payload_bytes.size(), buffers.size());
+  int begin = 0;
+  int end = 0;
+  tree_.SubtreeSpan(node_id, num_workers_, &begin, &end);
+  FEDRA_CHECK_EQ(buffers.size(), static_cast<size_t>(end - begin))
+      << "buffers must cover the subtree's workers";
+  ReduceMeanBuffers(buffers, n);
+  ++stats_.subtree_allreduce_calls;
+  if (traffic == TrafficClass::kModelSync) {
+    ++stats_.subtree_sync_count;
+  }
+  if (buffers.size() <= 1) {
+    return;  // single member: nothing transits any link
+  }
+  size_t sum = 0;
+  for (size_t bytes : payload_bytes) {
+    sum += bytes;
+  }
+  // Mean wire size in double, as the flat payload collectives bill it.
+  const double per_member =
+      static_cast<double>(sum) / static_cast<double>(buffers.size());
+  ChargeTree(tree_.SubtreeSyncCost(node_id, per_member, num_workers_,
+                                   LinkFactorsOrNull()),
+             traffic);
+}
+
+void SimNetwork::SubtreeAllReduceAverageSubsetWithPayloads(
+    int node_id, const std::vector<float*>& buffers,
+    const std::vector<char>& active, size_t n,
+    const std::vector<size_t>& payload_bytes, TrafficClass traffic) {
+  FEDRA_CHECK(tree_.enabled())
+      << "subtree collectives need a tree topology";
+  FEDRA_CHECK_EQ(active.size(), static_cast<size_t>(num_workers_));
+  FEDRA_CHECK_EQ(payload_bytes.size(), buffers.size());
+  int begin = 0;
+  int end = 0;
+  tree_.SubtreeSpan(node_id, num_workers_, &begin, &end);
+  size_t members = 0;
+  for (int w = begin; w < end; ++w) {
+    members += active[static_cast<size_t>(w)] != 0;
+  }
+  FEDRA_CHECK_EQ(buffers.size(), members)
+      << "buffers must cover the subtree's active workers";
+  ReduceMeanBuffers(buffers, n);
+  ++stats_.subtree_allreduce_calls;
+  if (traffic == TrafficClass::kModelSync) {
+    ++stats_.subtree_sync_count;
+  }
+  if (members <= 1) {
+    return;  // single active member: nothing transits any link
+  }
+  size_t sum = 0;
+  for (size_t bytes : payload_bytes) {
+    sum += bytes;
+  }
+  const double per_member =
+      static_cast<double>(sum) / static_cast<double>(members);
+  ChargeTree(tree_.SubtreeSyncCost(node_id, per_member, num_workers_,
+                                   LinkFactorsOrNull(), &active),
+             traffic);
+}
+
 void SimNetwork::AccountSyncRetries(int worker, size_t n, int retries,
                                     double backoff_base_seconds,
                                     TrafficClass traffic) {
+  AccountSyncRetriesBytes(worker, n * sizeof(float), retries,
+                          backoff_base_seconds, traffic);
+}
+
+void SimNetwork::AccountSyncRetriesBytes(int worker, size_t payload_bytes,
+                                         int retries,
+                                         double backoff_base_seconds,
+                                         TrafficClass traffic) {
   if (retries <= 0) {
     return;
   }
-  const size_t payload = n * sizeof(float);
+  const size_t payload = payload_bytes;
   double factor = 1.0;
   if (worker >= 0 && !worker_link_factors_.empty()) {
     FEDRA_CHECK_LT(worker, num_workers_);
@@ -509,11 +598,13 @@ void SimNetwork::AccountSyncRetries(int worker, size_t n, int retries,
 void SimNetwork::AccountCatchUpSync(size_t n, int worker) {
   PointToPoint(n, TrafficClass::kModelSync, worker);
   ++stats_.catch_up_syncs;
+  stats_.bytes_model_downlink += n * sizeof(float);
 }
 
 void SimNetwork::AccountCheckInSync(size_t n, int worker) {
   PointToPoint(n, TrafficClass::kModelSync, worker);
   ++stats_.check_in_syncs;
+  stats_.bytes_model_downlink += n * sizeof(float);
 }
 
 void SimNetwork::AccountChildExchange(int node_id, size_t n,

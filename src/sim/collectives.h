@@ -121,6 +121,15 @@ class SimNetwork {
                               const std::vector<int>& participants, size_t n,
                               TrafficClass traffic);
 
+  /// Partial-participation AllReduce billed at per-worker wire sizes:
+  /// payload_bytes[i] is participants[i]'s compressed payload (the path
+  /// compressed synchronization takes under faults or fleet rotation). The
+  /// arithmetic is identical to AllReduceAverageSubset.
+  void AllReduceAverageSubsetWithPayloads(
+      const std::vector<float*>& buffers,
+      const std::vector<int>& participants, size_t n,
+      const std::vector<size_t>& payload_bytes, TrafficClass traffic);
+
   /// Partial-participation weighted mean; weights[i] belongs to
   /// participants[i] and must sum to a positive value.
   void AllReduceWeightedAverageSubset(const std::vector<float*>& buffers,
@@ -145,6 +154,14 @@ class SimNetwork {
   /// CommStats::seconds_retry / retries.
   void AccountSyncRetries(int worker, size_t n, int retries,
                           double backoff_base_seconds, TrafficClass traffic);
+
+  /// As AccountSyncRetries, but the retransmitted contribution is
+  /// `payload_bytes` on the wire — a compressed sync payload is also
+  /// retried at its compressed size. AccountSyncRetries(n) is exactly
+  /// AccountSyncRetriesBytes(n * sizeof(float)).
+  void AccountSyncRetriesBytes(int worker, size_t payload_bytes, int retries,
+                               double backoff_base_seconds,
+                               TrafficClass traffic);
 
   /// Records a sync contribution abandoned after the retry budget.
   void AccountDroppedMessage() { ++stats_.dropped_messages; }
@@ -187,6 +204,22 @@ class SimNetwork {
   void SubtreeAllReduceAverage(int node_id,
                                const std::vector<float*>& buffers, size_t n,
                                TrafficClass traffic);
+
+  /// SubtreeAllReduceAverage billed at per-member wire sizes:
+  /// payload_bytes[i] is buffers[i]'s compressed payload (the subtree's
+  /// members in worker order) — the hierarchical scheduler's compressed
+  /// cluster-local model averaging. Tree topologies only.
+  void SubtreeAllReduceAverageWithPayloads(
+      int node_id, const std::vector<float*>& buffers, size_t n,
+      const std::vector<size_t>& payload_bytes, TrafficClass traffic);
+
+  /// Partial-participation SubtreeAllReduceAverageWithPayloads:
+  /// payload_bytes[i] belongs to the i-th *active* member (the order of
+  /// `buffers`). Tree topologies only.
+  void SubtreeAllReduceAverageSubsetWithPayloads(
+      int node_id, const std::vector<float*>& buffers,
+      const std::vector<char>& active, size_t n,
+      const std::vector<size_t>& payload_bytes, TrafficClass traffic);
 
   /// Bills an escalation state exchange at internal node `node_id`: its
   /// child representatives gather `n` floats to the node's representative

@@ -48,6 +48,11 @@ struct CommStats {
   uint64_t bytes_total = 0;          // all bytes transmitted by all workers
   uint64_t bytes_local_state = 0;
   uint64_t bytes_model_sync = 0;
+  // Downlink share of bytes_model_sync: catch-up and check-in model
+  // downloads (server -> client). bytes_model_sync minus this is the
+  // uplink-side synchronization traffic — the part a sync compressor
+  // shrinks.
+  uint64_t bytes_model_downlink = 0;
   double comm_seconds = 0.0;         // simulated time spent communicating
   // Per-traffic-class time split; sums to comm_seconds.
   double seconds_local_state = 0.0;
@@ -104,6 +109,7 @@ struct CommStats {
     bytes_total += other.bytes_total;
     bytes_local_state += other.bytes_local_state;
     bytes_model_sync += other.bytes_model_sync;
+    bytes_model_downlink += other.bytes_model_downlink;
     comm_seconds += other.comm_seconds;
     seconds_local_state += other.seconds_local_state;
     seconds_model_sync += other.seconds_model_sync;

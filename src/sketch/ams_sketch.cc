@@ -55,6 +55,26 @@ void AmsSketch::AccumulateVector(const float* v) {
   }
 }
 
+void AmsSketch::AccumulateSparse(const float* v, const uint32_t* indices,
+                                 size_t count) {
+  const int num_rows = family_->rows();
+  float* cells = cells_.data();
+  for (size_t i = 0; i < count; ++i) {
+    FEDRA_CHECK_LT(indices[i], family_->dim());
+  }
+  // Same precomputed offset/sign tables as AccumulateVector, gathered only
+  // at the listed coordinates. Rows innermost: the index list is short, so
+  // revisiting it per row stays in cache while each row's tables stream.
+  for (int r = 0; r < num_rows; ++r) {
+    const uint32_t* offsets = family_->cell_offsets(r);
+    const float* signs = family_->sign_values(r);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t j = indices[i];
+      cells[offsets[j]] += signs[j] * v[j];
+    }
+  }
+}
+
 void AmsSketch::AddScaled(const AmsSketch& other, float alpha) {
   FEDRA_CHECK_EQ(family_.get(), other.family_.get())
       << "sketch linearity requires a shared hash family";

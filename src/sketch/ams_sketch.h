@@ -48,6 +48,13 @@ class AmsSketch {
   /// sk += sk(v) for a full vector of the family's dimension.
   void AccumulateVector(const float* v);
 
+  /// sk += sk(v restricted to `indices`): only the `count` listed
+  /// coordinates of v are folded in, so the cost is O(count * rows) instead
+  /// of O(dim * rows). Equivalent to AccumulateVector of the vector that is
+  /// v on `indices` and zero elsewhere — the sketch of a masked drift.
+  void AccumulateSparse(const float* v, const uint32_t* indices,
+                        size_t count);
+
   /// sk += alpha * other (linearity; families must match).
   void AddScaled(const AmsSketch& other, float alpha);
 
